@@ -1,0 +1,79 @@
+//! Figures 6(d)/6(e): planning time of the cleaning algorithms (DP, Greedy,
+//! RandP, RandU) as the budget and k grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdb_bench::{cleaning_setup, synthetic};
+use pdb_clean::{CleaningAlgorithm, CleaningContext};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_time_vs_budget(c: &mut Criterion) {
+    let db = synthetic(50_000);
+    let ctx = CleaningContext::prepare(&db, 15).expect("context preparation succeeds");
+    let setup = cleaning_setup(db.num_x_tuples());
+
+    let mut group = c.benchmark_group("fig6d/plan_time_vs_budget");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &budget in &[10u64, 100, 1_000] {
+        for algo in CleaningAlgorithm::ALL {
+            // DP at large budgets takes quadratic time; keep the bench at
+            // paper-representative but bounded values.
+            if algo == CleaningAlgorithm::Dp && budget > 1_000 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), budget),
+                &budget,
+                |b, &budget| {
+                    b.iter(|| {
+                        let mut rng = StdRng::seed_from_u64(budget);
+                        algo.plan(black_box(&ctx), &setup, budget, &mut rng).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_time_vs_k(c: &mut Criterion) {
+    let db = synthetic(50_000);
+    let setup = cleaning_setup(db.num_x_tuples());
+
+    let mut group = c.benchmark_group("fig6e/plan_time_vs_k");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &k in &[5usize, 15, 30] {
+        let ctx = CleaningContext::prepare(&db, k).expect("context preparation succeeds");
+        for algo in CleaningAlgorithm::ALL {
+            group.bench_with_input(BenchmarkId::new(algo.name(), k), &k, |b, &k| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(k as u64);
+                    algo.plan(black_box(&ctx), &setup, 100, &mut rng).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_context_preparation(c: &mut Criterion) {
+    // The one-off cost of preparing the cleaning context (PSR + weights +
+    // per-x-tuple aggregation), shared by every algorithm.
+    let db = synthetic(50_000);
+    let mut group = c.benchmark_group("cleaning/context_preparation");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("prepare_k15", |b| {
+        b.iter(|| CleaningContext::prepare(black_box(&db), 15).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_time_vs_budget, bench_time_vs_k, bench_context_preparation);
+criterion_main!(benches);

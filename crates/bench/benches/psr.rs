@@ -1,0 +1,47 @@
+//! PSR rank-probability computation: incremental O(kn) algorithm vs the
+//! O(n·m·k) recomputing reference, across database sizes and k.
+//!
+//! This is the shared substrate of every query and of the TP quality
+//! algorithm, so its scaling underpins Figures 4(e)/4(f) and 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdb_bench::synthetic;
+use pdb_engine::psr::{rank_probabilities, rank_probabilities_exact};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_psr_vs_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("psr/size_k15");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &tuples in &[1_000usize, 5_000, 20_000] {
+        let db = synthetic(tuples);
+        group.bench_with_input(BenchmarkId::new("incremental", tuples), &db, |b, db| {
+            b.iter(|| rank_probabilities(black_box(db), 15).unwrap())
+        });
+        if tuples <= 5_000 {
+            group.bench_with_input(BenchmarkId::new("exact_reference", tuples), &db, |b, db| {
+                b.iter(|| rank_probabilities_exact(black_box(db), 15).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_psr_vs_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("psr/k_5000tuples");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let db = synthetic(5_000);
+    for &k in &[1usize, 15, 50, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| rank_probabilities(black_box(&db), k).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_psr_vs_size, bench_psr_vs_k);
+criterion_main!(benches);

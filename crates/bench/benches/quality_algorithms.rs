@@ -1,0 +1,43 @@
+//! Figure 4(d): quality-computation time of PW, PWR and TP on small
+//! databases (k = 5), where the possible-world baseline is still feasible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdb_bench::synthetic;
+use pdb_quality::{quality_pw, quality_pwr, quality_tp};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_quality_algorithms(c: &mut Criterion) {
+    let k = 5;
+    let mut group = c.benchmark_group("fig4d/quality_time_small_db");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &tuples in &[10usize, 30, 50] {
+        let db = synthetic(tuples);
+        group.bench_with_input(BenchmarkId::new("PW", tuples), &db, |b, db| {
+            b.iter(|| quality_pw(black_box(db), k).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("PWR", tuples), &db, |b, db| {
+            b.iter(|| quality_pwr(black_box(db), k).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("TP", tuples), &db, |b, db| {
+            b.iter(|| quality_tp(black_box(db), k).unwrap())
+        });
+    }
+    // Beyond the PW-feasible regime, compare PWR and TP only (the paper's
+    // crossover story).
+    for &tuples in &[500usize, 2_000] {
+        let db = synthetic(tuples);
+        group.bench_with_input(BenchmarkId::new("PWR", tuples), &db, |b, db| {
+            b.iter(|| quality_pwr(black_box(db), k).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("TP", tuples), &db, |b, db| {
+            b.iter(|| quality_tp(black_box(db), k).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quality_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figures 4(e)/4(f): TP quality computation scaling with database size and
+//! with k (the regime where PWR has already dropped out), plus a bounded
+//! PWR run showing where it gives up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdb_bench::{mov, synthetic};
+use pdb_quality::{quality_pwr_bounded, quality_tp};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_tp_vs_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4e/tp_time_vs_db_size_k15");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &tuples in &[1_000usize, 10_000, 50_000, 200_000] {
+        let db = synthetic(tuples);
+        group.bench_with_input(BenchmarkId::new("TP", tuples), &db, |b, db| {
+            b.iter(|| quality_tp(black_box(db), 15).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_tp_vs_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4f/quality_time_vs_k");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let db = synthetic(5_000);
+    for &k in &[1usize, 15, 100, 500] {
+        group.bench_with_input(BenchmarkId::new("TP", k), &k, |b, &k| {
+            b.iter(|| quality_tp(black_box(&db), k).unwrap())
+        });
+        // PWR with a bounded pw-result budget: small k completes, larger k
+        // returns None almost immediately, matching the paper's "cannot
+        // return the quality in reasonable time" observation.
+        group.bench_with_input(BenchmarkId::new("PWR_bounded_1M", k), &k, |b, &k| {
+            b.iter(|| quality_pwr_bounded(black_box(&db), k, 1_000_000).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_tp_on_mov(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4c/tp_time_mov");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let db = mov(4_999);
+    for &k in &[5usize, 15, 30] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| quality_tp(black_box(&db), k).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tp_vs_size, bench_tp_vs_k, bench_tp_on_mov);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each bench target regenerates the timing series of one figure family of
+//! the paper (see DESIGN.md §4 for the mapping).  The fixtures here keep
+//! dataset construction out of the measured code and consistent across
+//! targets.
+
+#![forbid(unsafe_code)]
+
+use pdb_clean::CleaningSetup;
+use pdb_core::RankedDatabase;
+use pdb_gen::cleaning_params::{generate as gen_params, CleaningParamsConfig};
+use pdb_gen::mov::{self, MovConfig};
+use pdb_gen::synthetic::{self, SyntheticConfig};
+
+/// Synthetic dataset with approximately `tuples` tuples (10 alternatives
+/// per x-tuple, Gaussian uncertainty — the paper's default family).
+pub fn synthetic(tuples: usize) -> RankedDatabase {
+    synthetic::generate_ranked(&SyntheticConfig::with_total_tuples(tuples))
+        .expect("synthetic generation succeeds")
+}
+
+/// MOV stand-in dataset with the given number of (movie, viewer) pairs.
+pub fn mov(x_tuples: usize) -> RankedDatabase {
+    mov::generate_ranked(&MovConfig { num_x_tuples: x_tuples, ..MovConfig::paper_default() })
+        .expect("MOV generation succeeds")
+}
+
+/// The paper's default cleaning parameters for a database with `m`
+/// x-tuples (cost uniform in [1, 10], sc-probability uniform in [0, 1]).
+pub fn cleaning_setup(m: usize) -> CleaningSetup {
+    let params = gen_params(m, &CleaningParamsConfig::default());
+    CleaningSetup::new(params.costs, params.sc_probs).expect("generated parameters are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_have_the_requested_shape() {
+        assert_eq!(synthetic(500).len(), 500);
+        assert_eq!(mov(100).num_x_tuples(), 100);
+        assert_eq!(cleaning_setup(50).len(), 50);
+    }
+}

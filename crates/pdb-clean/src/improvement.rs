@@ -1,0 +1,469 @@
+//! Expected quality improvement of a cleaning plan.
+//!
+//! The central quantity of the cleaning problem (Definition 6 of the paper)
+//! is the expected improvement `I(X, M, D, Q) = E[S(D′, Q)] − S(D, Q)` over
+//! the random outcome `D′` of executing the plan.  Theorem 2 collapses the
+//! expectation into closed form:
+//!
+//! ```text
+//! I(X, M, D, Q) = − Σ_{τ_l ∈ X} (1 − (1 − P_l)^{M_l}) · g(l, D)
+//! ```
+//!
+//! where `g(l, D) = Σ_{tᵢ ∈ τ_l} ωᵢ·pᵢ` is x-tuple `l`'s contribution to the
+//! quality score.  This module provides that closed form, the marginal gain
+//! `b(l, D, j)` of the `j`-th attempt (Equation 21), the brute-force
+//! expectation over all possible cleaned databases (Equation 17 — the test
+//! oracle for Theorem 2), and a Monte-Carlo cleaning simulator that actually
+//! executes a plan.
+
+use crate::model::{CleaningPlan, CleaningSetup};
+use pdb_core::{DbError, RankedDatabase, Result, TupleId};
+use pdb_quality::{quality_tp, SharedEvaluation};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// `g(l, D)` values below this magnitude are treated as zero: cleaning such
+/// an x-tuple cannot measurably improve quality (Lemma 5).
+pub const G_EPSILON: f64 = 1e-12;
+
+/// Everything the cleaning algorithms need to know about the database and
+/// the query: the quality score, its per-x-tuple decomposition `g(l, D)`,
+/// and the per-x-tuple top-k probability mass (used by the RandP heuristic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CleaningContext {
+    /// The `k` of the top-k query being improved.
+    pub k: usize,
+    /// The PWS-quality `S(D, Q)` of the query on the un-cleaned database.
+    pub quality: f64,
+    /// `g(l, D)` for every x-tuple.
+    pub g: Vec<f64>,
+    /// `Σ_{tᵢ ∈ τ_l} pᵢ` for every x-tuple (RandP's selection weight).
+    pub x_topk: Vec<f64>,
+}
+
+impl CleaningContext {
+    /// Run the shared PSR + TP evaluation once and extract the quantities
+    /// the cleaning algorithms need.
+    pub fn prepare(db: &RankedDatabase, k: usize) -> Result<Self> {
+        let shared = SharedEvaluation::new(db, k)?;
+        Ok(Self::from_shared(&shared))
+    }
+
+    /// Extract the cleaning context from an existing shared evaluation
+    /// (avoids re-running PSR when the caller already has one).
+    pub fn from_shared(shared: &SharedEvaluation<'_>) -> Self {
+        let db = shared.database();
+        let breakdown = shared.quality_breakdown();
+        let mut x_topk = vec![0.0; db.num_x_tuples()];
+        for pos in 0..db.len() {
+            x_topk[db.tuple(pos).x_index] += shared.rank_probabilities().top_k_prob(pos);
+        }
+        Self {
+            k: shared.k(),
+            quality: breakdown.quality,
+            g: breakdown.x_tuple_contribution,
+            x_topk,
+        }
+    }
+
+    /// Number of x-tuples.
+    pub fn num_x_tuples(&self) -> usize {
+        self.g.len()
+    }
+
+    /// The candidate set `Z`: x-tuples whose contribution `g(l, D)` is
+    /// non-zero, i.e. the only ones worth cleaning (Lemma 5 of the paper).
+    pub fn candidates(&self) -> Vec<usize> {
+        (0..self.g.len()).filter(|&l| self.g[l] < -G_EPSILON).collect()
+    }
+}
+
+/// The marginal gain `b(l, D, j)` of raising x-tuple `l`'s attempt count
+/// from `j − 1` to `j` (Equation 21): `−(1 − P_l)^{j−1} · P_l · g(l, D)`.
+///
+/// Monotonically non-increasing in `j` (Lemma 4), which is what makes the
+/// greedy algorithm near-optimal.
+pub fn marginal_gain(ctx: &CleaningContext, setup: &CleaningSetup, l: usize, j: u64) -> f64 {
+    if j == 0 {
+        return 0.0;
+    }
+    let p = setup.sc_prob(l);
+    -(1.0 - p).powi((j - 1).min(i32::MAX as u64) as i32) * p * ctx.g[l]
+}
+
+/// The expected quality improvement of a plan (Theorem 2).
+pub fn expected_improvement(
+    ctx: &CleaningContext,
+    setup: &CleaningSetup,
+    plan: &CleaningPlan,
+) -> f64 {
+    let mut total = 0.0;
+    for l in 0..ctx.num_x_tuples() {
+        let m = plan.count(l);
+        if m > 0 {
+            total -= setup.success_prob(l, m) * ctx.g[l];
+        }
+    }
+    total
+}
+
+/// Outcome of the cleaning attempts on one x-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CleanOutcome {
+    /// Every attempt failed (or none was made): the x-tuple is unchanged.
+    Unchanged,
+    /// Cleaning succeeded and the true alternative is the tuple at this
+    /// rank position.
+    Tuple(usize),
+    /// Cleaning succeeded and the entity turned out to have no reading (the
+    /// implicit null alternative was the truth).
+    Null,
+}
+
+/// Apply per-x-tuple outcomes, producing the cleaned database.
+///
+/// Returns `Ok(None)` when every x-tuple collapsed to null and nothing is
+/// left (the degenerate fully-certain empty database, whose quality is 0).
+pub fn apply_outcomes(
+    db: &RankedDatabase,
+    outcomes: &[CleanOutcome],
+) -> Result<Option<RankedDatabase>> {
+    if outcomes.len() != db.num_x_tuples() {
+        return Err(DbError::invalid_parameter(format!(
+            "got {} outcomes for {} x-tuples",
+            outcomes.len(),
+            db.num_x_tuples()
+        )));
+    }
+    // Validate tuple outcomes before building.
+    for (l, outcome) in outcomes.iter().enumerate() {
+        if let CleanOutcome::Tuple(pos) = outcome {
+            if *pos >= db.len() || db.tuple(*pos).x_index != l {
+                return Err(DbError::index_out_of_range(format!(
+                    "outcome of x-tuple {l} references position {pos}"
+                )));
+            }
+        }
+    }
+    let mut entries: Vec<(TupleId, usize, f64, f64)> = Vec::new();
+    let mut keys = Vec::new();
+    let mut next_index = 0usize;
+    for (l, info) in db.x_tuples().enumerate() {
+        match outcomes[l] {
+            CleanOutcome::Null => continue,
+            CleanOutcome::Unchanged => {
+                for &pos in &info.members {
+                    let t = db.tuple(pos);
+                    entries.push((t.id, next_index, t.score, t.prob));
+                }
+            }
+            CleanOutcome::Tuple(pos) => {
+                let t = db.tuple(pos);
+                entries.push((t.id, next_index, t.score, 1.0));
+            }
+        }
+        keys.push(info.key.clone());
+        next_index += 1;
+    }
+    if entries.is_empty() {
+        return Ok(None);
+    }
+    RankedDatabase::from_entries(entries, keys).map(Some)
+}
+
+/// Expected quality of the cleaned database computed the hard way
+/// (Equation 17): enumerate every possible cleaned database, evaluate its
+/// quality with TP, and weight by the outcome probability.  Exponential in
+/// the number of selected x-tuples; used as the oracle that validates
+/// Theorem 2.
+pub fn expected_quality_exhaustive(
+    db: &RankedDatabase,
+    k: usize,
+    setup: &CleaningSetup,
+    plan: &CleaningPlan,
+) -> Result<f64> {
+    plan.validate(setup, u64::MAX)?;
+    let selected = plan.selected();
+    // Cap the enumeration: each selected x-tuple multiplies the outcome
+    // count by (|τ_l| + 2).
+    let mut combos: u128 = 1;
+    for &l in &selected {
+        combos = combos.saturating_mul(db.x_tuple(l).members.len() as u128 + 2);
+    }
+    if combos > 1 << 20 {
+        return Err(DbError::TooManyWorlds { worlds: combos, limit: 1 << 20 });
+    }
+
+    let mut outcomes = vec![CleanOutcome::Unchanged; db.num_x_tuples()];
+    let mut total = 0.0;
+    enumerate_outcomes(db, k, setup, plan, &selected, 0, 1.0, &mut outcomes, &mut total)?;
+    Ok(total)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_outcomes(
+    db: &RankedDatabase,
+    k: usize,
+    setup: &CleaningSetup,
+    plan: &CleaningPlan,
+    selected: &[usize],
+    idx: usize,
+    prob: f64,
+    outcomes: &mut Vec<CleanOutcome>,
+    total: &mut f64,
+) -> Result<()> {
+    if prob == 0.0 {
+        return Ok(());
+    }
+    if idx == selected.len() {
+        let quality = match apply_outcomes(db, outcomes)? {
+            Some(cleaned) => quality_tp(&cleaned, k)?,
+            None => 0.0,
+        };
+        *total += prob * quality;
+        return Ok(());
+    }
+    let l = selected[idx];
+    let success = setup.success_prob(l, plan.count(l));
+
+    // Outcome 1: all attempts failed.
+    outcomes[l] = CleanOutcome::Unchanged;
+    enumerate_outcomes(db, k, setup, plan, selected, idx + 1, prob * (1.0 - success), outcomes, total)?;
+
+    // Outcome 2: success, true value is one of the explicit alternatives.
+    for &pos in &db.x_tuple(l).members {
+        outcomes[l] = CleanOutcome::Tuple(pos);
+        let p = db.tuple(pos).prob * success;
+        enumerate_outcomes(db, k, setup, plan, selected, idx + 1, prob * p, outcomes, total)?;
+    }
+
+    // Outcome 3: success, true value is the null alternative.
+    let null = db.x_tuple(l).null_prob();
+    if null > pdb_core::PROB_EPSILON {
+        outcomes[l] = CleanOutcome::Null;
+        enumerate_outcomes(db, k, setup, plan, selected, idx + 1, prob * null * success, outcomes, total)?;
+    }
+
+    outcomes[l] = CleanOutcome::Unchanged;
+    Ok(())
+}
+
+/// Expected improvement computed exhaustively (Equation 17 minus the
+/// original quality); the oracle counterpart of [`expected_improvement`].
+pub fn expected_improvement_exhaustive(
+    db: &RankedDatabase,
+    k: usize,
+    setup: &CleaningSetup,
+    plan: &CleaningPlan,
+) -> Result<f64> {
+    let before = quality_tp(db, k)?;
+    Ok(expected_quality_exhaustive(db, k, setup, plan)? - before)
+}
+
+/// Execute a cleaning plan once: every selected x-tuple's attempts succeed
+/// or fail at random (sc-probability), and successful cleanings reveal the
+/// true alternative drawn from the existential probabilities.
+///
+/// Returns the cleaned database, or `None` in the degenerate case where
+/// every x-tuple collapsed to null.
+pub fn simulate_cleaning<R: Rng + ?Sized>(
+    db: &RankedDatabase,
+    setup: &CleaningSetup,
+    plan: &CleaningPlan,
+    rng: &mut R,
+) -> Result<Option<RankedDatabase>> {
+    if plan.len() != db.num_x_tuples() || setup.len() != db.num_x_tuples() {
+        return Err(DbError::invalid_parameter(
+            "plan/setup do not cover the database's x-tuples",
+        ));
+    }
+    let mut outcomes = vec![CleanOutcome::Unchanged; db.num_x_tuples()];
+    for (l, outcome) in outcomes.iter_mut().enumerate() {
+        let attempts = plan.count(l);
+        if attempts == 0 {
+            continue;
+        }
+        if rng.gen::<f64>() >= setup.success_prob(l, attempts) {
+            continue; // every attempt failed
+        }
+        // Cleaning succeeded: draw the true alternative.
+        let mut u: f64 = rng.gen();
+        let mut chosen = CleanOutcome::Null;
+        for &pos in &db.x_tuple(l).members {
+            let p = db.tuple(pos).prob;
+            if u < p {
+                chosen = CleanOutcome::Tuple(pos);
+                break;
+            }
+            u -= p;
+        }
+        *outcome = chosen;
+    }
+    apply_outcomes(db, &outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn udb1() -> RankedDatabase {
+        RankedDatabase::from_scored_x_tuples(&[
+            vec![(21.0, 0.6), (32.0, 0.4)],
+            vec![(30.0, 0.7), (22.0, 0.3)],
+            vec![(25.0, 0.4), (27.0, 0.6)],
+            vec![(26.0, 1.0)],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn context_exposes_quality_and_candidates() {
+        let db = udb1();
+        let ctx = CleaningContext::prepare(&db, 2).unwrap();
+        assert_eq!(ctx.num_x_tuples(), 4);
+        assert!((ctx.quality - (-2.55)).abs() < 0.005);
+        assert!((ctx.g.iter().sum::<f64>() - ctx.quality).abs() < 1e-12);
+        // Sum of per-x-tuple top-k mass equals k for a full-mass database.
+        assert!((ctx.x_topk.iter().sum::<f64>() - 2.0).abs() < 1e-9);
+        // The three uncertain sensors are candidates; S4 is already certain
+        // (its single tuple has weight ω = 0), so cleaning it cannot help.
+        assert_eq!(ctx.candidates(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn certain_database_has_no_candidates() {
+        let db = RankedDatabase::from_scored_x_tuples(&[vec![(3.0, 1.0)], vec![(2.0, 1.0)]]).unwrap();
+        let ctx = CleaningContext::prepare(&db, 2).unwrap();
+        assert!(ctx.candidates().is_empty());
+        assert_eq!(ctx.quality, 0.0);
+    }
+
+    #[test]
+    fn marginal_gains_decrease_and_sum_to_improvement() {
+        let db = udb1();
+        let ctx = CleaningContext::prepare(&db, 2).unwrap();
+        let setup = CleaningSetup::uniform(4, 1, 0.6).unwrap();
+        for l in 0..4 {
+            let gains: Vec<f64> = (1..=5).map(|j| marginal_gain(&ctx, &setup, l, j)).collect();
+            for w in gains.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12, "marginal gains must be non-increasing");
+            }
+            assert!(gains.iter().all(|&b| b >= 0.0));
+            // Equation 22: the improvement of cleaning l alone M times is the
+            // sum of the first M marginal gains.
+            let mut plan = CleaningPlan::empty(4);
+            plan.set_count(l, 3);
+            let sum: f64 = gains.iter().take(3).sum();
+            assert!((expected_improvement(&ctx, &setup, &plan) - sum).abs() < 1e-12);
+        }
+        assert_eq!(marginal_gain(&ctx, &setup, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn theorem_2_matches_the_exhaustive_expectation() {
+        let db = udb1();
+        let ctx = CleaningContext::prepare(&db, 2).unwrap();
+        let setup =
+            CleaningSetup::new(vec![1, 2, 1, 3], vec![0.7, 0.5, 0.9, 1.0]).unwrap();
+        // Try several plans, including multi-x-tuple and multi-attempt ones.
+        let plans = vec![
+            CleaningPlan::from_counts(vec![1, 0, 0, 0]),
+            CleaningPlan::from_counts(vec![0, 2, 0, 0]),
+            CleaningPlan::from_counts(vec![1, 1, 1, 0]),
+            CleaningPlan::from_counts(vec![3, 0, 2, 1]),
+        ];
+        for plan in plans {
+            let fast = expected_improvement(&ctx, &setup, &plan);
+            let slow = expected_improvement_exhaustive(&db, 2, &setup, &plan).unwrap();
+            assert!((fast - slow).abs() < 1e-8, "plan {:?}: {fast} vs {slow}", plan.counts());
+            assert!(fast >= -1e-12, "cleaning can never hurt in expectation");
+        }
+    }
+
+    #[test]
+    fn theorem_2_holds_with_null_mass() {
+        let db = RankedDatabase::from_scored_x_tuples(&[
+            vec![(10.0, 0.5)],
+            vec![(9.0, 0.4), (8.0, 0.2)],
+            vec![(7.0, 1.0)],
+        ])
+        .unwrap();
+        let ctx = CleaningContext::prepare(&db, 2).unwrap();
+        let setup = CleaningSetup::uniform(3, 1, 0.8).unwrap();
+        let plan = CleaningPlan::from_counts(vec![2, 1, 0]);
+        let fast = expected_improvement(&ctx, &setup, &plan);
+        let slow = expected_improvement_exhaustive(&db, 2, &setup, &plan).unwrap();
+        assert!((fast - slow).abs() < 1e-8, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn cleaning_the_whole_database_recovers_all_quality_in_the_limit() {
+        // With sc-probability 1 and one attempt everywhere, the expected
+        // improvement equals −S(D, Q): the cleaned database is certain.
+        let db = udb1();
+        let ctx = CleaningContext::prepare(&db, 2).unwrap();
+        let setup = CleaningSetup::uniform(4, 1, 1.0).unwrap();
+        let plan = CleaningPlan::from_counts(vec![1, 1, 1, 1]);
+        let imp = expected_improvement(&ctx, &setup, &plan);
+        assert!((imp - (-ctx.quality)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_outcomes_collapses_and_drops() {
+        let db = RankedDatabase::from_scored_x_tuples(&[
+            vec![(10.0, 0.5)],
+            vec![(9.0, 0.4), (8.0, 0.6)],
+        ])
+        .unwrap();
+        let cleaned = apply_outcomes(&db, &[CleanOutcome::Null, CleanOutcome::Tuple(1)])
+            .unwrap()
+            .unwrap();
+        assert_eq!(cleaned.num_x_tuples(), 1);
+        assert_eq!(cleaned.len(), 1);
+        assert!((cleaned.tuple(0).prob - 1.0).abs() < 1e-12);
+
+        // All-null outcome yields the empty database sentinel.
+        assert!(apply_outcomes(&db, &[CleanOutcome::Null, CleanOutcome::Null]).unwrap().is_none());
+
+        // Wrong position is rejected.
+        assert!(apply_outcomes(&db, &[CleanOutcome::Tuple(1), CleanOutcome::Unchanged]).is_err());
+        // Wrong arity is rejected.
+        assert!(apply_outcomes(&db, &[CleanOutcome::Unchanged]).is_err());
+    }
+
+    #[test]
+    fn simulation_converges_to_the_expected_improvement() {
+        let db = udb1();
+        let ctx = CleaningContext::prepare(&db, 2).unwrap();
+        let setup = CleaningSetup::uniform(4, 1, 0.7).unwrap();
+        let plan = CleaningPlan::from_counts(vec![1, 2, 1, 0]);
+        let expected = expected_improvement(&ctx, &setup, &plan);
+
+        let mut rng = StdRng::seed_from_u64(1234);
+        let trials = 4000;
+        let mut total = 0.0;
+        for _ in 0..trials {
+            let cleaned = simulate_cleaning(&db, &setup, &plan, &mut rng).unwrap();
+            let q = match cleaned {
+                Some(d) => quality_tp(&d, 2).unwrap(),
+                None => 0.0,
+            };
+            total += q - ctx.quality;
+        }
+        let mean = total / trials as f64;
+        assert!(
+            (mean - expected).abs() < 0.05,
+            "Monte-Carlo mean {mean} should approach Theorem 2 value {expected}"
+        );
+    }
+
+    #[test]
+    fn simulation_validates_inputs() {
+        let db = udb1();
+        let setup = CleaningSetup::uniform(3, 1, 0.5).unwrap();
+        let plan = CleaningPlan::empty(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(simulate_cleaning(&db, &setup, &plan, &mut rng).is_err());
+    }
+}

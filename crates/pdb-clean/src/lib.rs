@@ -1,0 +1,73 @@
+//! # pdb-clean — budgeted cleaning of uncertain data for top-k quality
+//!
+//! This crate implements the second contribution of the ICDE 2013 paper
+//! *"Cleaning Uncertain Data for Top-k Queries"*: given a limited budget,
+//! decide which x-tuples to probe (and how many times) so that the expected
+//! PWS-quality improvement of a top-k query is maximised.
+//!
+//! * [`model`] — cleaning costs, sc-probabilities, budgets and plans
+//!   (Definition 5 / 7 of the paper).
+//! * [`improvement`] — the expected quality improvement in closed form
+//!   (Theorem 2), the exhaustive oracle (Equation 17) and a Monte-Carlo
+//!   cleaning simulator.
+//! * [`algorithms`] — the four solvers of Section V-D: optimal DP, Greedy,
+//!   RandP and RandU, plus an exhaustive optimality oracle.
+//!
+//! Two extensions the paper lists as future work are also provided:
+//!
+//! * [`target`] — minimum-cost cleaning to reach a target quality;
+//! * [`adaptive`] — adaptive cleaning that re-plans after observing each
+//!   probe's outcome.
+//!
+//! ```
+//! use pdb_core::prelude::*;
+//! use pdb_clean::prelude::*;
+//!
+//! let db = pdb_core::examples::udb1().rank_by(&ScoreRanking);
+//! let ctx = CleaningContext::prepare(&db, 2).unwrap();
+//! // Every probe costs 1 unit and succeeds with probability 0.8.
+//! let setup = CleaningSetup::uniform(db.num_x_tuples(), 1, 0.8).unwrap();
+//! let plan = plan_greedy(&ctx, &setup, 3).unwrap();
+//! let gain = expected_improvement(&ctx, &setup, &plan);
+//! assert!(gain > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adaptive;
+pub mod algorithms;
+pub mod improvement;
+pub mod model;
+pub mod target;
+
+pub use adaptive::{run_adaptive_session, AdaptiveOutcome};
+pub use algorithms::{
+    plan_dp, plan_exhaustive, plan_greedy, plan_rand_p, plan_rand_u, CleaningAlgorithm,
+};
+pub use improvement::{
+    apply_outcomes, expected_improvement, expected_improvement_exhaustive,
+    expected_quality_exhaustive, marginal_gain, simulate_cleaning, CleanOutcome, CleaningContext,
+};
+pub use model::{CleaningPlan, CleaningSetup};
+pub use target::{
+    max_achievable_improvement, min_cost_for_quality_greedy, min_cost_greedy, min_cost_optimal,
+    TargetPlan,
+};
+
+/// Convenience prelude bringing the most frequently used items into scope.
+pub mod prelude {
+    pub use crate::adaptive::{run_adaptive_session, AdaptiveOutcome};
+    pub use crate::algorithms::{
+        plan_dp, plan_exhaustive, plan_greedy, plan_rand_p, plan_rand_u, CleaningAlgorithm,
+    };
+    pub use crate::improvement::{
+        expected_improvement, expected_improvement_exhaustive, marginal_gain, simulate_cleaning,
+        CleanOutcome, CleaningContext,
+    };
+    pub use crate::model::{CleaningPlan, CleaningSetup};
+    pub use crate::target::{
+        max_achievable_improvement, min_cost_for_quality_greedy, min_cost_greedy, min_cost_optimal,
+        TargetPlan,
+    };
+}

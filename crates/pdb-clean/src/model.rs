@@ -1,0 +1,259 @@
+//! The cleaning model: costs, sc-probabilities, budgets and cleaning plans.
+//!
+//! Section V-A of the paper models a cleaning operation `pclean(τ_l)` —
+//! probing a sensor, phoning a movie viewer — as an action that
+//!
+//! * costs `c_l` budget units each time it is attempted,
+//! * succeeds with the **sc-probability** `P_l`, and
+//! * on success collapses the x-tuple to a single certain tuple (the true
+//!   alternative, drawn according to the existential probabilities).
+//!
+//! A **cleaning plan** decides which x-tuples to clean and how many times
+//! to attempt each (`X` and `M` in the paper); its total cost must stay
+//! within the budget `C`.
+
+use pdb_core::{DbError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Per-x-tuple cleaning parameters: cost and success probability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CleaningSetup {
+    costs: Vec<u64>,
+    sc_probs: Vec<f64>,
+}
+
+impl CleaningSetup {
+    /// Build a setup from per-x-tuple costs and sc-probabilities.
+    ///
+    /// Costs must be at least 1 (the paper models them as natural numbers);
+    /// sc-probabilities must lie in `[0, 1]`.
+    pub fn new(costs: Vec<u64>, sc_probs: Vec<f64>) -> Result<Self> {
+        if costs.len() != sc_probs.len() {
+            return Err(DbError::invalid_parameter(format!(
+                "got {} costs but {} sc-probabilities",
+                costs.len(),
+                sc_probs.len()
+            )));
+        }
+        if costs.is_empty() {
+            return Err(DbError::invalid_parameter("cleaning setup covers no x-tuples"));
+        }
+        for (l, &c) in costs.iter().enumerate() {
+            if c == 0 {
+                return Err(DbError::invalid_parameter(format!(
+                    "x-tuple {l} has zero cleaning cost; costs must be at least 1"
+                )));
+            }
+        }
+        for (l, &p) in sc_probs.iter().enumerate() {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(DbError::InvalidProbability {
+                    prob: p,
+                    context: format!("sc-probability of x-tuple {l}"),
+                });
+            }
+        }
+        Ok(Self { costs, sc_probs })
+    }
+
+    /// A setup where every x-tuple has the same cost and sc-probability.
+    pub fn uniform(num_x_tuples: usize, cost: u64, sc_prob: f64) -> Result<Self> {
+        Self::new(vec![cost; num_x_tuples], vec![sc_prob; num_x_tuples])
+    }
+
+    /// Number of x-tuples covered.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Whether the setup covers no x-tuples (never true after validation).
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// Cost of one `pclean` attempt on x-tuple `l`.
+    pub fn cost(&self, l: usize) -> u64 {
+        self.costs[l]
+    }
+
+    /// Probability that one `pclean` attempt on x-tuple `l` succeeds.
+    pub fn sc_prob(&self, l: usize) -> f64 {
+        self.sc_probs[l]
+    }
+
+    /// All costs.
+    pub fn costs(&self) -> &[u64] {
+        &self.costs
+    }
+
+    /// All sc-probabilities.
+    pub fn sc_probs(&self) -> &[f64] {
+        &self.sc_probs
+    }
+
+    /// Probability that x-tuple `l` is successfully cleaned after `attempts`
+    /// independent attempts: `1 − (1 − P_l)^attempts`.
+    pub fn success_prob(&self, l: usize, attempts: u64) -> f64 {
+        1.0 - (1.0 - self.sc_probs[l]).powi(attempts.min(i32::MAX as u64) as i32)
+    }
+}
+
+/// A cleaning plan: how many `pclean` attempts to spend on every x-tuple.
+///
+/// `counts[l]` is `M_l` in the paper; x-tuples outside the selected set `X`
+/// simply have a count of zero.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CleaningPlan {
+    counts: Vec<u64>,
+}
+
+impl CleaningPlan {
+    /// The empty plan (no x-tuple is cleaned).
+    pub fn empty(num_x_tuples: usize) -> Self {
+        Self { counts: vec![0; num_x_tuples] }
+    }
+
+    /// Build a plan from per-x-tuple attempt counts.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        Self { counts }
+    }
+
+    /// Number of x-tuples the plan covers (cleaned or not).
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the plan covers no x-tuples.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Number of `pclean` attempts assigned to x-tuple `l`.
+    pub fn count(&self, l: usize) -> u64 {
+        self.counts[l]
+    }
+
+    /// All attempt counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Add one attempt on x-tuple `l`.
+    pub fn add_attempt(&mut self, l: usize) {
+        self.counts[l] += 1;
+    }
+
+    /// Set the attempt count of x-tuple `l`.
+    pub fn set_count(&mut self, l: usize, count: u64) {
+        self.counts[l] = count;
+    }
+
+    /// The selected set `X`: indices of x-tuples with at least one attempt.
+    pub fn selected(&self) -> Vec<usize> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(l, _)| l)
+            .collect()
+    }
+
+    /// Total number of attempts across all x-tuples.
+    pub fn total_attempts(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total cost of the plan under the given setup.
+    pub fn total_cost(&self, setup: &CleaningSetup) -> u64 {
+        self.counts.iter().zip(setup.costs()).map(|(&m, &c)| m * c).sum()
+    }
+
+    /// Check that the plan fits the setup and the budget.
+    pub fn validate(&self, setup: &CleaningSetup, budget: u64) -> Result<()> {
+        if self.counts.len() != setup.len() {
+            return Err(DbError::invalid_parameter(format!(
+                "plan covers {} x-tuples but the setup covers {}",
+                self.counts.len(),
+                setup.len()
+            )));
+        }
+        let cost = self.total_cost(setup);
+        if cost > budget {
+            return Err(DbError::invalid_parameter(format!(
+                "plan costs {cost} units, exceeding the budget of {budget}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_validation() {
+        assert!(CleaningSetup::new(vec![1, 2], vec![0.5, 0.7]).is_ok());
+        assert!(CleaningSetup::new(vec![1], vec![0.5, 0.7]).is_err());
+        assert!(CleaningSetup::new(vec![], vec![]).is_err());
+        assert!(CleaningSetup::new(vec![0], vec![0.5]).is_err());
+        assert!(CleaningSetup::new(vec![1], vec![1.5]).is_err());
+        assert!(CleaningSetup::new(vec![1], vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn uniform_setup() {
+        let s = CleaningSetup::uniform(3, 2, 0.8).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.cost(1), 2);
+        assert_eq!(s.sc_prob(2), 0.8);
+        assert_eq!(s.costs(), &[2, 2, 2]);
+        assert_eq!(s.sc_probs(), &[0.8, 0.8, 0.8]);
+    }
+
+    #[test]
+    fn success_probability_grows_with_attempts() {
+        let s = CleaningSetup::uniform(1, 1, 0.5).unwrap();
+        assert_eq!(s.success_prob(0, 0), 0.0);
+        assert!((s.success_prob(0, 1) - 0.5).abs() < 1e-12);
+        assert!((s.success_prob(0, 2) - 0.75).abs() < 1e-12);
+        assert!((s.success_prob(0, 3) - 0.875).abs() < 1e-12);
+        // A certain cleaner succeeds on the first try.
+        let s = CleaningSetup::uniform(1, 1, 1.0).unwrap();
+        assert_eq!(s.success_prob(0, 1), 1.0);
+        // A hopeless cleaner never succeeds.
+        let s = CleaningSetup::uniform(1, 1, 0.0).unwrap();
+        assert_eq!(s.success_prob(0, 10), 0.0);
+    }
+
+    #[test]
+    fn plan_bookkeeping() {
+        let setup = CleaningSetup::new(vec![2, 3, 5], vec![0.5, 0.5, 0.5]).unwrap();
+        let mut plan = CleaningPlan::empty(3);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.total_attempts(), 0);
+        assert_eq!(plan.total_cost(&setup), 0);
+        assert!(plan.selected().is_empty());
+
+        plan.add_attempt(0);
+        plan.add_attempt(0);
+        plan.set_count(2, 1);
+        assert_eq!(plan.count(0), 2);
+        assert_eq!(plan.counts(), &[2, 0, 1]);
+        assert_eq!(plan.selected(), vec![0, 2]);
+        assert_eq!(plan.total_attempts(), 3);
+        assert_eq!(plan.total_cost(&setup), 2 * 2 + 5);
+    }
+
+    #[test]
+    fn plan_validation() {
+        let setup = CleaningSetup::new(vec![2, 3], vec![0.5, 0.5]).unwrap();
+        let plan = CleaningPlan::from_counts(vec![1, 1]);
+        assert!(plan.validate(&setup, 5).is_ok());
+        assert!(plan.validate(&setup, 4).is_err());
+        let mismatched = CleaningPlan::from_counts(vec![1]);
+        assert!(mismatched.validate(&setup, 100).is_err());
+    }
+}

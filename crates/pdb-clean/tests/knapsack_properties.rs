@@ -1,0 +1,80 @@
+//! Property-based tests of the cleaning planners against the exhaustive
+//! optimum (Theorem 3: the knapsack reduction is exact).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use pdb_clean::prelude::*;
+use pdb_clean::plan_exhaustive;
+use pdb_core::RankedDatabase;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn x_tuple() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    (vec((0.0f64..30.0, 0.05f64..1.0), 1..4), 0.3f64..1.0).prop_map(|(alts, mass)| {
+        let total: f64 = alts.iter().map(|(_, w)| w).sum();
+        alts.into_iter().map(|(s, w)| (s, w / total * mass)).collect()
+    })
+}
+
+fn small_db() -> impl Strategy<Value = RankedDatabase> {
+    vec(x_tuple(), 2..6).prop_map(|x| RankedDatabase::from_scored_x_tuples(&x).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// DP attains the exhaustive optimum (Theorem 3), greedy stays between
+    /// the random baselines and the optimum, and every plan is feasible.
+    #[test]
+    fn dp_is_optimal_and_greedy_is_sandwiched(
+        db in small_db(),
+        k in 1usize..4,
+        budget in 0u64..12,
+        costs in vec(1u64..5, 6),
+        probs in vec(0.05f64..1.0, 6),
+    ) {
+        let m = db.num_x_tuples();
+        let ctx = CleaningContext::prepare(&db, k).unwrap();
+        let setup = CleaningSetup::new(costs[..m].to_vec(), probs[..m].to_vec()).unwrap();
+
+        let dp = plan_dp(&ctx, &setup, budget).unwrap();
+        let brute = plan_exhaustive(&ctx, &setup, budget).unwrap();
+        let greedy = plan_greedy(&ctx, &setup, budget).unwrap();
+        for plan in [&dp, &brute, &greedy] {
+            prop_assert!(plan.validate(&setup, budget).is_ok());
+        }
+        let v_dp = expected_improvement(&ctx, &setup, &dp);
+        let v_brute = expected_improvement(&ctx, &setup, &brute);
+        let v_greedy = expected_improvement(&ctx, &setup, &greedy);
+        prop_assert!((v_dp - v_brute).abs() < 1e-9, "DP {} vs exhaustive {}", v_dp, v_brute);
+        prop_assert!(v_greedy <= v_dp + 1e-9);
+        prop_assert!(v_greedy >= 0.0);
+
+        let mut rng = StdRng::seed_from_u64(budget);
+        let random = plan_rand_u(&ctx, &setup, budget, &mut rng).unwrap();
+        prop_assert!(random.validate(&setup, budget).is_ok());
+        prop_assert!(expected_improvement(&ctx, &setup, &random) <= v_dp + 1e-9);
+    }
+
+    /// The min-cost solvers hit their targets and the optimal variant never
+    /// pays more than the greedy one.
+    #[test]
+    fn min_cost_solvers_reach_their_targets(
+        db in small_db(),
+        k in 1usize..3,
+        sc in 0.3f64..1.0,
+        fraction in 0.1f64..0.95,
+    ) {
+        let ctx = CleaningContext::prepare(&db, k).unwrap();
+        let setup = CleaningSetup::uniform(db.num_x_tuples(), 2, sc).unwrap();
+        let cap = max_achievable_improvement(&ctx, &setup);
+        prop_assume!(cap > 1e-6);
+        let target = cap * fraction;
+        let greedy = min_cost_greedy(&ctx, &setup, target).unwrap();
+        let optimal = min_cost_optimal(&ctx, &setup, target, 100_000).unwrap();
+        let greedy = greedy.expect("target below the cap is reachable");
+        let optimal = optimal.expect("target below the cap is reachable");
+        prop_assert!(greedy.expected_improvement + 1e-9 >= target);
+        prop_assert!(optimal.expected_improvement + 1e-9 >= target);
+        prop_assert!(optimal.cost <= greedy.cost);
+    }
+}

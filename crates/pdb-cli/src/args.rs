@@ -1,0 +1,247 @@
+//! Command-line argument parsing for the `pdb` binary.
+//!
+//! Hand-rolled (no external CLI crate) and strict: unknown flags are
+//! reported rather than ignored.
+
+use pdb_experiments::Scale;
+
+/// Usage text printed on parse errors and for `pdb help`.
+pub const USAGE: &str = "usage:
+  pdb list
+  pdb exp <id> [--scale quick|paper] [--csv]
+  pdb all [--scale quick|paper] [--csv <dir>]
+  pdb quality [--dataset synthetic|mov|udb1] [--k <k>] [--algo tp|pwr|pw]
+  pdb clean [--dataset synthetic|mov|udb1] [--k <k>] [--budget <C>] [--algo greedy|dp|randp|randu]
+  pdb help";
+
+/// Which dataset a `quality` / `clean` invocation runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetChoice {
+    /// The paper's default synthetic dataset (quick scale).
+    Synthetic,
+    /// The MOV stand-in dataset (quick scale).
+    Mov,
+    /// The running example `udb1` of Table I.
+    Udb1,
+}
+
+impl DatasetChoice {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "synthetic" | "syn" => Ok(DatasetChoice::Synthetic),
+            "mov" | "movies" => Ok(DatasetChoice::Mov),
+            "udb1" | "example" => Ok(DatasetChoice::Udb1),
+            other => Err(format!("unknown dataset {other:?} (expected synthetic, mov or udb1)")),
+        }
+    }
+}
+
+/// Parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `pdb list`
+    List,
+    /// `pdb help`
+    Help,
+    /// `pdb exp <id>`
+    Experiment {
+        /// Experiment identifier (`fig4a`, …).
+        id: String,
+        /// Run scale.
+        scale: Scale,
+        /// Emit CSV instead of the aligned table.
+        csv: bool,
+    },
+    /// `pdb all`
+    All {
+        /// Run scale.
+        scale: Scale,
+        /// Directory to write one CSV per experiment into (optional).
+        csv_dir: Option<String>,
+    },
+    /// `pdb quality`
+    Quality {
+        /// Dataset to evaluate.
+        dataset: DatasetChoice,
+        /// Query parameter `k`.
+        k: usize,
+        /// Quality algorithm (`tp`, `pwr`, `pw`).
+        algo: String,
+    },
+    /// `pdb clean`
+    Clean {
+        /// Dataset to clean.
+        dataset: DatasetChoice,
+        /// Query parameter `k`.
+        k: usize,
+        /// Cleaning budget `C`.
+        budget: u64,
+        /// Cleaning algorithm (`greedy`, `dp`, `randp`, `randu`).
+        algo: String,
+    },
+}
+
+/// Extract `--flag value` pairs and standalone `--flag`s from the argument
+/// list.
+struct Flags<'a> {
+    rest: &'a [String],
+    index: usize,
+}
+
+impl<'a> Flags<'a> {
+    fn new(rest: &'a [String]) -> Self {
+        Self { rest, index: 0 }
+    }
+
+    fn next_flag(&mut self) -> Option<&'a str> {
+        let flag = self.rest.get(self.index)?;
+        self.index += 1;
+        Some(flag.as_str())
+    }
+
+    fn value_for(&mut self, flag: &str) -> Result<&'a str, String> {
+        let value = self.rest.get(self.index).ok_or(format!("{flag} requires a value"))?;
+        self.index += 1;
+        Ok(value.as_str())
+    }
+}
+
+/// Parse the raw argument vector (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let (command, rest) = argv.split_first().ok_or_else(|| "no command given".to_string())?;
+    match command.as_str() {
+        "list" => expect_no_flags(rest).map(|_| Command::List),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "exp" | "experiment" => {
+            let (id, rest) =
+                rest.split_first().ok_or_else(|| "exp requires an experiment id".to_string())?;
+            let mut scale = Scale::Quick;
+            let mut csv = false;
+            let mut flags = Flags::new(rest);
+            while let Some(flag) = flags.next_flag() {
+                match flag {
+                    "--scale" => scale = parse_scale(flags.value_for("--scale")?)?,
+                    "--csv" => csv = true,
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Experiment { id: id.clone(), scale, csv })
+        }
+        "all" => {
+            let mut scale = Scale::Quick;
+            let mut csv_dir = None;
+            let mut flags = Flags::new(rest);
+            while let Some(flag) = flags.next_flag() {
+                match flag {
+                    "--scale" => scale = parse_scale(flags.value_for("--scale")?)?,
+                    "--csv" => csv_dir = Some(flags.value_for("--csv")?.to_string()),
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::All { scale, csv_dir })
+        }
+        "quality" => {
+            let mut dataset = DatasetChoice::Synthetic;
+            let mut k = 15;
+            let mut algo = "tp".to_string();
+            let mut flags = Flags::new(rest);
+            while let Some(flag) = flags.next_flag() {
+                match flag {
+                    "--dataset" => dataset = DatasetChoice::parse(flags.value_for("--dataset")?)?,
+                    "--k" => k = parse_usize(flags.value_for("--k")?, "--k")?,
+                    "--algo" => algo = flags.value_for("--algo")?.to_ascii_lowercase(),
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Quality { dataset, k, algo })
+        }
+        "clean" => {
+            let mut dataset = DatasetChoice::Synthetic;
+            let mut k = 15;
+            let mut budget = 100;
+            let mut algo = "greedy".to_string();
+            let mut flags = Flags::new(rest);
+            while let Some(flag) = flags.next_flag() {
+                match flag {
+                    "--dataset" => dataset = DatasetChoice::parse(flags.value_for("--dataset")?)?,
+                    "--k" => k = parse_usize(flags.value_for("--k")?, "--k")?,
+                    "--budget" => {
+                        budget = parse_usize(flags.value_for("--budget")?, "--budget")? as u64
+                    }
+                    "--algo" => algo = flags.value_for("--algo")?.to_ascii_lowercase(),
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Clean { dataset, k, budget, algo })
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn expect_no_flags(rest: &[String]) -> Result<(), String> {
+    if rest.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unexpected arguments: {rest:?}"))
+    }
+}
+
+fn parse_scale(s: &str) -> Result<Scale, String> {
+    Scale::parse(s).ok_or_else(|| format!("unknown scale {s:?} (expected quick or paper)"))
+}
+
+fn parse_usize(s: &str, flag: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("{flag} expects a positive integer, got {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_list_and_help() {
+        assert_eq!(parse(&argv(&["list"])).unwrap(), Command::List);
+        assert_eq!(parse(&argv(&["help"])).unwrap(), Command::Help);
+        assert!(parse(&argv(&["list", "extra"])).is_err());
+        assert!(parse(&argv(&[])).is_err());
+        assert!(parse(&argv(&["bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_experiment_flags() {
+        let c = parse(&argv(&["exp", "fig4a", "--scale", "paper", "--csv"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Experiment { id: "fig4a".into(), scale: Scale::Paper, csv: true }
+        );
+        assert!(parse(&argv(&["exp"])).is_err());
+        assert!(parse(&argv(&["exp", "fig4a", "--scale"])).is_err());
+        assert!(parse(&argv(&["exp", "fig4a", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_all_with_csv_dir() {
+        let c = parse(&argv(&["all", "--csv", "/tmp/out"])).unwrap();
+        assert_eq!(c, Command::All { scale: Scale::Quick, csv_dir: Some("/tmp/out".into()) });
+    }
+
+    #[test]
+    fn parses_quality_and_clean() {
+        let c = parse(&argv(&["quality", "--dataset", "mov", "--k", "5", "--algo", "pwr"])).unwrap();
+        assert_eq!(c, Command::Quality { dataset: DatasetChoice::Mov, k: 5, algo: "pwr".into() });
+
+        let c = parse(&argv(&["clean", "--budget", "50", "--algo", "dp", "--dataset", "udb1", "--k", "2"]))
+            .unwrap();
+        assert_eq!(
+            c,
+            Command::Clean { dataset: DatasetChoice::Udb1, k: 2, budget: 50, algo: "dp".into() }
+        );
+
+        assert!(parse(&argv(&["quality", "--k", "abc"])).is_err());
+        assert!(parse(&argv(&["clean", "--dataset", "nope"])).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Execution of parsed CLI commands.
+
+use crate::args::{Command, DatasetChoice, USAGE};
+use pdb_clean::{expected_improvement, CleaningAlgorithm, CleaningContext, CleaningSetup};
+use pdb_core::{DbError, RankedDatabase, Result, ScoreRanking};
+use pdb_experiments::{datasets, report::ExperimentResult, Scale, ALL_EXPERIMENTS};
+use pdb_quality::{quality_pw, quality_pwr, quality_tp, SharedEvaluation};
+use rand::{rngs::StdRng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Run a parsed command and return the text to print.
+pub fn run(command: Command) -> Result<String> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::List => Ok(list()),
+        Command::Experiment { id, scale, csv } => {
+            let result = pdb_experiments::run(&id, scale)?;
+            Ok(if csv { result.to_csv() } else { result.to_table() })
+        }
+        Command::All { scale, csv_dir } => run_all(scale, csv_dir.as_deref()),
+        Command::Quality { dataset, k, algo } => quality(dataset, k, &algo),
+        Command::Clean { dataset, k, budget, algo } => clean(dataset, k, budget, &algo),
+    }
+}
+
+fn list() -> String {
+    let mut out = String::from("available experiments (see DESIGN.md for the figure mapping):\n");
+    for id in ALL_EXPERIMENTS {
+        let _ = writeln!(out, "  {id}");
+    }
+    out
+}
+
+fn run_all(scale: Scale, csv_dir: Option<&str>) -> Result<String> {
+    let mut out = String::new();
+    for id in ALL_EXPERIMENTS {
+        let result = pdb_experiments::run(id, scale)?;
+        let _ = writeln!(out, "{}", result.to_table());
+        if let Some(dir) = csv_dir {
+            write_csv(dir, &result)?;
+        }
+    }
+    if let Some(dir) = csv_dir {
+        let _ = writeln!(out, "CSV files written to {dir}");
+    }
+    Ok(out)
+}
+
+fn write_csv(dir: &str, result: &ExperimentResult) -> Result<()> {
+    let dir = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir)
+        .map_err(|e| DbError::invalid_parameter(format!("creating {} failed: {e}", dir.display())))?;
+    let path = dir.join(format!("{}.csv", result.id));
+    std::fs::write(&path, result.to_csv())
+        .map_err(|e| DbError::invalid_parameter(format!("writing {} failed: {e}", path.display())))
+}
+
+fn load_dataset(choice: DatasetChoice) -> Result<RankedDatabase> {
+    match choice {
+        DatasetChoice::Synthetic => datasets::default_synthetic(Scale::Quick),
+        DatasetChoice::Mov => datasets::mov_dataset(Scale::Quick),
+        DatasetChoice::Udb1 => Ok(pdb_core::examples::udb1().rank_by(&ScoreRanking)),
+    }
+}
+
+fn dataset_name(choice: DatasetChoice) -> &'static str {
+    match choice {
+        DatasetChoice::Synthetic => "synthetic (quick scale)",
+        DatasetChoice::Mov => "MOV stand-in (quick scale)",
+        DatasetChoice::Udb1 => "udb1 (Table I)",
+    }
+}
+
+fn quality(choice: DatasetChoice, k: usize, algo: &str) -> Result<String> {
+    let db = load_dataset(choice)?;
+    let quality = match algo {
+        "tp" => quality_tp(&db, k)?,
+        "pwr" => quality_pwr(&db, k)?,
+        "pw" => quality_pw(&db, k)?,
+        other => {
+            return Err(DbError::invalid_parameter(format!(
+                "unknown quality algorithm {other:?} (expected tp, pwr or pw)"
+            )))
+        }
+    };
+    let shared = SharedEvaluation::new(&db, k)?;
+    let answer = shared.pt_k(datasets::DEFAULT_THRESHOLD)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "dataset   : {}", dataset_name(choice));
+    let _ = writeln!(out, "tuples    : {} ({} x-tuples)", db.len(), db.num_x_tuples());
+    let _ = writeln!(out, "query     : top-{k} (PT-k threshold {})", datasets::DEFAULT_THRESHOLD);
+    let _ = writeln!(out, "algorithm : {}", algo.to_ascii_uppercase());
+    let _ = writeln!(out, "quality   : {quality:.6}");
+    let _ = writeln!(out, "PT-k size : {} tuples", answer.len());
+    Ok(out)
+}
+
+fn clean(choice: DatasetChoice, k: usize, budget: u64, algo: &str) -> Result<String> {
+    let db = load_dataset(choice)?;
+    let algorithm = match algo {
+        "dp" => CleaningAlgorithm::Dp,
+        "greedy" => CleaningAlgorithm::Greedy,
+        "randp" => CleaningAlgorithm::RandP,
+        "randu" => CleaningAlgorithm::RandU,
+        other => {
+            return Err(DbError::invalid_parameter(format!(
+                "unknown cleaning algorithm {other:?} (expected dp, greedy, randp or randu)"
+            )))
+        }
+    };
+    let ctx = CleaningContext::prepare(&db, k)?;
+    let setup = match choice {
+        DatasetChoice::Udb1 => CleaningSetup::uniform(db.num_x_tuples(), 1, 0.8)?,
+        _ => datasets::default_cleaning_setup(db.num_x_tuples())?,
+    };
+    let mut rng = StdRng::seed_from_u64(budget);
+    let plan = algorithm.plan(&ctx, &setup, budget, &mut rng)?;
+    let improvement = expected_improvement(&ctx, &setup, &plan);
+    let mut out = String::new();
+    let _ = writeln!(out, "dataset              : {}", dataset_name(choice));
+    let _ = writeln!(out, "query                : top-{k}");
+    let _ = writeln!(out, "quality before       : {:.6}", ctx.quality);
+    let _ = writeln!(out, "budget               : {budget}");
+    let _ = writeln!(out, "algorithm            : {algorithm}");
+    let _ = writeln!(out, "x-tuples cleaned     : {}", plan.selected().len());
+    let _ = writeln!(out, "total attempts       : {}", plan.total_attempts());
+    let _ = writeln!(out, "budget spent         : {}", plan.total_cost(&setup));
+    let _ = writeln!(out, "expected improvement : {improvement:.6}");
+    let _ = writeln!(out, "expected quality     : {:.6}", ctx.quality + improvement);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_mentions_every_experiment() {
+        let text = list();
+        for id in ALL_EXPERIMENTS {
+            assert!(text.contains(id), "{id} missing from list output");
+        }
+    }
+
+    #[test]
+    fn quality_command_on_udb1_matches_the_paper() {
+        let out = quality(DatasetChoice::Udb1, 2, "tp").unwrap();
+        assert!(out.contains("quality   : -2.55"), "{out}");
+        let out = quality(DatasetChoice::Udb1, 2, "pw").unwrap();
+        assert!(out.contains("quality   : -2.55"), "{out}");
+        assert!(quality(DatasetChoice::Udb1, 2, "bogus").is_err());
+    }
+
+    #[test]
+    fn clean_command_reports_a_positive_improvement() {
+        let out = clean(DatasetChoice::Udb1, 2, 5, "greedy").unwrap();
+        assert!(out.contains("expected improvement"));
+        let line = out.lines().find(|l| l.starts_with("expected improvement")).unwrap();
+        let value: f64 = line.split(':').nth(1).unwrap().trim().parse().unwrap();
+        assert!(value > 0.0);
+        assert!(clean(DatasetChoice::Udb1, 2, 5, "nope").is_err());
+    }
+
+    #[test]
+    fn experiment_command_renders_table_and_csv() {
+        let table = run(Command::Experiment { id: "fig2-3".into(), scale: Scale::Quick, csv: false })
+            .unwrap();
+        assert!(table.contains("udb1"));
+        let csv =
+            run(Command::Experiment { id: "fig2-3".into(), scale: Scale::Quick, csv: true }).unwrap();
+        assert!(csv.lines().next().unwrap().contains("udb1"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run(Command::Help).unwrap().contains("usage"));
+    }
+}

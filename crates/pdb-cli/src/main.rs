@@ -1,0 +1,36 @@
+//! `pdb` — command-line driver for the `uncertain-topk` reproduction.
+//!
+//! ```text
+//! pdb list                          # list the available experiments
+//! pdb exp fig4a [--scale paper]     # run one experiment, print its table
+//! pdb all [--scale quick] [--csv DIR]
+//! pdb quality [--dataset synthetic|mov|udb1] [--k 15] [--algo tp|pwr|pw]
+//! pdb clean   [--dataset synthetic|mov|udb1] [--k 15] [--budget 100] [--algo greedy|dp|randp|randu]
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(command) => match commands::run(command) {
+            Ok(output) => {
+                println!("{output}");
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!();
+            eprintln!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! The user-facing probabilistic database container and its builder.
+
+use crate::error::{DbError, Result};
+use crate::ranked::RankedDatabase;
+use crate::ranking::Ranking;
+use crate::tuple::{Tuple, TupleId, XTuple, XTupleId};
+use serde::{Deserialize, Serialize};
+
+/// An x-tuple probabilistic database (Section III-A of the paper).
+///
+/// `Database<V>` is the *logical* representation: a list of entities
+/// (x-tuples), each with mutually exclusive alternatives carrying payloads
+/// of type `V`.  Query processing operates on the *physical* representation
+/// produced by [`Database::rank_by`], a [`RankedDatabase`] in which all
+/// tuples are flattened and sorted by descending rank.
+///
+/// Construct databases through [`DatabaseBuilder`], which validates
+/// existential probabilities, or through [`Database::from_x_tuples`] when
+/// the x-tuples have been assembled elsewhere.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Database<V> {
+    x_tuples: Vec<XTuple<V>>,
+    num_tuples: usize,
+}
+
+impl<V> Database<V> {
+    /// Build a database from pre-assembled x-tuples, validating
+    /// probabilities and identifiers.
+    pub fn from_x_tuples(x_tuples: Vec<XTuple<V>>) -> Result<Self> {
+        if x_tuples.is_empty() {
+            return Err(DbError::EmptyDatabase);
+        }
+        let mut num_tuples = 0;
+        for xt in &x_tuples {
+            if xt.tuples.is_empty() {
+                return Err(DbError::EmptyXTuple { x_tuple: xt.key.clone() });
+            }
+            let mut mass = 0.0;
+            for t in &xt.tuples {
+                if !t.prob.is_finite() || t.prob < 0.0 || t.prob > 1.0 + crate::PROB_EPSILON {
+                    return Err(DbError::InvalidProbability {
+                        prob: t.prob,
+                        context: format!("{}/{}", xt.key, t.id),
+                    });
+                }
+                mass += t.prob;
+            }
+            if mass > 1.0 + 1e-6 {
+                return Err(DbError::XTupleMassExceedsOne { x_tuple: xt.key.clone(), total: mass });
+            }
+            num_tuples += xt.tuples.len();
+        }
+        Ok(Self { x_tuples, num_tuples })
+    }
+
+    /// Number of x-tuples (entities) in the database, `m` in the paper.
+    pub fn num_x_tuples(&self) -> usize {
+        self.x_tuples.len()
+    }
+
+    /// Number of explicit tuples (alternatives) in the database, `n` in the
+    /// paper.  Implicit null alternatives are not counted.
+    pub fn num_tuples(&self) -> usize {
+        self.num_tuples
+    }
+
+    /// Access the x-tuples.
+    pub fn x_tuples(&self) -> &[XTuple<V>] {
+        &self.x_tuples
+    }
+
+    /// Access one x-tuple by index.
+    pub fn x_tuple(&self, index: usize) -> Option<&XTuple<V>> {
+        self.x_tuples.get(index)
+    }
+
+    /// Iterate over every tuple of the database in insertion order.
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple<V>> {
+        self.x_tuples.iter().flat_map(|xt| xt.tuples.iter())
+    }
+
+    /// Average number of alternatives per x-tuple.
+    pub fn avg_alternatives(&self) -> f64 {
+        self.num_tuples as f64 / self.x_tuples.len() as f64
+    }
+
+    /// Flatten and sort the database by descending rank according to the
+    /// given ranking function, producing the physical representation used by
+    /// all query, quality and cleaning algorithms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranking function produces a non-finite score.  Use
+    /// [`Database::try_rank_by`] to handle that case gracefully.
+    pub fn rank_by<R: Ranking<V>>(&self, ranking: &R) -> RankedDatabase {
+        self.try_rank_by(ranking).expect("ranking produced a non-finite score")
+    }
+
+    /// Fallible version of [`Database::rank_by`].
+    pub fn try_rank_by<R: Ranking<V>>(&self, ranking: &R) -> Result<RankedDatabase> {
+        let mut entries = Vec::with_capacity(self.num_tuples);
+        for (x_index, xt) in self.x_tuples.iter().enumerate() {
+            for t in &xt.tuples {
+                let score = ranking.score_tuple(t);
+                if !score.is_finite() {
+                    return Err(DbError::NonFiniteScore { tuple_index: t.id.0 });
+                }
+                entries.push((t.id, x_index, score, t.prob));
+            }
+        }
+        let keys: Vec<String> = self.x_tuples.iter().map(|xt| xt.key.clone()).collect();
+        RankedDatabase::from_entries(entries, keys)
+    }
+}
+
+/// Incremental builder for [`Database`].
+///
+/// ```
+/// use pdb_core::prelude::*;
+///
+/// let mut b = DatabaseBuilder::new();
+/// b.x_tuple("S1").tuple(21.0, 0.6).tuple(32.0, 0.4);
+/// b.x_tuple("S2").tuple(30.0, 0.7).tuple(22.0, 0.3);
+/// let db: Database<f64> = b.build().unwrap();
+/// assert_eq!(db.num_x_tuples(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DatabaseBuilder<V> {
+    x_tuples: Vec<XTuple<V>>,
+    next_tuple_id: usize,
+}
+
+impl<V> DatabaseBuilder<V> {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self { x_tuples: Vec::new(), next_tuple_id: 0 }
+    }
+
+    /// Start a new x-tuple with the given human-readable key and return a
+    /// scoped builder for adding its alternatives.
+    pub fn x_tuple(&mut self, key: impl Into<String>) -> XTupleBuilder<'_, V> {
+        let id = XTupleId(self.x_tuples.len());
+        self.x_tuples.push(XTuple { id, key: key.into(), tuples: Vec::new() });
+        XTupleBuilder { builder: self }
+    }
+
+    /// Add a fully certain entity (a single alternative with probability 1).
+    pub fn certain(&mut self, key: impl Into<String>, payload: V) -> &mut Self {
+        self.x_tuple(key).tuple(payload, 1.0);
+        self
+    }
+
+    /// Number of x-tuples added so far.
+    pub fn len(&self) -> usize {
+        self.x_tuples.len()
+    }
+
+    /// Whether no x-tuple has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.x_tuples.is_empty()
+    }
+
+    /// Validate and build the database.
+    pub fn build(self) -> Result<Database<V>> {
+        Database::from_x_tuples(self.x_tuples)
+    }
+}
+
+/// Scoped builder returned by [`DatabaseBuilder::x_tuple`]; adds
+/// alternatives to the most recently started x-tuple.
+#[derive(Debug)]
+pub struct XTupleBuilder<'a, V> {
+    builder: &'a mut DatabaseBuilder<V>,
+}
+
+impl<V> XTupleBuilder<'_, V> {
+    /// Add one alternative with the given payload and existential
+    /// probability.
+    pub fn tuple(self, payload: V, prob: f64) -> Self {
+        let b = self.builder;
+        let id = TupleId(b.next_tuple_id);
+        b.next_tuple_id += 1;
+        let xt = b.x_tuples.last_mut().expect("x_tuple() created an entry");
+        xt.tuples.push(Tuple { id, x_tuple: xt.id, payload, prob });
+        Self { builder: b }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::ScoreRanking;
+
+    fn small_db() -> Database<f64> {
+        let mut b = DatabaseBuilder::new();
+        b.x_tuple("S1").tuple(21.0, 0.6).tuple(32.0, 0.4);
+        b.x_tuple("S2").tuple(30.0, 0.7).tuple(22.0, 0.3);
+        b.certain("S4", 26.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let db = small_db();
+        let ids: Vec<usize> = db.tuples().map(|t| t.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        let x_ids: Vec<usize> = db.tuples().map(|t| t.x_tuple.0).collect();
+        assert_eq!(x_ids, vec![0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn counts_and_average() {
+        let db = small_db();
+        assert_eq!(db.num_x_tuples(), 3);
+        assert_eq!(db.num_tuples(), 5);
+        assert!((db.avg_alternatives() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(db.x_tuple(0).unwrap().key, "S1");
+        assert!(db.x_tuple(99).is_none());
+    }
+
+    #[test]
+    fn rejects_empty_database() {
+        let b: DatabaseBuilder<f64> = DatabaseBuilder::new();
+        assert!(b.is_empty());
+        assert_eq!(b.build().unwrap_err(), DbError::EmptyDatabase);
+    }
+
+    #[test]
+    fn rejects_empty_x_tuple() {
+        let mut b: DatabaseBuilder<f64> = DatabaseBuilder::new();
+        b.x_tuple("S1");
+        let err = b.build().unwrap_err();
+        assert_eq!(err, DbError::EmptyXTuple { x_tuple: "S1".into() });
+    }
+
+    #[test]
+    fn rejects_invalid_probability() {
+        let mut b = DatabaseBuilder::new();
+        b.x_tuple("S1").tuple(21.0, 1.4);
+        assert!(matches!(b.build().unwrap_err(), DbError::InvalidProbability { .. }));
+
+        let mut b = DatabaseBuilder::new();
+        b.x_tuple("S1").tuple(21.0, -0.1);
+        assert!(matches!(b.build().unwrap_err(), DbError::InvalidProbability { .. }));
+
+        let mut b = DatabaseBuilder::new();
+        b.x_tuple("S1").tuple(21.0, f64::NAN);
+        assert!(matches!(b.build().unwrap_err(), DbError::InvalidProbability { .. }));
+    }
+
+    #[test]
+    fn rejects_mass_above_one() {
+        let mut b = DatabaseBuilder::new();
+        b.x_tuple("S1").tuple(21.0, 0.7).tuple(32.0, 0.5);
+        assert!(matches!(b.build().unwrap_err(), DbError::XTupleMassExceedsOne { .. }));
+    }
+
+    #[test]
+    fn sub_one_mass_is_allowed() {
+        // Missing mass is the implicit null alternative.
+        let mut b = DatabaseBuilder::new();
+        b.x_tuple("S1").tuple(21.0, 0.3).tuple(32.0, 0.4);
+        let db = b.build().unwrap();
+        assert!((db.x_tuple(0).unwrap().null_prob() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_flattens_and_sorts() {
+        let db = small_db();
+        let ranked = db.rank_by(&ScoreRanking);
+        let scores: Vec<f64> = ranked.tuples().map(|t| t.score).collect();
+        assert_eq!(scores, vec![32.0, 30.0, 26.0, 22.0, 21.0]);
+    }
+
+    #[test]
+    fn non_finite_scores_are_rejected() {
+        let db = small_db();
+        let err = db.try_rank_by(&|_: &f64| f64::NAN).unwrap_err();
+        assert!(matches!(err, DbError::NonFiniteScore { .. }));
+    }
+
+    #[test]
+    fn certain_helper_builds_probability_one_entity() {
+        let db = small_db();
+        assert!(db.x_tuple(2).unwrap().is_certain());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let db = small_db();
+        let json = serde_json::to_string(&db).unwrap();
+        let back: Database<f64> = serde_json::from_str(&json).unwrap();
+        assert_eq!(db, back);
+    }
+}

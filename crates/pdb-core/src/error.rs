@@ -1,0 +1,138 @@
+//! Error types for the probabilistic database model.
+
+use std::fmt;
+
+/// Convenience alias for results returned by this workspace.
+pub type Result<T, E = DbError> = std::result::Result<T, E>;
+
+/// Errors raised while constructing or manipulating a probabilistic
+/// database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// A tuple was given an existential probability outside `[0, 1]` or a
+    /// non-finite value.
+    InvalidProbability {
+        /// Offending probability value.
+        prob: f64,
+        /// Human-readable location (x-tuple key / tuple id).
+        context: String,
+    },
+    /// The existential probabilities inside one x-tuple sum to more than 1
+    /// (beyond the numerical tolerance).
+    XTupleMassExceedsOne {
+        /// Key of the offending x-tuple.
+        x_tuple: String,
+        /// The offending total mass.
+        total: f64,
+    },
+    /// An x-tuple contains no tuples at all.
+    EmptyXTuple {
+        /// Key of the offending x-tuple.
+        x_tuple: String,
+    },
+    /// The database contains no x-tuples.
+    EmptyDatabase,
+    /// A ranking score was not finite (NaN or infinite), so no total order
+    /// can be established.
+    NonFiniteScore {
+        /// Index of the offending tuple in insertion order.
+        tuple_index: usize,
+    },
+    /// Possible-world enumeration was requested on a database whose world
+    /// count exceeds the configured limit.
+    TooManyWorlds {
+        /// Number of possible worlds of the database (saturating).
+        worlds: u128,
+        /// The limit that was exceeded.
+        limit: u128,
+    },
+    /// A query parameter was invalid (e.g. `k = 0`, or a threshold outside
+    /// `[0, 1]`).
+    InvalidParameter {
+        /// Description of the violated constraint.
+        message: String,
+    },
+    /// An x-tuple or tuple index was out of range.
+    IndexOutOfRange {
+        /// Description of the offending access.
+        message: String,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::InvalidProbability { prob, context } => {
+                write!(f, "invalid existential probability {prob} ({context}); must lie in [0, 1]")
+            }
+            DbError::XTupleMassExceedsOne { x_tuple, total } => {
+                write!(f, "x-tuple {x_tuple:?} has total probability mass {total} > 1")
+            }
+            DbError::EmptyXTuple { x_tuple } => {
+                write!(f, "x-tuple {x_tuple:?} contains no tuples")
+            }
+            DbError::EmptyDatabase => write!(f, "the database contains no x-tuples"),
+            DbError::NonFiniteScore { tuple_index } => {
+                write!(f, "ranking produced a non-finite score for tuple #{tuple_index}")
+            }
+            DbError::TooManyWorlds { worlds, limit } => {
+                write!(f, "database has {worlds} possible worlds, exceeding the enumeration limit of {limit}")
+            }
+            DbError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+            DbError::IndexOutOfRange { message } => write!(f, "index out of range: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl DbError {
+    /// Helper for constructing an [`DbError::InvalidParameter`] error.
+    pub fn invalid_parameter(message: impl Into<String>) -> Self {
+        DbError::InvalidParameter { message: message.into() }
+    }
+
+    /// Helper for constructing an [`DbError::IndexOutOfRange`] error.
+    pub fn index_out_of_range(message: impl Into<String>) -> Self {
+        DbError::IndexOutOfRange { message: message.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_facts() {
+        let e = DbError::InvalidProbability { prob: 1.5, context: "S1/t0".into() };
+        assert!(e.to_string().contains("1.5"));
+        assert!(e.to_string().contains("S1/t0"));
+
+        let e = DbError::XTupleMassExceedsOne { x_tuple: "S2".into(), total: 1.2 };
+        assert!(e.to_string().contains("S2"));
+
+        let e = DbError::TooManyWorlds { worlds: 1 << 40, limit: 1 << 20 };
+        assert!(e.to_string().contains("possible worlds"));
+
+        let e = DbError::invalid_parameter("k must be positive");
+        assert!(e.to_string().contains("k must be positive"));
+
+        let e = DbError::index_out_of_range("x-tuple 9 of 4");
+        assert!(e.to_string().contains("x-tuple 9 of 4"));
+
+        let e = DbError::EmptyDatabase;
+        assert!(!e.to_string().is_empty());
+
+        let e = DbError::EmptyXTuple { x_tuple: "S9".into() };
+        assert!(e.to_string().contains("S9"));
+
+        let e = DbError::NonFiniteScore { tuple_index: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<DbError>();
+    }
+}

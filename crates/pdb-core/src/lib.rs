@@ -1,0 +1,88 @@
+//! # pdb-core — x-tuple probabilistic database model
+//!
+//! This crate implements the data model used by the ICDE 2013 paper
+//! *"Cleaning Uncertain Data for Top-k Queries"* (Mo, Cheng, Li, Cheung,
+//! Yang): the **x-tuple** probabilistic database (Section III-A of the
+//! paper) together with its **possible-world semantics** (PWS).
+//!
+//! ## Model in one paragraph
+//!
+//! A probabilistic database `D` contains `m` *x-tuples* τ₁..τₘ (one per
+//! real-world entity, e.g. one per sensor).  Each x-tuple is a set of
+//! mutually exclusive *tuples*; tuple `tᵢ` carries a payload (its attribute
+//! values), and an *existential probability* `eᵢ` — the chance that `tᵢ` is
+//! the true state of the entity.  Tuples belonging to different x-tuples are
+//! independent.  If the probabilities inside an x-tuple sum to less than 1,
+//! the remaining mass is an implicit *null* tuple ("the entity produced no
+//! reading"), which is ranked below every non-null tuple.  A *possible
+//! world* picks exactly one alternative (possibly null) from every x-tuple;
+//! its probability is the product of the chosen alternatives'
+//! probabilities.
+//!
+//! ## Crate layout
+//!
+//! * [`mod@tuple`] — identifiers and the [`Tuple`] / [`XTuple`] types.
+//! * [`database`] — the user-facing [`Database`] container and its
+//!   builder/validation logic.
+//! * [`ranking`] — ranking functions that map payloads to a total order.
+//! * [`ranked`] — [`RankedDatabase`]: the flattened, rank-sorted
+//!   representation every algorithm in the workspace operates on.
+//! * [`world`] — possible-world enumeration and per-world deterministic
+//!   top-k evaluation (used by the brute-force oracles and small examples).
+//! * [`examples`] — the paper's running examples `udb1` (Table I) and
+//!   `udb2` (Table II).
+//! * [`stats`] — simple descriptive statistics over a database.
+//! * [`error`] — error types.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pdb_core::prelude::*;
+//!
+//! // Table I of the paper: four temperature sensors.
+//! let db = pdb_core::examples::udb1();
+//! assert_eq!(db.num_x_tuples(), 4);
+//! assert_eq!(db.num_tuples(), 7);
+//!
+//! // Flatten + sort by descending temperature for query processing.
+//! let ranked = db.rank_by(&ScoreRanking);
+//! assert_eq!(ranked.len(), 7);
+//! // The highest-ranked tuple is t1 (32 degrees C).
+//! assert_eq!(ranked.tuple(0).score, 32.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod database;
+pub mod error;
+pub mod examples;
+pub mod ranked;
+pub mod ranking;
+pub mod stats;
+pub mod tuple;
+pub mod world;
+
+pub use database::{Database, DatabaseBuilder};
+pub use error::{DbError, Result};
+pub use ranked::{RankedDatabase, RankedTuple};
+pub use ranking::{Ranking, ScoreRanking, WeightedSumRanking};
+pub use tuple::{Tuple, TupleId, XTuple, XTupleId};
+pub use world::{PossibleWorld, WorldIter};
+
+/// Convenience prelude bringing the most frequently used types into scope.
+pub mod prelude {
+    pub use crate::database::{Database, DatabaseBuilder};
+    pub use crate::error::{DbError, Result};
+    pub use crate::ranked::{RankedDatabase, RankedTuple};
+    pub use crate::ranking::{Ranking, ScoreRanking, WeightedSumRanking};
+    pub use crate::tuple::{Tuple, TupleId, XTuple, XTupleId};
+    pub use crate::world::{PossibleWorld, WorldIter};
+}
+
+/// Absolute tolerance used throughout the workspace when comparing
+/// probabilities and quality scores computed by different algorithms.
+///
+/// The paper reports that PW, PWR and TP agree within `1e-8`; we adopt the
+/// same figure for cross-checking tests.
+pub const PROB_EPSILON: f64 = 1e-8;

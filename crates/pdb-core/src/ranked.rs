@@ -1,0 +1,447 @@
+//! The rank-sorted physical representation of a probabilistic database.
+//!
+//! Every algorithm in this workspace (PSR, the quality algorithms PW / PWR /
+//! TP, and the cleaning algorithms) assumes that "tuples in `D` are arranged
+//! in descending order of ranks" (Section IV of the paper).
+//! [`RankedDatabase`] is that arrangement: tuples are flattened out of their
+//! x-tuples, scored by a ranking function, and sorted so that position 0
+//! holds the highest-ranked tuple.
+
+use crate::error::{DbError, Result};
+use crate::tuple::TupleId;
+use serde::{Deserialize, Serialize};
+
+/// One tuple of a [`RankedDatabase`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankedTuple {
+    /// Original tuple identifier (stable across ranking).
+    pub id: TupleId,
+    /// Index of the x-tuple this tuple belongs to (`0..m`).
+    pub x_index: usize,
+    /// Ranking score; higher scores appear earlier in the database.
+    pub score: f64,
+    /// Existential probability `eᵢ`.
+    pub prob: f64,
+}
+
+/// Per-x-tuple metadata kept alongside the sorted tuple array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct XTupleInfo {
+    /// Human-readable key of the entity.
+    pub key: String,
+    /// Positions (indices into the sorted tuple array) of this x-tuple's
+    /// alternatives, in descending rank order.
+    pub members: Vec<usize>,
+    /// Total existential mass of the explicit alternatives.
+    pub total_mass: f64,
+}
+
+impl XTupleInfo {
+    /// Probability of the implicit null alternative.
+    pub fn null_prob(&self) -> f64 {
+        (1.0 - self.total_mass).max(0.0)
+    }
+}
+
+/// A probabilistic database flattened and sorted by descending rank.
+///
+/// Positions (`usize` indices into [`RankedDatabase::tuples`]) double as
+/// ranks: position 0 is the globally highest-ranked tuple.  Ties in score
+/// are broken by the original tuple id (smaller id ranks higher), which
+/// makes the order — and therefore every downstream computation —
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedDatabase {
+    tuples: Vec<RankedTuple>,
+    x_tuples: Vec<XTupleInfo>,
+    /// For each tuple position, the existential mass of *strictly
+    /// higher-ranked* tuples within the same x-tuple.  This is the quantity
+    /// `Σ_{tᵢ' ∈ τ_l ∧ tᵢ' > tᵢ} eᵢ'` that appears in Lemma 1 and in the
+    /// weight ωᵢ of Theorem 1; precomputing it keeps those algorithms
+    /// O(1)-per-tuple.
+    higher_mass_within: Vec<f64>,
+}
+
+impl RankedDatabase {
+    /// Build a ranked database from `(tuple id, x-tuple index, score, prob)`
+    /// entries plus the per-x-tuple keys.
+    ///
+    /// Entries may be given in any order; they are sorted by descending
+    /// score with ties broken by tuple id.
+    pub fn from_entries(
+        mut entries: Vec<(TupleId, usize, f64, f64)>,
+        x_keys: Vec<String>,
+    ) -> Result<Self> {
+        if entries.is_empty() || x_keys.is_empty() {
+            return Err(DbError::EmptyDatabase);
+        }
+        for &(id, x_index, score, prob) in &entries {
+            if !score.is_finite() {
+                return Err(DbError::NonFiniteScore { tuple_index: id.0 });
+            }
+            if !prob.is_finite() || !(0.0..=1.0 + crate::PROB_EPSILON).contains(&prob) {
+                return Err(DbError::InvalidProbability {
+                    prob,
+                    context: format!("x-tuple #{x_index}, tuple {id}"),
+                });
+            }
+            if x_index >= x_keys.len() {
+                return Err(DbError::index_out_of_range(format!(
+                    "tuple {id} references x-tuple {x_index} but only {} keys were supplied",
+                    x_keys.len()
+                )));
+            }
+        }
+        entries.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2).expect("scores are finite").then_with(|| a.0.cmp(&b.0))
+        });
+
+        let tuples: Vec<RankedTuple> = entries
+            .into_iter()
+            .map(|(id, x_index, score, prob)| RankedTuple { id, x_index, score, prob })
+            .collect();
+
+        let mut x_tuples: Vec<XTupleInfo> = x_keys
+            .into_iter()
+            .map(|key| XTupleInfo { key, members: Vec::new(), total_mass: 0.0 })
+            .collect();
+        let mut higher_mass_within = vec![0.0; tuples.len()];
+        for (pos, t) in tuples.iter().enumerate() {
+            let info = &mut x_tuples[t.x_index];
+            higher_mass_within[pos] = info.total_mass;
+            info.members.push(pos);
+            info.total_mass += t.prob;
+        }
+        for (l, info) in x_tuples.iter().enumerate() {
+            if info.total_mass > 1.0 + 1e-6 {
+                return Err(DbError::XTupleMassExceedsOne {
+                    x_tuple: info.key.clone(),
+                    total: info.total_mass,
+                });
+            }
+            if info.members.is_empty() {
+                return Err(DbError::EmptyXTuple { x_tuple: format!("#{l} ({})", info.key) });
+            }
+        }
+        Ok(Self { tuples, x_tuples, higher_mass_within })
+    }
+
+    /// Build a ranked database directly from per-x-tuple `(score, prob)`
+    /// alternative lists.  Convenient for tests and generators.
+    pub fn from_scored_x_tuples(x_tuples: &[Vec<(f64, f64)>]) -> Result<Self> {
+        let mut entries = Vec::new();
+        let mut keys = Vec::with_capacity(x_tuples.len());
+        let mut next_id = 0;
+        for (l, alts) in x_tuples.iter().enumerate() {
+            keys.push(format!("x{l}"));
+            for &(score, prob) in alts {
+                entries.push((TupleId(next_id), l, score, prob));
+                next_id += 1;
+            }
+        }
+        Self::from_entries(entries, keys)
+    }
+
+    /// Number of tuples, `n` in the paper.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the database holds no tuples (never true for a successfully
+    /// constructed database).
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Number of x-tuples, `m` in the paper.
+    pub fn num_x_tuples(&self) -> usize {
+        self.x_tuples.len()
+    }
+
+    /// The tuple at the given rank position (0 = highest rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= self.len()`.
+    pub fn tuple(&self, pos: usize) -> &RankedTuple {
+        &self.tuples[pos]
+    }
+
+    /// Iterate over tuples in descending rank order.
+    pub fn tuples(&self) -> std::slice::Iter<'_, RankedTuple> {
+        self.tuples.iter()
+    }
+
+    /// All tuples as a slice, in descending rank order.
+    pub fn as_slice(&self) -> &[RankedTuple] {
+        &self.tuples
+    }
+
+    /// Metadata of the x-tuple with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_index >= self.num_x_tuples()`.
+    pub fn x_tuple(&self, x_index: usize) -> &XTupleInfo {
+        &self.x_tuples[x_index]
+    }
+
+    /// Iterate over the x-tuple metadata.
+    pub fn x_tuples(&self) -> std::slice::Iter<'_, XTupleInfo> {
+        self.x_tuples.iter()
+    }
+
+    /// Existential mass of tuples in the *same x-tuple* as the tuple at
+    /// `pos` that are ranked strictly higher than it:
+    /// `Σ_{tᵢ' ∈ τ_l, tᵢ' > tᵢ} eᵢ'`.
+    pub fn higher_mass_within(&self, pos: usize) -> f64 {
+        self.higher_mass_within[pos]
+    }
+
+    /// Existential mass of tuples in the same x-tuple ranked higher than
+    /// *or equal to* the tuple at `pos` (i.e. including the tuple itself):
+    /// `Σ_{tᵢ' ∈ τ_l, tᵢ' ≥ tᵢ} eᵢ'`.
+    pub fn higher_or_equal_mass_within(&self, pos: usize) -> f64 {
+        self.higher_mass_within[pos] + self.tuples[pos].prob
+    }
+
+    /// Number of possible worlds of this database, saturating at
+    /// `u128::MAX`.  An x-tuple with total mass < 1 contributes an extra
+    /// (null) alternative.
+    pub fn world_count(&self) -> u128 {
+        let mut count: u128 = 1;
+        for info in &self.x_tuples {
+            let alts = info.members.len() as u128
+                + if info.null_prob() > crate::PROB_EPSILON { 1 } else { 0 };
+            count = count.saturating_mul(alts.max(1));
+        }
+        count
+    }
+
+    /// Produce the cleaned database that results from a *successful*
+    /// `pclean(τ_l)` whose outcome is the alternative at rank position
+    /// `keep_pos` (Definition 5 of the paper): every other alternative of
+    /// x-tuple `l` is removed and the kept alternative becomes certain
+    /// (probability 1).
+    ///
+    /// Returns an error if `keep_pos` does not belong to x-tuple `l`.
+    pub fn collapse_x_tuple(&self, l: usize, keep_pos: usize) -> Result<Self> {
+        if l >= self.x_tuples.len() {
+            return Err(DbError::index_out_of_range(format!(
+                "x-tuple {l} of {}",
+                self.x_tuples.len()
+            )));
+        }
+        if self.tuples.get(keep_pos).map(|t| t.x_index) != Some(l) {
+            return Err(DbError::index_out_of_range(format!(
+                "tuple position {keep_pos} is not an alternative of x-tuple {l}"
+            )));
+        }
+        let entries = self
+            .tuples
+            .iter()
+            .filter(|t| t.x_index != l)
+            .map(|t| (t.id, t.x_index, t.score, t.prob))
+            .chain(std::iter::once({
+                let kept = &self.tuples[keep_pos];
+                (kept.id, kept.x_index, kept.score, 1.0)
+            }))
+            .collect();
+        let keys = self.x_tuples.iter().map(|x| x.key.clone()).collect();
+        Self::from_entries(entries, keys)
+    }
+
+    /// Produce the cleaned database where x-tuple `l` collapses to its
+    /// implicit *null* alternative (the entity turns out to have no
+    /// reading).  All explicit alternatives of `l` are removed; because a
+    /// certain null tuple ranks below everything and never enters a top-k
+    /// answer, the x-tuple is dropped from the physical representation and
+    /// the remaining x-tuples keep their indices.
+    pub fn collapse_x_tuple_to_null(&self, l: usize) -> Result<Self> {
+        if l >= self.x_tuples.len() {
+            return Err(DbError::index_out_of_range(format!(
+                "x-tuple {l} of {}",
+                self.x_tuples.len()
+            )));
+        }
+        if self.x_tuples[l].null_prob() <= crate::PROB_EPSILON {
+            return Err(DbError::invalid_parameter(format!(
+                "x-tuple {l} has no null alternative to collapse to"
+            )));
+        }
+        let entries: Vec<_> = self
+            .tuples
+            .iter()
+            .filter(|t| t.x_index != l)
+            .map(|t| (t.id, t.x_index, t.score, t.prob))
+            .collect();
+        if entries.is_empty() {
+            return Err(DbError::EmptyDatabase);
+        }
+        // Keep the x-tuple slot (now with zero members would be rejected),
+        // so instead re-index the remaining x-tuples densely.
+        let mut keys = Vec::new();
+        let mut remap = vec![usize::MAX; self.x_tuples.len()];
+        for (idx, info) in self.x_tuples.iter().enumerate() {
+            if idx != l {
+                remap[idx] = keys.len();
+                keys.push(info.key.clone());
+            }
+        }
+        let entries = entries
+            .into_iter()
+            .map(|(id, x_index, score, prob)| (id, remap[x_index], score, prob))
+            .collect();
+        Self::from_entries(entries, keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// udb1 of Table I, expressed directly as scored x-tuples.
+    fn udb1() -> RankedDatabase {
+        RankedDatabase::from_scored_x_tuples(&[
+            vec![(21.0, 0.6), (32.0, 0.4)],
+            vec![(30.0, 0.7), (22.0, 0.3)],
+            vec![(25.0, 0.4), (27.0, 0.6)],
+            vec![(26.0, 1.0)],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn tuples_are_sorted_descending() {
+        let db = udb1();
+        let scores: Vec<f64> = db.tuples().map(|t| t.score).collect();
+        assert_eq!(scores, vec![32.0, 30.0, 27.0, 26.0, 25.0, 22.0, 21.0]);
+        assert_eq!(db.len(), 7);
+        assert_eq!(db.num_x_tuples(), 4);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_tuple_id() {
+        let db = RankedDatabase::from_scored_x_tuples(&[
+            vec![(10.0, 0.5)],
+            vec![(10.0, 0.5)],
+            vec![(10.0, 1.0)],
+        ])
+        .unwrap();
+        let ids: Vec<usize> = db.tuples().map(|t| t.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn members_are_listed_in_rank_order() {
+        let db = udb1();
+        // x-tuple 0 = {21 (pos 6), 32 (pos 0)} -> members sorted by rank.
+        assert_eq!(db.x_tuple(0).members, vec![0, 6]);
+        assert_eq!(db.x_tuple(2).members, vec![2, 4]);
+        assert!((db.x_tuple(0).total_mass - 1.0).abs() < 1e-12);
+        assert_eq!(db.x_tuples().count(), 4);
+    }
+
+    #[test]
+    fn higher_mass_within_matches_definition() {
+        let db = udb1();
+        // Position 4 is the 25-degree tuple of sensor S3; its higher-ranked
+        // sibling (27 degrees, prob 0.6) contributes 0.6.
+        assert!((db.higher_mass_within(4) - 0.6).abs() < 1e-12);
+        assert!((db.higher_or_equal_mass_within(4) - 1.0).abs() < 1e-12);
+        // Position 0 (32 degrees) has no higher-ranked sibling.
+        assert_eq!(db.higher_mass_within(0), 0.0);
+    }
+
+    #[test]
+    fn world_count_multiplies_alternative_counts() {
+        let db = udb1();
+        // 2 * 2 * 2 * 1 = 8 (all x-tuples have full mass, no null).
+        assert_eq!(db.world_count(), 8);
+
+        let db = RankedDatabase::from_scored_x_tuples(&[
+            vec![(10.0, 0.5)],            // + null
+            vec![(9.0, 0.4), (8.0, 0.6)], // no null
+        ])
+        .unwrap();
+        assert_eq!(db.world_count(), 4);
+    }
+
+    #[test]
+    fn collapse_x_tuple_makes_entity_certain() {
+        let db = udb1();
+        // Clean sensor S3 (x-index 2) to its 27-degree reading (position 2),
+        // reproducing the udb1 -> udb2 transition of the paper.
+        let cleaned = db.collapse_x_tuple(2, 2).unwrap();
+        assert_eq!(cleaned.len(), 6);
+        assert_eq!(cleaned.num_x_tuples(), 4);
+        let s3 = cleaned.x_tuple(2);
+        assert_eq!(s3.members.len(), 1);
+        assert!((s3.total_mass - 1.0).abs() < 1e-12);
+        assert!((cleaned.tuple(s3.members[0]).prob - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapse_rejects_foreign_positions() {
+        let db = udb1();
+        assert!(db.collapse_x_tuple(2, 0).is_err());
+        assert!(db.collapse_x_tuple(99, 0).is_err());
+    }
+
+    #[test]
+    fn collapse_to_null_removes_the_entity() {
+        let db = RankedDatabase::from_scored_x_tuples(&[
+            vec![(10.0, 0.5)], // null prob 0.5
+            vec![(9.0, 1.0)],
+        ])
+        .unwrap();
+        let cleaned = db.collapse_x_tuple_to_null(0).unwrap();
+        assert_eq!(cleaned.num_x_tuples(), 1);
+        assert_eq!(cleaned.len(), 1);
+        assert_eq!(cleaned.tuple(0).score, 9.0);
+        // The second x-tuple had no null mass: collapsing it is an error.
+        assert!(db.collapse_x_tuple_to_null(1).is_err());
+    }
+
+    #[test]
+    fn from_entries_validates_input() {
+        assert!(matches!(
+            RankedDatabase::from_entries(vec![], vec![]),
+            Err(DbError::EmptyDatabase)
+        ));
+        assert!(matches!(
+            RankedDatabase::from_entries(vec![(TupleId(0), 3, 1.0, 0.5)], vec!["a".into()]),
+            Err(DbError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            RankedDatabase::from_entries(vec![(TupleId(0), 0, f64::NAN, 0.5)], vec!["a".into()]),
+            Err(DbError::NonFiniteScore { .. })
+        ));
+        assert!(matches!(
+            RankedDatabase::from_entries(vec![(TupleId(0), 0, 1.0, 1.5)], vec!["a".into()]),
+            Err(DbError::InvalidProbability { .. })
+        ));
+        // An x-tuple key with no member tuples is rejected.
+        assert!(matches!(
+            RankedDatabase::from_entries(
+                vec![(TupleId(0), 0, 1.0, 0.5)],
+                vec!["a".into(), "b".into()]
+            ),
+            Err(DbError::EmptyXTuple { .. })
+        ));
+        // Over-full x-tuple.
+        assert!(matches!(
+            RankedDatabase::from_scored_x_tuples(&[vec![(1.0, 0.7), (2.0, 0.7)]]),
+            Err(DbError::XTupleMassExceedsOne { .. })
+        ));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let db = udb1();
+        let json = serde_json::to_string(&db).unwrap();
+        let back: RankedDatabase = serde_json::from_str(&json).unwrap();
+        assert_eq!(db, back);
+    }
+}

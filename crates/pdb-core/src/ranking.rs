@@ -1,0 +1,110 @@
+//! Ranking functions.
+//!
+//! A probabilistic top-k query is parameterised by a ranking function `f`
+//! that orders tuples by their attribute values (Section III-B of the
+//! paper).  The paper assumes `f` assigns a *unique* rank to every tuple;
+//! uniqueness is obtained here by breaking score ties with the tuple
+//! insertion id (smaller id ranks higher), exactly as the evaluation section
+//! describes ("for two tuples with the same value, the tuple with a smaller
+//! index is ranked higher").
+
+use crate::tuple::Tuple;
+
+/// Maps a tuple payload to a numeric score; higher scores rank higher.
+///
+/// Implementations must be deterministic and produce finite scores for every
+/// payload that appears in the database (non-finite scores are rejected when
+/// the database is ranked).
+pub trait Ranking<V> {
+    /// Score of a payload.  Higher is better (ranked closer to the top).
+    fn score(&self, payload: &V) -> f64;
+
+    /// Score of a tuple; by default simply the score of its payload.
+    fn score_tuple(&self, tuple: &Tuple<V>) -> f64 {
+        self.score(&tuple.payload)
+    }
+}
+
+/// The identity ranking for databases whose payload already *is* the score
+/// (`V = f64`), e.g. the temperature readings of Table I.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScoreRanking;
+
+impl Ranking<f64> for ScoreRanking {
+    fn score(&self, payload: &f64) -> f64 {
+        *payload
+    }
+}
+
+/// Ranks multi-attribute payloads (`V = Vec<f64>`) by a weighted sum of
+/// their attributes — the ranking used for the MOV dataset, where the score
+/// of a rating tuple is `normalised(date) + normalised(rating)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedSumRanking {
+    /// One weight per attribute; missing attributes contribute zero.
+    pub weights: Vec<f64>,
+}
+
+impl WeightedSumRanking {
+    /// Equal weights over `n` attributes (each weight 1.0).
+    pub fn uniform(n: usize) -> Self {
+        Self { weights: vec![1.0; n] }
+    }
+
+    /// Explicit per-attribute weights.
+    pub fn new(weights: Vec<f64>) -> Self {
+        Self { weights }
+    }
+}
+
+impl Ranking<Vec<f64>> for WeightedSumRanking {
+    fn score(&self, payload: &Vec<f64>) -> f64 {
+        payload.iter().zip(self.weights.iter()).map(|(v, w)| v * w).sum()
+    }
+}
+
+/// Blanket implementation so closures `Fn(&V) -> f64` can be used directly
+/// as ranking functions.
+impl<V, F> Ranking<V> for F
+where
+    F: Fn(&V) -> f64,
+{
+    fn score(&self, payload: &V) -> f64 {
+        self(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::{TupleId, XTupleId};
+
+    #[test]
+    fn score_ranking_is_identity() {
+        assert_eq!(ScoreRanking.score(&21.0), 21.0);
+        let t = Tuple { id: TupleId(0), x_tuple: XTupleId(0), payload: 32.0, prob: 0.4 };
+        assert_eq!(ScoreRanking.score_tuple(&t), 32.0);
+    }
+
+    #[test]
+    fn weighted_sum_ranks_by_dot_product() {
+        let r = WeightedSumRanking::new(vec![1.0, 2.0]);
+        assert_eq!(r.score(&vec![0.5, 0.25]), 1.0);
+        // Extra attributes beyond the weights are ignored.
+        assert_eq!(r.score(&vec![0.5, 0.25, 100.0]), 1.0);
+        // Missing attributes contribute nothing.
+        assert_eq!(r.score(&vec![0.5]), 0.5);
+    }
+
+    #[test]
+    fn uniform_weighting_sums_attributes() {
+        let r = WeightedSumRanking::uniform(3);
+        assert_eq!(r.score(&vec![0.1, 0.2, 0.3]), 0.6000000000000001);
+    }
+
+    #[test]
+    fn closures_are_rankings() {
+        let by_negation = |v: &f64| -v;
+        assert_eq!(by_negation.score(&3.0), -3.0);
+    }
+}

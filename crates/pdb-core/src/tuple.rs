@@ -1,0 +1,184 @@
+//! Tuple and x-tuple types.
+//!
+//! An **x-tuple** (Section III-A of the paper, following the Trio model of
+//! Agrawal et al.) groups the mutually exclusive alternatives of a single
+//! real-world entity.  Each alternative is a [`Tuple`] carrying a payload
+//! (its attribute values) and an existential probability.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a tuple, unique within a [`Database`](crate::Database).
+///
+/// Tuple ids are assigned in insertion order by the
+/// [`DatabaseBuilder`](crate::DatabaseBuilder) and are stable across
+/// ranking: the same id refers to the same alternative before and after the
+/// database is flattened into a [`RankedDatabase`](crate::RankedDatabase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TupleId(pub usize);
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of an x-tuple (an entity), unique within a database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct XTupleId(pub usize);
+
+impl fmt::Display for XTupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// One alternative of an x-tuple.
+///
+/// The payload type `V` carries the attribute values; the simplest payload
+/// is a bare `f64` score (see [`ScoreRanking`](crate::ScoreRanking)), richer
+/// payloads (e.g. the movie-rating tuples of the MOV dataset) provide their
+/// own [`Ranking`](crate::Ranking) implementation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tuple<V> {
+    /// Identifier of this tuple, unique within the database.
+    pub id: TupleId,
+    /// Identifier of the x-tuple this alternative belongs to.
+    pub x_tuple: XTupleId,
+    /// Attribute values of this alternative.
+    pub payload: V,
+    /// Existential probability `eᵢ`: the chance that this alternative is the
+    /// true state of the entity.  Always within `[0, 1]`.
+    pub prob: f64,
+}
+
+impl<V> Tuple<V> {
+    /// Map the payload of this tuple to a different type, keeping the
+    /// identifiers and probability.
+    pub fn map_payload<W>(self, f: impl FnOnce(V) -> W) -> Tuple<W> {
+        Tuple { id: self.id, x_tuple: self.x_tuple, payload: f(self.payload), prob: self.prob }
+    }
+}
+
+/// A real-world entity together with its mutually exclusive alternatives.
+///
+/// The alternatives' probabilities sum to at most 1; any missing mass is the
+/// implicit *null* alternative ("the entity has no reading"), which ranks
+/// below every non-null tuple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct XTuple<V> {
+    /// Identifier of the x-tuple.
+    pub id: XTupleId,
+    /// Human-readable key of the entity (e.g. `"S1"` for sensor 1).
+    pub key: String,
+    /// The mutually exclusive alternatives of this entity.
+    pub tuples: Vec<Tuple<V>>,
+}
+
+impl<V> XTuple<V> {
+    /// Total existential probability mass of the explicit alternatives.
+    pub fn total_mass(&self) -> f64 {
+        self.tuples.iter().map(|t| t.prob).sum()
+    }
+
+    /// Probability of the implicit null alternative, i.e. `1 − Σ eᵢ`
+    /// clamped at zero.
+    pub fn null_prob(&self) -> f64 {
+        (1.0 - self.total_mass()).max(0.0)
+    }
+
+    /// Number of explicit alternatives.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the x-tuple has no explicit alternatives.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Whether this entity is already *certain*: a single alternative with
+    /// probability 1 (within tolerance).  Cleaning a certain x-tuple can
+    /// never improve query quality.
+    pub fn is_certain(&self) -> bool {
+        self.tuples.len() == 1 && (self.tuples[0].prob - 1.0).abs() <= crate::PROB_EPSILON
+    }
+
+    /// Iterate over the alternatives.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple<V>> {
+        self.tuples.iter()
+    }
+}
+
+impl<'a, V> IntoIterator for &'a XTuple<V> {
+    type Item = &'a Tuple<V>;
+    type IntoIter = std::slice::Iter<'a, Tuple<V>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(probs: &[f64]) -> XTuple<f64> {
+        XTuple {
+            id: XTupleId(0),
+            key: "S0".into(),
+            tuples: probs
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| Tuple { id: TupleId(i), x_tuple: XTupleId(0), payload: i as f64, prob: p })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(TupleId(3).to_string(), "t3");
+        assert_eq!(XTupleId(7).to_string(), "x7");
+    }
+
+    #[test]
+    fn total_and_null_mass() {
+        let xt = x(&[0.6, 0.3]);
+        assert!((xt.total_mass() - 0.9).abs() < 1e-12);
+        assert!((xt.null_prob() - 0.1).abs() < 1e-12);
+        assert_eq!(xt.len(), 2);
+        assert!(!xt.is_empty());
+    }
+
+    #[test]
+    fn null_prob_clamps_at_zero() {
+        // Rounding may make the mass marginally exceed 1; null_prob must not
+        // go negative.
+        let xt = x(&[0.7, 0.3 + 1e-12]);
+        assert!(xt.null_prob() >= 0.0);
+    }
+
+    #[test]
+    fn certainty_detection() {
+        assert!(x(&[1.0]).is_certain());
+        assert!(!x(&[0.999]).is_certain());
+        assert!(!x(&[0.5, 0.5]).is_certain());
+    }
+
+    #[test]
+    fn map_payload_preserves_identity() {
+        let t = Tuple { id: TupleId(4), x_tuple: XTupleId(2), payload: 21.0_f64, prob: 0.6 };
+        let mapped = t.map_payload(|v| format!("{v}"));
+        assert_eq!(mapped.id, TupleId(4));
+        assert_eq!(mapped.x_tuple, XTupleId(2));
+        assert_eq!(mapped.payload, "21");
+        assert!((mapped.prob - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration_yields_all_alternatives() {
+        let xt = x(&[0.2, 0.3, 0.4]);
+        assert_eq!(xt.iter().count(), 3);
+        assert_eq!((&xt).into_iter().count(), 3);
+    }
+}

@@ -1,0 +1,47 @@
+//! # pdb-engine — PSR and probabilistic top-k query semantics
+//!
+//! This crate implements the query-processing substrate of the ICDE 2013
+//! paper *"Cleaning Uncertain Data for Top-k Queries"*:
+//!
+//! * [`psr`] — the PSR rank-probability algorithm (reference \[15\] of the
+//!   paper): for every tuple, the probability ρᵢ(h) of occupying rank `h`
+//!   and the top-k probability pᵢ, in O(n·k) time.
+//! * [`queries`] — the three probabilistic top-k query semantics the paper
+//!   studies (U-kRanks, PT-k and Global-topk), all answered from the PSR
+//!   output so the same computation can be shared with quality evaluation.
+//! * [`poly`] — the truncated generating-function polynomials PSR maintains.
+//! * [`oracle`] — brute-force possible-world oracles used to validate the
+//!   efficient algorithms on small databases.
+//!
+//! ```
+//! use pdb_core::prelude::*;
+//! use pdb_engine::prelude::*;
+//!
+//! let db = pdb_core::examples::udb1().rank_by(&ScoreRanking);
+//! let rp = rank_probabilities(&db, 2).unwrap();
+//! let answer = pt_k(&db, &rp, 0.4).unwrap();
+//! assert_eq!(answer.len(), 3); // {t1, t2, t5} in the paper
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod oracle;
+pub mod poly;
+pub mod psr;
+pub mod queries;
+
+pub use psr::{rank_probabilities, rank_probabilities_exact, RankProbabilities};
+pub use queries::{
+    global_topk, pt_k, u_k_ranks, AnswerTuple, QueryAnswer, TopKQuery, TupleSetAnswer,
+    UKRanksAnswer,
+};
+
+/// Convenience prelude bringing the most frequently used items into scope.
+pub mod prelude {
+    pub use crate::psr::{rank_probabilities, rank_probabilities_exact, RankProbabilities};
+    pub use crate::queries::{
+        global_topk, pt_k, u_k_ranks, AnswerTuple, QueryAnswer, TopKQuery, TupleSetAnswer,
+        UKRanksAnswer,
+    };
+}

@@ -1,0 +1,479 @@
+//! The PSR rank-probability algorithm.
+//!
+//! PSR (Bernecker et al., *Scalable probabilistic similarity ranking in
+//! uncertain databases*, TKDE 2010 — reference \[15\] of the paper) computes,
+//! for every tuple `tᵢ` of a rank-sorted x-tuple database, the **rank-h
+//! probabilities** ρᵢ(h) = Pr[tᵢ appears at rank `h` of a possible world's
+//! top-k answer] for h = 1..k, and the **top-k probability**
+//! pᵢ = Σ_h ρᵢ(h).  These are exactly the quantities the three query
+//! semantics (U-kRanks, PT-k, Global-topk) and the TP quality algorithm
+//! consume, which is what enables the computation sharing of Section IV-C.
+//!
+//! ## How it works
+//!
+//! Scan tuples in descending rank order.  For the tuple at position `i`
+//! belonging to x-tuple `l`, the number of *higher-ranked* tuples that exist
+//! in a random possible world is a Poisson-binomial variable: every other
+//! x-tuple `j ≠ l` independently contributes a higher-ranked tuple with
+//! probability `q_j` = (mass of τ_j's alternatives ranked above position
+//! `i`).  Then
+//!
+//! ```text
+//! ρᵢ(h) = eᵢ · Pr[exactly h − 1 of the other x-tuples contribute]
+//! ```
+//!
+//! The Poisson-binomial distribution is the coefficient vector of
+//! `Π_j ((1 − q_j) + q_j z)`, truncated to degree k − 1.  Moving from one
+//! tuple to the next changes a single factor (the previous tuple's x-tuple
+//! gains its mass), so the product is maintained incrementally with one
+//! divide + one multiply per step — O(k) each — giving O(nk) overall.
+//!
+//! Two refinements keep the incremental version numerically safe:
+//!
+//! * x-tuples whose higher-ranked mass has (essentially) reached 1 are
+//!   **saturated**: they contribute a deterministic `+1` to the count and
+//!   are tracked by a counter instead of a `(≈0) + (≈1)z` factor that would
+//!   make the later division explode.  Once `k` x-tuples are saturated, no
+//!   later tuple can enter a top-k answer (Lemma 2 of the paper) and the
+//!   scan stops early.
+//! * a factor is only divided out of the product when its `q` is at most
+//!   `MAX_DIVISOR_Q` (the well-conditioned regime); otherwise the product
+//!   is rebuilt from the small list of currently active factors.
+//!
+//! [`rank_probabilities_exact`] is a slower O(n·m·k) reference
+//! implementation that rebuilds the product for every tuple; it exists as a
+//! correctness oracle for tests and to quantify the incremental version's
+//! numerical error.
+
+use crate::poly::TruncatedPoly;
+use pdb_core::{DbError, RankedDatabase, Result};
+use serde::{Deserialize, Serialize};
+
+/// Higher-ranked mass at or above this value is treated as certain
+/// (saturated); the corresponding tuple probabilities are at most
+/// `1 − SATURATION_THRESHOLD` and are rounded to zero.
+const SATURATION_THRESHOLD: f64 = 1.0 - 1e-12;
+
+/// A binomial factor `(1 − q) + q·z` may only be divided out of the running
+/// product when `q` is at most this value.  The back-substitution used by
+/// polynomial division amplifies existing floating-point error by
+/// `(q / (1 − q))^j` at degree `j`, so divisions are restricted to the
+/// well-conditioned regime `q ≤ 0.5` (amplification ≤ 1); factors with
+/// larger `q` are removed by rebuilding the product from the active factor
+/// list instead.
+const MAX_DIVISOR_Q: f64 = 0.5;
+
+/// Rank-h and top-k probabilities of every tuple of a database, for a fixed
+/// `k`.
+///
+/// Produced by [`rank_probabilities`] (the PSR algorithm) or by the oracles
+/// in [`crate::oracle`]; consumed by the query semantics in
+/// [`crate::queries`] and by the TP quality algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankProbabilities {
+    k: usize,
+    /// Row-major `n × k` matrix: `rho[i * k + (h-1)]` = ρᵢ(h).
+    rho: Vec<f64>,
+    /// Per-tuple top-k probability pᵢ = Σ_h ρᵢ(h).
+    top_k: Vec<f64>,
+}
+
+impl RankProbabilities {
+    /// Build from a dense ρ matrix (row-major, `n × k`).
+    pub(crate) fn from_rho(k: usize, rho: Vec<f64>) -> Self {
+        assert!(k > 0 && rho.len().is_multiple_of(k));
+        let top_k = rho.chunks_exact(k).map(|row| row.iter().sum()).collect();
+        Self { k, rho, top_k }
+    }
+
+    /// The `k` this structure was computed for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of tuples covered.
+    pub fn num_tuples(&self) -> usize {
+        self.top_k.len()
+    }
+
+    /// ρᵢ(h): probability that the tuple at rank position `pos` occupies
+    /// rank `h` (1-based, `1 ≤ h ≤ k`) in a possible world's top-k answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range or `h` is not in `1..=k`.
+    pub fn rank_prob(&self, pos: usize, h: usize) -> f64 {
+        assert!(h >= 1 && h <= self.k, "rank h = {h} out of 1..={}", self.k);
+        self.rho[pos * self.k + (h - 1)]
+    }
+
+    /// The full ρ row of one tuple (index 0 = rank 1).
+    pub fn rank_probs(&self, pos: usize) -> &[f64] {
+        &self.rho[pos * self.k..(pos + 1) * self.k]
+    }
+
+    /// pᵢ: probability that the tuple at rank position `pos` appears in the
+    /// top-k answer of a possible world.
+    pub fn top_k_prob(&self, pos: usize) -> f64 {
+        self.top_k[pos]
+    }
+
+    /// All top-k probabilities, indexed by rank position.
+    pub fn top_k_probs(&self) -> &[f64] {
+        &self.top_k
+    }
+
+    /// Sum of all top-k probabilities.  Equals the expected size of a
+    /// possible world's top-k answer: exactly `k` when every possible world
+    /// holds at least `k` non-null tuples, smaller otherwise.
+    pub fn expected_answer_size(&self) -> f64 {
+        self.top_k.iter().sum()
+    }
+
+    /// Positions of tuples with a non-zero top-k probability (in rank
+    /// order).  The paper calls the count of these `|Z|` in the cleaning
+    /// section.
+    pub fn nonzero_positions(&self) -> Vec<usize> {
+        self.top_k
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 0.0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Validate a top-k parameter against a database.
+fn validate_k(db: &RankedDatabase, k: usize) -> Result<()> {
+    if k == 0 {
+        return Err(DbError::invalid_parameter("k must be at least 1"));
+    }
+    if db.is_empty() {
+        return Err(DbError::EmptyDatabase);
+    }
+    Ok(())
+}
+
+/// Compute rank-h and top-k probabilities with the incremental PSR
+/// algorithm in O(n·k) time (plus rare polynomial rebuilds).
+pub fn rank_probabilities(db: &RankedDatabase, k: usize) -> Result<RankProbabilities> {
+    validate_k(db, k)?;
+    let n = db.len();
+    let m = db.num_x_tuples();
+    let mut rho = vec![0.0; n * k];
+
+    // q[l]: existential mass of x-tuple l's alternatives ranked strictly
+    // higher than the tuple currently being processed.
+    let mut q = vec![0.0; m];
+    let mut is_saturated = vec![false; m];
+    let mut saturated_count = 0usize;
+    // x-tuples whose factor is currently part of `poly` (0 < q < saturated);
+    // kept as a compact list so rebuilds cost O(|active|·k) instead of
+    // O(m·k).  Saturated entries are pruned lazily at the next rebuild.
+    let mut active: Vec<usize> = Vec::new();
+    // Product of ((1 − q_l) + q_l z) over unsaturated x-tuples with q_l > 0.
+    let mut poly = TruncatedPoly::one(k);
+
+    fn rebuild(
+        k: usize,
+        q: &[f64],
+        is_saturated: &[bool],
+        active: &mut Vec<usize>,
+        skip: Option<usize>,
+    ) -> TruncatedPoly {
+        active.retain(|&l| !is_saturated[l] && q[l] > 0.0);
+        let mut p = TruncatedPoly::one(k);
+        for &l in active.iter() {
+            if Some(l) != skip {
+                p.multiply_binomial(q[l]);
+            }
+        }
+        p
+    }
+
+    for i in 0..n {
+        if i > 0 {
+            // Advance: the previous tuple is now "higher-ranked"; its
+            // x-tuple's factor gains the previous tuple's mass.
+            let prev = db.tuple(i - 1);
+            let pl = prev.x_index;
+            let old_q = q[pl];
+            let new_q = (old_q + prev.prob).min(1.0);
+            q[pl] = new_q;
+            if !is_saturated[pl] {
+                let becomes_saturated = new_q >= SATURATION_THRESHOLD;
+                if old_q == 0.0 && new_q > 0.0 && !becomes_saturated {
+                    active.push(pl);
+                }
+                let safe_divide = old_q <= MAX_DIVISOR_Q;
+                if safe_divide {
+                    if old_q > 0.0 {
+                        poly.divide_binomial(old_q);
+                        poly.clamp_non_negative();
+                    }
+                    if becomes_saturated {
+                        is_saturated[pl] = true;
+                        saturated_count += 1;
+                    } else if new_q > 0.0 {
+                        poly.multiply_binomial(new_q);
+                    }
+                } else {
+                    if becomes_saturated {
+                        is_saturated[pl] = true;
+                        saturated_count += 1;
+                    }
+                    poly = rebuild(k, &q, &is_saturated, &mut active, None);
+                }
+            }
+        }
+
+        // Lemma 2: once k x-tuples certainly place a tuple above position i,
+        // no tuple from position i onwards can reach the top-k.
+        if saturated_count >= k {
+            break;
+        }
+
+        let t = db.tuple(i);
+        let l = t.x_index;
+        if is_saturated[l] {
+            // The tuple's own siblings already occupy ~all of the x-tuple's
+            // mass above it, so eᵢ ≤ 1 − SATURATION_THRESHOLD ≈ 0.
+            continue;
+        }
+        let ql = q[l];
+        let others = if ql == 0.0 {
+            poly.clone()
+        } else if ql <= MAX_DIVISOR_Q {
+            let mut b = poly.clone();
+            b.divide_binomial(ql);
+            b.clamp_non_negative();
+            b
+        } else {
+            rebuild(k, &q, &is_saturated, &mut active, Some(l))
+        };
+
+        // ρᵢ(h) = eᵢ · Pr[exactly h−1 higher-ranked tuples exist]; the
+        // saturated x-tuples contribute a deterministic `saturated_count`.
+        for h in 1..=k {
+            let needed = h - 1;
+            if needed >= saturated_count {
+                rho[i * k + (h - 1)] = t.prob * others.coeff(needed - saturated_count);
+            }
+        }
+    }
+
+    Ok(RankProbabilities::from_rho(k, rho))
+}
+
+/// Reference implementation of PSR that rebuilds the generating-function
+/// product for every tuple: O(n·m·k) time, no divisions, no saturation
+/// approximation.  Used as a numerical oracle in tests and available to
+/// callers who prefer robustness over speed on small inputs.
+pub fn rank_probabilities_exact(db: &RankedDatabase, k: usize) -> Result<RankProbabilities> {
+    validate_k(db, k)?;
+    let n = db.len();
+    let m = db.num_x_tuples();
+    let mut rho = vec![0.0; n * k];
+    let mut q = vec![0.0; m];
+
+    for i in 0..n {
+        if i > 0 {
+            let prev = db.tuple(i - 1);
+            q[prev.x_index] = (q[prev.x_index] + prev.prob).min(1.0);
+        }
+        let t = db.tuple(i);
+        let l = t.x_index;
+        let mut poly = TruncatedPoly::one(k);
+        for (j, &qj) in q.iter().enumerate() {
+            if j != l && qj > 0.0 {
+                poly.multiply_binomial(qj);
+            }
+        }
+        for h in 1..=k {
+            rho[i * k + (h - 1)] = t.prob * poly.coeff(h - 1);
+        }
+    }
+    Ok(RankProbabilities::from_rho(k, rho))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn udb1() -> RankedDatabase {
+        RankedDatabase::from_scored_x_tuples(&[
+            vec![(21.0, 0.6), (32.0, 0.4)],
+            vec![(30.0, 0.7), (22.0, 0.3)],
+            vec![(25.0, 0.4), (27.0, 0.6)],
+            vec![(26.0, 1.0)],
+        ])
+        .unwrap()
+    }
+
+    /// Brute-force ρ via possible-world enumeration.
+    fn rho_by_enumeration(db: &RankedDatabase, k: usize) -> Vec<f64> {
+        let mut rho = vec![0.0; db.len() * k];
+        for w in pdb_core::world::worlds(db).unwrap() {
+            for (rank0, &pos) in w.top_k(k).iter().enumerate() {
+                rho[pos * k + rank0] += w.prob;
+            }
+        }
+        rho
+    }
+
+    fn assert_matrix_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "entry {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let db = udb1();
+        assert!(rank_probabilities(&db, 0).is_err());
+        assert!(rank_probabilities_exact(&db, 0).is_err());
+    }
+
+    #[test]
+    fn matches_enumeration_on_udb1() {
+        let db = udb1();
+        for k in 1..=5 {
+            let expected = rho_by_enumeration(&db, k);
+            let psr = rank_probabilities(&db, k).unwrap();
+            let exact = rank_probabilities_exact(&db, k).unwrap();
+            assert_matrix_close(&psr.rho, &expected, 1e-10);
+            assert_matrix_close(&exact.rho, &expected, 1e-10);
+        }
+    }
+
+    #[test]
+    fn top_two_probabilities_match_paper_answer() {
+        // The paper: for k = 2 and threshold 0.4, the PT-2 answer on udb1 is
+        // {t1 (32°), t2 (30°), t5 (27°)}.
+        let db = udb1();
+        let rp = rank_probabilities(&db, 2).unwrap();
+        let pos_of = |score: f64| db.tuples().position(|t| t.score == score).unwrap();
+        assert!(rp.top_k_prob(pos_of(32.0)) >= 0.4);
+        assert!(rp.top_k_prob(pos_of(30.0)) >= 0.4);
+        assert!(rp.top_k_prob(pos_of(27.0)) >= 0.4);
+        assert!(rp.top_k_prob(pos_of(26.0)) < 0.4);
+        assert!(rp.top_k_prob(pos_of(21.0)) < 0.4);
+    }
+
+    #[test]
+    fn handles_null_mass() {
+        // x-tuples with mass < 1 (implicit null alternative).
+        let db = RankedDatabase::from_scored_x_tuples(&[
+            vec![(10.0, 0.5)],
+            vec![(9.0, 0.4), (8.0, 0.2)],
+            vec![(7.0, 1.0)],
+        ])
+        .unwrap();
+        for k in 1..=3 {
+            let expected = rho_by_enumeration(&db, k);
+            let rp = rank_probabilities(&db, k).unwrap();
+            assert_matrix_close(&rp.rho, &expected, 1e-10);
+        }
+    }
+
+    #[test]
+    fn certain_chain_saturates_and_terminates_early() {
+        // Ten certain tuples followed by an uncertain one: with k = 3 the
+        // uncertain tuple (and the tail of the certain chain) must have
+        // probability zero.
+        let mut x = vec![vec![(100.0, 1.0)]];
+        for i in 1..10 {
+            x.push(vec![(100.0 - i as f64, 1.0)]);
+        }
+        x.push(vec![(1.0, 0.7)]);
+        let db = RankedDatabase::from_scored_x_tuples(&x).unwrap();
+        let rp = rank_probabilities(&db, 3).unwrap();
+        let expected = rho_by_enumeration(&db, 3);
+        assert_matrix_close(&rp.rho, &expected, 1e-10);
+        assert_eq!(rp.top_k_prob(db.len() - 1), 0.0);
+        assert_eq!(rp.nonzero_positions(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn expected_answer_size_equals_k_with_full_mass() {
+        let db = udb1();
+        for k in 1..=4 {
+            let rp = rank_probabilities(&db, k).unwrap();
+            assert!((rp.expected_answer_size() - k as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn expected_answer_size_below_k_with_null_mass() {
+        let db =
+            RankedDatabase::from_scored_x_tuples(&[vec![(10.0, 0.5)], vec![(9.0, 0.5)]]).unwrap();
+        let rp = rank_probabilities(&db, 2).unwrap();
+        assert!(rp.expected_answer_size() < 2.0);
+        // Expected size = E[#existing] = 0.5 + 0.5 = 1.0.
+        assert!((rp.expected_answer_size() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_probability_rows_are_distributions() {
+        let db = udb1();
+        let rp = rank_probabilities(&db, 3).unwrap();
+        for pos in 0..db.len() {
+            let row_sum: f64 = rp.rank_probs(pos).iter().sum();
+            assert!((row_sum - rp.top_k_prob(pos)).abs() < 1e-12);
+            assert!(rp.rank_probs(pos).iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        }
+        assert_eq!(rp.k(), 3);
+        assert_eq!(rp.num_tuples(), 7);
+        assert!((rp.rank_prob(0, 1) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_matches_exact_on_adversarial_probabilities() {
+        // Many near-certain tuples force the saturation / rebuild paths.
+        let db = RankedDatabase::from_scored_x_tuples(&[
+            vec![(100.0, 0.999_999_9)],
+            vec![(99.0, 0.999_999)],
+            vec![(98.0, 1.0)],
+            vec![(97.0, 0.5), (96.0, 0.499_999_9)],
+            vec![(95.0, 0.3), (94.0, 0.7)],
+            vec![(93.0, 0.001)],
+            vec![(92.0, 0.000_001)],
+            vec![(91.0, 0.9), (90.0, 0.1)],
+        ])
+        .unwrap();
+        for k in 1..=6 {
+            let fast = rank_probabilities(&db, k).unwrap();
+            let exact = rank_probabilities_exact(&db, k).unwrap();
+            assert_matrix_close(&fast.rho, &exact.rho, 1e-8);
+        }
+    }
+
+    #[test]
+    fn large_random_database_matches_exact() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut x_tuples = Vec::new();
+        for _ in 0..200 {
+            let alts = rng.gen_range(1..=4);
+            let mut remaining = 1.0_f64;
+            let mut v = Vec::new();
+            for a in 0..alts {
+                let p = if a == alts - 1 {
+                    remaining * rng.gen_range(0.5..1.0)
+                } else {
+                    remaining * rng.gen_range(0.1..0.7)
+                };
+                remaining -= p;
+                v.push((rng.gen_range(0.0..10_000.0), p));
+            }
+            x_tuples.push(v);
+        }
+        let db = RankedDatabase::from_scored_x_tuples(&x_tuples).unwrap();
+        for &k in &[1, 5, 20] {
+            let fast = rank_probabilities(&db, k).unwrap();
+            let exact = rank_probabilities_exact(&db, k).unwrap();
+            assert_matrix_close(&fast.rho, &exact.rho, 1e-9);
+        }
+    }
+}

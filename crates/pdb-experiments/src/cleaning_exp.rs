@@ -1,0 +1,347 @@
+//! Experiments on the cleaning algorithms (Figure 6 of the paper).
+
+use crate::datasets;
+use crate::report::{ExperimentResult, Series};
+use crate::scale::{time_ms, Scale};
+use pdb_clean::{expected_improvement, CleaningAlgorithm, CleaningContext, CleaningSetup};
+use pdb_core::{RankedDatabase, Result};
+use pdb_gen::cleaning_params::ScPdf;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Number of runs the random heuristics are averaged over.
+const RANDOM_TRIALS: u32 = 10;
+
+/// Budgets above this value skip the DP algorithm (its `O(C²·|Z|)` table
+/// would take minutes to hours, exactly as the paper's Figure 6(d) shows);
+/// the cap is recorded in the experiment notes.
+fn dp_budget_cap(scale: Scale) -> u64 {
+    scale.pick(2_000, 20_000)
+}
+
+fn budget_sweep(scale: Scale) -> Vec<u64> {
+    scale.pick(
+        vec![1, 10, 100, 1_000, 10_000],
+        vec![1, 10, 100, 1_000, 10_000, 100_000],
+    )
+}
+
+/// Run every cleaning algorithm for one `(context, setup, budget)` and
+/// report the expected quality improvement of each plan.
+fn improvements_for(
+    ctx: &CleaningContext,
+    setup: &CleaningSetup,
+    budget: u64,
+    dp_cap: u64,
+    seed: u64,
+) -> Result<Vec<(CleaningAlgorithm, Option<f64>)>> {
+    let mut out = Vec::new();
+    for algo in CleaningAlgorithm::ALL {
+        if algo == CleaningAlgorithm::Dp && budget > dp_cap {
+            out.push((algo, None));
+            continue;
+        }
+        let value = match algo {
+            CleaningAlgorithm::Dp | CleaningAlgorithm::Greedy => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let plan = algo.plan(ctx, setup, budget, &mut rng)?;
+                expected_improvement(ctx, setup, &plan)
+            }
+            CleaningAlgorithm::RandP | CleaningAlgorithm::RandU => {
+                let mut total = 0.0;
+                for trial in 0..RANDOM_TRIALS {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37 + u64::from(trial)));
+                    let plan = algo.plan(ctx, setup, budget, &mut rng)?;
+                    total += expected_improvement(ctx, setup, &plan);
+                }
+                total / f64::from(RANDOM_TRIALS)
+            }
+        };
+        out.push((algo, Some(value)));
+    }
+    Ok(out)
+}
+
+fn improvement_vs_budget(
+    id: &str,
+    title: &str,
+    db: &RankedDatabase,
+    scale: Scale,
+) -> Result<ExperimentResult> {
+    let ctx = CleaningContext::prepare(db, datasets::DEFAULT_K)?;
+    let setup = datasets::default_cleaning_setup(db.num_x_tuples())?;
+    let dp_cap = dp_budget_cap(scale);
+    let mut result = ExperimentResult::new(id, title, "budget C", "expected improvement I");
+    let mut series: Vec<(CleaningAlgorithm, Vec<(f64, f64)>)> =
+        CleaningAlgorithm::ALL.iter().map(|a| (*a, Vec::new())).collect();
+    for &budget in &budget_sweep(scale) {
+        for (algo, value) in improvements_for(&ctx, &setup, budget, dp_cap, budget)? {
+            if let Some(v) = value {
+                series.iter_mut().find(|(a, _)| *a == algo).expect("known algo").1.push((budget as f64, v));
+            } else {
+                result.push_note(format!("{algo} skipped at C = {budget} (budget above DP cap {dp_cap})"));
+            }
+        }
+    }
+    result.push_note(format!(
+        "|S| = {:.4}; k = {}; {} x-tuples, {} candidates",
+        ctx.quality.abs(),
+        datasets::DEFAULT_K,
+        db.num_x_tuples(),
+        ctx.candidates().len()
+    ));
+    for (algo, points) in series {
+        result.push_series(Series::new(algo.name(), points));
+    }
+    Ok(result)
+}
+
+/// Figure 6(a): expected improvement vs budget on the synthetic dataset.
+pub fn fig6a(scale: Scale) -> Result<ExperimentResult> {
+    let db = datasets::default_synthetic(scale)?;
+    improvement_vs_budget("fig6a", "expected improvement vs budget (synthetic)", &db, scale)
+}
+
+/// Figure 6(f): expected improvement vs budget on the MOV dataset.
+pub fn fig6f(scale: Scale) -> Result<ExperimentResult> {
+    let db = datasets::mov_dataset(scale)?;
+    improvement_vs_budget("fig6f", "expected improvement vs budget (MOV)", &db, scale)
+}
+
+/// Figure 6(b): expected improvement under different sc-probability
+/// distributions (clipped normals of increasing variance, then uniform).
+pub fn fig6b(scale: Scale) -> Result<ExperimentResult> {
+    let db = datasets::default_synthetic(scale)?;
+    let ctx = CleaningContext::prepare(&db, datasets::DEFAULT_K)?;
+    let pdfs = [
+        ScPdf::Normal { mean: 0.5, sigma: 0.13 },
+        ScPdf::Normal { mean: 0.5, sigma: 0.167 },
+        ScPdf::Normal { mean: 0.5, sigma: 0.3 },
+        ScPdf::paper_default(),
+    ];
+    let mut result = ExperimentResult::new(
+        "fig6b",
+        "expected improvement vs sc-pdf (synthetic, C = 100)",
+        "sc-pdf index (1=normal(0.13), 2=normal(0.167), 3=normal(0.3), 4=uniform)",
+        "expected improvement I",
+    );
+    let mut series: Vec<(CleaningAlgorithm, Vec<(f64, f64)>)> =
+        CleaningAlgorithm::ALL.iter().map(|a| (*a, Vec::new())).collect();
+    for (i, pdf) in pdfs.iter().enumerate() {
+        let setup = datasets::cleaning_setup_with_pdf(db.num_x_tuples(), *pdf)?;
+        result.push_note(format!("index {} = {}", i + 1, pdf.label()));
+        for (algo, value) in
+            improvements_for(&ctx, &setup, datasets::DEFAULT_BUDGET, dp_budget_cap(scale), i as u64)?
+        {
+            if let Some(v) = value {
+                series.iter_mut().find(|(a, _)| *a == algo).expect("known algo").1.push(((i + 1) as f64, v));
+            }
+        }
+    }
+    for (algo, points) in series {
+        result.push_series(Series::new(algo.name(), points));
+    }
+    Ok(result)
+}
+
+fn improvement_vs_avg_sc(
+    id: &str,
+    title: &str,
+    db: &RankedDatabase,
+    scale: Scale,
+) -> Result<ExperimentResult> {
+    let ctx = CleaningContext::prepare(db, datasets::DEFAULT_K)?;
+    let lows = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let mut result =
+        ExperimentResult::new(id, title, "average sc-probability", "expected improvement I");
+    let mut series: Vec<(CleaningAlgorithm, Vec<(f64, f64)>)> =
+        CleaningAlgorithm::ALL.iter().map(|a| (*a, Vec::new())).collect();
+    for (i, &lo) in lows.iter().enumerate() {
+        let pdf = ScPdf::Uniform { lo, hi: 1.0 };
+        let avg = pdf.mean();
+        let setup = datasets::cleaning_setup_with_pdf(db.num_x_tuples(), pdf)?;
+        for (algo, value) in
+            improvements_for(&ctx, &setup, datasets::DEFAULT_BUDGET, dp_budget_cap(scale), i as u64)?
+        {
+            if let Some(v) = value {
+                series.iter_mut().find(|(a, _)| *a == algo).expect("known algo").1.push((avg, v));
+            }
+        }
+    }
+    result.push_note("sc-pdf = uniform[x, 1]; C = 100; k = 15".to_string());
+    for (algo, points) in series {
+        result.push_series(Series::new(algo.name(), points));
+    }
+    Ok(result)
+}
+
+/// Figure 6(c): expected improvement vs the average sc-probability
+/// (synthetic data).
+pub fn fig6c(scale: Scale) -> Result<ExperimentResult> {
+    let db = datasets::default_synthetic(scale)?;
+    improvement_vs_avg_sc("fig6c", "expected improvement vs avg sc-probability (synthetic)", &db, scale)
+}
+
+/// Figure 6(g): expected improvement vs the average sc-probability (MOV).
+pub fn fig6g(scale: Scale) -> Result<ExperimentResult> {
+    let db = datasets::mov_dataset(scale)?;
+    improvement_vs_avg_sc("fig6g", "expected improvement vs avg sc-probability (MOV)", &db, scale)
+}
+
+/// Figure 6(d): planning time of the four algorithms vs budget.
+pub fn fig6d(scale: Scale) -> Result<ExperimentResult> {
+    let db = datasets::default_synthetic(scale)?;
+    let ctx = CleaningContext::prepare(&db, datasets::DEFAULT_K)?;
+    let setup = datasets::default_cleaning_setup(db.num_x_tuples())?;
+    let dp_cap = dp_budget_cap(scale);
+    let mut result = ExperimentResult::new(
+        "fig6d",
+        "cleaning-algorithm planning time vs budget (synthetic)",
+        "budget C",
+        "time (ms)",
+    );
+    let mut series: Vec<(CleaningAlgorithm, Vec<(f64, f64)>)> =
+        CleaningAlgorithm::ALL.iter().map(|a| (*a, Vec::new())).collect();
+    for &budget in &budget_sweep(scale) {
+        for algo in CleaningAlgorithm::ALL {
+            if algo == CleaningAlgorithm::Dp && budget > dp_cap {
+                result.push_note(format!("DP skipped at C = {budget} (above cap {dp_cap})"));
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(budget);
+            let (plan, ms) = time_ms(|| algo.plan(&ctx, &setup, budget, &mut rng));
+            plan?;
+            series.iter_mut().find(|(a, _)| *a == algo).expect("known algo").1.push((budget as f64, ms));
+        }
+    }
+    for (algo, points) in series {
+        result.push_series(Series::new(algo.name(), points));
+    }
+    Ok(result)
+}
+
+/// Figure 6(e): planning time of the four algorithms vs `k`.
+pub fn fig6e(scale: Scale) -> Result<ExperimentResult> {
+    let db = datasets::default_synthetic(scale)?;
+    let setup = datasets::default_cleaning_setup(db.num_x_tuples())?;
+    let mut result = ExperimentResult::new(
+        "fig6e",
+        "cleaning-algorithm planning time vs k (synthetic, C = 100)",
+        "k",
+        "time (ms)",
+    );
+    let mut series: Vec<(CleaningAlgorithm, Vec<(f64, f64)>)> =
+        CleaningAlgorithm::ALL.iter().map(|a| (*a, Vec::new())).collect();
+    for &k in &[5usize, 10, 15, 20, 25, 30] {
+        let ctx = CleaningContext::prepare(&db, k)?;
+        result.push_note(format!("k = {k}: |Z| = {}", ctx.candidates().len()));
+        for algo in CleaningAlgorithm::ALL {
+            let mut rng = StdRng::seed_from_u64(k as u64);
+            let (plan, ms) = time_ms(|| algo.plan(&ctx, &setup, datasets::DEFAULT_BUDGET, &mut rng));
+            plan?;
+            series.iter_mut().find(|(a, _)| *a == algo).expect("known algo").1.push((k as f64, ms));
+        }
+    }
+    for (algo, points) in series {
+        result.push_series(Series::new(algo.name(), points));
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_total(r: &ExperimentResult, name: &str) -> f64 {
+        r.series_named(name).unwrap().points.iter().map(|(_, y)| y).sum()
+    }
+
+    #[test]
+    fn fig6a_dp_dominates_and_improvement_grows_with_budget() {
+        let r = fig6a(Scale::Quick).unwrap();
+        let dp = r.series_named("DP").unwrap();
+        let greedy = r.series_named("Greedy").unwrap();
+        let rand_u = r.series_named("RandU").unwrap();
+        // Improvement is non-decreasing in the budget for DP and Greedy.
+        for s in [dp, greedy] {
+            for w in s.points.windows(2) {
+                assert!(w[1].1 >= w[0].1 - 1e-9, "{}: {w:?}", s.name);
+            }
+        }
+        // DP >= Greedy >= RandU pointwise (where DP ran).
+        for &(x, v) in &dp.points {
+            let g = greedy.y_at(x).unwrap();
+            assert!(v >= g - 1e-9, "DP {v} vs Greedy {g} at C={x}");
+        }
+        for &(x, g) in &greedy.points {
+            if let Some(u) = rand_u.y_at(x) {
+                assert!(g >= u - 1e-9, "Greedy {g} vs RandU {u} at C={x}");
+            }
+        }
+        // All improvements are bounded by |S|.
+        let note = r.notes.iter().find(|n| n.contains("|S|")).unwrap();
+        assert!(note.contains("candidates"));
+    }
+
+    #[test]
+    fn fig6b_reports_every_sc_pdf_and_keeps_dp_on_top() {
+        // The paper's ordering across sc-pdfs (wider variance helps DP and
+        // Greedy) is a statistical statement about the full 5 000-x-tuple
+        // dataset; at the quick scale a single sc-probability draw is too
+        // noisy to assert it, so this test checks structure only: all four
+        // sc-pdfs are measured, improvements are positive, and the optimal
+        // algorithm dominates the heuristics for every sc-pdf.
+        let r = fig6b(Scale::Quick).unwrap();
+        for name in ["DP", "Greedy", "RandP", "RandU"] {
+            let s = r.series_named(name).unwrap();
+            assert_eq!(s.points.len(), 4, "{name}");
+            assert!(s.points.iter().all(|&(_, v)| v > 0.0), "{name}");
+        }
+        let dp = r.series_named("DP").unwrap();
+        for name in ["Greedy", "RandP", "RandU"] {
+            let other = r.series_named(name).unwrap();
+            for &(x, v) in &other.points {
+                assert!(dp.y_at(x).unwrap() >= v - 1e-9, "DP vs {name} at sc-pdf {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig6c_improvement_increases_with_average_sc_probability() {
+        let r = fig6c(Scale::Quick).unwrap();
+        for name in ["DP", "Greedy", "RandP", "RandU"] {
+            let s = r.series_named(name).unwrap();
+            assert_eq!(s.points.len(), 6);
+            assert!(
+                s.points.last().unwrap().1 >= s.points.first().unwrap().1 - 1e-9,
+                "{name} should improve as cleaning gets more reliable"
+            );
+        }
+    }
+
+    #[test]
+    fn fig6d_and_6e_report_all_algorithms() {
+        let r = fig6d(Scale::Quick).unwrap();
+        assert!(series_total(&r, "DP") >= series_total(&r, "RandU"));
+        for name in ["DP", "Greedy", "RandP", "RandU"] {
+            assert!(!r.series_named(name).unwrap().points.is_empty());
+        }
+        let r = fig6e(Scale::Quick).unwrap();
+        for name in ["DP", "Greedy", "RandP", "RandU"] {
+            assert_eq!(r.series_named(name).unwrap().points.len(), 6);
+        }
+    }
+
+    #[test]
+    fn fig6f_and_6g_run_on_mov() {
+        let r = fig6f(Scale::Quick).unwrap();
+        assert_eq!(r.series.len(), 4);
+        let r = fig6g(Scale::Quick).unwrap();
+        assert_eq!(r.series.len(), 4);
+        // Greedy ordering also holds on MOV.
+        let greedy = r.series_named("Greedy").unwrap();
+        let dp = r.series_named("DP").unwrap();
+        for &(x, v) in &dp.points {
+            assert!(v >= greedy.y_at(x).unwrap() - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Shared dataset construction for the experiments.
+//!
+//! Every figure of the evaluation section runs either on the synthetic
+//! dataset family or on the MOV stand-in; this module centralises their
+//! construction (scaled by [`Scale`]) so all experiments of a figure group
+//! measure the same data.
+
+use crate::scale::Scale;
+use pdb_clean::CleaningSetup;
+use pdb_core::{RankedDatabase, Result};
+use pdb_gen::cleaning_params::{self, CleaningParamsConfig, ScPdf};
+use pdb_gen::mov::{self, MovConfig};
+use pdb_gen::synthetic::{self, SyntheticConfig, UncertaintyPdf};
+
+/// The default synthetic dataset of the paper (5 000 x-tuples × 10 tuples),
+/// scaled down to 500 x-tuples under [`Scale::Quick`].
+pub fn default_synthetic(scale: Scale) -> Result<RankedDatabase> {
+    let config = SyntheticConfig {
+        num_x_tuples: scale.pick(500, 5_000),
+        ..SyntheticConfig::paper_default()
+    };
+    synthetic::generate_ranked(&config)
+}
+
+/// A synthetic dataset with approximately the requested number of tuples.
+pub fn synthetic_with_tuples(num_tuples: usize) -> Result<RankedDatabase> {
+    synthetic::generate_ranked(&SyntheticConfig::with_total_tuples(num_tuples))
+}
+
+/// A synthetic dataset with the given uncertainty pdf (Figure 4(b)).
+pub fn synthetic_with_pdf(scale: Scale, pdf: UncertaintyPdf) -> Result<RankedDatabase> {
+    let config = SyntheticConfig {
+        num_x_tuples: scale.pick(500, 5_000),
+        pdf,
+        ..SyntheticConfig::paper_default()
+    };
+    synthetic::generate_ranked(&config)
+}
+
+/// The MOV stand-in dataset (4 999 x-tuples), scaled down to 500 under
+/// [`Scale::Quick`].
+pub fn mov_dataset(scale: Scale) -> Result<RankedDatabase> {
+    let config = MovConfig {
+        num_x_tuples: scale.pick(500, 4_999),
+        ..MovConfig::paper_default()
+    };
+    mov::generate_ranked(&config)
+}
+
+/// The paper's default cleaning parameters (cost uniform in `[1, 10]`,
+/// sc-probability uniform in `[0, 1]`) for a database with `m` x-tuples.
+pub fn default_cleaning_setup(m: usize) -> Result<CleaningSetup> {
+    cleaning_setup_with_pdf(m, ScPdf::paper_default())
+}
+
+/// Cleaning parameters with a custom sc-probability distribution
+/// (Figures 6(b)/6(c)).
+pub fn cleaning_setup_with_pdf(m: usize, sc_pdf: ScPdf) -> Result<CleaningSetup> {
+    let params =
+        cleaning_params::generate(m, &CleaningParamsConfig { sc_pdf, ..CleaningParamsConfig::default() });
+    CleaningSetup::new(params.costs, params.sc_probs)
+}
+
+/// The paper's default query parameters: `k = 15`, PT-k threshold `0.1`.
+pub const DEFAULT_K: usize = 15;
+
+/// Default PT-k probability threshold used in the evaluation.
+pub const DEFAULT_THRESHOLD: f64 = 0.1;
+
+/// Default cleaning budget used in the evaluation.
+pub const DEFAULT_BUDGET: u64 = 100;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_datasets_have_the_documented_shape() {
+        let syn = default_synthetic(Scale::Quick).unwrap();
+        assert_eq!(syn.num_x_tuples(), 500);
+        assert_eq!(syn.len(), 5_000);
+
+        let mov = mov_dataset(Scale::Quick).unwrap();
+        assert_eq!(mov.num_x_tuples(), 500);
+        let avg = mov.len() as f64 / mov.num_x_tuples() as f64;
+        assert!((avg - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn sized_synthetic_matches_request() {
+        let db = synthetic_with_tuples(1_000).unwrap();
+        assert_eq!(db.len(), 1_000);
+    }
+
+    #[test]
+    fn cleaning_setup_covers_every_x_tuple() {
+        let db = default_synthetic(Scale::Quick).unwrap();
+        let setup = default_cleaning_setup(db.num_x_tuples()).unwrap();
+        assert_eq!(setup.len(), db.num_x_tuples());
+        assert!(setup.costs().iter().all(|&c| (1..=10).contains(&c)));
+    }
+
+    #[test]
+    fn pdf_variants_generate() {
+        let g10 = synthetic_with_pdf(Scale::Quick, UncertaintyPdf::Gaussian { sigma: 10.0 }).unwrap();
+        let uni = synthetic_with_pdf(Scale::Quick, UncertaintyPdf::Uniform).unwrap();
+        assert_eq!(g10.len(), uni.len());
+    }
+}

@@ -1,0 +1,91 @@
+//! # pdb-experiments — the evaluation harness
+//!
+//! One driver per figure of the paper's evaluation section (Section VI).
+//! Every driver returns an [`ExperimentResult`] holding the same series the
+//! paper plots, renderable as a text table or CSV.  Experiments accept a
+//! [`Scale`]: `Quick` runs a scaled-down configuration in seconds (used by
+//! the integration tests and the default CLI invocation), `Paper` uses the
+//! paper's parameters.
+//!
+//! | id | paper figure | driver |
+//! |----|--------------|--------|
+//! | `fig2-3` | Figs. 2–3 (udb1/udb2 pw-results) | [`quality_exp::fig2_3`] |
+//! | `fig4a`–`fig4f` | Fig. 4 (quality & quality-computation time) | [`quality_exp`] |
+//! | `fig5a`–`fig5d` | Fig. 5 (query/quality computation sharing) | [`sharing_exp`] |
+//! | `fig6a`–`fig6g` | Fig. 6 (cleaning effectiveness & efficiency) | [`cleaning_exp`] |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cleaning_exp;
+pub mod datasets;
+pub mod quality_exp;
+pub mod report;
+pub mod scale;
+pub mod sharing_exp;
+
+pub use report::{ExperimentResult, Series};
+pub use scale::Scale;
+
+use pdb_core::{DbError, Result};
+
+/// All experiment identifiers, in the order they appear in the paper.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "fig2-3", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig5a", "fig5b", "fig5c",
+    "fig5d", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig6g",
+];
+
+/// Run one experiment by its identifier (see [`ALL_EXPERIMENTS`]).
+pub fn run(id: &str, scale: Scale) -> Result<ExperimentResult> {
+    match id {
+        "fig2-3" | "fig2" | "fig3" => quality_exp::fig2_3(scale),
+        "fig4a" => quality_exp::fig4a(scale),
+        "fig4b" => quality_exp::fig4b(scale),
+        "fig4c" => quality_exp::fig4c(scale),
+        "fig4d" => quality_exp::fig4d(scale),
+        "fig4e" => quality_exp::fig4e(scale),
+        "fig4f" => quality_exp::fig4f(scale),
+        "fig5a" => sharing_exp::fig5a(scale),
+        "fig5b" => sharing_exp::fig5b(scale),
+        "fig5c" => sharing_exp::fig5c(scale),
+        "fig5d" => sharing_exp::fig5d(scale),
+        "fig6a" => cleaning_exp::fig6a(scale),
+        "fig6b" => cleaning_exp::fig6b(scale),
+        "fig6c" => cleaning_exp::fig6c(scale),
+        "fig6d" => cleaning_exp::fig6d(scale),
+        "fig6e" => cleaning_exp::fig6e(scale),
+        "fig6f" => cleaning_exp::fig6f(scale),
+        "fig6g" => cleaning_exp::fig6g(scale),
+        other => Err(DbError::invalid_parameter(format!(
+            "unknown experiment {other:?}; known ids: {}",
+            ALL_EXPERIMENTS.join(", ")
+        ))),
+    }
+}
+
+/// Run every experiment at the given scale.
+pub fn run_all(scale: Scale) -> Result<Vec<ExperimentResult>> {
+    ALL_EXPERIMENTS.iter().map(|id| run(id, scale)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_experiment_is_runnable_by_id() {
+        // Just dispatch checking: unknown ids error, aliases resolve.
+        assert!(run("not-an-experiment", Scale::Quick).is_err());
+        let r = run("fig2", Scale::Quick).unwrap();
+        assert_eq!(r.id, "fig2-3");
+    }
+
+    #[test]
+    fn experiment_ids_are_unique() {
+        let mut ids = ALL_EXPERIMENTS.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ALL_EXPERIMENTS.len());
+        assert_eq!(ALL_EXPERIMENTS.len(), 18);
+    }
+}

@@ -1,0 +1,316 @@
+//! Experiments on quality scores and quality-computation time
+//! (Figures 2/3 and 4(a)–4(f) of the paper).
+
+use crate::datasets;
+use crate::report::{ExperimentResult, Series};
+use crate::scale::{time_ms, Scale};
+use pdb_core::{RankedDatabase, Result, ScoreRanking};
+use pdb_gen::synthetic::UncertaintyPdf;
+use pdb_quality::{
+    pw_result_distribution, quality_pw, quality_pwr_bounded, quality_tp, pwr_result_distribution,
+};
+
+/// Maximum possible-world count the PW baseline is allowed to enumerate.
+const PW_WORLD_LIMIT: u128 = 1 << 22;
+
+/// Maximum number of pw-results PWR may enumerate before a data point is
+/// reported as "did not finish" (mirrors the paper's observation that PWR
+/// becomes infeasible for large databases / large k).
+fn pwr_result_limit(scale: Scale) -> u64 {
+    scale.pick(2_000_000, 20_000_000)
+}
+
+/// Figures 2 and 3: the pw-result distributions of the running examples
+/// `udb1` and `udb2` for a top-2 query, whose qualities are −2.55 and
+/// −1.85.
+pub fn fig2_3(_scale: Scale) -> Result<ExperimentResult> {
+    let mut result = ExperimentResult::new(
+        "fig2-3",
+        "pw-result distributions of udb1/udb2 (PT-2 query, Tables I & II)",
+        "pw-result rank (by probability)",
+        "probability",
+    );
+    for (name, db) in [
+        ("udb1", pdb_core::examples::udb1().rank_by(&ScoreRanking)),
+        ("udb2", pdb_core::examples::udb2().rank_by(&ScoreRanking)),
+    ] {
+        let dist = pwr_result_distribution(&db, 2)?;
+        let quality = dist.quality();
+        let points = dist
+            .results
+            .iter()
+            .enumerate()
+            .map(|(i, r)| ((i + 1) as f64, r.prob))
+            .collect();
+        result.push_series(Series::new(name, points));
+        result.push_note(format!(
+            "{name}: {} pw-results, quality = {quality:.4} (paper: {})",
+            dist.len(),
+            if name == "udb1" { "-2.55, 7 results" } else { "-1.85, 4 results" }
+        ));
+    }
+    Ok(result)
+}
+
+/// Figure 4(a): PWS-quality vs `k` on the default synthetic dataset.
+pub fn fig4a(scale: Scale) -> Result<ExperimentResult> {
+    let db = datasets::default_synthetic(scale)?;
+    quality_vs_k("fig4a", "quality vs k (synthetic)", &db, scale)
+}
+
+/// Figure 4(c): PWS-quality vs `k` on the MOV dataset.
+pub fn fig4c(scale: Scale) -> Result<ExperimentResult> {
+    let db = datasets::mov_dataset(scale)?;
+    quality_vs_k("fig4c", "quality vs k (MOV)", &db, scale)
+}
+
+fn quality_vs_k(
+    id: &str,
+    title: &str,
+    db: &RankedDatabase,
+    _scale: Scale,
+) -> Result<ExperimentResult> {
+    let ks = [1usize, 5, 10, 15, 20, 25, 30];
+    let mut result = ExperimentResult::new(id, title, "k", "PWS-quality S");
+    let mut points = Vec::new();
+    for &k in &ks {
+        points.push((k as f64, quality_tp(db, k)?));
+    }
+    result.push_series(Series::new("S", points));
+    result.push_note(format!("{} x-tuples, {} tuples", db.num_x_tuples(), db.len()));
+    Ok(result)
+}
+
+/// Figure 4(b): PWS-quality under different uncertainty pdfs
+/// (G10/G30/G50/G100/uniform) at the default `k`.
+pub fn fig4b(scale: Scale) -> Result<ExperimentResult> {
+    let pdfs = [
+        UncertaintyPdf::Gaussian { sigma: 10.0 },
+        UncertaintyPdf::Gaussian { sigma: 30.0 },
+        UncertaintyPdf::Gaussian { sigma: 50.0 },
+        UncertaintyPdf::Gaussian { sigma: 100.0 },
+        UncertaintyPdf::Uniform,
+    ];
+    let mut result = ExperimentResult::new(
+        "fig4b",
+        "quality vs uncertainty pdf (synthetic)",
+        "pdf index (1=G10, 2=G30, 3=G50, 4=G100, 5=Uniform)",
+        "PWS-quality S",
+    );
+    let mut points = Vec::new();
+    for (i, pdf) in pdfs.iter().enumerate() {
+        let db = datasets::synthetic_with_pdf(scale, *pdf)?;
+        let q = quality_tp(&db, datasets::DEFAULT_K)?;
+        points.push(((i + 1) as f64, q));
+        result.push_note(format!("{} -> quality {q:.3}", pdf.label()));
+    }
+    result.push_series(Series::new("S", points));
+    Ok(result)
+}
+
+/// Figure 4(d): quality-computation time of PW, PWR and TP vs database
+/// size, for `k = 5` and small databases (the only regime where PW is
+/// feasible at all).
+pub fn fig4d(scale: Scale) -> Result<ExperimentResult> {
+    let sizes: Vec<usize> = scale.pick(
+        vec![10, 20, 30, 40, 50, 60, 100, 200, 500],
+        vec![10, 20, 30, 40, 50, 60, 100, 500, 1_000, 5_000, 10_000],
+    );
+    let k = 5;
+    let mut result = ExperimentResult::new(
+        "fig4d",
+        "quality computation time vs database size (k = 5)",
+        "database size (tuples)",
+        "time (ms)",
+    );
+    let mut pw_points = Vec::new();
+    let mut pwr_points = Vec::new();
+    let mut tp_points = Vec::new();
+    for &size in &sizes {
+        let db = datasets::synthetic_with_tuples(size)?;
+        let x = size as f64;
+        if db.world_count() <= PW_WORLD_LIMIT {
+            let (q, ms) = time_ms(|| quality_pw(&db, k));
+            q?;
+            pw_points.push((x, ms));
+        }
+        let limit = pwr_result_limit(scale);
+        let (q, ms) = time_ms(|| quality_pwr_bounded(&db, k, limit));
+        if q?.is_some() {
+            pwr_points.push((x, ms));
+        } else {
+            result.push_note(format!("PWR exceeded {limit} pw-results at size {size}; skipped"));
+        }
+        let (q, ms) = time_ms(|| quality_tp(&db, k));
+        q?;
+        tp_points.push((x, ms));
+    }
+    result.push_note(format!(
+        "PW only run where the possible-world count is at most {PW_WORLD_LIMIT}"
+    ));
+    result.push_series(Series::new("PW", pw_points));
+    result.push_series(Series::new("PWR", pwr_points));
+    result.push_series(Series::new("TP", tp_points));
+    Ok(result)
+}
+
+/// Figure 4(e): quality-computation time of PWR and TP vs database size,
+/// at the default `k = 15` and larger databases.
+pub fn fig4e(scale: Scale) -> Result<ExperimentResult> {
+    let sizes: Vec<usize> = scale.pick(
+        vec![1_000, 2_000, 5_000, 10_000, 20_000],
+        vec![1_000, 10_000, 50_000, 100_000, 500_000, 1_000_000],
+    );
+    let k = datasets::DEFAULT_K;
+    let mut result = ExperimentResult::new(
+        "fig4e",
+        "quality computation time vs database size (k = 15)",
+        "database size (tuples)",
+        "time (ms)",
+    );
+    let mut pwr_points = Vec::new();
+    let mut tp_points = Vec::new();
+    let limit = pwr_result_limit(scale);
+    for &size in &sizes {
+        let db = datasets::synthetic_with_tuples(size)?;
+        let x = size as f64;
+        let (q, ms) = time_ms(|| quality_pwr_bounded(&db, k, limit));
+        if q?.is_some() {
+            pwr_points.push((x, ms));
+        } else {
+            result.push_note(format!("PWR exceeded {limit} pw-results at size {size}; skipped"));
+        }
+        let (q, ms) = time_ms(|| quality_tp(&db, k));
+        q?;
+        tp_points.push((x, ms));
+    }
+    result.push_series(Series::new("PWR", pwr_points));
+    result.push_series(Series::new("TP", tp_points));
+    Ok(result)
+}
+
+/// Figure 4(f): quality-computation time of PWR and TP vs `k` on the
+/// default synthetic dataset.
+pub fn fig4f(scale: Scale) -> Result<ExperimentResult> {
+    let db = datasets::default_synthetic(scale)?;
+    let ks: Vec<usize> = scale.pick(
+        vec![1, 2, 5, 10, 20, 50, 100],
+        vec![1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000],
+    );
+    let mut result = ExperimentResult::new(
+        "fig4f",
+        "quality computation time vs k (synthetic)",
+        "k",
+        "time (ms)",
+    );
+    let mut pwr_points = Vec::new();
+    let mut tp_points = Vec::new();
+    let limit = pwr_result_limit(scale);
+    for &k in &ks {
+        let x = k as f64;
+        let (q, ms) = time_ms(|| quality_pwr_bounded(&db, k, limit));
+        if q?.is_some() {
+            pwr_points.push((x, ms));
+        } else {
+            result.push_note(format!("PWR exceeded {limit} pw-results at k = {k}; skipped"));
+        }
+        let (q, ms) = time_ms(|| quality_tp(&db, k));
+        q?;
+        tp_points.push((x, ms));
+    }
+    result.push_note(format!("{} x-tuples, {} tuples", db.num_x_tuples(), db.len()));
+    result.push_series(Series::new("PWR", pwr_points));
+    result.push_series(Series::new("TP", tp_points));
+    Ok(result)
+}
+
+/// Sanity helper used in tests: Figure 2/3's pw-result distributions agree
+/// with the PW baseline.
+pub fn fig2_3_cross_check() -> Result<bool> {
+    let db1 = pdb_core::examples::udb1().rank_by(&ScoreRanking);
+    let pw = pw_result_distribution(&db1, 2)?;
+    let pwr = pwr_result_distribution(&db1, 2)?;
+    Ok(pw.len() == pwr.len() && (pw.quality() - pwr.quality()).abs() < 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_3_matches_the_paper() {
+        let r = fig2_3(Scale::Quick).unwrap();
+        assert_eq!(r.series.len(), 2);
+        let udb1 = r.series_named("udb1").unwrap();
+        let udb2 = r.series_named("udb2").unwrap();
+        assert_eq!(udb1.points.len(), 7);
+        assert_eq!(udb2.points.len(), 4);
+        // Probabilities sum to one in both distributions.
+        for s in [udb1, udb2] {
+            let total: f64 = s.points.iter().map(|(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+        assert!(fig2_3_cross_check().unwrap());
+    }
+
+    #[test]
+    fn fig4a_quality_decreases_with_k() {
+        let r = fig4a(Scale::Quick).unwrap();
+        let s = r.series_named("S").unwrap();
+        assert_eq!(s.points.len(), 7);
+        for w in s.points.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-9, "quality must not increase with k: {w:?}");
+        }
+        assert!(s.points.iter().all(|&(_, q)| q <= 0.0));
+    }
+
+    #[test]
+    fn fig4b_orders_pdfs_by_concentration() {
+        let r = fig4b(Scale::Quick).unwrap();
+        let s = r.series_named("S").unwrap();
+        assert_eq!(s.points.len(), 5);
+        let q = |i: usize| s.points[i].1;
+        // G10 (most concentrated) is best; the uniform pdf is worst.
+        assert!(q(0) > q(3), "G10 should beat G100");
+        assert!(q(4) <= q(3) + 1e-6, "uniform should not beat G100");
+        assert!(q(4) <= q(0), "uniform should not beat G10");
+    }
+
+    #[test]
+    fn fig4c_mov_is_less_ambiguous_than_synthetic() {
+        let syn = fig4a(Scale::Quick).unwrap();
+        let mov = fig4c(Scale::Quick).unwrap();
+        let at_k15 = |r: &ExperimentResult| r.series_named("S").unwrap().y_at(15.0).unwrap();
+        assert!(
+            at_k15(&mov) > at_k15(&syn),
+            "MOV (2 alternatives/x-tuple) should score higher quality than the synthetic data"
+        );
+    }
+
+    #[test]
+    fn fig4d_tp_beats_pwr_beats_pw() {
+        let r = fig4d(Scale::Quick).unwrap();
+        // PW only covers the smallest databases.
+        let pw = r.series_named("PW").unwrap();
+        let pwr = r.series_named("PWR").unwrap();
+        let tp = r.series_named("TP").unwrap();
+        assert!(!pw.points.is_empty());
+        assert!(pw.points.len() < tp.points.len());
+        assert!(!pwr.points.is_empty());
+        assert_eq!(tp.points.len(), 9);
+        // At the largest size PW covers, it is the slowest of the three.
+        let (x_last, pw_time) = *pw.points.last().unwrap();
+        if let (Some(pwr_time), Some(tp_time)) = (pwr.y_at(x_last), tp.y_at(x_last)) {
+            assert!(pw_time >= pwr_time * 0.5, "PW should not be much faster than PWR");
+            assert!(pw_time >= tp_time, "PW should not beat TP");
+        }
+    }
+
+    #[test]
+    fn fig4e_and_4f_always_report_tp() {
+        let r = fig4e(Scale::Quick).unwrap();
+        assert_eq!(r.series_named("TP").unwrap().points.len(), 5);
+        let r = fig4f(Scale::Quick).unwrap();
+        assert_eq!(r.series_named("TP").unwrap().points.len(), 7);
+    }
+}

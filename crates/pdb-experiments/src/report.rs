@@ -1,0 +1,212 @@
+//! Experiment output: named series, tables and CSV.
+//!
+//! Every experiment of the harness produces an [`ExperimentResult`]: a set
+//! of named series over a common x-axis, mirroring one figure of the
+//! paper's evaluation section.  Results can be rendered as an aligned text
+//! table (for the CLI and EXPERIMENTS.md) or as CSV (for external
+//! plotting).
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One line of a figure: a named sequence of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Name of the series (e.g. `"TP"`, `"Greedy"`).
+    pub name: String,
+    /// `(x, y)` points in x order.  A missing measurement (e.g. an
+    /// algorithm that was skipped because it would take too long) simply
+    /// has no point at that x.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Create a series from points.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self { name: name.into(), points }
+    }
+
+    /// The y value measured at the given x, if any.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|(px, _)| (px - x).abs() < 1e-9).map(|(_, y)| *y)
+    }
+}
+
+/// The reproduction of one figure (or table) of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment identifier (`fig4a`, `fig6c`, …) as listed in DESIGN.md.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Label of the x axis.
+    pub x_label: String,
+    /// Label of the y axis.
+    pub y_label: String,
+    /// The measured series.
+    pub series: Vec<Series>,
+    /// Free-form notes (dataset summary, skipped configurations, …).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Create an empty result with the given metadata.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn push_series(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Add a note.
+    pub fn push_note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Find a series by name.
+    pub fn series_named(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// All distinct x values across the series, in ascending order.
+    pub fn x_values(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("x values are finite"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        xs
+    }
+
+    /// Render as an aligned text table (rows = x values, columns = series).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        for note in &self.notes {
+            let _ = writeln!(out, "# note: {note}");
+        }
+        let xs = self.x_values();
+        let mut header = vec![self.x_label.clone()];
+        header.extend(self.series.iter().map(|s| s.name.clone()));
+        let mut rows: Vec<Vec<String>> = vec![header];
+        for &x in &xs {
+            let mut row = vec![format_num(x)];
+            for s in &self.series {
+                row.push(s.y_at(x).map(format_num).unwrap_or_else(|| "-".into()));
+            }
+            rows.push(row);
+        }
+        let widths: Vec<usize> = (0..rows[0].len())
+            .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        for row in rows {
+            let line: Vec<String> =
+                row.iter().zip(&widths).map(|(cell, w)| format!("{cell:>w$}", w = w)).collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        let _ = writeln!(out, "# y axis: {}", self.y_label);
+        out
+    }
+
+    /// Render as CSV (first column = x, one column per series).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut header = vec![self.x_label.clone()];
+        header.extend(self.series.iter().map(|s| s.name.clone()));
+        let _ = writeln!(out, "{}", header.join(","));
+        for x in self.x_values() {
+            let mut row = vec![format!("{x}")];
+            for s in &self.series {
+                row.push(s.y_at(x).map(|y| format!("{y}")).unwrap_or_default());
+            }
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentResult {
+        let mut r = ExperimentResult::new("figX", "demo", "k", "quality");
+        r.push_series(Series::new("TP", vec![(1.0, -1.5), (2.0, -2.0)]));
+        r.push_series(Series::new("PW", vec![(1.0, -1.5)]));
+        r.push_note("synthetic dataset, 100 tuples");
+        r
+    }
+
+    #[test]
+    fn x_values_are_merged_and_sorted() {
+        let r = sample();
+        assert_eq!(r.x_values(), vec![1.0, 2.0]);
+        assert_eq!(r.series_named("PW").unwrap().y_at(1.0), Some(-1.5));
+        assert_eq!(r.series_named("PW").unwrap().y_at(2.0), None);
+        assert!(r.series_named("nope").is_none());
+    }
+
+    #[test]
+    fn table_contains_headers_missing_cells_and_notes() {
+        let t = sample().to_table();
+        assert!(t.contains("figX"));
+        assert!(t.contains("note: synthetic"));
+        assert!(t.contains("TP"));
+        assert!(t.contains("PW"));
+        assert!(t.contains('-'), "missing cell rendered as a dash");
+        assert!(t.contains("y axis: quality"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_x() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "k,TP,PW");
+        assert!(lines[2].starts_with('2'));
+        assert!(lines[2].ends_with(','), "missing PW measurement at x=2");
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_num(0.0), "0");
+        assert_eq!(format_num(15.0), "15");
+        assert_eq!(format_num(-2.5504), "-2.5504");
+        assert!(format_num(1.5e7).contains('e'));
+        assert!(format_num(2.0e-5).contains('e'));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,183 @@
+//! Experiments on sharing computation between query evaluation and quality
+//! computation (Figure 5 of the paper, Section IV-C).
+
+use crate::datasets;
+use crate::report::{ExperimentResult, Series};
+use crate::scale::{time_ms, Scale};
+use pdb_core::{RankedDatabase, Result};
+use pdb_engine::psr::rank_probabilities;
+use pdb_engine::queries::{global_topk, pt_k, u_k_ranks};
+use pdb_quality::{quality_tp, quality_tp_with, SharedEvaluation};
+
+fn sweep_ks(scale: Scale) -> Vec<usize> {
+    scale.pick(vec![5, 15, 30, 50, 80, 100], vec![1, 5, 15, 30, 50, 80, 100])
+}
+
+/// Figure 5(a): total time to obtain a PT-k answer *and* its quality score,
+/// with and without sharing the PSR run.
+pub fn fig5a(scale: Scale) -> Result<ExperimentResult> {
+    let db = datasets::default_synthetic(scale)?;
+    let mut result = ExperimentResult::new(
+        "fig5a",
+        "query + quality evaluation time, sharing vs non-sharing (PT-k)",
+        "k",
+        "time (ms)",
+    );
+    let mut sharing = Vec::new();
+    let mut non_sharing = Vec::new();
+    for &k in &sweep_ks(scale) {
+        let x = k as f64;
+        // Non-sharing: the query evaluates PSR, then quality evaluation
+        // re-runs PSR from scratch.
+        let (res, ms) = time_ms(|| -> Result<()> {
+            let rp = rank_probabilities(&db, k)?;
+            let _answer = pt_k(&db, &rp, datasets::DEFAULT_THRESHOLD)?;
+            let _quality = quality_tp(&db, k)?;
+            Ok(())
+        });
+        res?;
+        non_sharing.push((x, ms));
+
+        // Sharing: one PSR run feeds both the answer and the quality score.
+        let (res, ms) = time_ms(|| -> Result<()> {
+            let shared = SharedEvaluation::new(&db, k)?;
+            let _answer = shared.pt_k(datasets::DEFAULT_THRESHOLD)?;
+            let _quality = shared.quality();
+            Ok(())
+        });
+        res?;
+        sharing.push((x, ms));
+    }
+    result.push_note(format!("{} x-tuples, {} tuples", db.num_x_tuples(), db.len()));
+    result.push_series(Series::new("non-sharing", non_sharing));
+    result.push_series(Series::new("sharing", sharing));
+    Ok(result)
+}
+
+/// Figure 5(b): PT-k evaluation time vs the *extra* time needed to compute
+/// the quality from the shared rank probabilities (synthetic data).
+pub fn fig5b(scale: Scale) -> Result<ExperimentResult> {
+    let db = datasets::default_synthetic(scale)?;
+    query_vs_quality_breakdown("fig5b", "PT-k time vs extra quality time (synthetic)", &db, scale)
+}
+
+/// Figure 5(d): the same breakdown on the MOV dataset.
+pub fn fig5d(scale: Scale) -> Result<ExperimentResult> {
+    let db = datasets::mov_dataset(scale)?;
+    query_vs_quality_breakdown("fig5d", "PT-k time vs extra quality time (MOV)", &db, scale)
+}
+
+fn query_vs_quality_breakdown(
+    id: &str,
+    title: &str,
+    db: &RankedDatabase,
+    scale: Scale,
+) -> Result<ExperimentResult> {
+    let mut result = ExperimentResult::new(id, title, "k", "time (ms)");
+    let mut query_points = Vec::new();
+    let mut quality_points = Vec::new();
+    for &k in &sweep_ks(scale) {
+        let x = k as f64;
+        // Query evaluation: PSR + PT-k selection.
+        let (rp, query_ms) = time_ms(|| rank_probabilities(db, k));
+        let rp = rp?;
+        let (answer, select_ms) = time_ms(|| pt_k(db, &rp, datasets::DEFAULT_THRESHOLD));
+        answer?;
+        query_points.push((x, query_ms + select_ms));
+        // Quality evaluation reusing the shared rank probabilities.
+        let (_q, quality_ms) = time_ms(|| quality_tp_with(db, &rp));
+        quality_points.push((x, quality_ms));
+    }
+    result.push_note(format!("{} x-tuples, {} tuples", db.num_x_tuples(), db.len()));
+    result.push_series(Series::new("PT-k", query_points));
+    result.push_series(Series::new("Quality", quality_points));
+    Ok(result)
+}
+
+/// Figure 5(c): evaluation time of the three query semantics compared with
+/// the extra quality-computation time.
+pub fn fig5c(scale: Scale) -> Result<ExperimentResult> {
+    let db = datasets::default_synthetic(scale)?;
+    let mut result = ExperimentResult::new(
+        "fig5c",
+        "query evaluation time per semantics vs extra quality time",
+        "k",
+        "time (ms)",
+    );
+    let mut ukranks_points = Vec::new();
+    let mut global_points = Vec::new();
+    let mut ptk_points = Vec::new();
+    let mut quality_points = Vec::new();
+    for &k in &sweep_ks(scale) {
+        let x = k as f64;
+        let (rp, psr_ms) = time_ms(|| rank_probabilities(&db, k));
+        let rp = rp?;
+        let (_a, ms) = time_ms(|| u_k_ranks(&db, &rp));
+        ukranks_points.push((x, psr_ms + ms));
+        let (_a, ms) = time_ms(|| global_topk(&db, &rp));
+        global_points.push((x, psr_ms + ms));
+        let (a, ms) = time_ms(|| pt_k(&db, &rp, datasets::DEFAULT_THRESHOLD));
+        a?;
+        ptk_points.push((x, psr_ms + ms));
+        let (_q, ms) = time_ms(|| quality_tp_with(&db, &rp));
+        quality_points.push((x, ms));
+    }
+    result.push_note(format!("{} x-tuples, {} tuples", db.num_x_tuples(), db.len()));
+    result.push_series(Series::new("U-kRanks", ukranks_points));
+    result.push_series(Series::new("Global-topk", global_points));
+    result.push_series(Series::new("PT-k", ptk_points));
+    result.push_series(Series::new("Quality", quality_points));
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5a_sharing_is_not_slower_on_average() {
+        let r = fig5a(Scale::Quick).unwrap();
+        let sharing = r.series_named("sharing").unwrap();
+        let non_sharing = r.series_named("non-sharing").unwrap();
+        assert_eq!(sharing.points.len(), non_sharing.points.len());
+        let total = |s: &Series| s.points.iter().map(|(_, y)| y).sum::<f64>();
+        // Sharing skips one full PSR run per k, so the sweep total must be
+        // smaller (allow generous slack for timer noise).
+        assert!(
+            total(sharing) < total(non_sharing) * 1.05,
+            "sharing {} vs non-sharing {}",
+            total(sharing),
+            total(non_sharing)
+        );
+    }
+
+    #[test]
+    fn fig5b_quality_overhead_is_a_small_fraction() {
+        let r = fig5b(Scale::Quick).unwrap();
+        let query = r.series_named("PT-k").unwrap();
+        let quality = r.series_named("Quality").unwrap();
+        let query_total: f64 = query.points.iter().map(|(_, y)| y).sum();
+        let quality_total: f64 = quality.points.iter().map(|(_, y)| y).sum();
+        // The paper reports the quality overhead dropping to ~6% of the
+        // query time; we only require it to stay below the query time.
+        assert!(
+            quality_total < query_total,
+            "quality overhead {quality_total} should be below query time {query_total}"
+        );
+    }
+
+    #[test]
+    fn fig5c_has_all_four_series() {
+        let r = fig5c(Scale::Quick).unwrap();
+        for name in ["U-kRanks", "Global-topk", "PT-k", "Quality"] {
+            assert!(!r.series_named(name).unwrap().points.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn fig5d_runs_on_mov() {
+        let r = fig5d(Scale::Quick).unwrap();
+        assert_eq!(r.series.len(), 2);
+        assert!(r.notes[0].contains("x-tuples"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Generators for the cleaning-experiment parameters: per-x-tuple cleaning
+//! costs and sc-probabilities.
+//!
+//! The paper's setup (Section VI, "Cleaning Problem"): every x-tuple gets a
+//! cleaning cost drawn uniformly from `{1, …, 10}` and an sc-probability
+//! drawn from an *sc-pdf* — uniform over `[0, 1]` by default, with clipped
+//! normal variants (Figure 6(b)) and shifted uniform variants `[x, 1]`
+//! (Figure 6(c)) also evaluated.
+
+use crate::dist::sample_normal_clipped;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Distribution the per-x-tuple sc-probabilities are drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScPdf {
+    /// Uniform over `[lo, hi]` (the paper's default is `[0, 1]`; Figure 6(c)
+    /// uses `[x, 1]`).
+    Uniform {
+        /// Lower bound of the sc-probability.
+        lo: f64,
+        /// Upper bound of the sc-probability.
+        hi: f64,
+    },
+    /// Normal with the given mean and standard deviation, clipped to
+    /// `[0, 1]` (Figure 6(b) uses mean 0.5 and σ ∈ {0.13, 0.167, 0.3}).
+    Normal {
+        /// Mean of the sc-probability distribution.
+        mean: f64,
+        /// Standard deviation before clipping.
+        sigma: f64,
+    },
+}
+
+impl ScPdf {
+    /// The paper's default sc-pdf: uniform over `[0, 1]`.
+    pub fn paper_default() -> Self {
+        ScPdf::Uniform { lo: 0.0, hi: 1.0 }
+    }
+
+    /// Display label used in the harness output (`uniform`, `normal(0.3)`,
+    /// `uniform[0.7,1]`, …).
+    pub fn label(&self) -> String {
+        match self {
+            ScPdf::Uniform { lo, hi } if *lo == 0.0 && *hi == 1.0 => "uniform".to_string(),
+            ScPdf::Uniform { lo, hi } => format!("uniform[{lo},{hi}]"),
+            ScPdf::Normal { sigma, .. } => format!("normal({sigma})"),
+        }
+    }
+
+    /// Mean of the distribution (before clipping, for the normal variants).
+    pub fn mean(&self) -> f64 {
+        match self {
+            ScPdf::Uniform { lo, hi } => (lo + hi) / 2.0,
+            ScPdf::Normal { mean, .. } => *mean,
+        }
+    }
+
+    /// Draw one sc-probability.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            ScPdf::Uniform { lo, hi } => {
+                if (hi - lo).abs() < f64::EPSILON {
+                    *lo
+                } else {
+                    rng.gen_range(*lo..*hi)
+                }
+            }
+            ScPdf::Normal { mean, sigma } => sample_normal_clipped(rng, *mean, *sigma, 0.0, 1.0),
+        }
+    }
+}
+
+/// Configuration of the cleaning-parameter generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CleaningParamsConfig {
+    /// Cleaning costs are drawn uniformly from `cost_range.0..=cost_range.1`
+    /// (the paper uses `[1, 10]`).
+    pub cost_range: (u64, u64),
+    /// The sc-probability distribution.
+    pub sc_pdf: ScPdf,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CleaningParamsConfig {
+    fn default() -> Self {
+        Self { cost_range: (1, 10), sc_pdf: ScPdf::paper_default(), seed: 0xC1EA }
+    }
+}
+
+/// Per-x-tuple cleaning costs and sc-probabilities, as raw vectors (the
+/// `pdb-clean` crate assembles them into a `CleaningSetup`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CleaningParams {
+    /// Per-x-tuple cleaning cost.
+    pub costs: Vec<u64>,
+    /// Per-x-tuple sc-probability.
+    pub sc_probs: Vec<f64>,
+}
+
+/// Generate cleaning costs and sc-probabilities for `num_x_tuples` entities.
+pub fn generate(num_x_tuples: usize, config: &CleaningParamsConfig) -> CleaningParams {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let (lo, hi) = config.cost_range;
+    let costs = (0..num_x_tuples).map(|_| rng.gen_range(lo..=hi)).collect();
+    let sc_probs = (0..num_x_tuples).map(|_| config.sc_pdf.sample(&mut rng)).collect();
+    CleaningParams { costs, sc_probs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_paper() {
+        let c = CleaningParamsConfig::default();
+        assert_eq!(c.cost_range, (1, 10));
+        assert_eq!(c.sc_pdf, ScPdf::Uniform { lo: 0.0, hi: 1.0 });
+    }
+
+    #[test]
+    fn generated_values_stay_in_range() {
+        let params = generate(1_000, &CleaningParamsConfig::default());
+        assert_eq!(params.costs.len(), 1_000);
+        assert_eq!(params.sc_probs.len(), 1_000);
+        assert!(params.costs.iter().all(|&c| (1..=10).contains(&c)));
+        assert!(params.sc_probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn normal_sc_pdf_clusters_around_the_mean() {
+        let config = CleaningParamsConfig {
+            sc_pdf: ScPdf::Normal { mean: 0.5, sigma: 0.13 },
+            ..CleaningParamsConfig::default()
+        };
+        let params = generate(5_000, &config);
+        let mean: f64 = params.sc_probs.iter().sum::<f64>() / params.sc_probs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!(params.sc_probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn shifted_uniform_raises_the_average() {
+        let config = CleaningParamsConfig {
+            sc_pdf: ScPdf::Uniform { lo: 0.8, hi: 1.0 },
+            ..CleaningParamsConfig::default()
+        };
+        let params = generate(2_000, &config);
+        let mean: f64 = params.sc_probs.iter().sum::<f64>() / params.sc_probs.len() as f64;
+        assert!((mean - 0.9).abs() < 0.02);
+        // A degenerate range samples the constant.
+        let one = ScPdf::Uniform { lo: 1.0, hi: 1.0 };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(one.sample(&mut rng), 1.0);
+    }
+
+    #[test]
+    fn labels_and_means() {
+        assert_eq!(ScPdf::paper_default().label(), "uniform");
+        assert_eq!(ScPdf::Uniform { lo: 0.7, hi: 1.0 }.label(), "uniform[0.7,1]");
+        assert_eq!(ScPdf::Normal { mean: 0.5, sigma: 0.3 }.label(), "normal(0.3)");
+        assert_eq!(ScPdf::Uniform { lo: 0.5, hi: 1.0 }.mean(), 0.75);
+        assert_eq!(ScPdf::Normal { mean: 0.5, sigma: 0.3 }.mean(), 0.5);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(100, &CleaningParamsConfig::default());
+        let b = generate(100, &CleaningParamsConfig::default());
+        assert_eq!(a, b);
+        let c = generate(100, &CleaningParamsConfig { seed: 7, ..CleaningParamsConfig::default() });
+        assert_ne!(a, c);
+    }
+}

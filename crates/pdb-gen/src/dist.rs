@@ -1,0 +1,115 @@
+//! Small numeric distribution helpers (normal CDF, normal sampling).
+//!
+//! Implemented in-house to keep the dependency set to the crates allowed by
+//! the reproduction brief (`rand` provides uniform variates only; the
+//! Gaussian machinery below replaces `rand_distr`).
+
+use rand::Rng;
+
+/// The error function `erf(x)`, via the Abramowitz & Stegun 7.1.26
+/// rational approximation (absolute error below `1.5e-7`, ample for
+/// building histogram bars).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// CDF of the normal distribution `N(mean, sigma²)`.
+pub fn normal_cdf(x: f64, mean: f64, sigma: f64) -> f64 {
+    debug_assert!(sigma > 0.0);
+    0.5 * (1.0 + erf((x - mean) / (sigma * std::f64::consts::SQRT_2)))
+}
+
+/// Draw one sample from `N(mean, sigma²)` using the Box–Muller transform.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + sigma * z
+}
+
+/// Draw one sample from `N(mean, sigma²)` truncated (by rejection) to
+/// `[lo, hi]`.  Falls back to clamping after a bounded number of rejections
+/// so adversarial parameters cannot loop forever.
+pub fn sample_normal_clipped<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    debug_assert!(lo <= hi);
+    for _ in 0..64 {
+        let x = sample_normal(rng, mean, sigma);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    sample_normal(rng, mean, sigma).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn erf_matches_known_values() {
+        // The A&S 7.1.26 approximation is accurate to ~1.5e-7, not exact.
+        assert!((erf(0.0)).abs() < 1e-6);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_27).abs() < 1e-6);
+        assert!(erf(6.0) > 0.999_999);
+    }
+
+    #[test]
+    fn normal_cdf_is_monotone_and_symmetric() {
+        assert!((normal_cdf(0.0, 0.0, 1.0) - 0.5).abs() < 1e-6);
+        assert!((normal_cdf(1.96, 0.0, 1.0) - 0.975).abs() < 1e-3);
+        let mut prev = 0.0;
+        for i in -40..=40 {
+            let x = i as f64 / 10.0;
+            let c = normal_cdf(x, 0.0, 1.0);
+            assert!(c >= prev);
+            prev = c;
+        }
+        // Scaling: the CDF of N(5, 2²) at 7 equals N(0,1) at 1.
+        assert!((normal_cdf(7.0, 5.0, 2.0) - normal_cdf(1.0, 0.0, 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_moments_are_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng, 10.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "variance {var}");
+    }
+
+    #[test]
+    fn clipped_sampling_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x = sample_normal_clipped(&mut rng, 0.5, 0.3, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&x));
+        }
+        // Extreme parameters still terminate and stay in range.
+        let x = sample_normal_clipped(&mut rng, 100.0, 0.01, 0.0, 1.0);
+        assert!((0.0..=1.0).contains(&x));
+    }
+}

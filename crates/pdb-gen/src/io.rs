@@ -1,0 +1,58 @@
+//! Saving and loading generated datasets.
+//!
+//! Experiments that sweep a parameter while holding the dataset fixed (most
+//! of the paper's figures) benefit from generating once and reloading; this
+//! module provides JSON persistence for ranked databases and generator
+//! configurations.
+
+use pdb_core::{DbError, RankedDatabase, Result};
+use std::fs;
+use std::path::Path;
+
+/// Serialise a ranked database to a JSON file.
+pub fn save_ranked(db: &RankedDatabase, path: &Path) -> Result<()> {
+    let json = serde_json::to_string(db)
+        .map_err(|e| DbError::invalid_parameter(format!("serialisation failed: {e}")))?;
+    fs::write(path, json)
+        .map_err(|e| DbError::invalid_parameter(format!("writing {} failed: {e}", path.display())))
+}
+
+/// Load a ranked database from a JSON file produced by [`save_ranked`].
+pub fn load_ranked(path: &Path) -> Result<RankedDatabase> {
+    let json = fs::read_to_string(path)
+        .map_err(|e| DbError::invalid_parameter(format!("reading {} failed: {e}", path.display())))?;
+    serde_json::from_str(&json)
+        .map_err(|e| DbError::invalid_parameter(format!("parsing {} failed: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate_ranked, SyntheticConfig};
+
+    #[test]
+    fn round_trips_through_json() {
+        let db =
+            generate_ranked(&SyntheticConfig { num_x_tuples: 10, ..SyntheticConfig::default() })
+                .unwrap();
+        let dir = std::env::temp_dir().join("pdb-gen-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        save_ranked(&db, &path).unwrap();
+        let back = load_ranked(&path).unwrap();
+        assert_eq!(db, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_errors_are_reported() {
+        let missing = Path::new("/definitely/not/a/real/path.json");
+        assert!(load_ranked(missing).is_err());
+        assert!(save_ranked(
+            &generate_ranked(&SyntheticConfig { num_x_tuples: 2, ..SyntheticConfig::default() })
+                .unwrap(),
+            missing
+        )
+        .is_err());
+    }
+}

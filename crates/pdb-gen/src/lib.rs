@@ -1,0 +1,34 @@
+//! # pdb-gen — dataset generators for the ICDE'13 evaluation
+//!
+//! The paper's experiments run on two data families, both reproduced here:
+//!
+//! * [`synthetic`] — the synthetic x-tuple datasets (5 000 entities × 10
+//!   histogram bars by default, Gaussian or uniform uncertainty pdfs);
+//! * [`mov`] — a statistically matched stand-in for the Trio/Netflix MOV
+//!   movie-rating dataset (4 999 x-tuples, ~2 alternatives each, ranked by
+//!   normalised `date + rating`).
+//!
+//! [`cleaning_params`] generates the per-x-tuple cleaning costs and
+//! sc-probabilities of the cleaning experiments, [`dist`] holds the small
+//! amount of in-house numerics (normal CDF / sampling), and [`io`] persists
+//! generated datasets as JSON.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cleaning_params;
+pub mod dist;
+pub mod io;
+pub mod mov;
+pub mod synthetic;
+
+pub use cleaning_params::{CleaningParams, CleaningParamsConfig, ScPdf};
+pub use mov::{MovConfig, MovRanking, MovRating};
+pub use synthetic::{SyntheticConfig, UncertaintyPdf};
+
+/// Convenience prelude bringing the most frequently used items into scope.
+pub mod prelude {
+    pub use crate::cleaning_params::{CleaningParams, CleaningParamsConfig, ScPdf};
+    pub use crate::mov::{MovConfig, MovRanking, MovRating};
+    pub use crate::synthetic::{SyntheticConfig, UncertaintyPdf};
+}

@@ -1,0 +1,201 @@
+//! The MOV dataset stand-in.
+//!
+//! The paper evaluates on "a real-world probabilistic dataset \[4\], which
+//! stores movie-viewer ratings from Netflix and synthetic uncertainty of
+//! the actual ratings" (the Trio project's example data).  That download is
+//! no longer available and is not redistributable, so this module
+//! synthesises a dataset with the same *published statistics*, which is all
+//! the evaluation depends on:
+//!
+//! * 4 999 x-tuples, each keyed by `(movie-id, viewer-id)`;
+//! * on average 2 tuples (alternative ratings) per x-tuple;
+//! * attributes `date` (2000-01-01 … 2005-12-31) and `rating` (1 … 5), both
+//!   normalised to `[0, 1]`;
+//! * `confidence` is the existential probability of an alternative;
+//! * the ranking score of a tuple is `date + rating` (both normalised), so
+//!   the top-k query finds recent, highly rated entries.
+//!
+//! See DESIGN.md §5 for why this substitution preserves the paper's
+//! qualitative findings (MOV is less ambiguous than the synthetic data
+//! because its x-tuples have far fewer alternatives).
+
+use pdb_core::{Database, DatabaseBuilder, RankedDatabase, Ranking, Result};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One alternative rating of a (movie, viewer) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MovRating {
+    /// Movie identifier.
+    pub movie_id: u32,
+    /// Viewer identifier.
+    pub viewer_id: u32,
+    /// Rating date, normalised to `[0, 1]` over 2000-01-01 … 2005-12-31.
+    pub date: f64,
+    /// Star rating, normalised to `[0, 1]` (1 star → 0.0, 5 stars → 1.0).
+    pub rating: f64,
+}
+
+impl MovRating {
+    /// The ranking score the paper uses: `date + rating` (both normalised).
+    pub fn score(&self) -> f64 {
+        self.date + self.rating
+    }
+}
+
+/// Ranking function for MOV payloads (`date + rating`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MovRanking;
+
+impl Ranking<MovRating> for MovRanking {
+    fn score(&self, payload: &MovRating) -> f64 {
+        payload.score()
+    }
+}
+
+/// Configuration of the MOV stand-in generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MovConfig {
+    /// Number of (movie, viewer) x-tuples; the real dataset has 4 999.
+    pub num_x_tuples: usize,
+    /// Maximum number of alternative ratings per x-tuple (alternatives are
+    /// drawn from 1..=max so that the mean matches the published "2 tuples
+    /// per x-tuple on average").
+    pub max_alternatives: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MovConfig {
+    fn default() -> Self {
+        Self { num_x_tuples: 4_999, max_alternatives: 3, seed: 0x_4D0F }
+    }
+}
+
+impl MovConfig {
+    /// The configuration matching the paper's published statistics.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// Override the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generate the logical MOV database.
+pub fn generate(config: &MovConfig) -> Result<Database<MovRating>> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut builder = DatabaseBuilder::new();
+    for i in 0..config.num_x_tuples {
+        let movie_id = rng.gen_range(0..5_000u32);
+        let viewer_id = i as u32;
+        // 1..=max alternatives, weighted so the mean is ~2 when max = 3
+        // (probabilities 0.25 / 0.5 / 0.25 as in a binomial-like spread).
+        let alternatives = match config.max_alternatives {
+            1 => 1,
+            2 => rng.gen_range(1..=2),
+            _ => {
+                let u: f64 = rng.gen();
+                if u < 0.25 {
+                    1
+                } else if u < 0.75 {
+                    2
+                } else {
+                    3
+                }
+            }
+        };
+        // Confidence values: random positive weights normalised to sum to 1
+        // (every (movie, viewer) pair has exactly one true rating).
+        let mut weights: Vec<f64> = (0..alternatives).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        // The alternatives represent uncertainty about one event, so their
+        // dates are close together and the ratings differ.
+        let base_date: f64 = rng.gen();
+        let mut xb = builder.x_tuple(format!("m{movie_id}/v{viewer_id}"));
+        for &confidence in &weights {
+            let date = (base_date + rng.gen_range(-0.02..0.02)).clamp(0.0, 1.0);
+            let stars = rng.gen_range(1..=5u8);
+            let rating = MovRating {
+                movie_id,
+                viewer_id,
+                date,
+                rating: f64::from(stars - 1) / 4.0,
+            };
+            xb = xb.tuple(rating, confidence);
+        }
+    }
+    builder.build()
+}
+
+/// Generate the ranked (query-ready) form of the MOV stand-in, ranked by
+/// `date + rating`.
+pub fn generate_ranked(config: &MovConfig) -> Result<RankedDatabase> {
+    generate(config)?.try_rank_by(&MovRanking)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_published_statistics() {
+        let c = MovConfig::paper_default();
+        assert_eq!(c.num_x_tuples, 4_999);
+        let db = generate(&MovConfig { num_x_tuples: 2_000, ..c }).unwrap();
+        assert_eq!(db.num_x_tuples(), 2_000);
+        let avg = db.avg_alternatives();
+        assert!((avg - 2.0).abs() < 0.1, "average alternatives {avg} should be ~2");
+    }
+
+    #[test]
+    fn confidences_sum_to_one_per_x_tuple() {
+        let db = generate(&MovConfig { num_x_tuples: 300, ..MovConfig::default() }).unwrap();
+        for xt in db.x_tuples() {
+            assert!((xt.total_mass() - 1.0).abs() < 1e-9);
+            assert!(!xt.is_empty() && xt.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn attributes_are_normalised() {
+        let db = generate(&MovConfig { num_x_tuples: 200, ..MovConfig::default() }).unwrap();
+        for t in db.tuples() {
+            assert!((0.0..=1.0).contains(&t.payload.date));
+            assert!((0.0..=1.0).contains(&t.payload.rating));
+            assert!((0.0..=2.0).contains(&t.payload.score()));
+        }
+    }
+
+    #[test]
+    fn ranking_is_by_date_plus_rating() {
+        let r = MovRating { movie_id: 0, viewer_id: 0, date: 0.5, rating: 0.75 };
+        assert_eq!(MovRanking.score(&r), 1.25);
+        let db = generate_ranked(&MovConfig { num_x_tuples: 100, ..MovConfig::default() }).unwrap();
+        for w in db.as_slice().windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let c = MovConfig { num_x_tuples: 50, ..MovConfig::default() };
+        assert_eq!(generate(&c).unwrap(), generate(&c).unwrap());
+        assert_ne!(generate(&c.clone().with_seed(1)).unwrap(), generate(&c).unwrap());
+    }
+
+    #[test]
+    fn single_alternative_configuration_is_certain() {
+        let c = MovConfig { num_x_tuples: 20, max_alternatives: 1, ..MovConfig::default() };
+        let db = generate(&c).unwrap();
+        for xt in db.x_tuples() {
+            assert!(xt.is_certain());
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Synthetic dataset generator (Section VI of the paper).
+//!
+//! Following the paper's setup (which in turn follows reference \[16\]):
+//!
+//! * every x-tuple describes one entity with a 1-D attribute `y` drawn from
+//!   the domain `[0, 10 000]`;
+//! * `y` carries an *uncertainty interval* `y.L` whose length is uniform in
+//!   `[60, 100]` and is centred on the (uniformly drawn) mean `μ`;
+//! * the *uncertainty pdf* `y.U` over that interval is either a Gaussian
+//!   `N(μ, σ²)` (default `σ = 100`) or a uniform distribution;
+//! * the pdf is discretised into a fixed number of equal-width histogram
+//!   bars (default 10): each bar becomes one tuple whose value is the bar's
+//!   midpoint and whose existential probability is the bar's (normalised)
+//!   probability mass.
+//!
+//! The default configuration therefore yields 5 000 x-tuples × 10 tuples =
+//! 50 000 tuples, the "default synthetic dataset" used throughout the
+//! evaluation.
+
+use crate::dist::normal_cdf;
+use pdb_core::{Database, DatabaseBuilder, RankedDatabase, Result, ScoreRanking};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The uncertainty pdf `y.U` of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum UncertaintyPdf {
+    /// Gaussian with the given standard deviation, centred on the entity's
+    /// mean value.  The paper's `GX` datasets use `σ = X`.
+    Gaussian {
+        /// Standard deviation of the Gaussian.
+        sigma: f64,
+    },
+    /// Uniform over the uncertainty interval.
+    Uniform,
+}
+
+impl UncertaintyPdf {
+    /// Display label matching the paper's figures (`G100`, `Uniform`, …).
+    pub fn label(&self) -> String {
+        match self {
+            UncertaintyPdf::Gaussian { sigma } => format!("G{}", sigma.round() as i64),
+            UncertaintyPdf::Uniform => "Uniform".to_string(),
+        }
+    }
+}
+
+/// Configuration of the synthetic generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of x-tuples (entities); the paper's default is 5 000.
+    pub num_x_tuples: usize,
+    /// Number of histogram bars per x-tuple, i.e. tuples per x-tuple; the
+    /// paper's default is 10.
+    pub bars_per_x_tuple: usize,
+    /// Attribute domain; the paper uses `[0, 10 000]`.
+    pub domain: (f64, f64),
+    /// Range of the uncertainty-interval length; the paper uses `[60, 100]`.
+    pub interval_len: (f64, f64),
+    /// The uncertainty pdf; the paper's default is a Gaussian with σ = 100.
+    pub pdf: UncertaintyPdf,
+    /// RNG seed, so every experiment is reproducible.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            num_x_tuples: 5_000,
+            bars_per_x_tuple: 10,
+            domain: (0.0, 10_000.0),
+            interval_len: (60.0, 100.0),
+            pdf: UncertaintyPdf::Gaussian { sigma: 100.0 },
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// The paper's default dataset (5 000 x-tuples, 50 000 tuples, G100).
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// A configuration scaled to roughly `num_tuples` total tuples, keeping
+    /// 10 bars per x-tuple (used for the database-size sweeps of
+    /// Figures 4(d)/4(e)).
+    pub fn with_total_tuples(num_tuples: usize) -> Self {
+        let bars = 10;
+        Self {
+            num_x_tuples: (num_tuples / bars).max(1),
+            bars_per_x_tuple: bars,
+            ..Self::default()
+        }
+    }
+
+    /// Override the uncertainty pdf (Figure 4(b)).
+    pub fn with_pdf(mut self, pdf: UncertaintyPdf) -> Self {
+        self.pdf = pdf;
+        self
+    }
+
+    /// Override the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total number of tuples the configuration will produce.
+    pub fn num_tuples(&self) -> usize {
+        self.num_x_tuples * self.bars_per_x_tuple
+    }
+}
+
+/// Generate the logical database described by the configuration.
+pub fn generate(config: &SyntheticConfig) -> Result<Database<f64>> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut builder = DatabaseBuilder::new();
+    for entity in 0..config.num_x_tuples {
+        let mu = rng.gen_range(config.domain.0..config.domain.1);
+        let len = rng.gen_range(config.interval_len.0..config.interval_len.1);
+        let lo = mu - len / 2.0;
+        let hi = mu + len / 2.0;
+        let bars = histogram_bars(&config.pdf, mu, lo, hi, config.bars_per_x_tuple);
+        let mut xb = builder.x_tuple(format!("E{entity}"));
+        for (value, prob) in bars {
+            xb = xb.tuple(value, prob);
+        }
+    }
+    builder.build()
+}
+
+/// Generate the ranked (query-ready) form of the synthetic dataset; ranking
+/// is by attribute value, higher values ranking higher.
+pub fn generate_ranked(config: &SyntheticConfig) -> Result<RankedDatabase> {
+    generate(config)?.try_rank_by(&ScoreRanking)
+}
+
+/// Discretise an uncertainty pdf over `[lo, hi]` into `bars` equal-width
+/// histogram bars, returning `(midpoint, probability)` pairs whose
+/// probabilities sum to 1.
+fn histogram_bars(
+    pdf: &UncertaintyPdf,
+    mu: f64,
+    lo: f64,
+    hi: f64,
+    bars: usize,
+) -> Vec<(f64, f64)> {
+    debug_assert!(bars > 0 && hi > lo);
+    let width = (hi - lo) / bars as f64;
+    let mut out = Vec::with_capacity(bars);
+    match pdf {
+        UncertaintyPdf::Uniform => {
+            let p = 1.0 / bars as f64;
+            for b in 0..bars {
+                let mid = lo + (b as f64 + 0.5) * width;
+                out.push((mid, p));
+            }
+        }
+        UncertaintyPdf::Gaussian { sigma } => {
+            // Mass of each bar under N(mu, sigma²), normalised to the
+            // interval (the paper truncates the pdf to the uncertainty
+            // interval).
+            let total = normal_cdf(hi, mu, *sigma) - normal_cdf(lo, mu, *sigma);
+            let mut masses = Vec::with_capacity(bars);
+            for b in 0..bars {
+                let a = lo + b as f64 * width;
+                let z = a + width;
+                masses.push((normal_cdf(z, mu, *sigma) - normal_cdf(a, mu, *sigma)).max(0.0));
+            }
+            let norm: f64 = if total > 0.0 { masses.iter().sum() } else { 0.0 };
+            for (b, mass) in masses.iter().enumerate() {
+                let mid = lo + (b as f64 + 0.5) * width;
+                let p = if norm > 0.0 { mass / norm } else { 1.0 / bars as f64 };
+                out.push((mid, p));
+            }
+        }
+    }
+    // Guard against rounding pushing the sum marginally above 1.
+    let sum: f64 = out.iter().map(|(_, p)| p).sum();
+    if sum > 1.0 {
+        for (_, p) in &mut out {
+            *p /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_paper() {
+        let c = SyntheticConfig::paper_default();
+        assert_eq!(c.num_x_tuples, 5_000);
+        assert_eq!(c.bars_per_x_tuple, 10);
+        assert_eq!(c.num_tuples(), 50_000);
+        assert_eq!(c.pdf, UncertaintyPdf::Gaussian { sigma: 100.0 });
+    }
+
+    #[test]
+    fn generates_the_requested_shape() {
+        let c = SyntheticConfig { num_x_tuples: 50, ..SyntheticConfig::default() };
+        let db = generate(&c).unwrap();
+        assert_eq!(db.num_x_tuples(), 50);
+        assert_eq!(db.num_tuples(), 500);
+        for xt in db.x_tuples() {
+            assert_eq!(xt.len(), 10);
+            assert!((xt.total_mass() - 1.0).abs() < 1e-9);
+            for t in xt {
+                assert!(t.payload >= -60.0 && t.payload <= 10_060.0);
+                assert!(t.prob >= 0.0 && t.prob <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let c = SyntheticConfig { num_x_tuples: 20, ..SyntheticConfig::default() };
+        let a = generate(&c).unwrap();
+        let b = generate(&c).unwrap();
+        assert_eq!(a, b);
+        let c2 = c.clone().with_seed(999);
+        assert_ne!(generate(&c2).unwrap(), a);
+    }
+
+    #[test]
+    fn smaller_variance_concentrates_probability() {
+        // With σ = 10 and an interval ~80 wide, the central bars carry most
+        // of the mass; with σ = 100 the distribution is nearly flat.
+        let narrow = SyntheticConfig {
+            num_x_tuples: 30,
+            pdf: UncertaintyPdf::Gaussian { sigma: 10.0 },
+            ..SyntheticConfig::default()
+        };
+        let wide = SyntheticConfig {
+            num_x_tuples: 30,
+            pdf: UncertaintyPdf::Gaussian { sigma: 100.0 },
+            ..SyntheticConfig::default()
+        };
+        let max_prob = |db: &Database<f64>| {
+            db.x_tuples()
+                .iter()
+                .map(|x| x.iter().map(|t| t.prob).fold(0.0, f64::max))
+                .sum::<f64>()
+                / db.num_x_tuples() as f64
+        };
+        let narrow_max = max_prob(&generate(&narrow).unwrap());
+        let wide_max = max_prob(&generate(&wide).unwrap());
+        assert!(
+            narrow_max > wide_max + 0.1,
+            "narrow {narrow_max} should concentrate more than wide {wide_max}"
+        );
+        assert!(wide_max < 0.2, "sigma=100 over an ~80-wide interval is nearly uniform");
+    }
+
+    #[test]
+    fn uniform_pdf_gives_equal_bars() {
+        let c = SyntheticConfig {
+            num_x_tuples: 5,
+            pdf: UncertaintyPdf::Uniform,
+            ..SyntheticConfig::default()
+        };
+        let db = generate(&c).unwrap();
+        for xt in db.x_tuples() {
+            for t in xt {
+                assert!((t.prob - 0.1).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn with_total_tuples_scales_the_x_tuple_count() {
+        let c = SyntheticConfig::with_total_tuples(1_000);
+        assert_eq!(c.num_x_tuples, 100);
+        assert_eq!(c.num_tuples(), 1_000);
+        let tiny = SyntheticConfig::with_total_tuples(3);
+        assert_eq!(tiny.num_x_tuples, 1);
+    }
+
+    #[test]
+    fn ranked_form_is_sorted() {
+        let c = SyntheticConfig { num_x_tuples: 40, ..SyntheticConfig::default() };
+        let db = generate_ranked(&c).unwrap();
+        assert_eq!(db.len(), 400);
+        for w in db.as_slice().windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn pdf_labels_match_paper_notation() {
+        assert_eq!(UncertaintyPdf::Gaussian { sigma: 30.0 }.label(), "G30");
+        assert_eq!(UncertaintyPdf::Uniform.label(), "Uniform");
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of the dataset generators.
+
+use proptest::prelude::*;
+use pdb_gen::cleaning_params::{generate as gen_params, CleaningParamsConfig, ScPdf};
+use pdb_gen::mov::{self, MovConfig};
+use pdb_gen::synthetic::{self, SyntheticConfig, UncertaintyPdf};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The synthetic generator always produces a valid database of the
+    /// requested shape, with per-x-tuple mass 1 and values inside the
+    /// uncertainty interval around the domain.
+    #[test]
+    fn synthetic_generator_is_well_formed(
+        m in 1usize..60,
+        bars in 2usize..15,
+        sigma in 5.0f64..300.0,
+        uniform in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let config = SyntheticConfig {
+            num_x_tuples: m,
+            bars_per_x_tuple: bars,
+            pdf: if uniform { UncertaintyPdf::Uniform } else { UncertaintyPdf::Gaussian { sigma } },
+            seed,
+            ..SyntheticConfig::paper_default()
+        };
+        let db = synthetic::generate(&config).unwrap();
+        prop_assert_eq!(db.num_x_tuples(), m);
+        prop_assert_eq!(db.num_tuples(), m * bars);
+        for xt in db.x_tuples() {
+            prop_assert_eq!(xt.len(), bars);
+            prop_assert!((xt.total_mass() - 1.0).abs() < 1e-6);
+            for t in xt {
+                prop_assert!(t.prob >= 0.0 && t.prob <= 1.0 + 1e-9);
+                prop_assert!(t.payload >= config.domain.0 - config.interval_len.1);
+                prop_assert!(t.payload <= config.domain.1 + config.interval_len.1);
+            }
+        }
+        // Ranking the generated database always succeeds.
+        let ranked = synthetic::generate_ranked(&config).unwrap();
+        prop_assert_eq!(ranked.len(), m * bars);
+    }
+
+    /// The MOV generator produces normalised attributes, full per-x-tuple
+    /// mass, and 1..=max alternatives.
+    #[test]
+    fn mov_generator_is_well_formed(m in 1usize..200, max_alts in 1usize..4, seed in any::<u64>()) {
+        let config = MovConfig { num_x_tuples: m, max_alternatives: max_alts, seed };
+        let db = mov::generate(&config).unwrap();
+        prop_assert_eq!(db.num_x_tuples(), m);
+        for xt in db.x_tuples() {
+            prop_assert!(!xt.is_empty() && xt.len() <= max_alts.max(1));
+            prop_assert!((xt.total_mass() - 1.0).abs() < 1e-9);
+            for t in xt {
+                prop_assert!((0.0..=1.0).contains(&t.payload.date));
+                prop_assert!((0.0..=1.0).contains(&t.payload.rating));
+            }
+        }
+    }
+
+    /// Cleaning parameters respect their configured ranges for every
+    /// sc-pdf variant.
+    #[test]
+    fn cleaning_parameters_stay_in_range(
+        m in 1usize..300,
+        lo in 0.0f64..0.9,
+        sigma in 0.05f64..0.5,
+        use_normal in any::<bool>(),
+        cost_hi in 1u64..20,
+        seed in any::<u64>(),
+    ) {
+        let sc_pdf = if use_normal {
+            ScPdf::Normal { mean: 0.5, sigma }
+        } else {
+            ScPdf::Uniform { lo, hi: 1.0 }
+        };
+        let config = CleaningParamsConfig { cost_range: (1, cost_hi), sc_pdf, seed };
+        let params = gen_params(m, &config);
+        prop_assert_eq!(params.costs.len(), m);
+        prop_assert_eq!(params.sc_probs.len(), m);
+        for &c in &params.costs {
+            prop_assert!(c >= 1 && c <= cost_hi);
+        }
+        for &p in &params.sc_probs {
+            prop_assert!((0.0..=1.0).contains(&p));
+            if !use_normal {
+                prop_assert!(p + 1e-12 >= lo);
+            }
+        }
+    }
+}

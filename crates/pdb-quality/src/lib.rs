@@ -1,0 +1,55 @@
+//! # pdb-quality — PWS-quality of probabilistic top-k queries
+//!
+//! This crate implements the first contribution of the ICDE 2013 paper
+//! *"Cleaning Uncertain Data for Top-k Queries"*: computing the
+//! **PWS-quality** (the negated entropy of the pw-result distribution,
+//! Definition 4) of U-kRanks, PT-k and Global-topk queries, with three
+//! algorithms of increasing sophistication:
+//!
+//! | Algorithm | Module | Cost | Role |
+//! |-----------|--------|------|------|
+//! | PW  | [`pw`]  | exponential (possible worlds) | ground-truth baseline |
+//! | PWR | [`pwr`] | `O(n^{k+1})` (pw-results)      | avoids world expansion |
+//! | TP  | [`tp`]  | `O(k·n)` (Theorem 1 + PSR)     | the paper's fast path |
+//!
+//! [`shared::SharedEvaluation`] runs PSR once and serves both query answers
+//! and quality scores from it (Section IV-C), which is the configuration
+//! the paper benchmarks in Figure 5.
+//!
+//! ```
+//! use pdb_core::prelude::*;
+//! use pdb_quality::prelude::*;
+//!
+//! let db = pdb_core::examples::udb1().rank_by(&ScoreRanking);
+//! // The three algorithms agree; TP is the one to use in practice.
+//! let q = quality_tp(&db, 2).unwrap();
+//! assert!((q - quality_pw(&db, 2).unwrap()).abs() < 1e-8);
+//! assert!((q - (-2.55)).abs() < 0.005); // the paper's udb1 value
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod augment;
+pub mod pw;
+pub mod pw_results;
+pub mod pwr;
+pub mod shared;
+pub mod tp;
+
+pub use pw::{pw_result_distribution, quality_pw};
+pub use pw_results::{PwEntry, PwResult, PwResultSet};
+pub use pwr::{pwr_result_distribution, quality_pwr, quality_pwr_bounded};
+pub use shared::SharedEvaluation;
+pub use tp::{quality_breakdown, quality_tp, quality_tp_with, tuple_weights, QualityBreakdown};
+
+/// Convenience prelude bringing the most frequently used items into scope.
+pub mod prelude {
+    pub use crate::pw::{pw_result_distribution, quality_pw};
+    pub use crate::pw_results::{PwEntry, PwResult, PwResultSet};
+    pub use crate::pwr::{pwr_result_distribution, quality_pwr, quality_pwr_bounded};
+    pub use crate::shared::SharedEvaluation;
+    pub use crate::tp::{
+        quality_breakdown, quality_tp, quality_tp_with, tuple_weights, QualityBreakdown,
+    };
+}

@@ -1,0 +1,138 @@
+//! The PW (possible-world) baseline quality algorithm.
+//!
+//! PW computes the PWS-quality straight from Definition 4: expand the
+//! database into possible worlds, evaluate the deterministic top-k query in
+//! each, aggregate identical answers, and take the negated entropy.  Its
+//! cost is proportional to the number of possible worlds — exponential in
+//! the number of x-tuples — so it is only usable on tiny databases (the
+//! paper reports 36 minutes for a 10-x-tuple database).  It exists as the
+//! ground-truth oracle for PWR and TP and as the slowest series of
+//! Figure 4(d).
+
+use crate::augment::augment_with_nulls;
+use crate::pw_results::{PwEntry, PwResultSet};
+use pdb_core::world::{worlds_with_limit, DEFAULT_WORLD_LIMIT};
+use pdb_core::{DbError, RankedDatabase, Result};
+use std::collections::HashMap;
+
+/// Compute the full pw-result distribution of a top-k query by enumerating
+/// every possible world (the PW algorithm).
+///
+/// Refuses databases with more than `DEFAULT_WORLD_LIMIT` possible worlds;
+/// use [`pw_result_distribution_with_limit`] to override.
+pub fn pw_result_distribution(db: &RankedDatabase, k: usize) -> Result<PwResultSet> {
+    pw_result_distribution_with_limit(db, k, DEFAULT_WORLD_LIMIT)
+}
+
+/// [`pw_result_distribution`] with an explicit possible-world limit.
+pub fn pw_result_distribution_with_limit(
+    db: &RankedDatabase,
+    k: usize,
+    limit: u128,
+) -> Result<PwResultSet> {
+    if k == 0 {
+        return Err(DbError::invalid_parameter("k must be at least 1"));
+    }
+    let aug = augment_with_nulls(db)?;
+    let n_real = db.len();
+    let mut map: HashMap<Vec<PwEntry>, f64> = HashMap::new();
+    for w in worlds_with_limit(&aug.db, limit)? {
+        let answer: Vec<PwEntry> = w
+            .top_k(k)
+            .into_iter()
+            .map(|pos| {
+                if pos < n_real {
+                    PwEntry::Tuple(pos)
+                } else {
+                    PwEntry::Null(aug.null_of[pos].expect("tail positions are nulls"))
+                }
+            })
+            .collect();
+        *map.entry(answer).or_insert(0.0) += w.prob;
+    }
+    Ok(PwResultSet::from_map(map))
+}
+
+/// Compute the PWS-quality of a top-k query with the PW algorithm.
+pub fn quality_pw(db: &RankedDatabase, k: usize) -> Result<f64> {
+    Ok(pw_result_distribution(db, k)?.quality())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn udb1() -> RankedDatabase {
+        RankedDatabase::from_scored_x_tuples(&[
+            vec![(21.0, 0.6), (32.0, 0.4)],
+            vec![(30.0, 0.7), (22.0, 0.3)],
+            vec![(25.0, 0.4), (27.0, 0.6)],
+            vec![(26.0, 1.0)],
+        ])
+        .unwrap()
+    }
+
+    fn udb2() -> RankedDatabase {
+        RankedDatabase::from_scored_x_tuples(&[
+            vec![(21.0, 0.6), (32.0, 0.4)],
+            vec![(30.0, 0.7), (22.0, 0.3)],
+            vec![(27.0, 1.0)],
+            vec![(26.0, 1.0)],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn udb1_has_seven_pw_results_and_quality_minus_2_55() {
+        // Figure 2 of the paper: seven pw-results, quality −2.55.
+        let set = pw_result_distribution(&udb1(), 2).unwrap();
+        assert_eq!(set.len(), 7);
+        assert!((set.total_prob() - 1.0).abs() < 1e-12);
+        assert!((set.quality() - (-2.55)).abs() < 0.005);
+    }
+
+    #[test]
+    fn udb2_has_four_pw_results_and_quality_minus_1_85() {
+        // Figure 3 of the paper: four pw-results, quality −1.85.
+        let set = pw_result_distribution(&udb2(), 2).unwrap();
+        assert_eq!(set.len(), 4);
+        assert!((set.quality() - (-1.85)).abs() < 0.005);
+        assert!(quality_pw(&udb2(), 2).unwrap() > quality_pw(&udb1(), 2).unwrap());
+    }
+
+    #[test]
+    fn paper_example_pw_result_probability() {
+        // The paper: r = (t1, t2) has probability 0.28 for the top-2 query
+        // on udb1 (t1 = 32 °C at position 0, t2 = 30 °C at position 1).
+        let set = pw_result_distribution(&udb1(), 2).unwrap();
+        let r = set
+            .results
+            .iter()
+            .find(|r| r.entries == vec![PwEntry::Tuple(0), PwEntry::Tuple(1)])
+            .expect("(t1, t2) is a pw-result");
+        assert!((r.prob - 0.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_is_zero_for_a_certain_database() {
+        let db = RankedDatabase::from_scored_x_tuples(&[vec![(3.0, 1.0)], vec![(2.0, 1.0)]]).unwrap();
+        assert_eq!(quality_pw(&db, 2).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn null_padding_appears_in_results() {
+        // One uncertain x-tuple with half mass: for k = 1 the answers are
+        // (t0) and (null of x0).
+        let db = RankedDatabase::from_scored_x_tuples(&[vec![(1.0, 0.5)]]).unwrap();
+        let set = pw_result_distribution(&db, 1).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.results.iter().any(|r| r.entries == vec![PwEntry::Null(0)]));
+        assert!((set.quality() - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_parameters_and_large_databases() {
+        assert!(quality_pw(&udb1(), 0).is_err());
+        assert!(pw_result_distribution_with_limit(&udb1(), 2, 4).is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! pw-result types and the entropy-based PWS-quality score.
+//!
+//! A **pw-result** (Definition 1 of the paper) is the answer a
+//! deterministic top-k query returns in one possible world: an ordered list
+//! of `k` tuples (padded with null tuples when fewer than `k` real tuples
+//! exist in the world).  The **PWS-quality** (Definition 4) of a query is
+//! the negated entropy of the pw-result distribution:
+//!
+//! ```text
+//! S(D, Q) = Σ_r Pr(r) · log₂ Pr(r)      (≤ 0, higher is better)
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One entry of a pw-result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PwEntry {
+    /// A real tuple, identified by its rank position in the (un-augmented)
+    /// ranked database.
+    Tuple(usize),
+    /// The null alternative of the x-tuple with the given index; appears
+    /// when a possible world holds fewer than `k` real tuples.
+    Null(usize),
+}
+
+impl PwEntry {
+    /// The rank position for a real tuple, `None` for a null entry.
+    pub fn position(&self) -> Option<usize> {
+        match self {
+            PwEntry::Tuple(p) => Some(*p),
+            PwEntry::Null(_) => None,
+        }
+    }
+}
+
+/// A pw-result together with its probability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PwResult {
+    /// The ordered (descending rank) entries of the deterministic top-k
+    /// answer.
+    pub entries: Vec<PwEntry>,
+    /// Probability that a random possible world produces exactly this
+    /// answer.
+    pub prob: f64,
+}
+
+/// The full distribution of pw-results of a query, as produced by the PW
+/// and PWR algorithms.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PwResultSet {
+    /// The distinct pw-results; order is unspecified.
+    pub results: Vec<PwResult>,
+}
+
+impl PwResultSet {
+    /// Build from an aggregation map.
+    pub(crate) fn from_map(map: HashMap<Vec<PwEntry>, f64>) -> Self {
+        let mut results: Vec<PwResult> =
+            map.into_iter().map(|(entries, prob)| PwResult { entries, prob }).collect();
+        // Deterministic order: by descending probability, then entries.
+        results.sort_by(|a, b| {
+            b.prob.partial_cmp(&a.prob).expect("finite").then_with(|| a.entries.cmp(&b.entries))
+        });
+        Self { results }
+    }
+
+    /// Number of distinct pw-results.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Total probability mass (should be 1 within floating-point error).
+    pub fn total_prob(&self) -> f64 {
+        self.results.iter().map(|r| r.prob).sum()
+    }
+
+    /// The PWS-quality score: `Σ Pr(r) log₂ Pr(r)`.
+    pub fn quality(&self) -> f64 {
+        self.results.iter().map(|r| plogp(r.prob)).sum()
+    }
+}
+
+/// `x · log₂ x`, with the information-theoretic convention `0·log 0 = 0`.
+pub fn plogp(x: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else {
+        x * x.log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plogp_handles_edge_cases() {
+        assert_eq!(plogp(0.0), 0.0);
+        assert_eq!(plogp(-1.0), 0.0);
+        assert_eq!(plogp(1.0), 0.0);
+        assert!((plogp(0.5) - (-0.5)).abs() < 1e-12);
+        assert!((plogp(0.25) - (-0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_of_a_single_result_is_zero() {
+        let mut map = HashMap::new();
+        map.insert(vec![PwEntry::Tuple(0), PwEntry::Tuple(1)], 1.0);
+        let set = PwResultSet::from_map(map);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.quality(), 0.0);
+        assert!((set.total_prob() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_distribution_minimises_quality() {
+        // Four equally likely pw-results: S = log2(1/4) = -2.
+        let mut map = HashMap::new();
+        for i in 0..4 {
+            map.insert(vec![PwEntry::Tuple(i)], 0.25);
+        }
+        let set = PwResultSet::from_map(map);
+        assert!((set.quality() - (-2.0)).abs() < 1e-12);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn results_are_sorted_by_descending_probability() {
+        let mut map = HashMap::new();
+        map.insert(vec![PwEntry::Tuple(0)], 0.2);
+        map.insert(vec![PwEntry::Tuple(1)], 0.5);
+        map.insert(vec![PwEntry::Null(0)], 0.3);
+        let set = PwResultSet::from_map(map);
+        let probs: Vec<f64> = set.results.iter().map(|r| r.prob).collect();
+        assert_eq!(probs, vec![0.5, 0.3, 0.2]);
+        assert_eq!(set.results[1].entries[0], PwEntry::Null(0));
+    }
+
+    #[test]
+    fn entry_position_accessor() {
+        assert_eq!(PwEntry::Tuple(3).position(), Some(3));
+        assert_eq!(PwEntry::Null(2).position(), None);
+    }
+}

@@ -1,0 +1,350 @@
+//! The PWR quality algorithm (Algorithm 1 of the paper).
+//!
+//! PWR derives the pw-result distribution *directly*, without expanding
+//! possible worlds: a depth-first search over the rank-sorted tuples
+//! enumerates every achievable top-k answer exactly once, and Lemma 1 gives
+//! each answer's probability in closed form:
+//!
+//! ```text
+//! Pr(r) = Π_{tᵢ ∈ r} eᵢ  ·  Π_{τ_l ∩ r = ∅} (1 − Σ_{tᵢ ∈ τ_l, tᵢ > r.t} eᵢ)
+//! ```
+//!
+//! where `r.t` is the lowest-ranked member of `r`.  The search prunes two
+//! kinds of zero-probability branches: a tuple whose x-tuple already
+//! contributed to `r` cannot exist (mutual exclusion), and once an x-tuple
+//! not represented in `r` has had its entire mass skipped, every completion
+//! of the branch has probability zero (this is the paper's "forced
+//! inclusion" rule, step 10 of Algorithm 1, in contrapositive form).
+//!
+//! The number of pw-results is bounded by `n^k`, so PWR is polynomial in
+//! the database size but exponential in `k`; the evaluation section shows it
+//! losing to TP as either grows — behaviour reproduced by the
+//! `quality_scaling` bench and Figures 4(e)/4(f) of the harness.
+
+use crate::augment::augment_with_nulls;
+use crate::pw_results::{plogp, PwEntry, PwResultSet};
+use pdb_core::{DbError, RankedDatabase, Result};
+use std::collections::HashMap;
+
+/// Mass above which an x-tuple with no representative in `r` is considered
+/// fully skipped (dead), making every completion of the branch impossible.
+const DEAD_THRESHOLD: f64 = 1.0 - 1e-12;
+
+/// Stack size for the DFS worker thread.  The recursion depth is bounded by
+/// the number of tuples, which can reach the hundreds of thousands in the
+/// scaling experiments; the virtual allocation is cheap on 64-bit targets.
+const DFS_STACK_BYTES: usize = 512 * 1024 * 1024;
+
+/// What the DFS should produce.
+enum Sink<'a> {
+    /// Collect the full distribution (used for Figures 2/3 and tests).
+    Distribution(&'a mut HashMap<Vec<PwEntry>, f64>),
+    /// Accumulate `Σ Pr(r) log₂ Pr(r)` only (used for large databases).
+    QualityOnly(&'a mut f64),
+}
+
+struct Dfs<'a> {
+    db: &'a RankedDatabase,
+    null_of: &'a [Option<usize>],
+    n_real: usize,
+    k: usize,
+    /// Whether x-tuple `l` already has a representative in `r`.
+    in_result: Vec<bool>,
+    /// Mass of x-tuple `l`'s tuples skipped so far along the current path.
+    excluded_mass: Vec<f64>,
+    /// x-tuples with non-zero excluded mass, maintained as a stack.
+    touched: Vec<usize>,
+    /// Current partial pw-result (rank positions, ascending).
+    r: Vec<usize>,
+    /// Product of the existential probabilities of the tuples in `r`.
+    r_prob: f64,
+    /// How many more pw-results may be recorded before the search gives up
+    /// (`None` = unlimited).
+    remaining: Option<u64>,
+    /// Set when the result budget is exhausted; unwinds the search.
+    aborted: bool,
+    sink: Sink<'a>,
+}
+
+impl Dfs<'_> {
+    fn record(&mut self) {
+        if let Some(rem) = &mut self.remaining {
+            if *rem == 0 {
+                self.aborted = true;
+                return;
+            }
+            *rem -= 1;
+        }
+        // Lemma 1: membership factor Π eᵢ (maintained incrementally in
+        // `r_prob`) times, for every x-tuple without a representative, the
+        // probability that none of its higher-ranked tuples exists.
+        let mut prob = self.r_prob;
+        for &l in &self.touched {
+            if !self.in_result[l] {
+                prob *= 1.0 - self.excluded_mass[l];
+            }
+        }
+        if prob <= 0.0 {
+            return;
+        }
+        match &mut self.sink {
+            Sink::Distribution(map) => {
+                let entries: Vec<PwEntry> = self
+                    .r
+                    .iter()
+                    .map(|&pos| {
+                        if pos < self.n_real {
+                            PwEntry::Tuple(pos)
+                        } else {
+                            PwEntry::Null(self.null_of[pos].expect("tail positions are nulls"))
+                        }
+                    })
+                    .collect();
+                *map.entry(entries).or_insert(0.0) += prob;
+            }
+            Sink::QualityOnly(acc) => **acc += plogp(prob),
+        }
+    }
+
+    fn dfs(&mut self, i: usize) {
+        if self.aborted {
+            return;
+        }
+        if self.r.len() == self.k || i == self.db.len() {
+            self.record();
+            return;
+        }
+        let t = *self.db.tuple(i);
+        let l = t.x_index;
+
+        if self.in_result[l] {
+            // Mutual exclusion: a sibling is already part of the answer, so
+            // this tuple cannot exist (Algorithm 1, step 8).
+            self.dfs(i + 1);
+            return;
+        }
+
+        // Branch 1: the tuple exists and joins the answer.
+        if t.prob > 0.0 {
+            self.in_result[l] = true;
+            self.r.push(i);
+            self.r_prob *= t.prob;
+            self.dfs(i + 1);
+            self.r_prob /= t.prob;
+            self.r.pop();
+            self.in_result[l] = false;
+        }
+
+        // Branch 2: the tuple does not exist.  Prune once the x-tuple's
+        // whole mass has been skipped — no later tuple can rescue it, so
+        // every completion has probability zero (step 10 in contrapositive).
+        let first_touch = self.excluded_mass[l] == 0.0;
+        self.excluded_mass[l] += t.prob;
+        if first_touch && t.prob > 0.0 {
+            self.touched.push(l);
+        }
+        if self.excluded_mass[l] < DEAD_THRESHOLD {
+            self.dfs(i + 1);
+        }
+        self.excluded_mass[l] -= t.prob;
+        if first_touch && t.prob > 0.0 {
+            let popped = self.touched.pop();
+            debug_assert_eq!(popped, Some(l));
+            self.excluded_mass[l] = 0.0;
+        }
+    }
+}
+
+/// Runs the DFS; returns `true` when it completed, `false` when it gave up
+/// because the pw-result budget was exhausted.
+fn run_dfs(db: &RankedDatabase, k: usize, limit: Option<u64>, sink: Sink<'_>) -> Result<bool> {
+    if k == 0 {
+        return Err(DbError::invalid_parameter("k must be at least 1"));
+    }
+    let aug = augment_with_nulls(db)?;
+    let mut dfs = Dfs {
+        db: &aug.db,
+        null_of: &aug.null_of,
+        n_real: db.len(),
+        k,
+        in_result: vec![false; aug.db.num_x_tuples()],
+        excluded_mass: vec![0.0; aug.db.num_x_tuples()],
+        touched: Vec::new(),
+        r: Vec::with_capacity(k),
+        r_prob: 1.0,
+        remaining: limit,
+        aborted: false,
+        sink,
+    };
+    // The recursion is as deep as the database is long; run it on a worker
+    // thread with a generous stack instead of risking the caller's.
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .name("pwr-dfs".into())
+            .stack_size(DFS_STACK_BYTES)
+            .spawn_scoped(scope, || dfs.dfs(0))
+            .expect("spawning the PWR worker thread succeeds")
+            .join()
+            .expect("the PWR worker thread does not panic");
+    });
+    Ok(!dfs.aborted)
+}
+
+/// Compute the full pw-result distribution with the PWR algorithm
+/// (Algorithm 1 + Lemma 1).
+pub fn pwr_result_distribution(db: &RankedDatabase, k: usize) -> Result<PwResultSet> {
+    let mut map = HashMap::new();
+    run_dfs(db, k, None, Sink::Distribution(&mut map))?;
+    Ok(PwResultSet::from_map(map))
+}
+
+/// Compute the PWS-quality with the PWR algorithm without materialising the
+/// pw-result distribution (each result's probability is folded straight
+/// into the entropy sum).
+pub fn quality_pwr(db: &RankedDatabase, k: usize) -> Result<f64> {
+    let mut acc = 0.0;
+    run_dfs(db, k, None, Sink::QualityOnly(&mut acc))?;
+    Ok(acc)
+}
+
+/// Like [`quality_pwr`], but gives up once more than `max_pw_results`
+/// pw-results have been produced, returning `Ok(None)`.
+///
+/// The experiment harness uses this to reproduce the paper's observation
+/// that PWR "cannot return the quality score in a reasonable time" on large
+/// databases or large `k` (Figures 4(e)/4(f)) without actually burning that
+/// time.
+pub fn quality_pwr_bounded(
+    db: &RankedDatabase,
+    k: usize,
+    max_pw_results: u64,
+) -> Result<Option<f64>> {
+    let mut acc = 0.0;
+    let completed = run_dfs(db, k, Some(max_pw_results), Sink::QualityOnly(&mut acc))?;
+    Ok(completed.then_some(acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pw::{pw_result_distribution, quality_pw};
+
+    fn udb1() -> RankedDatabase {
+        RankedDatabase::from_scored_x_tuples(&[
+            vec![(21.0, 0.6), (32.0, 0.4)],
+            vec![(30.0, 0.7), (22.0, 0.3)],
+            vec![(25.0, 0.4), (27.0, 0.6)],
+            vec![(26.0, 1.0)],
+        ])
+        .unwrap()
+    }
+
+    fn assert_same_distribution(a: &PwResultSet, b: &PwResultSet) {
+        assert_eq!(a.len(), b.len());
+        let to_map = |s: &PwResultSet| -> HashMap<Vec<PwEntry>, f64> {
+            s.results.iter().map(|r| (r.entries.clone(), r.prob)).collect()
+        };
+        let (ma, mb) = (to_map(a), to_map(b));
+        for (k, v) in &ma {
+            let w = mb.get(k).unwrap_or_else(|| panic!("missing pw-result {k:?}"));
+            assert!((v - w).abs() < 1e-10, "{k:?}: {v} vs {w}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_pw_on_udb1_for_all_k() {
+        let db = udb1();
+        for k in 1..=5 {
+            let pw = pw_result_distribution(&db, k).unwrap();
+            let pwr = pwr_result_distribution(&db, k).unwrap();
+            assert_same_distribution(&pw, &pwr);
+            assert!((quality_pwr(&db, k).unwrap() - quality_pw(&db, k).unwrap()).abs() < 1e-10);
+            assert!((pwr.total_prob() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matches_paper_quality_values() {
+        let db = udb1();
+        assert!((quality_pwr(&db, 2).unwrap() - (-2.55)).abs() < 0.005);
+        assert_eq!(pwr_result_distribution(&db, 2).unwrap().len(), 7);
+    }
+
+    #[test]
+    fn agrees_with_pw_on_null_mass_databases() {
+        let db = RankedDatabase::from_scored_x_tuples(&[
+            vec![(10.0, 0.5)],
+            vec![(9.0, 0.4), (8.0, 0.2)],
+            vec![(7.0, 0.9)],
+            vec![(6.0, 1.0)],
+        ])
+        .unwrap();
+        for k in 1..=4 {
+            let pw = pw_result_distribution(&db, k).unwrap();
+            let pwr = pwr_result_distribution(&db, k).unwrap();
+            assert_same_distribution(&pw, &pwr);
+        }
+    }
+
+    #[test]
+    fn agrees_with_pw_on_random_databases() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..20 {
+            let m = rng.gen_range(2..7);
+            let mut x_tuples = Vec::new();
+            for _ in 0..m {
+                let alts = rng.gen_range(1..4);
+                let mut remaining: f64 = 1.0;
+                let mut v = Vec::new();
+                for _ in 0..alts {
+                    let p = remaining * rng.gen_range(0.2..0.9);
+                    remaining -= p;
+                    v.push((rng.gen_range(0.0..100.0), p));
+                }
+                x_tuples.push(v);
+            }
+            let db = RankedDatabase::from_scored_x_tuples(&x_tuples).unwrap();
+            let k = rng.gen_range(1..5);
+            let pw = quality_pw(&db, k).unwrap();
+            let pwr = quality_pwr(&db, k).unwrap();
+            assert!((pw - pwr).abs() < 1e-8, "trial {trial}: PW {pw} vs PWR {pwr}");
+        }
+    }
+
+    #[test]
+    fn k_larger_than_database_is_handled() {
+        let db = RankedDatabase::from_scored_x_tuples(&[vec![(1.0, 0.5)], vec![(2.0, 1.0)]]).unwrap();
+        let pw = pw_result_distribution(&db, 10).unwrap();
+        let pwr = pwr_result_distribution(&db, 10).unwrap();
+        assert_same_distribution(&pw, &pwr);
+    }
+
+    #[test]
+    fn certain_tuples_with_probability_one_do_not_branch() {
+        // A long chain of certain tuples: exactly one pw-result.
+        let x: Vec<Vec<(f64, f64)>> = (0..50).map(|i| vec![(100.0 - i as f64, 1.0)]).collect();
+        let db = RankedDatabase::from_scored_x_tuples(&x).unwrap();
+        let set = pwr_result_distribution(&db, 10).unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(quality_pwr(&db, 10).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_k_zero() {
+        assert!(quality_pwr(&udb1(), 0).is_err());
+        assert!(pwr_result_distribution(&udb1(), 0).is_err());
+        assert!(quality_pwr_bounded(&udb1(), 0, 10).is_err());
+    }
+
+    #[test]
+    fn bounded_run_gives_up_or_matches_exactly() {
+        let db = udb1();
+        // udb1 has 7 pw-results for k = 2: a budget of 3 gives up, a budget
+        // of 7 (or more) completes and matches the unbounded run.
+        assert_eq!(quality_pwr_bounded(&db, 2, 3).unwrap(), None);
+        let full = quality_pwr(&db, 2).unwrap();
+        assert_eq!(quality_pwr_bounded(&db, 2, 7).unwrap(), Some(full));
+        assert_eq!(quality_pwr_bounded(&db, 2, 1_000).unwrap(), Some(full));
+    }
+}

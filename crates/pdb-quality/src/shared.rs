@@ -1,0 +1,129 @@
+//! Shared query + quality evaluation (Section IV-C of the paper).
+//!
+//! The three query semantics and the TP quality algorithm all consume the
+//! rank-probability information produced by one PSR run.
+//! [`SharedEvaluation`] performs that run once and serves queries, quality
+//! scores and the per-x-tuple quality breakdown from it, which is what the
+//! paper measures in Figure 5 ("the quality computation time is only 6% of
+//! the query evaluation time").
+
+use crate::tp::{quality_breakdown, quality_tp_with, QualityBreakdown};
+use pdb_core::{RankedDatabase, Result};
+use pdb_engine::psr::{rank_probabilities, RankProbabilities};
+use pdb_engine::queries::{global_topk, pt_k, u_k_ranks, TupleSetAnswer, UKRanksAnswer};
+
+/// One PSR run serving both query answers and quality scores.
+#[derive(Debug, Clone)]
+pub struct SharedEvaluation<'a> {
+    db: &'a RankedDatabase,
+    rp: RankProbabilities,
+}
+
+impl<'a> SharedEvaluation<'a> {
+    /// Run PSR once for the given `k`.
+    pub fn new(db: &'a RankedDatabase, k: usize) -> Result<Self> {
+        let rp = rank_probabilities(db, k)?;
+        Ok(Self { db, rp })
+    }
+
+    /// Build from rank probabilities computed elsewhere.
+    pub fn from_rank_probabilities(db: &'a RankedDatabase, rp: RankProbabilities) -> Self {
+        Self { db, rp }
+    }
+
+    /// The `k` the evaluation was prepared for.
+    pub fn k(&self) -> usize {
+        self.rp.k()
+    }
+
+    /// The database under evaluation.
+    pub fn database(&self) -> &RankedDatabase {
+        self.db
+    }
+
+    /// The underlying rank-probability information.
+    pub fn rank_probabilities(&self) -> &RankProbabilities {
+        &self.rp
+    }
+
+    /// Answer a PT-k query (tuples with top-k probability ≥ `threshold`).
+    pub fn pt_k(&self, threshold: f64) -> Result<TupleSetAnswer> {
+        pt_k(self.db, &self.rp, threshold)
+    }
+
+    /// Answer a U-kRanks query.
+    pub fn u_k_ranks(&self) -> UKRanksAnswer {
+        u_k_ranks(self.db, &self.rp)
+    }
+
+    /// Answer a Global-topk query.
+    pub fn global_topk(&self) -> TupleSetAnswer {
+        global_topk(self.db, &self.rp)
+    }
+
+    /// The PWS-quality of the top-k query, computed with TP from the shared
+    /// rank probabilities.
+    pub fn quality(&self) -> f64 {
+        quality_tp_with(self.db, &self.rp)
+    }
+
+    /// The quality together with its per-x-tuple decomposition `g(l, D)`,
+    /// which the cleaning algorithms consume.
+    pub fn quality_breakdown(&self) -> QualityBreakdown {
+        quality_breakdown(self.db, &self.rp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pw::quality_pw;
+
+    fn udb1() -> RankedDatabase {
+        RankedDatabase::from_scored_x_tuples(&[
+            vec![(21.0, 0.6), (32.0, 0.4)],
+            vec![(30.0, 0.7), (22.0, 0.3)],
+            vec![(25.0, 0.4), (27.0, 0.6)],
+            vec![(26.0, 1.0)],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_queries_and_quality_from_one_psr_run() {
+        let db = udb1();
+        let shared = SharedEvaluation::new(&db, 2).unwrap();
+        assert_eq!(shared.k(), 2);
+        assert_eq!(shared.database().len(), 7);
+
+        let pt = shared.pt_k(0.4).unwrap();
+        assert_eq!(pt.len(), 3);
+
+        let uk = shared.u_k_ranks();
+        assert_eq!(uk.k(), 2);
+
+        let gt = shared.global_topk();
+        assert_eq!(gt.len(), 2);
+
+        let q = shared.quality();
+        assert!((q - quality_pw(&db, 2).unwrap()).abs() < 1e-8);
+
+        let b = shared.quality_breakdown();
+        assert!((b.quality - q).abs() < 1e-12);
+    }
+
+    #[test]
+    fn can_reuse_externally_computed_probabilities() {
+        let db = udb1();
+        let rp = rank_probabilities(&db, 3).unwrap();
+        let shared = SharedEvaluation::from_rank_probabilities(&db, rp.clone());
+        assert_eq!(shared.rank_probabilities(), &rp);
+        assert!((shared.quality() - quality_pw(&db, 3).unwrap()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn invalid_k_is_rejected() {
+        let db = udb1();
+        assert!(SharedEvaluation::new(&db, 0).is_err());
+    }
+}

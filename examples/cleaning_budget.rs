@@ -1,0 +1,42 @@
+//! How much quality does a cleaning budget buy?
+//!
+//! A miniature version of Figure 6(a): for increasing budgets, compare the
+//! expected quality improvement achieved by the optimal DP plan, the greedy
+//! heuristic, and the two random baselines.
+//!
+//! Run with `cargo run --release --example cleaning_budget`.
+
+use rand::{rngs::StdRng, SeedableRng};
+use uncertain_topk::gen::cleaning_params::{generate as gen_params, CleaningParamsConfig};
+use uncertain_topk::gen::synthetic::{generate_ranked, SyntheticConfig};
+use uncertain_topk::prelude::*;
+
+fn main() {
+    let db = generate_ranked(&SyntheticConfig { num_x_tuples: 1_000, ..SyntheticConfig::paper_default() })
+        .expect("generation succeeds");
+    let k = 15;
+    let ctx = CleaningContext::prepare(&db, k).expect("valid k");
+    let params = gen_params(db.num_x_tuples(), &CleaningParamsConfig::default());
+    let setup = CleaningSetup::new(params.costs, params.sc_probs).expect("valid setup");
+
+    println!(
+        "dataset: {} x-tuples, quality S = {:.3}, {} cleaning candidates",
+        db.num_x_tuples(),
+        ctx.quality,
+        ctx.candidates().len()
+    );
+    println!("\n{:>8}  {:>10}  {:>10}  {:>10}  {:>10}", "budget", "DP", "Greedy", "RandP", "RandU");
+
+    for &budget in &[1u64, 5, 10, 50, 100, 500, 1_000] {
+        let mut row = format!("{budget:>8}");
+        for algo in CleaningAlgorithm::ALL {
+            let mut rng = StdRng::seed_from_u64(budget);
+            let plan = algo.plan(&ctx, &setup, budget, &mut rng).expect("planning succeeds");
+            let gain = expected_improvement(&ctx, &setup, &plan);
+            row.push_str(&format!("  {gain:>10.4}"));
+        }
+        println!("{row}");
+    }
+    println!("\nThe improvement is capped by |S| = {:.3}; DP is optimal, Greedy tracks it", -ctx.quality);
+    println!("closely, and the random baselines waste budget on low-impact x-tuples.");
+}

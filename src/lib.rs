@@ -1,0 +1,56 @@
+//! # uncertain-topk
+//!
+//! A Rust reproduction of **"Cleaning Uncertain Data for Top-k Queries"**
+//! (Mo, Cheng, Li, Cheung, Yang — ICDE 2013).
+//!
+//! This facade crate re-exports the workspace crates under a single name so
+//! downstream users can depend on `uncertain-topk` alone:
+//!
+//! * [`core`] — the x-tuple probabilistic database model and possible-world
+//!   semantics ([`pdb_core`]).
+//! * [`engine`] — the PSR rank-probability algorithm and the probabilistic
+//!   top-k query semantics U-kRanks, PT-k and Global-topk ([`pdb_engine`]).
+//! * [`quality`] — PWS-quality computation: the PW, PWR and TP algorithms
+//!   ([`pdb_quality`]).
+//! * [`clean`] — budgeted cleaning: expected-improvement model and the DP,
+//!   Greedy, RandP and RandU algorithms ([`pdb_clean`]).
+//! * [`gen`] — the synthetic and MOV dataset generators used by the paper's
+//!   evaluation ([`pdb_gen`]).
+//! * [`experiments`] — drivers that regenerate every figure of the
+//!   evaluation section ([`pdb_experiments`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use uncertain_topk::prelude::*;
+//!
+//! // Table I of the paper: four temperature sensors.
+//! let db = uncertain_topk::core::examples::udb1().rank_by(&ScoreRanking);
+//!
+//! // Evaluate a PT-2 query (threshold 0.4) and its PWS-quality.
+//! let shared = SharedEvaluation::new(&db, 2).unwrap();
+//! let answer = shared.pt_k(0.4).unwrap();
+//! assert_eq!(answer.len(), 3); // {t1, t2, t5} in the paper
+//! let quality = shared.quality();
+//! assert!((quality - (-2.55)).abs() < 0.01);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use pdb_clean as clean;
+pub use pdb_core as core;
+pub use pdb_engine as engine;
+pub use pdb_experiments as experiments;
+pub use pdb_gen as gen;
+pub use pdb_quality as quality;
+
+/// One-stop prelude re-exporting the most commonly used items of every
+/// workspace crate.
+pub mod prelude {
+    pub use pdb_clean::prelude::*;
+    pub use pdb_core::prelude::*;
+    pub use pdb_engine::prelude::*;
+    pub use pdb_gen::prelude::*;
+    pub use pdb_quality::prelude::*;
+}

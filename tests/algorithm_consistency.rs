@@ -1,0 +1,152 @@
+//! Cross-algorithm consistency checks on randomly generated databases.
+//!
+//! The efficient algorithms (incremental PSR, PWR, TP) must agree with the
+//! brute-force possible-world oracles on every database small enough to
+//! enumerate; these tests sweep a range of random shapes, including
+//! sub-full probability mass (implicit null alternatives), near-certain
+//! tuples and duplicate scores.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use uncertain_topk::engine::oracle::rank_probabilities_by_enumeration;
+use uncertain_topk::prelude::*;
+
+/// Build a random ranked database with `m` x-tuples.
+fn random_db(rng: &mut StdRng, m: usize, allow_null_mass: bool) -> RankedDatabase {
+    let mut x_tuples = Vec::new();
+    for _ in 0..m {
+        let alts = rng.gen_range(1..=4);
+        let mut remaining: f64 = 1.0;
+        let mut v = Vec::new();
+        for a in 0..alts {
+            let p = if a == alts - 1 && !allow_null_mass {
+                remaining
+            } else {
+                remaining * rng.gen_range(0.1..0.9)
+            };
+            remaining -= p;
+            // Scores are drawn from a small integer domain to exercise the
+            // tie-breaking logic.
+            v.push((rng.gen_range(0..40) as f64, p));
+        }
+        x_tuples.push(v);
+    }
+    RankedDatabase::from_scored_x_tuples(&x_tuples).unwrap()
+}
+
+#[test]
+fn psr_matches_the_possible_world_oracle() {
+    let mut rng = StdRng::seed_from_u64(2013);
+    for trial in 0..30 {
+        let allow_null = trial % 2 == 0;
+        let m = rng.gen_range(2..8);
+        let db = random_db(&mut rng, m, allow_null);
+        let k = rng.gen_range(1..6);
+        let fast = rank_probabilities(&db, k).unwrap();
+        let slow = rank_probabilities_by_enumeration(&db, k).unwrap();
+        for pos in 0..db.len() {
+            for h in 1..=k {
+                assert!(
+                    (fast.rank_prob(pos, h) - slow.rank_prob(pos, h)).abs() < 1e-9,
+                    "trial {trial}, tuple {pos}, rank {h}"
+                );
+            }
+            assert!(
+                (fast.top_k_prob(pos) - slow.top_k_prob(pos)).abs() < 1e-9,
+                "trial {trial}, tuple {pos}"
+            );
+        }
+    }
+}
+
+#[test]
+fn the_three_quality_algorithms_agree() {
+    let mut rng = StdRng::seed_from_u64(777);
+    for trial in 0..30 {
+        let allow_null = trial % 3 == 0;
+        let m = rng.gen_range(2..7);
+        let db = random_db(&mut rng, m, allow_null);
+        let k = rng.gen_range(1..5);
+        let pw = quality_pw(&db, k).unwrap();
+        let pwr = quality_pwr(&db, k).unwrap();
+        let tp = quality_tp(&db, k).unwrap();
+        assert!((pw - pwr).abs() < 1e-8, "trial {trial}: PW {pw} vs PWR {pwr}");
+        assert!((pw - tp).abs() < 1e-8, "trial {trial}: PW {pw} vs TP {tp}");
+        assert!(pw <= 1e-12, "quality is never positive");
+    }
+}
+
+#[test]
+fn exact_and_incremental_psr_agree_on_larger_databases() {
+    let mut rng = StdRng::seed_from_u64(31337);
+    for _ in 0..3 {
+        let db = random_db(&mut rng, 300, true);
+        for &k in &[1usize, 10, 40] {
+            let fast = rank_probabilities(&db, k).unwrap();
+            let exact = rank_probabilities_exact(&db, k).unwrap();
+            for pos in 0..db.len() {
+                assert!((fast.top_k_prob(pos) - exact.top_k_prob(pos)).abs() < 1e-8);
+            }
+        }
+    }
+}
+
+#[test]
+fn query_semantics_agree_with_definitions() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..10 {
+        let db = random_db(&mut rng, 6, false);
+        let k = 3;
+        let rp = rank_probabilities(&db, k).unwrap();
+
+        // PT-k: exactly the tuples whose top-k probability clears the bar.
+        let threshold = 0.25;
+        let answer = pt_k(&db, &rp, threshold).unwrap();
+        for pos in 0..db.len() {
+            assert_eq!(
+                answer.contains_position(pos),
+                rp.top_k_prob(pos) >= threshold,
+                "PT-k membership must follow the threshold"
+            );
+        }
+
+        // Global-topk: no excluded tuple may beat an included one.
+        let global = global_topk(&db, &rp);
+        let included = global.positions();
+        let worst_included =
+            included.iter().map(|&p| rp.top_k_prob(p)).fold(f64::INFINITY, f64::min);
+        for pos in 0..db.len() {
+            if !included.contains(&pos) {
+                assert!(rp.top_k_prob(pos) <= worst_included + 1e-12);
+            }
+        }
+
+        // U-kRanks winners carry the per-rank maximum probability.
+        let uk = u_k_ranks(&db, &rp);
+        for (h0, winner) in uk.winners.iter().enumerate() {
+            let best = (0..db.len()).map(|p| rp.rank_prob(p, h0 + 1)).fold(0.0, f64::max);
+            match winner {
+                Some(w) => assert!((w.prob - best).abs() < 1e-12),
+                None => assert_eq!(best, 0.0),
+            }
+        }
+    }
+}
+
+#[test]
+fn shared_evaluation_matches_standalone_runs() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let db = random_db(&mut rng, 50, true);
+    let k = 8;
+    let shared = SharedEvaluation::new(&db, k).unwrap();
+    assert!((shared.quality() - quality_tp(&db, k).unwrap()).abs() < 1e-12);
+
+    let rp = rank_probabilities(&db, k).unwrap();
+    assert_eq!(shared.pt_k(0.1).unwrap(), pt_k(&db, &rp, 0.1).unwrap());
+    assert_eq!(shared.global_topk(), global_topk(&db, &rp));
+    assert_eq!(shared.u_k_ranks(), u_k_ranks(&db, &rp));
+
+    // The quality breakdown used by the cleaning problem sums to the score.
+    let breakdown = shared.quality_breakdown();
+    let sum: f64 = breakdown.x_tuple_contribution.iter().sum();
+    assert!((sum - shared.quality()).abs() < 1e-9);
+}

@@ -1,0 +1,130 @@
+//! End-to-end cleaning workflow on generated datasets: plan with every
+//! algorithm, verify feasibility and ordering, execute plans by simulation
+//! and confirm the realised quality gain tracks the expectation.
+
+use rand::{rngs::StdRng, SeedableRng};
+use uncertain_topk::gen::cleaning_params::{generate as gen_params, CleaningParamsConfig, ScPdf};
+use uncertain_topk::gen::synthetic::{generate_ranked, SyntheticConfig};
+use uncertain_topk::prelude::*;
+
+fn small_synthetic() -> RankedDatabase {
+    generate_ranked(&SyntheticConfig { num_x_tuples: 200, ..SyntheticConfig::paper_default() })
+        .expect("generation succeeds")
+}
+
+#[test]
+fn all_algorithms_produce_feasible_plans_with_expected_ordering() {
+    let db = small_synthetic();
+    let k = 10;
+    let ctx = CleaningContext::prepare(&db, k).unwrap();
+    let params = gen_params(db.num_x_tuples(), &CleaningParamsConfig::default());
+    let setup = CleaningSetup::new(params.costs, params.sc_probs).unwrap();
+    let budget = 60;
+
+    let mut improvements = std::collections::HashMap::new();
+    for algo in CleaningAlgorithm::ALL {
+        // Average the random heuristics over several runs.
+        let runs = if matches!(algo, CleaningAlgorithm::RandP | CleaningAlgorithm::RandU) {
+            20
+        } else {
+            1
+        };
+        let mut total = 0.0;
+        for run in 0..runs {
+            let mut rng = StdRng::seed_from_u64(run);
+            let plan = algo.plan(&ctx, &setup, budget, &mut rng).unwrap();
+            plan.validate(&setup, budget).unwrap();
+            // Only candidate x-tuples are ever selected.
+            for l in plan.selected() {
+                assert!(ctx.candidates().contains(&l), "{algo} selected a useless x-tuple");
+            }
+            total += expected_improvement(&ctx, &setup, &plan);
+        }
+        improvements.insert(algo.name(), total / runs as f64);
+    }
+
+    let dp = improvements["DP"];
+    let greedy = improvements["Greedy"];
+    let rand_p = improvements["RandP"];
+    let rand_u = improvements["RandU"];
+    assert!(dp > 0.0);
+    assert!(dp + 1e-9 >= greedy, "DP {dp} vs Greedy {greedy}");
+    assert!(greedy + 1e-9 >= rand_p, "Greedy {greedy} vs RandP {rand_p}");
+    assert!(greedy + 1e-9 >= rand_u, "Greedy {greedy} vs RandU {rand_u}");
+    // Every improvement is capped by the total ambiguity.
+    for (&name, &value) in &improvements {
+        assert!(value <= -ctx.quality + 1e-9, "{name}");
+        assert!(value >= 0.0, "{name}");
+    }
+}
+
+#[test]
+fn simulated_cleaning_tracks_the_expected_improvement() {
+    let db = generate_ranked(&SyntheticConfig { num_x_tuples: 60, ..SyntheticConfig::paper_default() })
+        .expect("generation succeeds");
+    let k = 5;
+    let ctx = CleaningContext::prepare(&db, k).unwrap();
+    let setup = CleaningSetup::uniform(db.num_x_tuples(), 1, 0.7).unwrap();
+    let plan = plan_greedy(&ctx, &setup, 20).unwrap();
+    let expected = expected_improvement(&ctx, &setup, &plan);
+    assert!(expected > 0.0);
+
+    let trials = 300;
+    let mut total = 0.0;
+    for trial in 0..trials {
+        let mut rng = StdRng::seed_from_u64(trial);
+        let cleaned = simulate_cleaning(&db, &setup, &plan, &mut rng)
+            .unwrap()
+            .expect("synthetic x-tuples have full mass, so they never vanish");
+        total += quality_tp(&cleaned, k).unwrap() - ctx.quality;
+    }
+    let mean = total / trials as f64;
+    let rel_err = (mean - expected).abs() / expected;
+    assert!(
+        rel_err < 0.15,
+        "Monte-Carlo improvement {mean} should be within 15% of the expectation {expected}"
+    );
+}
+
+#[test]
+fn higher_sc_probability_buys_more_quality() {
+    let db = small_synthetic();
+    let k = 10;
+    let ctx = CleaningContext::prepare(&db, k).unwrap();
+    let mut previous = -1.0;
+    for lo in [0.0, 0.5, 1.0] {
+        let params = gen_params(
+            db.num_x_tuples(),
+            &CleaningParamsConfig {
+                sc_pdf: ScPdf::Uniform { lo, hi: 1.0 },
+                ..CleaningParamsConfig::default()
+            },
+        );
+        let setup = CleaningSetup::new(params.costs, params.sc_probs).unwrap();
+        let plan = plan_greedy(&ctx, &setup, 50).unwrap();
+        let improvement = expected_improvement(&ctx, &setup, &plan);
+        assert!(
+            improvement + 1e-9 >= previous,
+            "raising every sc-probability should never reduce the achievable improvement"
+        );
+        previous = improvement;
+    }
+}
+
+#[test]
+fn cleaning_with_unlimited_budget_and_certain_probes_removes_all_ambiguity() {
+    let db = generate_ranked(&SyntheticConfig { num_x_tuples: 50, ..SyntheticConfig::paper_default() })
+        .expect("generation succeeds");
+    let k = 5;
+    let ctx = CleaningContext::prepare(&db, k).unwrap();
+    let setup = CleaningSetup::uniform(db.num_x_tuples(), 1, 1.0).unwrap();
+    // Budget large enough to clean every candidate once.
+    let plan = plan_greedy(&ctx, &setup, db.num_x_tuples() as u64).unwrap();
+    let improvement = expected_improvement(&ctx, &setup, &plan);
+    assert!((improvement - (-ctx.quality)).abs() < 1e-6, "all ambiguity should be removed");
+
+    // And the simulation agrees: the cleaned database has quality 0.
+    let mut rng = StdRng::seed_from_u64(0);
+    let cleaned = simulate_cleaning(&db, &setup, &plan, &mut rng).unwrap().unwrap();
+    assert!(quality_tp(&cleaned, k).unwrap().abs() < 1e-9);
+}

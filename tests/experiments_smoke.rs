@@ -1,0 +1,40 @@
+//! Smoke tests of the experiment harness: every figure driver runs at the
+//! quick scale and produces well-formed output.
+
+use uncertain_topk::experiments::{run, Scale, ALL_EXPERIMENTS};
+
+#[test]
+fn every_experiment_runs_at_quick_scale_and_renders() {
+    // The heavyweight drivers are exercised individually by the harness's
+    // own unit tests; here we run a representative subset end to end and
+    // check the output contract (id, series, table, CSV) for each.
+    for id in ["fig2-3", "fig4a", "fig4b", "fig5b", "fig6a", "fig6e"] {
+        let result = run(id, Scale::Quick).unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert_eq!(result.id, id);
+        assert!(!result.series.is_empty(), "{id} produced no series");
+        assert!(
+            result.series.iter().any(|s| !s.points.is_empty()),
+            "{id} produced only empty series"
+        );
+        let table = result.to_table();
+        assert!(table.contains(id));
+        let csv = result.to_csv();
+        assert!(csv.lines().count() >= 2, "{id} CSV should have a header and data");
+    }
+}
+
+#[test]
+fn experiment_list_covers_every_figure_of_the_evaluation() {
+    // Figures 2-3, 4(a)-(f), 5(a)-(d), 6(a)-(g): 1 + 6 + 4 + 7 = 18 ids.
+    assert_eq!(ALL_EXPERIMENTS.len(), 18);
+    for prefix in ["fig4", "fig5", "fig6"] {
+        assert!(ALL_EXPERIMENTS.iter().any(|id| id.starts_with(prefix)));
+    }
+}
+
+#[test]
+fn unknown_experiments_are_rejected_with_a_helpful_message() {
+    let err = run("fig99", Scale::Quick).unwrap_err().to_string();
+    assert!(err.contains("fig99"));
+    assert!(err.contains("fig4a"), "the error should list the known ids");
+}
