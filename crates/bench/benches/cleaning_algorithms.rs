@@ -24,16 +24,12 @@ fn bench_time_vs_budget(c: &mut Criterion) {
             if algo == CleaningAlgorithm::Dp && budget > 1_000 {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), budget),
-                &budget,
-                |b, &budget| {
-                    b.iter(|| {
-                        let mut rng = StdRng::seed_from_u64(budget);
-                        algo.plan(black_box(&ctx), &setup, budget, &mut rng).unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), budget), &budget, |b, &budget| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(budget);
+                    algo.plan(black_box(&ctx), &setup, budget, &mut rng).unwrap()
+                })
+            });
         }
     }
     group.finish();

@@ -1,7 +1,8 @@
 //! Shared fixtures for the Criterion benchmarks.
 //!
 //! Each bench target regenerates the timing series of one figure family of
-//! the paper (see DESIGN.md §4 for the mapping).  The fixtures here keep
+//! the paper (see the figure-to-experiment mapping in the workspace
+//! README.md).  The fixtures here keep
 //! dataset construction out of the measured code and consistent across
 //! targets.
 

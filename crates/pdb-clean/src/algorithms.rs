@@ -168,13 +168,12 @@ pub fn plan_greedy(
     let mut plan = CleaningPlan::empty(m);
     let mut remaining = budget;
 
-    let mut heap: BinaryHeap<GreedyItem> = affordable_candidates(ctx, setup, budget)
+    let candidates = affordable_candidates(ctx, setup, budget);
+    let scores = crate::improvement::first_attempt_scores(ctx, setup, &candidates);
+    let mut heap: BinaryHeap<GreedyItem> = candidates
         .into_iter()
-        .map(|l| GreedyItem {
-            score: marginal_gain(ctx, setup, l, 1) / setup.cost(l) as f64,
-            l,
-            next_attempt: 1,
-        })
+        .zip(scores)
+        .map(|(l, score)| GreedyItem { score, l, next_attempt: 1 })
         .collect();
 
     while let Some(item) = heap.pop() {
@@ -484,7 +483,8 @@ mod tests {
     #[test]
     fn greedy_never_selects_useless_x_tuples() {
         // S4 (certain) has g = 0 in a certain database; nothing is selected.
-        let db = RankedDatabase::from_scored_x_tuples(&[vec![(3.0, 1.0)], vec![(2.0, 1.0)]]).unwrap();
+        let db =
+            RankedDatabase::from_scored_x_tuples(&[vec![(3.0, 1.0)], vec![(2.0, 1.0)]]).unwrap();
         let ctx = CleaningContext::prepare(&db, 2).unwrap();
         let setup = CleaningSetup::uniform(2, 1, 0.9).unwrap();
         assert!(!is_candidate(&ctx, 0));
@@ -582,7 +582,10 @@ mod tests {
         let rand_u = ru_sum / trials as f64;
         assert!(dp >= greedy - 1e-12);
         assert!(greedy >= rand_p - 1e-9, "greedy {greedy} vs RandP {rand_p}");
-        assert!(rand_p >= rand_u - 0.05 * rand_u.abs().max(1e-9), "RandP {rand_p} vs RandU {rand_u}");
+        assert!(
+            rand_p >= rand_u - 0.05 * rand_u.abs().max(1e-9),
+            "RandP {rand_p} vs RandU {rand_u}"
+        );
         assert!(dp > 0.0);
     }
 

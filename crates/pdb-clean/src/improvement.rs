@@ -91,20 +91,116 @@ pub fn marginal_gain(ctx: &CleaningContext, setup: &CleaningSetup, l: usize, j: 
     -(1.0 - p).powi((j - 1).min(i32::MAX as u64) as i32) * p * ctx.g[l]
 }
 
-/// The expected quality improvement of a plan (Theorem 2).
-pub fn expected_improvement(
+/// Number of per-x-tuple terms per summation chunk.  Both the sequential
+/// and the parallel path sum chunk-by-chunk in index order, so their
+/// floating-point results are bit-for-bit identical.
+const IMPROVEMENT_CHUNK: usize = 1024;
+
+/// Minimum number of per-candidate evaluations before the parallel path
+/// reaches for threads.  Each term costs only nanoseconds, and the
+/// (pool-less) rayon stand-in pays a thread spawn/join per call, so the
+/// input must be large enough to amortize that; below the gate the
+/// parallel entry points run the identical chunked evaluation inline.
+#[cfg(feature = "parallel")]
+const PARALLEL_MIN_ITEMS: usize = 16 * IMPROVEMENT_CHUNK;
+
+/// The contribution of x-tuples `lo..hi` to Theorem 2's sum.
+fn improvement_chunk(
     ctx: &CleaningContext,
     setup: &CleaningSetup,
     plan: &CleaningPlan,
+    lo: usize,
+    hi: usize,
 ) -> f64 {
     let mut total = 0.0;
-    for l in 0..ctx.num_x_tuples() {
+    for l in lo..hi {
         let m = plan.count(l);
         if m > 0 {
             total -= setup.success_prob(l, m) * ctx.g[l];
         }
     }
     total
+}
+
+/// The chunk boundaries covering `0..m`, allocation-free (the evaluation
+/// sits in exponential/iterative planner loops).
+fn improvement_chunk_bounds(m: usize) -> impl Iterator<Item = (usize, usize)> {
+    (0..m).step_by(IMPROVEMENT_CHUNK).map(move |lo| (lo, (lo + IMPROVEMENT_CHUNK).min(m)))
+}
+
+/// The expected quality improvement of a plan (Theorem 2).
+///
+/// With the `parallel` feature (on by default) the per-x-tuple terms are
+/// evaluated across threads ([`expected_improvement_parallel`]); the
+/// result is bit-for-bit identical to
+/// [`expected_improvement_sequential`] because both paths sum fixed-size
+/// chunks in index order.
+pub fn expected_improvement(
+    ctx: &CleaningContext,
+    setup: &CleaningSetup,
+    plan: &CleaningPlan,
+) -> f64 {
+    #[cfg(feature = "parallel")]
+    {
+        expected_improvement_parallel(ctx, setup, plan)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        expected_improvement_sequential(ctx, setup, plan)
+    }
+}
+
+/// The strictly sequential Theorem 2 evaluation (always available; the
+/// `parallel` feature's reference for equivalence testing).
+pub fn expected_improvement_sequential(
+    ctx: &CleaningContext,
+    setup: &CleaningSetup,
+    plan: &CleaningPlan,
+) -> f64 {
+    improvement_chunk_bounds(ctx.num_x_tuples())
+        .map(|(lo, hi)| improvement_chunk(ctx, setup, plan, lo, hi))
+        .sum()
+}
+
+/// Theorem 2 evaluation with the per-x-tuple terms computed across
+/// threads. Inputs below [`PARALLEL_MIN_ITEMS`] x-tuples skip the thread
+/// pool entirely and run the identical chunked sum inline.
+#[cfg(feature = "parallel")]
+pub fn expected_improvement_parallel(
+    ctx: &CleaningContext,
+    setup: &CleaningSetup,
+    plan: &CleaningPlan,
+) -> f64 {
+    use rayon::prelude::*;
+
+    if ctx.num_x_tuples() < PARALLEL_MIN_ITEMS {
+        return expected_improvement_sequential(ctx, setup, plan);
+    }
+    let chunks: Vec<(usize, usize)> = improvement_chunk_bounds(ctx.num_x_tuples()).collect();
+    let partials: Vec<f64> =
+        chunks.par_iter().map(|&(lo, hi)| improvement_chunk(ctx, setup, plan, lo, hi)).collect();
+    partials.into_iter().sum()
+}
+
+/// The first-attempt score of every candidate — `b(l, D, 1) / c_l`, the
+/// quantity the greedy planner seeds its heap with.  Scores are pure per
+/// candidate, so with the `parallel` feature they are evaluated across
+/// threads once the candidate set is large enough; output order and values
+/// match the sequential evaluation exactly.
+pub fn first_attempt_scores(
+    ctx: &CleaningContext,
+    setup: &CleaningSetup,
+    candidates: &[usize],
+) -> Vec<f64> {
+    let score = |&l: &usize| marginal_gain(ctx, setup, l, 1) / setup.cost(l) as f64;
+    #[cfg(feature = "parallel")]
+    {
+        use rayon::prelude::*;
+        if candidates.len() >= PARALLEL_MIN_ITEMS {
+            return candidates.par_iter().map(score).collect();
+        }
+    }
+    candidates.iter().map(score).collect()
 }
 
 /// Outcome of the cleaning attempts on one x-tuple.
@@ -228,7 +324,17 @@ fn enumerate_outcomes(
 
     // Outcome 1: all attempts failed.
     outcomes[l] = CleanOutcome::Unchanged;
-    enumerate_outcomes(db, k, setup, plan, selected, idx + 1, prob * (1.0 - success), outcomes, total)?;
+    enumerate_outcomes(
+        db,
+        k,
+        setup,
+        plan,
+        selected,
+        idx + 1,
+        prob * (1.0 - success),
+        outcomes,
+        total,
+    )?;
 
     // Outcome 2: success, true value is one of the explicit alternatives.
     for &pos in &db.x_tuple(l).members {
@@ -241,7 +347,17 @@ fn enumerate_outcomes(
     let null = db.x_tuple(l).null_prob();
     if null > pdb_core::PROB_EPSILON {
         outcomes[l] = CleanOutcome::Null;
-        enumerate_outcomes(db, k, setup, plan, selected, idx + 1, prob * null * success, outcomes, total)?;
+        enumerate_outcomes(
+            db,
+            k,
+            setup,
+            plan,
+            selected,
+            idx + 1,
+            prob * null * success,
+            outcomes,
+            total,
+        )?;
     }
 
     outcomes[l] = CleanOutcome::Unchanged;
@@ -273,9 +389,7 @@ pub fn simulate_cleaning<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Option<RankedDatabase>> {
     if plan.len() != db.num_x_tuples() || setup.len() != db.num_x_tuples() {
-        return Err(DbError::invalid_parameter(
-            "plan/setup do not cover the database's x-tuples",
-        ));
+        return Err(DbError::invalid_parameter("plan/setup do not cover the database's x-tuples"));
     }
     let mut outcomes = vec![CleanOutcome::Unchanged; db.num_x_tuples()];
     for (l, outcome) in outcomes.iter_mut().enumerate() {
@@ -333,7 +447,8 @@ mod tests {
 
     #[test]
     fn certain_database_has_no_candidates() {
-        let db = RankedDatabase::from_scored_x_tuples(&[vec![(3.0, 1.0)], vec![(2.0, 1.0)]]).unwrap();
+        let db =
+            RankedDatabase::from_scored_x_tuples(&[vec![(3.0, 1.0)], vec![(2.0, 1.0)]]).unwrap();
         let ctx = CleaningContext::prepare(&db, 2).unwrap();
         assert!(ctx.candidates().is_empty());
         assert_eq!(ctx.quality, 0.0);
@@ -364,8 +479,7 @@ mod tests {
     fn theorem_2_matches_the_exhaustive_expectation() {
         let db = udb1();
         let ctx = CleaningContext::prepare(&db, 2).unwrap();
-        let setup =
-            CleaningSetup::new(vec![1, 2, 1, 3], vec![0.7, 0.5, 0.9, 1.0]).unwrap();
+        let setup = CleaningSetup::new(vec![1, 2, 1, 3], vec![0.7, 0.5, 0.9, 1.0]).unwrap();
         // Try several plans, including multi-x-tuple and multi-attempt ones.
         let plans = vec![
             CleaningPlan::from_counts(vec![1, 0, 0, 0]),
@@ -416,9 +530,8 @@ mod tests {
             vec![(9.0, 0.4), (8.0, 0.6)],
         ])
         .unwrap();
-        let cleaned = apply_outcomes(&db, &[CleanOutcome::Null, CleanOutcome::Tuple(1)])
-            .unwrap()
-            .unwrap();
+        let cleaned =
+            apply_outcomes(&db, &[CleanOutcome::Null, CleanOutcome::Tuple(1)]).unwrap().unwrap();
         assert_eq!(cleaned.num_x_tuples(), 1);
         assert_eq!(cleaned.len(), 1);
         assert!((cleaned.tuple(0).prob - 1.0).abs() < 1e-12);

@@ -45,9 +45,12 @@ pub use adaptive::{run_adaptive_session, AdaptiveOutcome};
 pub use algorithms::{
     plan_dp, plan_exhaustive, plan_greedy, plan_rand_p, plan_rand_u, CleaningAlgorithm,
 };
+#[cfg(feature = "parallel")]
+pub use improvement::expected_improvement_parallel;
 pub use improvement::{
     apply_outcomes, expected_improvement, expected_improvement_exhaustive,
-    expected_quality_exhaustive, marginal_gain, simulate_cleaning, CleanOutcome, CleaningContext,
+    expected_improvement_sequential, expected_quality_exhaustive, first_attempt_scores,
+    marginal_gain, simulate_cleaning, CleanOutcome, CleaningContext,
 };
 pub use model::{CleaningPlan, CleaningSetup};
 pub use target::{

@@ -150,12 +150,7 @@ impl CleaningPlan {
 
     /// The selected set `X`: indices of x-tuples with at least one attempt.
     pub fn selected(&self) -> Vec<usize> {
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(l, _)| l)
-            .collect()
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(l, _)| l).collect()
     }
 
     /// Total number of attempts across all x-tuples.

@@ -115,11 +115,7 @@ pub fn min_cost_greedy(
         .candidates()
         .into_iter()
         .filter(|&l| setup.sc_prob(l) > 0.0)
-        .map(|l| Item {
-            ratio: marginal_gain(ctx, setup, l, 1) / setup.cost(l) as f64,
-            l,
-            next: 1,
-        })
+        .map(|l| Item { ratio: marginal_gain(ctx, setup, l, 1) / setup.cost(l) as f64, l, next: 1 })
         .collect();
 
     let mut achieved = 0.0;

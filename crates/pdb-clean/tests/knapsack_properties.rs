@@ -1,11 +1,11 @@
 //! Property-based tests of the cleaning planners against the exhaustive
 //! optimum (Theorem 3: the knapsack reduction is exact).
 
+use pdb_clean::plan_exhaustive;
+use pdb_clean::prelude::*;
+use pdb_core::RankedDatabase;
 use proptest::collection::vec;
 use proptest::prelude::*;
-use pdb_clean::prelude::*;
-use pdb_clean::plan_exhaustive;
-use pdb_core::RankedDatabase;
 use rand::{rngs::StdRng, SeedableRng};
 
 fn x_tuple() -> impl Strategy<Value = Vec<(f64, f64)>> {

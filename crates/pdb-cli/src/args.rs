@@ -214,10 +214,7 @@ mod tests {
     #[test]
     fn parses_experiment_flags() {
         let c = parse(&argv(&["exp", "fig4a", "--scale", "paper", "--csv"])).unwrap();
-        assert_eq!(
-            c,
-            Command::Experiment { id: "fig4a".into(), scale: Scale::Paper, csv: true }
-        );
+        assert_eq!(c, Command::Experiment { id: "fig4a".into(), scale: Scale::Paper, csv: true });
         assert!(parse(&argv(&["exp"])).is_err());
         assert!(parse(&argv(&["exp", "fig4a", "--scale"])).is_err());
         assert!(parse(&argv(&["exp", "fig4a", "--bogus"])).is_err());
@@ -231,11 +228,22 @@ mod tests {
 
     #[test]
     fn parses_quality_and_clean() {
-        let c = parse(&argv(&["quality", "--dataset", "mov", "--k", "5", "--algo", "pwr"])).unwrap();
+        let c =
+            parse(&argv(&["quality", "--dataset", "mov", "--k", "5", "--algo", "pwr"])).unwrap();
         assert_eq!(c, Command::Quality { dataset: DatasetChoice::Mov, k: 5, algo: "pwr".into() });
 
-        let c = parse(&argv(&["clean", "--budget", "50", "--algo", "dp", "--dataset", "udb1", "--k", "2"]))
-            .unwrap();
+        let c = parse(&argv(&[
+            "clean",
+            "--budget",
+            "50",
+            "--algo",
+            "dp",
+            "--dataset",
+            "udb1",
+            "--k",
+            "2",
+        ]))
+        .unwrap();
         assert_eq!(
             c,
             Command::Clean { dataset: DatasetChoice::Udb1, k: 2, budget: 50, algo: "dp".into() }

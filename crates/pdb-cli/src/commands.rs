@@ -24,7 +24,7 @@ pub fn run(command: Command) -> Result<String> {
 }
 
 fn list() -> String {
-    let mut out = String::from("available experiments (see DESIGN.md for the figure mapping):\n");
+    let mut out = String::from("available experiments (see README.md for the figure mapping):\n");
     for id in ALL_EXPERIMENTS {
         let _ = writeln!(out, "  {id}");
     }
@@ -48,8 +48,9 @@ fn run_all(scale: Scale, csv_dir: Option<&str>) -> Result<String> {
 
 fn write_csv(dir: &str, result: &ExperimentResult) -> Result<()> {
     let dir = std::path::Path::new(dir);
-    std::fs::create_dir_all(dir)
-        .map_err(|e| DbError::invalid_parameter(format!("creating {} failed: {e}", dir.display())))?;
+    std::fs::create_dir_all(dir).map_err(|e| {
+        DbError::invalid_parameter(format!("creating {} failed: {e}", dir.display()))
+    })?;
     let path = dir.join(format!("{}.csv", result.id));
     std::fs::write(&path, result.to_csv())
         .map_err(|e| DbError::invalid_parameter(format!("writing {} failed: {e}", path.display())))
@@ -163,11 +164,12 @@ mod tests {
 
     #[test]
     fn experiment_command_renders_table_and_csv() {
-        let table = run(Command::Experiment { id: "fig2-3".into(), scale: Scale::Quick, csv: false })
-            .unwrap();
+        let table =
+            run(Command::Experiment { id: "fig2-3".into(), scale: Scale::Quick, csv: false })
+                .unwrap();
         assert!(table.contains("udb1"));
-        let csv =
-            run(Command::Experiment { id: "fig2-3".into(), scale: Scale::Quick, csv: true }).unwrap();
+        let csv = run(Command::Experiment { id: "fig2-3".into(), scale: Scale::Quick, csv: true })
+            .unwrap();
         assert!(csv.lines().next().unwrap().contains("udb1"));
     }
 

@@ -11,16 +11,23 @@
 mod args;
 mod commands;
 
+use std::io::Write as _;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match args::parse(&argv) {
         Ok(command) => match commands::run(command) {
-            Ok(output) => {
-                println!("{output}");
-                ExitCode::SUCCESS
-            }
+            Ok(output) => match writeln!(std::io::stdout(), "{output}") {
+                Ok(()) => ExitCode::SUCCESS,
+                // A closed pipe (`pdb ... | head`) is a normal way for the
+                // reader to stop early, not a failure.
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: writing output failed: {e}");
+                    ExitCode::FAILURE
+                }
+            },
             Err(err) => {
                 eprintln!("error: {err}");
                 ExitCode::FAILURE

@@ -111,7 +111,8 @@ mod tests {
 
     #[test]
     fn certain_database_has_zero_entropy() {
-        let db = RankedDatabase::from_scored_x_tuples(&[vec![(1.0, 1.0)], vec![(2.0, 1.0)]]).unwrap();
+        let db =
+            RankedDatabase::from_scored_x_tuples(&[vec![(1.0, 1.0)], vec![(2.0, 1.0)]]).unwrap();
         let s = describe(&db);
         assert_eq!(s.certain_x_tuples, 2);
         assert_eq!(s.mean_x_tuple_entropy, 0.0);
@@ -119,7 +120,8 @@ mod tests {
 
     #[test]
     fn null_mass_is_counted() {
-        let db = RankedDatabase::from_scored_x_tuples(&[vec![(1.0, 0.5)], vec![(2.0, 1.0)]]).unwrap();
+        let db =
+            RankedDatabase::from_scored_x_tuples(&[vec![(1.0, 0.5)], vec![(2.0, 1.0)]]).unwrap();
         let s = describe(&db);
         assert_eq!(s.x_tuples_with_null, 1);
         assert_eq!(s.certain_x_tuples, 1);

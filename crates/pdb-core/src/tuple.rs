@@ -130,7 +130,12 @@ mod tests {
             tuples: probs
                 .iter()
                 .enumerate()
-                .map(|(i, &p)| Tuple { id: TupleId(i), x_tuple: XTupleId(0), payload: i as f64, prob: p })
+                .map(|(i, &p)| Tuple {
+                    id: TupleId(i),
+                    x_tuple: XTupleId(0),
+                    payload: i as f64,
+                    prob: p,
+                })
                 .collect(),
         }
     }

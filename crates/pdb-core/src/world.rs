@@ -176,10 +176,8 @@ mod tests {
             v.sort_unstable();
             v
         };
-        let w = worlds(&db)
-            .unwrap()
-            .find(|w| w.existing_positions() == target)
-            .expect("world exists");
+        let w =
+            worlds(&db).unwrap().find(|w| w.existing_positions() == target).expect("world exists");
         assert!((w.prob - 0.072).abs() < 1e-12);
     }
 

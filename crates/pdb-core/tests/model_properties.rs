@@ -1,9 +1,9 @@
 //! Property-based tests of the data model and possible-world semantics.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use pdb_core::world::{worlds_with_limit, DEFAULT_WORLD_LIMIT};
 use pdb_core::{RankedDatabase, TupleId};
+use proptest::collection::vec;
+use proptest::prelude::*;
 
 /// Strategy: raw (score, weight) alternatives for one x-tuple; weights are
 /// normalised to a total mass in (0, 1].

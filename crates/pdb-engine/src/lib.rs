@@ -31,7 +31,11 @@ pub mod poly;
 pub mod psr;
 pub mod queries;
 
-pub use psr::{rank_probabilities, rank_probabilities_exact, RankProbabilities};
+#[cfg(feature = "parallel")]
+pub use psr::rank_probabilities_parallel;
+pub use psr::{
+    rank_probabilities, rank_probabilities_exact, rank_probabilities_sequential, RankProbabilities,
+};
 pub use queries::{
     global_topk, pt_k, u_k_ranks, AnswerTuple, QueryAnswer, TopKQuery, TupleSetAnswer,
     UKRanksAnswer,

@@ -68,7 +68,8 @@ mod tests {
 
     #[test]
     fn oracle_validates_parameters_and_size() {
-        let db = RankedDatabase::from_scored_x_tuples(&[vec![(1.0, 0.5)], vec![(2.0, 0.5)]]).unwrap();
+        let db =
+            RankedDatabase::from_scored_x_tuples(&[vec![(1.0, 0.5)], vec![(2.0, 0.5)]]).unwrap();
         assert!(rank_probabilities_by_enumeration(&db, 0).is_err());
         assert!(rank_probabilities_by_enumeration_with_limit(&db, 1, 2).is_err());
     }

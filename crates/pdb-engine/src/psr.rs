@@ -134,12 +134,7 @@ impl RankProbabilities {
     /// order).  The paper calls the count of these `|Z|` in the cleaning
     /// section.
     pub fn nonzero_positions(&self) -> Vec<usize> {
-        self.top_k
-            .iter()
-            .enumerate()
-            .filter(|(_, &p)| p > 0.0)
-            .map(|(i, _)| i)
-            .collect()
+        self.top_k.iter().enumerate().filter(|(_, &p)| p > 0.0).map(|(i, _)| i).collect()
     }
 }
 
@@ -154,13 +149,60 @@ fn validate_k(db: &RankedDatabase, k: usize) -> Result<()> {
     Ok(())
 }
 
-/// Compute rank-h and top-k probabilities with the incremental PSR
-/// algorithm in O(n·k) time (plus rare polynomial rebuilds).
-pub fn rank_probabilities(db: &RankedDatabase, k: usize) -> Result<RankProbabilities> {
+/// Minimum number of pending ρ-row coefficients (`rows × k`) before the
+/// parallel path spreads incremental-PSR row finalization across threads.
+/// Each row costs only O(k), so the volume must comfortably amortize the
+/// per-call thread spawn/join overhead of the (pool-less) rayon stand-in.
+#[cfg(feature = "parallel")]
+const PARALLEL_ROW_THRESHOLD: usize = 1 << 16;
+
+/// Threading gate for the exact reference: each of its rows costs O(m·k),
+/// so far fewer coefficients are needed before threads pay off.
+#[cfg(feature = "parallel")]
+const PARALLEL_EXACT_THRESHOLD: usize = 4096;
+
+/// How one pending row obtains its "other x-tuples" polynomial.
+#[derive(Clone)]
+enum RowOthers {
+    /// Snapshot of the running product; divide out the tuple's own factor
+    /// (`divide_q > 0`) or use it as-is (`divide_q == 0`).
+    Snapshot { poly: TruncatedPoly, divide_q: f64 },
+    /// Polynomial already rebuilt from the active-factor list during the
+    /// planning scan (the rare ill-conditioned `q > MAX_DIVISOR_Q` case).
+    Ready(TruncatedPoly),
+}
+
+/// One tuple's pending ρ-row computation, produced by [`scan_rows`].
+///
+/// Finalizing a task ([`compute_row_into`]) is a pure function of the task, so
+/// tasks can be finalized sequentially or in parallel with bit-for-bit
+/// identical results.
+#[derive(Clone)]
+struct RowTask {
+    /// Rank position of the tuple (row index into ρ).
+    pos: usize,
+    /// The tuple's existential probability eᵢ.
+    prob: f64,
+    /// Number of saturated x-tuples above this position (deterministic
+    /// contribution to the higher-ranked count).
+    saturated: usize,
+    others: RowOthers,
+}
+
+/// Sequential scan of the incremental PSR algorithm.
+///
+/// Maintains the running generating-function product (advance = one
+/// divide + one multiply per tuple, with saturation tracking and rare
+/// rebuilds) and hands each tuple's pending ρ row to `sink` as a
+/// [`RowTask`]. A streaming sink that finalizes each task immediately
+/// (the sequential path) keeps the one-pass O(k) working state — each
+/// snapshot is transient, exactly like the per-row clone of the one-pass
+/// formulation; a collecting sink (the parallel path) trades O(rows·k)
+/// snapshot memory for threadable row finalization.
+fn scan_rows(db: &RankedDatabase, k: usize, mut sink: impl FnMut(RowTask)) -> Result<()> {
     validate_k(db, k)?;
     let n = db.len();
     let m = db.num_x_tuples();
-    let mut rho = vec![0.0; n * k];
 
     // q[l]: existential mass of x-tuple l's alternatives ranked strictly
     // higher than the tuple currently being processed.
@@ -241,57 +283,158 @@ pub fn rank_probabilities(db: &RankedDatabase, k: usize) -> Result<RankProbabili
             continue;
         }
         let ql = q[l];
-        let others = if ql == 0.0 {
-            poly.clone()
-        } else if ql <= MAX_DIVISOR_Q {
-            let mut b = poly.clone();
-            b.divide_binomial(ql);
-            b.clamp_non_negative();
-            b
+        let others = if ql <= MAX_DIVISOR_Q {
+            RowOthers::Snapshot { poly: poly.clone(), divide_q: ql }
         } else {
-            rebuild(k, &q, &is_saturated, &mut active, Some(l))
+            RowOthers::Ready(rebuild(k, &q, &is_saturated, &mut active, Some(l)))
         };
-
-        // ρᵢ(h) = eᵢ · Pr[exactly h−1 higher-ranked tuples exist]; the
-        // saturated x-tuples contribute a deterministic `saturated_count`.
-        for h in 1..=k {
-            let needed = h - 1;
-            if needed >= saturated_count {
-                rho[i * k + (h - 1)] = t.prob * others.coeff(needed - saturated_count);
-            }
-        }
+        sink(RowTask { pos: i, prob: t.prob, saturated: saturated_count, others });
     }
 
+    Ok(())
+}
+
+/// Finalize one row: ρᵢ(h) = eᵢ · Pr[exactly h−1 higher-ranked tuples
+/// exist], where the saturated x-tuples contribute a deterministic
+/// `task.saturated`. Pure per task.
+fn compute_row_into(task: RowTask, k: usize, row: &mut [f64]) {
+    let others = match task.others {
+        RowOthers::Ready(poly) => poly,
+        RowOthers::Snapshot { mut poly, divide_q } => {
+            if divide_q > 0.0 {
+                poly.divide_binomial(divide_q);
+                poly.clamp_non_negative();
+            }
+            poly
+        }
+    };
+    for h in 1..=k {
+        let needed = h - 1;
+        if needed >= task.saturated {
+            row[h - 1] = task.prob * others.coeff(needed - task.saturated);
+        }
+    }
+}
+
+/// Compute rank-h and top-k probabilities with the incremental PSR
+/// algorithm in O(n·k) time (plus rare polynomial rebuilds).
+///
+/// With the `parallel` feature (on by default) row finalization is spread
+/// across threads ([`rank_probabilities_parallel`]); the result is
+/// bit-for-bit identical to [`rank_probabilities_sequential`] because each
+/// row is a pure function of its planning-scan snapshot.
+pub fn rank_probabilities(db: &RankedDatabase, k: usize) -> Result<RankProbabilities> {
+    #[cfg(feature = "parallel")]
+    {
+        rank_probabilities_parallel(db, k)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        rank_probabilities_sequential(db, k)
+    }
+}
+
+/// The strictly sequential PSR path (always available; the `parallel`
+/// feature's reference for equivalence testing).
+///
+/// Streams each row out of the scan as soon as it is planned, so the
+/// working state beyond the ρ matrix itself stays O(k): one transient
+/// snapshot per row, exactly like the one-pass formulation.
+pub fn rank_probabilities_sequential(db: &RankedDatabase, k: usize) -> Result<RankProbabilities> {
+    let mut rho = vec![0.0; db.len() * k];
+    scan_rows(db, k, |task| {
+        let pos = task.pos;
+        compute_row_into(task, k, &mut rho[pos * k..(pos + 1) * k]);
+    })?;
     Ok(RankProbabilities::from_rho(k, rho))
+}
+
+/// PSR with data-parallel row finalization.
+///
+/// The scan stays sequential (the generating-function product is a
+/// running state), but each pending row is then finalized independently.
+/// Below [`PARALLEL_ROW_THRESHOLD`] pending coefficients this defers to
+/// the streaming sequential path (same O(k) working state, no thread
+/// overhead); above it, the scan collects its row tasks — O(rows·k)
+/// snapshot memory — and finalizes them across threads. Either way the
+/// arithmetic per row is identical, so results match the sequential path
+/// bit for bit.
+#[cfg(feature = "parallel")]
+pub fn rank_probabilities_parallel(db: &RankedDatabase, k: usize) -> Result<RankProbabilities> {
+    use rayon::prelude::*;
+
+    if db.len() * k < PARALLEL_ROW_THRESHOLD {
+        return rank_probabilities_sequential(db, k);
+    }
+    let mut tasks = Vec::with_capacity(db.len());
+    scan_rows(db, k, |task| tasks.push(task))?;
+    let mut rho = vec![0.0; db.len() * k];
+    let rows: Vec<(usize, Vec<f64>)> = tasks
+        .par_iter()
+        .map(|t| {
+            let mut row = vec![0.0; k];
+            compute_row_into(t.clone(), k, &mut row);
+            (t.pos, row)
+        })
+        .collect();
+    for (pos, row) in rows {
+        rho[pos * k..(pos + 1) * k].copy_from_slice(&row);
+    }
+    Ok(RankProbabilities::from_rho(k, rho))
+}
+
+/// One tuple's ρ row for the exact reference algorithm: rebuild the
+/// generating-function product from scratch using only the mass ranked
+/// strictly above `pos`. Pure per tuple, so rows can be computed in any
+/// order or in parallel.
+fn exact_row(db: &RankedDatabase, k: usize, pos: usize) -> Vec<f64> {
+    let t = db.tuple(pos);
+    let mut poly = TruncatedPoly::one(k);
+    for (j, info) in db.x_tuples().enumerate() {
+        if j == t.x_index {
+            continue;
+        }
+        // Accumulate the x-tuple's mass above `pos` with the same
+        // (q + e).min(1.0) fold the incremental scan applies, so the two
+        // algorithms see identical factor values.
+        let mut qj = 0.0;
+        for &member in &info.members {
+            if member >= pos {
+                break;
+            }
+            qj = (qj + db.tuple(member).prob).min(1.0);
+        }
+        if qj > 0.0 {
+            poly.multiply_binomial(qj);
+        }
+    }
+    (1..=k).map(|h| t.prob * poly.coeff(h - 1)).collect()
 }
 
 /// Reference implementation of PSR that rebuilds the generating-function
 /// product for every tuple: O(n·m·k) time, no divisions, no saturation
 /// approximation.  Used as a numerical oracle in tests and available to
-/// callers who prefer robustness over speed on small inputs.
+/// callers who prefer robustness over speed on small inputs.  Rows are
+/// independent, so the `parallel` feature computes them across threads
+/// (bit-for-bit identical to the sequential order).
 pub fn rank_probabilities_exact(db: &RankedDatabase, k: usize) -> Result<RankProbabilities> {
     validate_k(db, k)?;
     let n = db.len();
-    let m = db.num_x_tuples();
-    let mut rho = vec![0.0; n * k];
-    let mut q = vec![0.0; m];
+    let positions: Vec<usize> = (0..n).collect();
 
-    for i in 0..n {
-        if i > 0 {
-            let prev = db.tuple(i - 1);
-            q[prev.x_index] = (q[prev.x_index] + prev.prob).min(1.0);
-        }
-        let t = db.tuple(i);
-        let l = t.x_index;
-        let mut poly = TruncatedPoly::one(k);
-        for (j, &qj) in q.iter().enumerate() {
-            if j != l && qj > 0.0 {
-                poly.multiply_binomial(qj);
-            }
-        }
-        for h in 1..=k {
-            rho[i * k + (h - 1)] = t.prob * poly.coeff(h - 1);
-        }
+    #[cfg(feature = "parallel")]
+    let rows: Vec<Vec<f64>> = if n * k >= PARALLEL_EXACT_THRESHOLD {
+        use rayon::prelude::*;
+        positions.par_iter().map(|&i| exact_row(db, k, i)).collect()
+    } else {
+        positions.iter().map(|&i| exact_row(db, k, i)).collect()
+    };
+    #[cfg(not(feature = "parallel"))]
+    let rows: Vec<Vec<f64>> = positions.iter().map(|&i| exact_row(db, k, i)).collect();
+
+    let mut rho = Vec::with_capacity(n * k);
+    for row in rows {
+        rho.extend_from_slice(&row);
     }
     Ok(RankProbabilities::from_rho(k, rho))
 }

@@ -122,11 +122,7 @@ pub fn u_k_ranks(db: &RankedDatabase, rp: &RankProbabilities) -> UKRanksAnswer {
 /// `threshold`.
 ///
 /// Returns an error if the threshold lies outside `(0, 1]`.
-pub fn pt_k(
-    db: &RankedDatabase,
-    rp: &RankProbabilities,
-    threshold: f64,
-) -> Result<TupleSetAnswer> {
+pub fn pt_k(db: &RankedDatabase, rp: &RankProbabilities, threshold: f64) -> Result<TupleSetAnswer> {
     if !(threshold > 0.0 && threshold <= 1.0) {
         return Err(DbError::invalid_parameter(format!(
             "PT-k threshold must lie in (0, 1], got {threshold}"
@@ -274,8 +270,7 @@ mod tests {
         let db = udb1();
         let rp = rank_probabilities(&db, 2).unwrap();
         let ans = pt_k(&db, &rp, 0.4).unwrap();
-        let expected: Vec<usize> =
-            vec![pos_of(&db, 32.0), pos_of(&db, 30.0), pos_of(&db, 27.0)];
+        let expected: Vec<usize> = vec![pos_of(&db, 32.0), pos_of(&db, 30.0), pos_of(&db, 27.0)];
         assert_eq!(ans.positions(), expected);
         assert!(ans.contains_position(pos_of(&db, 30.0)));
         assert!(!ans.contains_position(pos_of(&db, 26.0)));
@@ -313,9 +308,8 @@ mod tests {
         assert!((rank1.prob - 0.42).abs() < 1e-9);
         // Every winner's probability is the maximum over tuples for that rank.
         for (h0, w) in ans.winners.iter().enumerate() {
-            let max = (0..db.len())
-                .map(|p| rp.rank_prob(p, h0 + 1))
-                .fold(f64::NEG_INFINITY, f64::max);
+            let max =
+                (0..db.len()).map(|p| rp.rank_prob(p, h0 + 1)).fold(f64::NEG_INFINITY, f64::max);
             assert!((w.unwrap().prob - max).abs() < 1e-12);
         }
     }

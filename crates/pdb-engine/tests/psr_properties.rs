@@ -1,10 +1,10 @@
 //! Property-based tests of PSR and the query semantics.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use pdb_core::RankedDatabase;
 use pdb_engine::oracle::rank_probabilities_by_enumeration;
 use pdb_engine::prelude::*;
-use pdb_core::RankedDatabase;
+use proptest::collection::vec;
+use proptest::prelude::*;
 
 fn x_tuple() -> impl Strategy<Value = Vec<(f64, f64)>> {
     (vec((0.0f64..100.0, 0.05f64..1.0), 1..5), 0.1f64..1.0).prop_map(|(alts, mass)| {

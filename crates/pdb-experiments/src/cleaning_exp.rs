@@ -19,10 +19,7 @@ fn dp_budget_cap(scale: Scale) -> u64 {
 }
 
 fn budget_sweep(scale: Scale) -> Vec<u64> {
-    scale.pick(
-        vec![1, 10, 100, 1_000, 10_000],
-        vec![1, 10, 100, 1_000, 10_000, 100_000],
-    )
+    scale.pick(vec![1, 10, 100, 1_000, 10_000], vec![1, 10, 100, 1_000, 10_000, 100_000])
 }
 
 /// Run every cleaning algorithm for one `(context, setup, budget)` and
@@ -76,9 +73,16 @@ fn improvement_vs_budget(
     for &budget in &budget_sweep(scale) {
         for (algo, value) in improvements_for(&ctx, &setup, budget, dp_cap, budget)? {
             if let Some(v) = value {
-                series.iter_mut().find(|(a, _)| *a == algo).expect("known algo").1.push((budget as f64, v));
+                series
+                    .iter_mut()
+                    .find(|(a, _)| *a == algo)
+                    .expect("known algo")
+                    .1
+                    .push((budget as f64, v));
             } else {
-                result.push_note(format!("{algo} skipped at C = {budget} (budget above DP cap {dp_cap})"));
+                result.push_note(format!(
+                    "{algo} skipped at C = {budget} (budget above DP cap {dp_cap})"
+                ));
             }
         }
     }
@@ -129,11 +133,20 @@ pub fn fig6b(scale: Scale) -> Result<ExperimentResult> {
     for (i, pdf) in pdfs.iter().enumerate() {
         let setup = datasets::cleaning_setup_with_pdf(db.num_x_tuples(), *pdf)?;
         result.push_note(format!("index {} = {}", i + 1, pdf.label()));
-        for (algo, value) in
-            improvements_for(&ctx, &setup, datasets::DEFAULT_BUDGET, dp_budget_cap(scale), i as u64)?
-        {
+        for (algo, value) in improvements_for(
+            &ctx,
+            &setup,
+            datasets::DEFAULT_BUDGET,
+            dp_budget_cap(scale),
+            i as u64,
+        )? {
             if let Some(v) = value {
-                series.iter_mut().find(|(a, _)| *a == algo).expect("known algo").1.push(((i + 1) as f64, v));
+                series
+                    .iter_mut()
+                    .find(|(a, _)| *a == algo)
+                    .expect("known algo")
+                    .1
+                    .push(((i + 1) as f64, v));
             }
         }
     }
@@ -159,9 +172,13 @@ fn improvement_vs_avg_sc(
         let pdf = ScPdf::Uniform { lo, hi: 1.0 };
         let avg = pdf.mean();
         let setup = datasets::cleaning_setup_with_pdf(db.num_x_tuples(), pdf)?;
-        for (algo, value) in
-            improvements_for(&ctx, &setup, datasets::DEFAULT_BUDGET, dp_budget_cap(scale), i as u64)?
-        {
+        for (algo, value) in improvements_for(
+            &ctx,
+            &setup,
+            datasets::DEFAULT_BUDGET,
+            dp_budget_cap(scale),
+            i as u64,
+        )? {
             if let Some(v) = value {
                 series.iter_mut().find(|(a, _)| *a == algo).expect("known algo").1.push((avg, v));
             }
@@ -178,7 +195,12 @@ fn improvement_vs_avg_sc(
 /// (synthetic data).
 pub fn fig6c(scale: Scale) -> Result<ExperimentResult> {
     let db = datasets::default_synthetic(scale)?;
-    improvement_vs_avg_sc("fig6c", "expected improvement vs avg sc-probability (synthetic)", &db, scale)
+    improvement_vs_avg_sc(
+        "fig6c",
+        "expected improvement vs avg sc-probability (synthetic)",
+        &db,
+        scale,
+    )
 }
 
 /// Figure 6(g): expected improvement vs the average sc-probability (MOV).
@@ -210,7 +232,12 @@ pub fn fig6d(scale: Scale) -> Result<ExperimentResult> {
             let mut rng = StdRng::seed_from_u64(budget);
             let (plan, ms) = time_ms(|| algo.plan(&ctx, &setup, budget, &mut rng));
             plan?;
-            series.iter_mut().find(|(a, _)| *a == algo).expect("known algo").1.push((budget as f64, ms));
+            series
+                .iter_mut()
+                .find(|(a, _)| *a == algo)
+                .expect("known algo")
+                .1
+                .push((budget as f64, ms));
         }
     }
     for (algo, points) in series {
@@ -236,7 +263,8 @@ pub fn fig6e(scale: Scale) -> Result<ExperimentResult> {
         result.push_note(format!("k = {k}: |Z| = {}", ctx.candidates().len()));
         for algo in CleaningAlgorithm::ALL {
             let mut rng = StdRng::seed_from_u64(k as u64);
-            let (plan, ms) = time_ms(|| algo.plan(&ctx, &setup, datasets::DEFAULT_BUDGET, &mut rng));
+            let (plan, ms) =
+                time_ms(|| algo.plan(&ctx, &setup, datasets::DEFAULT_BUDGET, &mut rng));
             plan?;
             series.iter_mut().find(|(a, _)| *a == algo).expect("known algo").1.push((k as f64, ms));
         }

@@ -40,10 +40,7 @@ pub fn synthetic_with_pdf(scale: Scale, pdf: UncertaintyPdf) -> Result<RankedDat
 /// The MOV stand-in dataset (4 999 x-tuples), scaled down to 500 under
 /// [`Scale::Quick`].
 pub fn mov_dataset(scale: Scale) -> Result<RankedDatabase> {
-    let config = MovConfig {
-        num_x_tuples: scale.pick(500, 4_999),
-        ..MovConfig::paper_default()
-    };
+    let config = MovConfig { num_x_tuples: scale.pick(500, 4_999), ..MovConfig::paper_default() };
     mov::generate_ranked(&config)
 }
 
@@ -56,8 +53,10 @@ pub fn default_cleaning_setup(m: usize) -> Result<CleaningSetup> {
 /// Cleaning parameters with a custom sc-probability distribution
 /// (Figures 6(b)/6(c)).
 pub fn cleaning_setup_with_pdf(m: usize, sc_pdf: ScPdf) -> Result<CleaningSetup> {
-    let params =
-        cleaning_params::generate(m, &CleaningParamsConfig { sc_pdf, ..CleaningParamsConfig::default() });
+    let params = cleaning_params::generate(
+        m,
+        &CleaningParamsConfig { sc_pdf, ..CleaningParamsConfig::default() },
+    );
     CleaningSetup::new(params.costs, params.sc_probs)
 }
 
@@ -102,7 +101,8 @@ mod tests {
 
     #[test]
     fn pdf_variants_generate() {
-        let g10 = synthetic_with_pdf(Scale::Quick, UncertaintyPdf::Gaussian { sigma: 10.0 }).unwrap();
+        let g10 =
+            synthetic_with_pdf(Scale::Quick, UncertaintyPdf::Gaussian { sigma: 10.0 }).unwrap();
         let uni = synthetic_with_pdf(Scale::Quick, UncertaintyPdf::Uniform).unwrap();
         assert_eq!(g10.len(), uni.len());
     }

@@ -7,7 +7,7 @@ use crate::scale::{time_ms, Scale};
 use pdb_core::{RankedDatabase, Result, ScoreRanking};
 use pdb_gen::synthetic::UncertaintyPdf;
 use pdb_quality::{
-    pw_result_distribution, quality_pw, quality_pwr_bounded, quality_tp, pwr_result_distribution,
+    pw_result_distribution, pwr_result_distribution, quality_pw, quality_pwr_bounded, quality_tp,
 };
 
 /// Maximum possible-world count the PW baseline is allowed to enumerate.
@@ -36,12 +36,8 @@ pub fn fig2_3(_scale: Scale) -> Result<ExperimentResult> {
     ] {
         let dist = pwr_result_distribution(&db, 2)?;
         let quality = dist.quality();
-        let points = dist
-            .results
-            .iter()
-            .enumerate()
-            .map(|(i, r)| ((i + 1) as f64, r.prob))
-            .collect();
+        let points =
+            dist.results.iter().enumerate().map(|(i, r)| ((i + 1) as f64, r.prob)).collect();
         result.push_series(Series::new(name, points));
         result.push_note(format!(
             "{name}: {} pw-results, quality = {quality:.4} (paper: {})",
@@ -193,10 +189,8 @@ pub fn fig4e(scale: Scale) -> Result<ExperimentResult> {
 /// default synthetic dataset.
 pub fn fig4f(scale: Scale) -> Result<ExperimentResult> {
     let db = datasets::default_synthetic(scale)?;
-    let ks: Vec<usize> = scale.pick(
-        vec![1, 2, 5, 10, 20, 50, 100],
-        vec![1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000],
-    );
+    let ks: Vec<usize> =
+        scale.pick(vec![1, 2, 5, 10, 20, 50, 100], vec![1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000]);
     let mut result = ExperimentResult::new(
         "fig4f",
         "quality computation time vs k (synthetic)",

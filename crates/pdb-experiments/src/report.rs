@@ -35,7 +35,8 @@ impl Series {
 /// The reproduction of one figure (or table) of the paper.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentResult {
-    /// Experiment identifier (`fig4a`, `fig6c`, …) as listed in DESIGN.md.
+    /// Experiment identifier (`fig4a`, `fig6c`, …) as listed in the
+    /// workspace README.md and [`crate::ALL_EXPERIMENTS`].
     pub id: String,
     /// Human-readable title.
     pub title: String,
@@ -86,7 +87,8 @@ impl ExperimentResult {
 
     /// All distinct x values across the series, in ascending order.
     pub fn x_values(&self) -> Vec<f64> {
-        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+        let mut xs: Vec<f64> =
+            self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).expect("x values are finite"));
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         xs

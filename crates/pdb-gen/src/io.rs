@@ -19,8 +19,9 @@ pub fn save_ranked(db: &RankedDatabase, path: &Path) -> Result<()> {
 
 /// Load a ranked database from a JSON file produced by [`save_ranked`].
 pub fn load_ranked(path: &Path) -> Result<RankedDatabase> {
-    let json = fs::read_to_string(path)
-        .map_err(|e| DbError::invalid_parameter(format!("reading {} failed: {e}", path.display())))?;
+    let json = fs::read_to_string(path).map_err(|e| {
+        DbError::invalid_parameter(format!("reading {} failed: {e}", path.display()))
+    })?;
     serde_json::from_str(&json)
         .map_err(|e| DbError::invalid_parameter(format!("parsing {} failed: {e}", path.display())))
 }

@@ -15,9 +15,10 @@
 //! * the ranking score of a tuple is `date + rating` (both normalised), so
 //!   the top-k query finds recent, highly rated entries.
 //!
-//! See DESIGN.md §5 for why this substitution preserves the paper's
-//! qualitative findings (MOV is less ambiguous than the synthetic data
-//! because its x-tuples have far fewer alternatives).
+//! See the "note on the MOV dataset" in the workspace README.md for why
+//! this substitution preserves the paper's qualitative findings (MOV is
+//! less ambiguous than the synthetic data because its x-tuples have far
+//! fewer alternatives).
 
 use pdb_core::{Database, DatabaseBuilder, RankedDatabase, Ranking, Result};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -122,12 +123,8 @@ pub fn generate(config: &MovConfig) -> Result<Database<MovRating>> {
         for &confidence in &weights {
             let date = (base_date + rng.gen_range(-0.02..0.02)).clamp(0.0, 1.0);
             let stars = rng.gen_range(1..=5u8);
-            let rating = MovRating {
-                movie_id,
-                viewer_id,
-                date,
-                rating: f64::from(stars - 1) / 4.0,
-            };
+            let rating =
+                MovRating { movie_id, viewer_id, date, rating: f64::from(stars - 1) / 4.0 };
             xb = xb.tuple(rating, confidence);
         }
     }

@@ -87,11 +87,7 @@ impl SyntheticConfig {
     /// Figures 4(d)/4(e)).
     pub fn with_total_tuples(num_tuples: usize) -> Self {
         let bars = 10;
-        Self {
-            num_x_tuples: (num_tuples / bars).max(1),
-            bars_per_x_tuple: bars,
-            ..Self::default()
-        }
+        Self { num_x_tuples: (num_tuples / bars).max(1), bars_per_x_tuple: bars, ..Self::default() }
     }
 
     /// Override the uncertainty pdf (Figure 4(b)).
@@ -139,13 +135,7 @@ pub fn generate_ranked(config: &SyntheticConfig) -> Result<RankedDatabase> {
 /// Discretise an uncertainty pdf over `[lo, hi]` into `bars` equal-width
 /// histogram bars, returning `(midpoint, probability)` pairs whose
 /// probabilities sum to 1.
-fn histogram_bars(
-    pdf: &UncertaintyPdf,
-    mu: f64,
-    lo: f64,
-    hi: f64,
-    bars: usize,
-) -> Vec<(f64, f64)> {
+fn histogram_bars(pdf: &UncertaintyPdf, mu: f64, lo: f64, hi: f64, bars: usize) -> Vec<(f64, f64)> {
     debug_assert!(bars > 0 && hi > lo);
     let width = (hi - lo) / bars as f64;
     let mut out = Vec::with_capacity(bars);
@@ -240,10 +230,7 @@ mod tests {
             ..SyntheticConfig::default()
         };
         let max_prob = |db: &Database<f64>| {
-            db.x_tuples()
-                .iter()
-                .map(|x| x.iter().map(|t| t.prob).fold(0.0, f64::max))
-                .sum::<f64>()
+            db.x_tuples().iter().map(|x| x.iter().map(|t| t.prob).fold(0.0, f64::max)).sum::<f64>()
                 / db.num_x_tuples() as f64
         };
         let narrow_max = max_prob(&generate(&narrow).unwrap());

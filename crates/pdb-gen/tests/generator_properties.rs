@@ -1,9 +1,9 @@
 //! Property-based tests of the dataset generators.
 
-use proptest::prelude::*;
 use pdb_gen::cleaning_params::{generate as gen_params, CleaningParamsConfig, ScPdf};
 use pdb_gen::mov::{self, MovConfig};
 use pdb_gen::synthetic::{self, SyntheticConfig, UncertaintyPdf};
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

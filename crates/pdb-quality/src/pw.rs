@@ -115,7 +115,8 @@ mod tests {
 
     #[test]
     fn quality_is_zero_for_a_certain_database() {
-        let db = RankedDatabase::from_scored_x_tuples(&[vec![(3.0, 1.0)], vec![(2.0, 1.0)]]).unwrap();
+        let db =
+            RankedDatabase::from_scored_x_tuples(&[vec![(3.0, 1.0)], vec![(2.0, 1.0)]]).unwrap();
         assert_eq!(quality_pw(&db, 2).unwrap(), 0.0);
     }
 

@@ -314,7 +314,8 @@ mod tests {
 
     #[test]
     fn k_larger_than_database_is_handled() {
-        let db = RankedDatabase::from_scored_x_tuples(&[vec![(1.0, 0.5)], vec![(2.0, 1.0)]]).unwrap();
+        let db =
+            RankedDatabase::from_scored_x_tuples(&[vec![(1.0, 0.5)], vec![(2.0, 1.0)]]).unwrap();
         let pw = pw_result_distribution(&db, 10).unwrap();
         let pwr = pwr_result_distribution(&db, 10).unwrap();
         assert_same_distribution(&pw, &pwr);

@@ -194,7 +194,8 @@ mod tests {
 
     #[test]
     fn certain_database_has_zero_quality_and_zero_weights() {
-        let db = RankedDatabase::from_scored_x_tuples(&[vec![(3.0, 1.0)], vec![(2.0, 1.0)]]).unwrap();
+        let db =
+            RankedDatabase::from_scored_x_tuples(&[vec![(3.0, 1.0)], vec![(2.0, 1.0)]]).unwrap();
         assert_eq!(quality_tp(&db, 2).unwrap(), 0.0);
         assert!(tuple_weights(&db).iter().all(|&w| w == 0.0));
     }

@@ -1,9 +1,9 @@
 //! Property-based tests of the PWS-quality algorithms.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use pdb_core::RankedDatabase;
 use pdb_quality::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
 
 fn x_tuple() -> impl Strategy<Value = Vec<(f64, f64)>> {
     (vec((0.0f64..50.0, 0.05f64..1.0), 1..4), 0.2f64..1.0).prop_map(|(alts, mass)| {

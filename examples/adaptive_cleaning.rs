@@ -15,8 +15,9 @@ use uncertain_topk::gen::synthetic::{generate_ranked, SyntheticConfig};
 use uncertain_topk::prelude::*;
 
 fn main() {
-    let db = generate_ranked(&SyntheticConfig { num_x_tuples: 300, ..SyntheticConfig::paper_default() })
-        .expect("generation succeeds");
+    let db =
+        generate_ranked(&SyntheticConfig { num_x_tuples: 300, ..SyntheticConfig::paper_default() })
+            .expect("generation succeeds");
     let k = 10;
     let budget = 40;
     let ctx = CleaningContext::prepare(&db, k).expect("valid k");
@@ -30,7 +31,10 @@ fn main() {
         db.num_x_tuples(),
         ctx.quality
     );
-    println!("static greedy plan: {} probes, expected improvement {static_expected:.3}", static_plan.total_attempts());
+    println!(
+        "static greedy plan: {} probes, expected improvement {static_expected:.3}",
+        static_plan.total_attempts()
+    );
 
     let trials = 100;
     let mut static_total = 0.0;
@@ -38,7 +42,9 @@ fn main() {
     let mut adaptive_probes = 0u64;
     for trial in 0..trials {
         let mut rng = StdRng::seed_from_u64(trial);
-        if let Some(cleaned) = simulate_cleaning(&db, &setup, &static_plan, &mut rng).expect("valid plan") {
+        if let Some(cleaned) =
+            simulate_cleaning(&db, &setup, &static_plan, &mut rng).expect("valid plan")
+        {
             static_total += quality_tp(&cleaned, k).expect("quality computable") - ctx.quality;
         }
         let mut rng = StdRng::seed_from_u64(50_000 + trial);

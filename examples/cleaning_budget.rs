@@ -12,8 +12,11 @@ use uncertain_topk::gen::synthetic::{generate_ranked, SyntheticConfig};
 use uncertain_topk::prelude::*;
 
 fn main() {
-    let db = generate_ranked(&SyntheticConfig { num_x_tuples: 1_000, ..SyntheticConfig::paper_default() })
-        .expect("generation succeeds");
+    let db = generate_ranked(&SyntheticConfig {
+        num_x_tuples: 1_000,
+        ..SyntheticConfig::paper_default()
+    })
+    .expect("generation succeeds");
     let k = 15;
     let ctx = CleaningContext::prepare(&db, k).expect("valid k");
     let params = gen_params(db.num_x_tuples(), &CleaningParamsConfig::default());
@@ -37,6 +40,9 @@ fn main() {
         }
         println!("{row}");
     }
-    println!("\nThe improvement is capped by |S| = {:.3}; DP is optimal, Greedy tracks it", -ctx.quality);
+    println!(
+        "\nThe improvement is capped by |S| = {:.3}; DP is optimal, Greedy tracks it",
+        -ctx.quality
+    );
     println!("closely, and the random baselines waste budget on low-impact x-tuples.");
 }

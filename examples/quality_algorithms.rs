@@ -18,7 +18,10 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
 
 fn main() {
     let k = 5;
-    println!("{:>8}  {:>12}  {:>12}  {:>12}  (k = {k})", "tuples", "PW (ms)", "PWR (ms)", "TP (ms)");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>12}  (k = {k})",
+        "tuples", "PW (ms)", "PWR (ms)", "TP (ms)"
+    );
     for &tuples in &[10usize, 30, 50, 200, 1_000, 5_000] {
         let db = generate_ranked(&SyntheticConfig::with_total_tuples(tuples)).expect("generation");
 

@@ -14,8 +14,9 @@ use uncertain_topk::gen::synthetic::{generate_ranked, SyntheticConfig};
 use uncertain_topk::prelude::*;
 
 fn main() {
-    let db = generate_ranked(&SyntheticConfig { num_x_tuples: 500, ..SyntheticConfig::paper_default() })
-        .expect("generation succeeds");
+    let db =
+        generate_ranked(&SyntheticConfig { num_x_tuples: 500, ..SyntheticConfig::paper_default() })
+            .expect("generation succeeds");
     let k = 15;
     let ctx = CleaningContext::prepare(&db, k).expect("valid k");
     let params = gen_params(db.num_x_tuples(), &CleaningParamsConfig::default());

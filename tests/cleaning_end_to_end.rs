@@ -60,8 +60,9 @@ fn all_algorithms_produce_feasible_plans_with_expected_ordering() {
 
 #[test]
 fn simulated_cleaning_tracks_the_expected_improvement() {
-    let db = generate_ranked(&SyntheticConfig { num_x_tuples: 60, ..SyntheticConfig::paper_default() })
-        .expect("generation succeeds");
+    let db =
+        generate_ranked(&SyntheticConfig { num_x_tuples: 60, ..SyntheticConfig::paper_default() })
+            .expect("generation succeeds");
     let k = 5;
     let ctx = CleaningContext::prepare(&db, k).unwrap();
     let setup = CleaningSetup::uniform(db.num_x_tuples(), 1, 0.7).unwrap();
@@ -113,8 +114,9 @@ fn higher_sc_probability_buys_more_quality() {
 
 #[test]
 fn cleaning_with_unlimited_budget_and_certain_probes_removes_all_ambiguity() {
-    let db = generate_ranked(&SyntheticConfig { num_x_tuples: 50, ..SyntheticConfig::paper_default() })
-        .expect("generation succeeds");
+    let db =
+        generate_ranked(&SyntheticConfig { num_x_tuples: 50, ..SyntheticConfig::paper_default() })
+            .expect("generation succeeds");
     let k = 5;
     let ctx = CleaningContext::prepare(&db, k).unwrap();
     let setup = CleaningSetup::uniform(db.num_x_tuples(), 1, 1.0).unwrap();

@@ -1,0 +1,287 @@
+//! Vendored stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Runs benchmarks with a plain wall-clock measurement loop and prints a
+//! `min / mean / max` summary line per benchmark — no statistics engine,
+//! no HTML reports. The API mirrors the real crate's
+//! (`benchmark_group`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`, `criterion_main!`) so bench targets compile
+//! unchanged against either implementation.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver: owns CLI-style configuration (a name filter).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Read configuration from the process arguments. Recognizes a bare
+    /// `<filter>` substring argument and ignores the flags cargo-bench
+    /// passes (`--bench`, `--profile-time <t>`, ...).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--verbose" | "--quiet" => {}
+                "--profile-time" | "--measurement-time" | "--warm-up-time" | "--sample-size"
+                | "--save-baseline" | "--baseline" | "--load-baseline" => {
+                    let _ = args.next();
+                }
+                flag if flag.starts_with("--") => {}
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(String::new());
+        group.run(&id, &mut f);
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_id.contains(f))
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Time spent warming up before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target wall-clock time for the whole measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.0, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Benchmark `f` without an input parameter.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.0, &mut f);
+        self
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full_id =
+            if self.name.is_empty() { id.to_string() } else { format!("{}/{}", self.name, id) };
+        if !self.criterion.matches(&full_id) {
+            return;
+        }
+
+        // Warm-up: run batches until the warm-up budget is spent, deriving
+        // an iteration-time estimate as we go.
+        let warm_up_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        let mut batch: u64 = 1;
+        while warm_up_start.elapsed() < self.warm_up_time {
+            let mut bencher = Bencher { iters: batch, elapsed: Duration::ZERO };
+            f(&mut bencher);
+            iters_done += batch;
+            batch = (batch * 2).min(1 << 20);
+        }
+        let per_iter = warm_up_start.elapsed().as_secs_f64() / iters_done.max(1) as f64;
+
+        // Measurement: `sample_size` samples splitting the measurement
+        // budget, each a batch big enough to be timeable.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((per_sample / per_iter.max(1e-9)) as u64).max(1);
+        let mut sample_means: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+            f(&mut bencher);
+            sample_means.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        let min = sample_means.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = sample_means.iter().copied().fold(0.0f64, f64::max);
+        let mean = sample_means.iter().sum::<f64>() / sample_means.len() as f64;
+        println!(
+            "{full_id:<50} time: [{} {} {}]  ({} samples x {} iters)",
+            format_time(min),
+            format_time(mean),
+            format_time(max),
+            sample_means.len(),
+            iters_per_sample,
+        );
+    }
+
+    /// End the group (prints nothing; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} s", seconds)
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{function_name}/{parameter}"))
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self(id.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self(id)
+    }
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`, called in a batch sized by the calibration loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Prevent the compiler from optimizing a value away (re-export of
+/// `std::hint::black_box` under criterion's name).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmarks_run_and_measure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(20));
+        let input = 1000u64;
+        group.bench_with_input(BenchmarkId::new("sum", input), &input, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filters_skip_non_matching_benchmarks() {
+        let mut c = Criterion { filter: Some("nomatch".into()) };
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(1);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(1));
+        group.bench_with_input(BenchmarkId::from_parameter(1), &1u32, |_b, _i| {
+            panic!("filtered benchmark must not run")
+        });
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("PW", 500).0, "PW/500");
+        assert_eq!(BenchmarkId::from_parameter(15).0, "15");
+    }
+}

@@ -1,0 +1,600 @@
+//! Vendored stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(..)]`), [`prop_assert!`],
+//! [`prop_assert_eq!`], [`prop_assume!`], range and tuple strategies,
+//! [`collection::vec`], [`Strategy::prop_map`], [`any`] and
+//! [`sample::Index`]. Failing inputs are **not shrunk**; the failure
+//! message reports the deterministic case seed instead, which reproduces
+//! the input when the test is re-run.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    /// The whole crate under the conventional `prop` alias
+    /// (`prop::sample::Index`, `prop::collection::vec`, ...).
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Arbitrary, ProptestConfig, TestCaseError, TestRng};
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: the case does not count, try another.
+    Reject,
+    /// `prop_assert!`-style failure: the property is violated.
+    Fail(String),
+}
+
+/// The deterministic RNG driving value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic per-test generator: seeded from the test's name so
+    /// every run regenerates the same case sequence.
+    pub fn for_test(test_name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self(StdRng::seed_from_u64(hash))
+    }
+
+    /// Generator for one explicit case seed (printed on failure).
+    pub fn from_seed(seed: u64) -> Self {
+        Self(StdRng::seed_from_u64(seed))
+    }
+
+    /// The next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.0)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.0.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use super::TestRng;
+
+    /// A recipe for generating values of [`Strategy::Value`].
+    ///
+    /// Unlike the real proptest there is no shrinking: a strategy is just a
+    /// deterministic function of the [`TestRng`] stream.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Chain a dependent strategy generated from this one's values.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Discard generated values that fail `f` (up to a retry cap).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, whence, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) whence: &'static str,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let candidate = self.inner.generate(rng);
+                if (self.f)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!("prop_filter {:?} rejected 10000 consecutive candidates", self.whence);
+        }
+    }
+}
+
+pub use strategy::Strategy;
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: ranges and tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.uniform_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (rng.uniform_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.uniform_f64()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// Strategy generating any value of `A` (`any::<u64>()`, ...).
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Size specification for collection strategies: a fixed length or a
+    /// half-open range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self { lo: exact, hi: exact + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            Self { lo: range.start, hi: range.end }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + if span > 1 { rng.below(span) as usize } else { 0 };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `vec(element, size)`: a vector of `size` elements (fixed length or
+    /// `lo..hi` range) generated by `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers (`Index`).
+
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a collection of not-yet-known size.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Project onto a collection of length `len` (panics if empty).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests. Each function body runs against `config.cases`
+/// generated inputs; bindings take the form `pattern in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $($(#[$attr:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let base = concat!(module_path!(), "::", stringify!($name));
+                let mut seed_rng = $crate::TestRng::for_test(base);
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                while passed < config.cases {
+                    let case_seed = seed_rng.next_u64();
+                    let mut case_rng = $crate::TestRng::from_seed(case_seed);
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut case_rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                            rejected += 1;
+                            if rejected > config.cases.saturating_mul(20).max(1000) {
+                                panic!(
+                                    "property {}: too many prop_assume! rejections ({} after {} passes)",
+                                    stringify!($name), rejected, passed
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(message)) => {
+                            panic!(
+                                "property {} failed at case #{} (case seed {:#x}): {}",
+                                stringify!($name), passed, case_seed, message
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                        ::std::format!(
+                            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                            left, right
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                        ::std::format!(
+                            "assertion failed: `(left == right)`: {}\n  left: `{:?}`\n right: `{:?}`",
+                            ::std::format!($($fmt)*), left, right
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Skip the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (f64, u64)> {
+        (0.0f64..10.0, 1u64..100).prop_map(|(f, u)| (f * 2.0, u + 1))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.5f64..2.5, z in 1u64..=9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+            prop_assert!((1..=9).contains(&z));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies_compose(v in vec(pair(), 1..8), flag in any::<bool>()) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            for (f, u) in &v {
+                prop_assert!((0.0..20.0).contains(f), "f = {}", f);
+                prop_assert!((2..=100).contains(u));
+            }
+            let _ = flag;
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn sample_index_projects(idx in any::<prop::sample::Index>()) {
+            let i = idx.index(7);
+            prop_assert!(i < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failures_panic_with_seed() {
+        proptest! {
+            // Inner #[test] attributes are not collected by the harness;
+            // the generated function is invoked by hand below.
+            #[allow(dead_code)]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = vec((0.0f64..1.0, 0u64..50), 1..20);
+        let a: Vec<_> = {
+            let mut rng = TestRng::for_test("determinism");
+            (0..10).map(|_| Strategy::generate(&strat, &mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = TestRng::for_test("determinism");
+            (0..10).map(|_| Strategy::generate(&strat, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

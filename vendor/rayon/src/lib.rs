@@ -1,0 +1,148 @@
+//! Vendored stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! Provides the slice parallel-iterator subset this workspace uses —
+//! `par_iter().map(..).collect()` and `for_each` — executed on scoped
+//! `std::thread`s with contiguous chunking. The mapping function is applied
+//! to each item exactly once and results are reassembled in input order, so
+//! output is deterministic and identical to the sequential equivalent
+//! regardless of thread count.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// `rayon::prelude` work-alike: import the traits that add `par_iter`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelSlice};
+}
+
+/// Number of worker threads to use for `items` work units.
+fn workers_for(items: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    cores.min(items).max(1)
+}
+
+/// Adds [`ParallelSlice::par_iter`] to slices.
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over references to the slice's items.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// By-reference conversion trait matching rayon's name, so call sites read
+/// identically to the real crate.
+pub trait IntoParallelRefIterator<'a> {
+    /// The item type produced by the parallel iterator.
+    type Item: 'a;
+    /// Convert into a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every item, keeping input order.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Run `f` on every item across the worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        ParMap { items: self.items, f: |t: &'a T| f(t) }.run();
+    }
+}
+
+/// The result of [`ParIter::map`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    fn run(self) -> Vec<R> {
+        let n = self.items.len();
+        let workers = workers_for(n);
+        if workers <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk_size = n.div_ceil(workers);
+        let f = &self.f;
+        let mut out: Vec<Vec<R>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for handle in handles {
+                out.push(handle.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+
+    /// Collect the mapped results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        let input: Vec<u64> = (1..=100).collect();
+        input.par_iter().for_each(|&x| {
+            total.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 5050);
+    }
+}

@@ -1,0 +1,551 @@
+//! Vendored stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! item shapes this workspace uses: structs (named, tuple, unit — including
+//! simple type generics like `Database<V>`) and enums whose variants are
+//! unit, tuple or struct-like. `#[serde(...)]` attributes are not
+//! supported; the generated impls target the simplified value-tree traits
+//! of the vendored `serde` crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed generic type parameter: its name plus any declared bounds
+/// (e.g. `("V", "V: Clone")`; bounds text excludes defaults).
+struct GenericParam {
+    name: String,
+    decl: String,
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<GenericParam>,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item).parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item).parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == name {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Skip any number of (inner or outer) attributes.
+    fn skip_attrs(&mut self) {
+        loop {
+            if !self.peek_punct('#') {
+                return;
+            }
+            self.pos += 1; // '#'
+            self.eat_punct('!');
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                other => panic!("serde_derive: malformed attribute, found {other:?}"),
+            }
+        }
+    }
+
+    /// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_vis(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skip tokens until a `,` at angle-bracket depth 0, or the end.
+    /// Returns the skipped tokens.
+    fn take_until_top_level_comma(&mut self) -> Vec<TokenTree> {
+        let mut depth = 0i32;
+        let mut taken = Vec::new();
+        let mut prev_joint_minus = false;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) => {
+                    let ch = p.as_char();
+                    if ch == ',' && depth == 0 {
+                        break;
+                    }
+                    if ch == '<' {
+                        depth += 1;
+                    } else if ch == '>' && !prev_joint_minus {
+                        depth -= 1;
+                    }
+                    prev_joint_minus = ch == '-' && p.spacing() == proc_macro::Spacing::Joint;
+                }
+                _ => prev_joint_minus = false,
+            }
+            taken.push(self.next().expect("peeked token exists"));
+        }
+        taken
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+
+    let is_enum = if c.eat_ident("struct") {
+        false
+    } else if c.eat_ident("enum") {
+        true
+    } else {
+        panic!("serde_derive: expected `struct` or `enum`, found {:?}", c.peek());
+    };
+    let name = c.expect_ident();
+    let generics = parse_generics(&mut c);
+
+    let body = if is_enum {
+        let group = expect_group(&mut c, Delimiter::Brace);
+        Body::Enum(parse_variants(group))
+    } else {
+        match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let group = expect_group(&mut c, Delimiter::Brace);
+                Body::Struct(Fields::Named(parse_named_fields(group)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let group = expect_group(&mut c, Delimiter::Parenthesis);
+                Body::Struct(Fields::Tuple(count_tuple_fields(group)))
+            }
+            _ => Body::Struct(Fields::Unit),
+        }
+    };
+
+    Item { name, generics, body }
+}
+
+fn expect_group(c: &mut Cursor, delim: Delimiter) -> TokenStream {
+    match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => g.stream(),
+        other => panic!("serde_derive: expected {delim:?} group, found {other:?}"),
+    }
+}
+
+/// Parse `<...>` after the item name (if present) into its type parameters.
+/// Lifetimes are rejected (unused in this workspace); defaults are dropped.
+fn parse_generics(c: &mut Cursor) -> Vec<GenericParam> {
+    if !c.eat_punct('<') {
+        return Vec::new();
+    }
+    let mut params = Vec::new();
+    let mut depth = 1i32;
+    let mut segment: Vec<TokenTree> = Vec::new();
+    loop {
+        let tok = c.next().unwrap_or_else(|| panic!("serde_derive: unterminated generics"));
+        if let TokenTree::Punct(p) = &tok {
+            let ch = p.as_char();
+            if ch == '<' {
+                depth += 1;
+            } else if ch == '>' {
+                depth -= 1;
+                if depth == 0 {
+                    if !segment.is_empty() {
+                        params.push(parse_generic_segment(&segment));
+                    }
+                    return params;
+                }
+            } else if ch == ',' && depth == 1 {
+                if !segment.is_empty() {
+                    params.push(parse_generic_segment(&segment));
+                }
+                segment.clear();
+                continue;
+            }
+        }
+        segment.push(tok);
+    }
+}
+
+fn parse_generic_segment(segment: &[TokenTree]) -> GenericParam {
+    match segment.first() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "const" => {
+            panic!("serde_derive: const generics are not supported")
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+            panic!("serde_derive: lifetime generics are not supported")
+        }
+        Some(TokenTree::Ident(i)) => {
+            let name = i.to_string();
+            // Keep the declaration up to a default (`= ...`), dropping the
+            // default itself.
+            let mut decl_tokens: Vec<String> = Vec::new();
+            for tok in segment {
+                if let TokenTree::Punct(p) = tok {
+                    if p.as_char() == '=' {
+                        break;
+                    }
+                }
+                decl_tokens.push(tok.to_string());
+            }
+            GenericParam { name, decl: decl_tokens.join(" ") }
+        }
+        other => panic!("serde_derive: unsupported generic parameter {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        c.skip_vis();
+        if c.peek().is_none() {
+            return fields;
+        }
+        let name = c.expect_ident();
+        if !c.eat_punct(':') {
+            panic!("serde_derive: expected `:` after field `{name}`");
+        }
+        c.take_until_top_level_comma();
+        c.eat_punct(',');
+        fields.push(name);
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        c.skip_attrs();
+        c.skip_vis();
+        if c.peek().is_none() {
+            return count;
+        }
+        let ty = c.take_until_top_level_comma();
+        if !ty.is_empty() {
+            count += 1;
+        }
+        if !c.eat_punct(',') {
+            return count;
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            return variants;
+        }
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let group = expect_group(&mut c, Delimiter::Brace);
+                Fields::Named(parse_named_fields(group))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let group = expect_group(&mut c, Delimiter::Parenthesis);
+                Fields::Tuple(count_tuple_fields(group))
+            }
+            _ => Fields::Unit,
+        };
+        if c.eat_punct('=') {
+            // Explicit discriminant: skip its expression.
+            c.take_until_top_level_comma();
+        }
+        c.eat_punct(',');
+        variants.push(Variant { name, fields });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl<V: ... + Bound> Bound for Name<V>` header pieces.
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), item.name.clone());
+    }
+    let decls: Vec<String> = item
+        .generics
+        .iter()
+        .map(|g| {
+            if g.decl.contains(':') {
+                format!("{} + {bound}", g.decl)
+            } else {
+                format!("{}: {bound}", g.decl)
+            }
+        })
+        .collect();
+    let names: Vec<String> = item.generics.iter().map(|g| g.name.clone()).collect();
+    (format!("<{}>", decls.join(", ")), format!("{}<{}>", item.name, names.join(", ")))
+}
+
+fn render_serialize(item: &Item) -> String {
+    let (impl_generics, self_ty) = impl_header(item, "::serde::Serialize");
+    let body = match &item.body {
+        Body::Struct(fields) => serialize_fields_expr(fields, &FieldAccess::SelfDot),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "Self::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    Fields::Named(names) => {
+                        let bindings = names.join(", ");
+                        let inner = serialize_fields_expr(&v.fields, &FieldAccess::Bound);
+                        arms.push_str(&format!(
+                            "Self::{vname} {{ {bindings} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let bindings: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = serialize_fields_expr(&v.fields, &FieldAccess::Bound);
+                        arms.push_str(&format!(
+                            "Self::{vname}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),\n",
+                            bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {self_ty} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// How generated serialization code reaches the fields: `self.x` for
+/// structs, bare bindings (from a match arm) for enum variants.
+enum FieldAccess {
+    SelfDot,
+    Bound,
+}
+
+fn serialize_fields_expr(fields: &Fields, access: &FieldAccess) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    let expr = match access {
+                        FieldAccess::SelfDot => format!("&self.{f}"),
+                        FieldAccess::Bound => f.clone(),
+                    };
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({expr}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => {
+            let expr = match access {
+                FieldAccess::SelfDot => "&self.0".to_string(),
+                FieldAccess::Bound => "__f0".to_string(),
+            };
+            format!("::serde::Serialize::to_value({expr})")
+        }
+        Fields::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| {
+                    let expr = match access {
+                        FieldAccess::SelfDot => format!("&self.{i}"),
+                        FieldAccess::Bound => format!("__f{i}"),
+                    };
+                    format!("::serde::Serialize::to_value({expr})")
+                })
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+    }
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let (impl_generics, self_ty) = impl_header(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => deserialize_fields_expr(fields, "Self", "value", name),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            let mut has_data = false;
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok(Self::{vname}),\n"
+                    )),
+                    _ => {
+                        has_data = true;
+                        let ctor = format!("Self::{vname}");
+                        let expr = deserialize_fields_expr(
+                            &v.fields,
+                            &ctor,
+                            "__inner",
+                            &format!("{name}::{vname}"),
+                        );
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let __inner = &__entry.1; ::std::result::Result::Ok({expr}) }},\n"
+                        ));
+                    }
+                }
+            }
+            let str_branch = format!(
+                "if let ::std::option::Option::Some(__s) = value.as_str() {{\n\
+                     return match __s {{\n{unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                     }};\n\
+                 }}\n"
+            );
+            let map_branch = if has_data {
+                format!(
+                    "let __map = value.as_map().ok_or_else(|| ::serde::Error::custom(\"expected a variant map for {name}\"))?;\n\
+                     if __map.len() != 1 {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\"expected a single-entry variant map for {name}\"));\n\
+                     }}\n\
+                     let __entry = &__map[0];\n\
+                     let __parsed: ::std::result::Result<Self, ::serde::Error> = match __entry.0.as_str() {{\n{data_arms}\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                     }};\n\
+                     __parsed?\n"
+                )
+            } else {
+                format!(
+                    "::std::result::Result::Err::<Self, ::serde::Error>(::serde::Error::custom(\"expected a string variant for {name}\"))?\n"
+                )
+            };
+            format!("{{\n{str_branch}{map_branch}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize for {self_ty} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({body})\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Expression (usable inside `Ok(...)`) that builds `ctor` from the value
+/// expression `source`; `?` is available in the surrounding function.
+fn deserialize_fields_expr(fields: &Fields, ctor: &str, source: &str, context: &str) -> String {
+    match fields {
+        Fields::Unit => ctor.to_string(),
+        Fields::Named(names) => {
+            let map_binding = format!(
+                "{source}.as_map().ok_or_else(|| ::serde::Error::custom(\"expected a map for {context}\"))?"
+            );
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::Value::map_get(__fields, \"{f}\")\
+                             .ok_or_else(|| ::serde::Error::custom(\"missing field {f} of {context}\"))?)?"
+                    )
+                })
+                .collect();
+            format!("{{ let __fields = {map_binding}; {ctor} {{ {} }} }}", inits.join(", "))
+        }
+        Fields::Tuple(1) => format!("{ctor}(::serde::Deserialize::from_value({source})?)"),
+        Fields::Tuple(n) => {
+            let seq_binding = format!(
+                "{source}.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected a sequence for {context}\"))?"
+            );
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(__items.get({i})\
+                             .ok_or_else(|| ::serde::Error::custom(\"missing element {i} of {context}\"))?)?"
+                    )
+                })
+                .collect();
+            format!("{{ let __items = {seq_binding}; {ctor}({}) }}", inits.join(", "))
+        }
+    }
+}
