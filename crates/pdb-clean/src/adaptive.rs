@@ -10,16 +10,51 @@
 //! (success with the revealed value, or failure) is observed, and the
 //! remaining budget is re-planned against the *updated* database.
 //!
-//! The simulator is used by the `adaptive_cleaning` example and by tests
-//! comparing the adaptive policy against the paper's static plans; it is
-//! not required for reproducing any figure.
+//! Re-planning needs the fresh per-x-tuple contribution vector `g(l, D′)`
+//! after every observed outcome.  Two [`ReplanMode`]s provide it:
+//!
+//! * [`ReplanMode::Incremental`] (the default) runs the PSR + TP pipeline
+//!   **once** at session start and then patches the rank probabilities
+//!   through the delta engine ([`SharedEvaluation::apply_collapse`]) after
+//!   each successful probe — O(k) per affected row instead of O(n·k) per
+//!   probe;
+//! * [`ReplanMode::FullRebuild`] re-runs the full pipeline after every
+//!   probe.  It is kept as the correctness oracle and as the baseline the
+//!   `adaptive_replanning` benchmark and the `adaptive-n` / `adaptive-c`
+//!   experiments measure the delta path against.
+//!
+//! The simulator is used by the `adaptive_cleaning` example, by the
+//! `pdb adaptive` CLI command and by tests comparing the adaptive policy
+//! against the paper's static plans; it is not required for reproducing
+//! any figure.
 
-use crate::improvement::{marginal_gain, CleaningContext};
+use crate::improvement::marginal_gain_raw;
 use crate::model::CleaningSetup;
 use pdb_core::{DbError, RankedDatabase, Result};
-use pdb_quality::quality_tp;
+use pdb_quality::{quality_tp, DeltaStats, SharedEvaluation, XTupleMutation};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// How the session recomputes the contribution vector `g(l, D′)` after an
+/// observed probe outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ReplanMode {
+    /// One full PSR run up front, per-probe delta updates afterwards.
+    #[default]
+    Incremental,
+    /// The full PSR + TP pipeline is re-run for every probe (the
+    /// correctness oracle / benchmark baseline).
+    FullRebuild,
+}
+
+impl std::fmt::Display for ReplanMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ReplanMode::Incremental => "incremental",
+            ReplanMode::FullRebuild => "full-rebuild",
+        })
+    }
+}
 
 /// Outcome of one adaptive cleaning session.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,6 +69,9 @@ pub struct AdaptiveOutcome {
     pub successes: u64,
     /// Budget actually spent.
     pub spent: u64,
+    /// Accumulated delta-engine statistics (all zeros under
+    /// [`ReplanMode::FullRebuild`]).
+    pub delta_stats: DeltaStats,
 }
 
 impl AdaptiveOutcome {
@@ -41,6 +79,66 @@ impl AdaptiveOutcome {
     pub fn improvement(&self) -> f64 {
         self.final_quality - self.initial_quality
     }
+}
+
+/// The evaluation state a session re-plans from.
+enum EvalState {
+    Rebuild(RankedDatabase),
+    Incremental { eval: SharedEvaluation<'static>, g: Vec<f64> },
+}
+
+impl EvalState {
+    fn database(&self) -> &RankedDatabase {
+        match self {
+            EvalState::Rebuild(db) => db,
+            EvalState::Incremental { eval, .. } => eval.database(),
+        }
+    }
+}
+
+/// Map a uniform draw `u ∈ [0, 1)` to the revealed alternative of x-tuple
+/// `l` (a rank position), or to `None` for the implicit null alternative.
+///
+/// A *complete* x-tuple's member probabilities can sum to slightly below 1
+/// (e.g. `0.9999999999999998`) purely from floating-point rounding; a draw
+/// landing in that phantom gap must not be routed to a null alternative
+/// the model says does not exist.  Null is therefore only selected when
+/// the x-tuple genuinely has missing mass; otherwise the residual `u` is
+/// rounding noise and the last alternative with positive probability is
+/// selected.
+fn select_alternative(db: &RankedDatabase, l: usize, u: f64) -> Option<usize> {
+    let info = db.x_tuple(l);
+    let mut u = u;
+    let mut last_positive = None;
+    for &pos in &info.members {
+        let p = db.tuple(pos).prob;
+        if p > 0.0 {
+            last_positive = Some(pos);
+            if u < p {
+                return Some(pos);
+            }
+            u -= p;
+        }
+    }
+    if info.null_prob() <= pdb_core::PROB_EPSILON {
+        last_positive
+    } else {
+        None
+    }
+}
+
+/// Run one adaptive cleaning session with the default
+/// [`ReplanMode::Incremental`] re-planning.
+///
+/// See [`run_adaptive_session_with`].
+pub fn run_adaptive_session<R: Rng + ?Sized>(
+    db: &RankedDatabase,
+    setup: &CleaningSetup,
+    k: usize,
+    budget: u64,
+    rng: &mut R,
+) -> Result<AdaptiveOutcome> {
+    run_adaptive_session_with(db, setup, k, budget, ReplanMode::default(), rng)
 }
 
 /// Run one adaptive cleaning session.
@@ -52,14 +150,24 @@ impl AdaptiveOutcome {
 /// the x-tuple collapses.  The session ends when the budget cannot afford
 /// any useful probe or no candidate remains.
 ///
+/// An x-tuple that has already collapsed (it is now certain, or resolved
+/// to null and left the database) is never probed again, so budget is only
+/// ever spent on entities that still carry ambiguity.  If the *last*
+/// remaining entity resolves to null the database becomes empty and
+/// certain: the session ends with a final quality of 0.  Any other
+/// collapse failure is reported as an error rather than swallowed.
+///
 /// `setup` indexes x-tuples by their position in the *original* database;
-/// the simulator keeps that indexing stable by collapsing x-tuples in place
-/// rather than dropping them.
-pub fn run_adaptive_session<R: Rng + ?Sized>(
+/// the simulator tracks the original index of every surviving x-tuple, so
+/// costs and sc-probabilities stay attached to the right entity even after
+/// null collapses remove x-tuples (and shift the indices) of the evolving
+/// database.
+pub fn run_adaptive_session_with<R: Rng + ?Sized>(
     db: &RankedDatabase,
     setup: &CleaningSetup,
     k: usize,
     budget: u64,
+    mode: ReplanMode,
     rng: &mut R,
 ) -> Result<AdaptiveOutcome> {
     if setup.len() != db.num_x_tuples() {
@@ -69,73 +177,136 @@ pub fn run_adaptive_session<R: Rng + ?Sized>(
             db.num_x_tuples()
         )));
     }
-    let initial_quality = quality_tp(db, k)?;
-    let mut current = db.clone();
     let mut remaining = budget;
     let mut probes = 0u64;
     let mut successes = 0u64;
-    // Number of failed probes already spent on each x-tuple; the marginal
-    // gain of the next probe shrinks accordingly (Lemma 4).
+    let mut delta_stats = DeltaStats::default();
+    // Per *original* x-tuple bookkeeping: number of failed probes already
+    // spent (the marginal gain of the next probe shrinks accordingly,
+    // Lemma 4) and whether the entity has already collapsed.
     let mut failed_attempts = vec![0u64; db.num_x_tuples()];
+    let mut resolved = vec![false; db.num_x_tuples()];
+    // Current x-index -> original x-index.  Collapse-to-alternative keeps
+    // indices stable; collapse-to-null removes the entry.
+    let mut orig_of: Vec<usize> = (0..db.num_x_tuples()).collect();
+
+    let initial_quality;
+    let mut state = match mode {
+        ReplanMode::Incremental => {
+            let eval = SharedEvaluation::from_owned(db.clone(), k)?;
+            let breakdown = eval.quality_breakdown();
+            initial_quality = breakdown.quality;
+            EvalState::Incremental { eval, g: breakdown.x_tuple_contribution }
+        }
+        ReplanMode::FullRebuild => {
+            initial_quality = quality_tp(db, k)?;
+            EvalState::Rebuild(db.clone())
+        }
+    };
+    // Set when the last entity resolves to null: the database is empty and
+    // certain, so its quality is 0 by definition.
+    let mut emptied = false;
 
     loop {
-        // Re-plan against the current state: recompute the per-x-tuple
-        // contributions g(l, D') and pick the best affordable probe.
-        let ctx = CleaningContext::prepare(&current, k)?;
+        // Re-plan against the current state: obtain the per-x-tuple
+        // contributions g(l, D′) and pick the best affordable probe.
+        let rebuilt_g;
+        let g: &[f64] = match &state {
+            EvalState::Rebuild(current) => {
+                rebuilt_g =
+                    SharedEvaluation::new(current, k)?.quality_breakdown().x_tuple_contribution;
+                &rebuilt_g
+            }
+            EvalState::Incremental { g, .. } => g,
+        };
         let mut best: Option<(f64, usize)> = None;
-        for l in ctx.candidates() {
-            let cost = setup.cost(l);
-            if cost > remaining || setup.sc_prob(l) <= 0.0 {
+        for (l, &gl) in g.iter().enumerate() {
+            // Lemma 5: only x-tuples with a non-zero contribution are worth
+            // cleaning — and entities that already collapsed never are,
+            // regardless of floating-point residue in the updated g.
+            if gl >= -crate::improvement::G_EPSILON {
                 continue;
             }
-            let gain = marginal_gain(&ctx, setup, l, failed_attempts[l] + 1);
+            let ol = orig_of[l];
+            if resolved[ol] {
+                continue;
+            }
+            let cost = setup.cost(ol);
+            if cost > remaining || setup.sc_prob(ol) <= 0.0 {
+                continue;
+            }
+            let gain = marginal_gain_raw(gl, setup.sc_prob(ol), failed_attempts[ol] + 1);
             let ratio = gain / cost as f64;
             if ratio > 0.0 && best.is_none_or(|(r, _)| ratio > r) {
                 best = Some((ratio, l));
             }
         }
         let Some((_, l)) = best else { break };
+        let ol = orig_of[l];
 
-        remaining -= setup.cost(l);
+        remaining -= setup.cost(ol);
         probes += 1;
-        if rng.gen::<f64>() < setup.sc_prob(l) {
-            successes += 1;
-            failed_attempts[l] = 0;
-            // Reveal the true alternative of x-tuple l and collapse it.
-            let members = current.x_tuple(l).members.clone();
-            let mut u: f64 = rng.gen();
-            let mut chosen = None;
-            for &pos in &members {
-                let p = current.tuple(pos).prob;
-                if u < p {
-                    chosen = Some(pos);
-                    break;
+        if rng.gen::<f64>() >= setup.sc_prob(ol) {
+            failed_attempts[ol] += 1;
+            continue;
+        }
+        successes += 1;
+        // Reveal the true alternative of x-tuple l and collapse it.
+        let chosen = select_alternative(state.database(), l, rng.gen());
+        let mutation = match chosen {
+            Some(pos) => XTupleMutation::CollapseToAlternative { keep_pos: pos },
+            None => XTupleMutation::CollapseToNull,
+        };
+        let applied = match &mut state {
+            EvalState::Rebuild(current) => match &mutation {
+                XTupleMutation::CollapseToAlternative { keep_pos } => {
+                    current.collapse_x_tuple_in_place(l, *keep_pos)
                 }
-                u -= p;
+                XTupleMutation::CollapseToNull => current.collapse_x_tuple_to_null_in_place(l),
+                XTupleMutation::Reweight { .. } => unreachable!("probes only collapse"),
+            },
+            EvalState::Incremental { eval, g } => {
+                eval.apply_collapse_in_place(l, &mutation).map(|update| {
+                    *g = update.g;
+                    delta_stats.accumulate(&update.stats);
+                })
             }
-            current = match chosen {
-                Some(pos) => current.collapse_x_tuple(l, pos)?,
-                // The true value is the null alternative; the entity drops
-                // out (only possible when the x-tuple had missing mass).
-                None => match current.collapse_x_tuple_to_null(l) {
-                    Ok(next) => next,
-                    // Collapsing the last x-tuple to null would empty the
-                    // database; treat the entity as resolved and stop.
-                    Err(_) => break,
-                },
-            };
-        } else {
-            failed_attempts[l] += 1;
+        };
+        match applied {
+            Ok(()) => match chosen {
+                Some(_) => resolved[ol] = true,
+                None => {
+                    orig_of.remove(l);
+                }
+            },
+            // The entity that resolved to null was the last one: the
+            // database is now empty and fully certain.
+            Err(DbError::EmptyDatabase) => {
+                emptied = true;
+                break;
+            }
+            // Anything else is a logic error — report it, don't swallow it.
+            Err(e) => return Err(e),
         }
     }
 
-    let final_quality = quality_tp(&current, k)?;
+    let final_quality = if emptied {
+        0.0
+    } else {
+        match &state {
+            EvalState::Rebuild(current) => quality_tp(current, k)?,
+            // The evaluation's cached quality is maintained by every
+            // apply_collapse_in_place, so this is a cache hit.
+            EvalState::Incremental { eval, .. } => eval.quality(),
+        }
+    };
     Ok(AdaptiveOutcome {
         initial_quality,
         final_quality,
         probes,
         successes,
         spent: budget - remaining,
+        delta_stats,
     })
 }
 
@@ -143,7 +314,7 @@ pub fn run_adaptive_session<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::algorithms::plan_greedy;
-    use crate::improvement::{expected_improvement, simulate_cleaning};
+    use crate::improvement::{expected_improvement, simulate_cleaning, CleaningContext};
     use rand::{rngs::StdRng, SeedableRng};
 
     fn udb1() -> RankedDatabase {
@@ -168,11 +339,13 @@ mod tests {
     fn zero_budget_changes_nothing() {
         let db = udb1();
         let setup = CleaningSetup::uniform(4, 1, 0.9).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
-        let outcome = run_adaptive_session(&db, &setup, 2, 0, &mut rng).unwrap();
-        assert_eq!(outcome.probes, 0);
-        assert_eq!(outcome.spent, 0);
-        assert_eq!(outcome.improvement(), 0.0);
+        for mode in [ReplanMode::Incremental, ReplanMode::FullRebuild] {
+            let mut rng = StdRng::seed_from_u64(1);
+            let outcome = run_adaptive_session_with(&db, &setup, 2, 0, mode, &mut rng).unwrap();
+            assert_eq!(outcome.probes, 0);
+            assert_eq!(outcome.spent, 0);
+            assert_eq!(outcome.improvement(), 0.0);
+        }
     }
 
     #[test]
@@ -186,6 +359,142 @@ mod tests {
         // Only the three uncertain sensors ever need probing.
         assert!(outcome.probes <= 3);
         assert!(outcome.spent <= 3);
+    }
+
+    /// Regression (re-probe audit): with certain probes, every probe must
+    /// collapse a *distinct* entity — a collapsed (now-certain) x-tuple can
+    /// never be re-probed and burn budget, in either re-planning mode.
+    /// With k ≥ n every uncertain entity keeps contributing ambiguity
+    /// until it collapses, so the probe count is pinned to *exactly* the
+    /// number of initially-uncertain x-tuples.
+    #[test]
+    fn collapsed_entities_are_never_reprobed() {
+        let db = udb1();
+        let setup = CleaningSetup::uniform(4, 1, 1.0).unwrap();
+        for mode in [ReplanMode::Incremental, ReplanMode::FullRebuild] {
+            for seed in 0..40 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let outcome =
+                    run_adaptive_session_with(&db, &setup, 7, 100, mode, &mut rng).unwrap();
+                assert_eq!(outcome.probes, 3, "mode {mode}, seed {seed}: {outcome:?}");
+                assert_eq!(outcome.successes, 3);
+                assert_eq!(outcome.spent, 3);
+                assert!(outcome.final_quality.abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Regression (null-collapse index remap): when entities can resolve
+    /// to null, the x-indices of the evolving database shift; costs,
+    /// sc-probabilities and probe counts must stay attached to the right
+    /// entity, and every entity still collapses exactly once.
+    #[test]
+    fn null_collapses_keep_setup_indices_aligned() {
+        let db = RankedDatabase::from_scored_x_tuples(&[
+            vec![(10.0, 0.5)],
+            vec![(9.0, 0.5)],
+            vec![(8.0, 0.5)],
+            vec![(7.0, 1.0)],
+        ])
+        .unwrap();
+        // Distinct costs so a mis-mapped index would change `spent`.
+        let setup = CleaningSetup::new(vec![1, 2, 4, 8], vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        for mode in [ReplanMode::Incremental, ReplanMode::FullRebuild] {
+            for seed in 0..40 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let outcome =
+                    run_adaptive_session_with(&db, &setup, 4, 100, mode, &mut rng).unwrap();
+                // The three uncertain entities are probed exactly once each
+                // (x-tuple 3 is certain; k ≥ n keeps each one a candidate
+                // until it collapses), whatever mix of null/alternative
+                // outcomes the seed produces.
+                assert_eq!(outcome.probes, 3, "mode {mode}, seed {seed}: {outcome:?}");
+                assert_eq!(outcome.spent, 1 + 2 + 4, "mode {mode}, seed {seed}");
+                assert!(outcome.final_quality.abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Sampling-drift bugfix: a complete x-tuple whose member mass rounds
+    /// to just below 1 must never be routed to a null collapse.
+    #[test]
+    fn fp_drift_never_selects_a_phantom_null() {
+        // 0.3 + 0.3 + 0.3 + 0.1 sums to 0.9999999999999999 in f64, yet the
+        // x-tuple is logically complete.
+        let db = RankedDatabase::from_scored_x_tuples(&[
+            vec![(10.0, 0.3), (9.0, 0.3), (8.0, 0.3), (7.0, 0.1)],
+            vec![(6.0, 1.0)],
+        ])
+        .unwrap();
+        assert!(db.x_tuple(0).null_prob() > 0.0, "the phantom gap exists");
+        assert!(db.x_tuple(0).null_prob() <= pdb_core::PROB_EPSILON);
+        // A draw landing at (or beyond) the summed mass selects the last
+        // positive-probability alternative instead of null.
+        let just_below_one = 1.0 - f64::EPSILON / 2.0;
+        assert_eq!(select_alternative(&db, 0, just_below_one), Some(3));
+        assert_eq!(select_alternative(&db, 0, 0.95), Some(3));
+        // Ordinary draws still hit their alternative...
+        assert_eq!(select_alternative(&db, 0, 0.0), Some(0));
+        assert_eq!(select_alternative(&db, 0, 0.65), Some(2));
+        // ...and genuine missing mass still resolves to null.
+        let partial =
+            RankedDatabase::from_scored_x_tuples(&[vec![(10.0, 0.6)], vec![(6.0, 1.0)]]).unwrap();
+        assert_eq!(select_alternative(&partial, 0, 0.7), None);
+        assert_eq!(select_alternative(&partial, 0, 0.5), Some(0));
+    }
+
+    /// When the last entity resolves to null the session ends cleanly with
+    /// the (empty, certain) database's quality of zero — the budget
+    /// bookkeeping still reflects the probe that emptied it.
+    #[test]
+    fn emptying_the_database_ends_the_session_with_zero_quality() {
+        let db = RankedDatabase::from_scored_x_tuples(&[vec![(10.0, 0.5)]]).unwrap();
+        let setup = CleaningSetup::uniform(1, 1, 1.0).unwrap();
+        let mut seen_null = false;
+        for mode in [ReplanMode::Incremental, ReplanMode::FullRebuild] {
+            for seed in 0..20 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let outcome = run_adaptive_session_with(&db, &setup, 1, 5, mode, &mut rng).unwrap();
+                assert_eq!(outcome.probes, 1);
+                assert_eq!(outcome.spent, 1);
+                assert!(outcome.final_quality.abs() < 1e-12);
+                assert!(outcome.improvement() > 0.0);
+                if outcome.successes == 1 {
+                    seen_null = true;
+                }
+            }
+        }
+        assert!(seen_null, "some seed resolved the entity (to null or its alternative)");
+    }
+
+    /// The incremental session takes exactly the same probes as the
+    /// full-rebuild oracle and lands on the same realised quality.
+    #[test]
+    fn incremental_and_rebuild_sessions_agree() {
+        let db = udb1();
+        let setup = CleaningSetup::new(vec![2, 3, 1, 4], vec![0.4, 0.6, 0.8, 0.5]).unwrap();
+        for seed in 0..60 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inc =
+                run_adaptive_session_with(&db, &setup, 2, 6, ReplanMode::Incremental, &mut rng)
+                    .unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let full =
+                run_adaptive_session_with(&db, &setup, 2, 6, ReplanMode::FullRebuild, &mut rng)
+                    .unwrap();
+            assert_eq!(inc.probes, full.probes, "seed {seed}");
+            assert_eq!(inc.successes, full.successes, "seed {seed}");
+            assert_eq!(inc.spent, full.spent, "seed {seed}");
+            assert!(
+                (inc.final_quality - full.final_quality).abs() < 1e-8,
+                "seed {seed}: {} vs {}",
+                inc.final_quality,
+                full.final_quality
+            );
+            // Only the incremental mode reports delta activity.
+            assert_eq!(full.delta_stats, DeltaStats::default());
+            assert_eq!(u64::from(inc.delta_stats.rows_dropped > 0), inc.successes.min(1));
+        }
     }
 
     #[test]

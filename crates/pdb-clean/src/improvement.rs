@@ -84,11 +84,18 @@ impl CleaningContext {
 /// Monotonically non-increasing in `j` (Lemma 4), which is what makes the
 /// greedy algorithm near-optimal.
 pub fn marginal_gain(ctx: &CleaningContext, setup: &CleaningSetup, l: usize, j: u64) -> f64 {
+    marginal_gain_raw(ctx.g[l], setup.sc_prob(l), j)
+}
+
+/// [`marginal_gain`] from raw components: the x-tuple's quality
+/// contribution `g(l, D)` and its sc-probability.  Used by callers whose
+/// `g` vector comes from an incrementally maintained evaluation rather
+/// than a [`CleaningContext`].
+pub fn marginal_gain_raw(g_l: f64, sc_prob: f64, j: u64) -> f64 {
     if j == 0 {
         return 0.0;
     }
-    let p = setup.sc_prob(l);
-    -(1.0 - p).powi((j - 1).min(i32::MAX as u64) as i32) * p * ctx.g[l]
+    -(1.0 - sc_prob).powi((j - 1).min(i32::MAX as u64) as i32) * sc_prob * g_l
 }
 
 /// Number of per-x-tuple terms per summation chunk.  Both the sequential

@@ -41,7 +41,7 @@ pub mod improvement;
 pub mod model;
 pub mod target;
 
-pub use adaptive::{run_adaptive_session, AdaptiveOutcome};
+pub use adaptive::{run_adaptive_session, run_adaptive_session_with, AdaptiveOutcome, ReplanMode};
 pub use algorithms::{
     plan_dp, plan_exhaustive, plan_greedy, plan_rand_p, plan_rand_u, CleaningAlgorithm,
 };
@@ -50,7 +50,7 @@ pub use improvement::expected_improvement_parallel;
 pub use improvement::{
     apply_outcomes, expected_improvement, expected_improvement_exhaustive,
     expected_improvement_sequential, expected_quality_exhaustive, first_attempt_scores,
-    marginal_gain, simulate_cleaning, CleanOutcome, CleaningContext,
+    marginal_gain, marginal_gain_raw, simulate_cleaning, CleanOutcome, CleaningContext,
 };
 pub use model::{CleaningPlan, CleaningSetup};
 pub use target::{
@@ -60,7 +60,9 @@ pub use target::{
 
 /// Convenience prelude bringing the most frequently used items into scope.
 pub mod prelude {
-    pub use crate::adaptive::{run_adaptive_session, AdaptiveOutcome};
+    pub use crate::adaptive::{
+        run_adaptive_session, run_adaptive_session_with, AdaptiveOutcome, ReplanMode,
+    };
     pub use crate::algorithms::{
         plan_dp, plan_exhaustive, plan_greedy, plan_rand_p, plan_rand_u, CleaningAlgorithm,
     };

@@ -12,6 +12,7 @@ pub const USAGE: &str = "usage:
   pdb all [--scale quick|paper] [--csv <dir>]
   pdb quality [--dataset synthetic|mov|udb1] [--k <k>] [--algo tp|pwr|pw]
   pdb clean [--dataset synthetic|mov|udb1] [--k <k>] [--budget <C>] [--algo greedy|dp|randp|randu]
+  pdb adaptive [--dataset synthetic|mov|udb1] [--k <k>] [--budget <C>] [--trials <t>] [--mode incremental|rebuild|both]
   pdb help";
 
 /// Which dataset a `quality` / `clean` invocation runs on.
@@ -78,6 +79,19 @@ pub enum Command {
         budget: u64,
         /// Cleaning algorithm (`greedy`, `dp`, `randp`, `randu`).
         algo: String,
+    },
+    /// `pdb adaptive`
+    Adaptive {
+        /// Dataset to clean adaptively.
+        dataset: DatasetChoice,
+        /// Query parameter `k`.
+        k: usize,
+        /// Cleaning budget `C`.
+        budget: u64,
+        /// Number of simulated sessions to average over.
+        trials: u64,
+        /// Re-planning mode (`incremental`, `rebuild` or `both`).
+        mode: String,
     },
 }
 
@@ -174,6 +188,29 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Clean { dataset, k, budget, algo })
         }
+        "adaptive" => {
+            let mut dataset = DatasetChoice::Synthetic;
+            let mut k = 15;
+            let mut budget = 100;
+            let mut trials = 20;
+            let mut mode = "both".to_string();
+            let mut flags = Flags::new(rest);
+            while let Some(flag) = flags.next_flag() {
+                match flag {
+                    "--dataset" => dataset = DatasetChoice::parse(flags.value_for("--dataset")?)?,
+                    "--k" => k = parse_usize(flags.value_for("--k")?, "--k")?,
+                    "--budget" => {
+                        budget = parse_usize(flags.value_for("--budget")?, "--budget")? as u64
+                    }
+                    "--trials" => {
+                        trials = parse_usize(flags.value_for("--trials")?, "--trials")? as u64
+                    }
+                    "--mode" => mode = flags.value_for("--mode")?.to_ascii_lowercase(),
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Adaptive { dataset, k, budget, trials, mode })
+        }
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -251,5 +288,46 @@ mod tests {
 
         assert!(parse(&argv(&["quality", "--k", "abc"])).is_err());
         assert!(parse(&argv(&["clean", "--dataset", "nope"])).is_err());
+    }
+
+    #[test]
+    fn parses_adaptive_flags() {
+        let c = parse(&argv(&["adaptive"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Adaptive {
+                dataset: DatasetChoice::Synthetic,
+                k: 15,
+                budget: 100,
+                trials: 20,
+                mode: "both".into()
+            }
+        );
+        let c = parse(&argv(&[
+            "adaptive",
+            "--dataset",
+            "udb1",
+            "--k",
+            "2",
+            "--budget",
+            "5",
+            "--trials",
+            "50",
+            "--mode",
+            "incremental",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Adaptive {
+                dataset: DatasetChoice::Udb1,
+                k: 2,
+                budget: 5,
+                trials: 50,
+                mode: "incremental".into()
+            }
+        );
+        assert!(parse(&argv(&["adaptive", "--bogus"])).is_err());
+        assert!(parse(&argv(&["adaptive", "--mode"])).is_err());
     }
 }

@@ -1,9 +1,12 @@
 //! Execution of parsed CLI commands.
 
 use crate::args::{Command, DatasetChoice, USAGE};
-use pdb_clean::{expected_improvement, CleaningAlgorithm, CleaningContext, CleaningSetup};
+use pdb_clean::{
+    expected_improvement, run_adaptive_session_with, CleaningAlgorithm, CleaningContext,
+    CleaningSetup, ReplanMode,
+};
 use pdb_core::{DbError, RankedDatabase, Result, ScoreRanking};
-use pdb_experiments::{datasets, report::ExperimentResult, Scale, ALL_EXPERIMENTS};
+use pdb_experiments::{datasets, report::ExperimentResult, scale::time_ms, Scale, ALL_EXPERIMENTS};
 use pdb_quality::{quality_pw, quality_pwr, quality_tp, SharedEvaluation};
 use rand::{rngs::StdRng, SeedableRng};
 use std::fmt::Write as _;
@@ -20,6 +23,9 @@ pub fn run(command: Command) -> Result<String> {
         Command::All { scale, csv_dir } => run_all(scale, csv_dir.as_deref()),
         Command::Quality { dataset, k, algo } => quality(dataset, k, &algo),
         Command::Clean { dataset, k, budget, algo } => clean(dataset, k, budget, &algo),
+        Command::Adaptive { dataset, k, budget, trials, mode } => {
+            adaptive(dataset, k, budget, trials, &mode)
+        }
     }
 }
 
@@ -131,6 +137,76 @@ fn clean(choice: DatasetChoice, k: usize, budget: u64, algo: &str) -> Result<Str
     Ok(out)
 }
 
+fn adaptive(
+    choice: DatasetChoice,
+    k: usize,
+    budget: u64,
+    trials: u64,
+    mode: &str,
+) -> Result<String> {
+    let db = load_dataset(choice)?;
+    let modes: Vec<ReplanMode> = match mode {
+        "incremental" | "inc" => vec![ReplanMode::Incremental],
+        "rebuild" | "full" | "full-rebuild" => vec![ReplanMode::FullRebuild],
+        "both" => vec![ReplanMode::Incremental, ReplanMode::FullRebuild],
+        other => {
+            return Err(DbError::invalid_parameter(format!(
+                "unknown re-planning mode {other:?} (expected incremental, rebuild or both)"
+            )))
+        }
+    };
+    if trials == 0 {
+        return Err(DbError::invalid_parameter("at least one trial is required"));
+    }
+    let setup = match choice {
+        DatasetChoice::Udb1 => CleaningSetup::uniform(db.num_x_tuples(), 1, 0.8)?,
+        _ => datasets::default_cleaning_setup(db.num_x_tuples())?,
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "dataset : {}", dataset_name(choice));
+    let _ =
+        writeln!(out, "query   : top-{k}; budget {budget}; {trials} simulated sessions per mode");
+    for mode in modes {
+        let mut improvement = 0.0;
+        let mut probes = 0u64;
+        let mut successes = 0u64;
+        let mut swapped = 0usize;
+        let mut rebuilt = 0usize;
+        let (sessions, ms) = time_ms(|| -> Result<()> {
+            for seed in 0..trials {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let outcome = run_adaptive_session_with(&db, &setup, k, budget, mode, &mut rng)?;
+                improvement += outcome.improvement();
+                probes += outcome.probes;
+                successes += outcome.successes;
+                swapped += outcome.delta_stats.rows_swapped;
+                rebuilt += outcome.delta_stats.rows_rebuilt;
+            }
+            Ok(())
+        });
+        sessions?;
+        let t = trials as f64;
+        let _ = writeln!(
+            out,
+            "{mode:>12}: improvement {:+.4}, {:.1} probes ({:.1} successful), \
+             {:.2} ms per session",
+            improvement / t,
+            probes as f64 / t,
+            successes as f64 / t,
+            ms / t,
+        );
+        if mode == ReplanMode::Incremental {
+            let _ = writeln!(
+                out,
+                "              delta rows per session: {:.1} swapped, {:.1} rebuilt",
+                swapped as f64 / t,
+                rebuilt as f64 / t,
+            );
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +247,18 @@ mod tests {
         let csv = run(Command::Experiment { id: "fig2-3".into(), scale: Scale::Quick, csv: true })
             .unwrap();
         assert!(csv.lines().next().unwrap().contains("udb1"));
+    }
+
+    #[test]
+    fn adaptive_command_compares_both_replan_modes() {
+        let out = adaptive(DatasetChoice::Udb1, 2, 5, 10, "both").unwrap();
+        assert!(out.contains("incremental"), "{out}");
+        assert!(out.contains("full-rebuild"), "{out}");
+        assert!(out.contains("delta rows"), "{out}");
+        let single = adaptive(DatasetChoice::Udb1, 2, 5, 5, "rebuild").unwrap();
+        assert!(!single.contains("incremental"));
+        assert!(adaptive(DatasetChoice::Udb1, 2, 5, 5, "bogus").is_err());
+        assert!(adaptive(DatasetChoice::Udb1, 2, 5, 0, "both").is_err());
     }
 
     #[test]

@@ -218,6 +218,26 @@ impl RankedDatabase {
         count
     }
 
+    /// Recompute the per-x-tuple membership index and the within-x-tuple
+    /// higher-ranked masses from the tuple array.  The in-place mutators
+    /// call this after editing `tuples`; it never re-sorts (every mutation
+    /// preserves the score/id order of the surviving tuples).
+    fn rebuild_index(&mut self) {
+        let Self { tuples, x_tuples, higher_mass_within } = self;
+        for info in x_tuples.iter_mut() {
+            info.members.clear();
+            info.total_mass = 0.0;
+        }
+        higher_mass_within.clear();
+        higher_mass_within.resize(tuples.len(), 0.0);
+        for (pos, t) in tuples.iter().enumerate() {
+            let info = &mut x_tuples[t.x_index];
+            higher_mass_within[pos] = info.total_mass;
+            info.members.push(pos);
+            info.total_mass += t.prob;
+        }
+    }
+
     /// Produce the cleaned database that results from a *successful*
     /// `pclean(τ_l)` whose outcome is the alternative at rank position
     /// `keep_pos` (Definition 5 of the paper): every other alternative of
@@ -226,6 +246,17 @@ impl RankedDatabase {
     ///
     /// Returns an error if `keep_pos` does not belong to x-tuple `l`.
     pub fn collapse_x_tuple(&self, l: usize, keep_pos: usize) -> Result<Self> {
+        let mut next = self.clone();
+        next.collapse_x_tuple_in_place(l, keep_pos)?;
+        Ok(next)
+    }
+
+    /// [`collapse_x_tuple`](Self::collapse_x_tuple) without reallocating
+    /// the database: surviving tuples keep their relative order, so the
+    /// tuple array is compacted and the membership index rebuilt in one
+    /// O(n) pass — no re-sort, no key cloning.  On error the database is
+    /// unchanged.
+    pub fn collapse_x_tuple_in_place(&mut self, l: usize, keep_pos: usize) -> Result<()> {
         if l >= self.x_tuples.len() {
             return Err(DbError::index_out_of_range(format!(
                 "x-tuple {l} of {}",
@@ -237,18 +268,72 @@ impl RankedDatabase {
                 "tuple position {keep_pos} is not an alternative of x-tuple {l}"
             )));
         }
-        let entries = self
-            .tuples
-            .iter()
-            .filter(|t| t.x_index != l)
-            .map(|t| (t.id, t.x_index, t.score, t.prob))
-            .chain(std::iter::once({
-                let kept = &self.tuples[keep_pos];
-                (kept.id, kept.x_index, kept.score, 1.0)
-            }))
-            .collect();
-        let keys = self.x_tuples.iter().map(|x| x.key.clone()).collect();
-        Self::from_entries(entries, keys)
+        self.tuples[keep_pos].prob = 1.0;
+        let mut pos = 0usize;
+        self.tuples.retain(|t| {
+            let keep = t.x_index != l || pos == keep_pos;
+            pos += 1;
+            keep
+        });
+        self.rebuild_index();
+        Ok(())
+    }
+
+    /// Produce the database where x-tuple `l`'s alternatives keep their
+    /// scores (and therefore their rank positions) but carry new
+    /// existential probabilities.  `probs[i]` applies to the alternative at
+    /// `self.x_tuple(l).members[i]`, i.e. probabilities are given in the
+    /// x-tuple's rank order.
+    ///
+    /// This is the "probability reweighting" mutation of the incremental
+    /// re-evaluation engine: a partial cleaning observation (or an updated
+    /// sensor model) that sharpens an entity's distribution without
+    /// collapsing it.  The usual construction invariants are re-validated:
+    /// every probability must lie in `[0, 1]` and the x-tuple's total mass
+    /// must not exceed 1.
+    pub fn reweight_x_tuple(&self, l: usize, probs: &[f64]) -> Result<Self> {
+        let mut next = self.clone();
+        next.reweight_x_tuple_in_place(l, probs)?;
+        Ok(next)
+    }
+
+    /// [`reweight_x_tuple`](Self::reweight_x_tuple) without reallocating
+    /// the database.  Validates the new probabilities (range and total
+    /// mass) before touching anything; on error the database is unchanged.
+    pub fn reweight_x_tuple_in_place(&mut self, l: usize, probs: &[f64]) -> Result<()> {
+        if l >= self.x_tuples.len() {
+            return Err(DbError::index_out_of_range(format!(
+                "x-tuple {l} of {}",
+                self.x_tuples.len()
+            )));
+        }
+        let info = &self.x_tuples[l];
+        if probs.len() != info.members.len() {
+            return Err(DbError::invalid_parameter(format!(
+                "x-tuple {l} has {} alternatives but {} probabilities were supplied",
+                info.members.len(),
+                probs.len()
+            )));
+        }
+        let mut total = 0.0;
+        for &p in probs {
+            if !p.is_finite() || !(0.0..=1.0 + crate::PROB_EPSILON).contains(&p) {
+                return Err(DbError::InvalidProbability {
+                    prob: p,
+                    context: format!("x-tuple #{l} ({})", info.key),
+                });
+            }
+            total += p;
+        }
+        if total > 1.0 + 1e-6 {
+            return Err(DbError::XTupleMassExceedsOne { x_tuple: info.key.clone(), total });
+        }
+        let members = self.x_tuples[l].members.clone();
+        for (&pos, &p) in members.iter().zip(probs) {
+            self.tuples[pos].prob = p;
+        }
+        self.rebuild_index();
+        Ok(())
     }
 
     /// Produce the cleaned database where x-tuple `l` collapses to its
@@ -258,6 +343,17 @@ impl RankedDatabase {
     /// answer, the x-tuple is dropped from the physical representation and
     /// the remaining x-tuples keep their indices.
     pub fn collapse_x_tuple_to_null(&self, l: usize) -> Result<Self> {
+        let mut next = self.clone();
+        next.collapse_x_tuple_to_null_in_place(l)?;
+        Ok(next)
+    }
+
+    /// [`collapse_x_tuple_to_null`](Self::collapse_x_tuple_to_null)
+    /// without reallocating the database: the x-tuple's alternatives are
+    /// compacted out of the tuple array, the remaining x-tuples re-indexed
+    /// densely, and the membership index rebuilt — one O(n) pass, no
+    /// re-sort.  On error the database is unchanged.
+    pub fn collapse_x_tuple_to_null_in_place(&mut self, l: usize) -> Result<()> {
         if l >= self.x_tuples.len() {
             return Err(DbError::index_out_of_range(format!(
                 "x-tuple {l} of {}",
@@ -269,30 +365,18 @@ impl RankedDatabase {
                 "x-tuple {l} has no null alternative to collapse to"
             )));
         }
-        let entries: Vec<_> = self
-            .tuples
-            .iter()
-            .filter(|t| t.x_index != l)
-            .map(|t| (t.id, t.x_index, t.score, t.prob))
-            .collect();
-        if entries.is_empty() {
+        if self.x_tuples[l].members.len() == self.tuples.len() {
             return Err(DbError::EmptyDatabase);
         }
-        // Keep the x-tuple slot (now with zero members would be rejected),
-        // so instead re-index the remaining x-tuples densely.
-        let mut keys = Vec::new();
-        let mut remap = vec![usize::MAX; self.x_tuples.len()];
-        for (idx, info) in self.x_tuples.iter().enumerate() {
-            if idx != l {
-                remap[idx] = keys.len();
-                keys.push(info.key.clone());
+        self.tuples.retain(|t| t.x_index != l);
+        for t in &mut self.tuples {
+            if t.x_index > l {
+                t.x_index -= 1;
             }
         }
-        let entries = entries
-            .into_iter()
-            .map(|(id, x_index, score, prob)| (id, remap[x_index], score, prob))
-            .collect();
-        Self::from_entries(entries, keys)
+        self.x_tuples.remove(l);
+        self.rebuild_index();
+        Ok(())
     }
 }
 
@@ -383,6 +467,21 @@ mod tests {
     }
 
     #[test]
+    fn collapse_keeps_exactly_one_tuple_under_duplicate_ids() {
+        // from_entries does not enforce TupleId uniqueness; the collapse
+        // must select the revealed alternative by position, not by id.
+        let db = RankedDatabase::from_entries(
+            vec![(TupleId(7), 0, 10.0, 0.5), (TupleId(7), 0, 9.0, 0.5), (TupleId(1), 1, 8.0, 1.0)],
+            vec!["a".into(), "b".into()],
+        )
+        .unwrap();
+        let cleaned = db.collapse_x_tuple(0, 1).unwrap();
+        assert_eq!(cleaned.x_tuple(0).members.len(), 1);
+        assert_eq!(cleaned.tuple(cleaned.x_tuple(0).members[0]).score, 9.0);
+        assert!((cleaned.x_tuple(0).total_mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn collapse_rejects_foreign_positions() {
         let db = udb1();
         assert!(db.collapse_x_tuple(2, 0).is_err());
@@ -402,6 +501,32 @@ mod tests {
         assert_eq!(cleaned.tuple(0).score, 9.0);
         // The second x-tuple had no null mass: collapsing it is an error.
         assert!(db.collapse_x_tuple_to_null(1).is_err());
+    }
+
+    #[test]
+    fn reweight_x_tuple_replaces_member_probabilities() {
+        let db = udb1();
+        // Sharpen sensor S3 (members at positions 2 and 4) towards 27°.
+        let updated = db.reweight_x_tuple(2, &[0.9, 0.1]).unwrap();
+        assert_eq!(updated.len(), db.len());
+        assert_eq!(updated.x_tuple(2).members, db.x_tuple(2).members);
+        assert!((updated.tuple(2).prob - 0.9).abs() < 1e-12);
+        assert!((updated.tuple(4).prob - 0.1).abs() < 1e-12);
+        // Other x-tuples are untouched.
+        assert_eq!(updated.tuple(0).prob, db.tuple(0).prob);
+
+        // Mass may also be withdrawn, opening a null alternative.
+        let partial = db.reweight_x_tuple(2, &[0.5, 0.2]).unwrap();
+        assert!((partial.x_tuple(2).null_prob() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reweight_x_tuple_validates_input() {
+        let db = udb1();
+        assert!(db.reweight_x_tuple(99, &[0.5]).is_err());
+        assert!(db.reweight_x_tuple(2, &[0.5]).is_err(), "arity mismatch");
+        assert!(db.reweight_x_tuple(2, &[0.7, 0.7]).is_err(), "mass above 1");
+        assert!(db.reweight_x_tuple(2, &[-0.1, 0.5]).is_err(), "negative probability");
     }
 
     #[test]

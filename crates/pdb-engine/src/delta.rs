@@ -1,0 +1,570 @@
+//! Incremental re-evaluation of rank probabilities under single-x-tuple
+//! mutations.
+//!
+//! An adaptive cleaning session observes one probe outcome at a time; each
+//! outcome changes exactly one x-tuple (it collapses to a revealed
+//! alternative, collapses to its implicit null alternative, or has its
+//! probabilities reweighted).  Re-running the full PSR + TP pipeline after
+//! every probe costs O(n·k) *per probe*, which makes a session of `C`
+//! probes O(C·n·k).  This module exploits the same algebraic structure PSR
+//! already uses *within* one scan — the Poisson-binomial product changes by
+//! a single binomial factor — to carry a completed [`RankProbabilities`]
+//! *across* database versions instead.
+//!
+//! ## How it works
+//!
+//! The stored ρ row of the tuple at position `i` is
+//!
+//! ```text
+//! ρᵢ = eᵢ · coeffs( Π_{j ≠ lᵢ} ((1 − q_j) + q_j·z) )   (truncated to k)
+//! ```
+//!
+//! where `q_j` is x-tuple `j`'s existential mass ranked strictly above
+//! position `i`.  A mutation of x-tuple `L` changes only `q_L`, and both
+//! [`TruncatedPoly`] operations are linear in the coefficients, so the new
+//! row is obtained **without knowing eᵢ** by one divide + one multiply on
+//! the stored row itself:
+//!
+//! ```text
+//! ρᵢ′ = ρᵢ ÷ ((1 − q_L) + q_L·z) × ((1 − q_L′) + q_L′·z)
+//! ```
+//!
+//! Per row that is O(k) — and most rows are cheaper still:
+//!
+//! * rows ranked above `L`'s first alternative (and rows where the old and
+//!   new clamped masses coincide, e.g. everything below a full-mass
+//!   x-tuple's last alternative) have `q_L = q_L′` and are **copied**;
+//! * the mutated x-tuple's own rows never contained `L`'s factor, so they
+//!   are **rescaled** by `eᵢ′ / eᵢ`;
+//! * zero-probability rows stay identically zero.
+//!
+//! ## When the oracle rebuild kicks in
+//!
+//! Dividing out a factor is only well-conditioned while
+//! `q_L ≤ [`MAX_DIVISOR_Q`]` (the same gate the PSR scan applies).  Rows
+//! whose divided factor is heavier than that — e.g. rows that were shadowed
+//! by a near-saturated x-tuple which the mutation now removes — are rebuilt
+//! from the mutated database instead of patched:
+//!
+//! * when the ill-conditioned rows are few, each is recomputed exactly
+//!   ([`psr::exact_row`], O(m·k) per row);
+//! * when they are many, one **windowed scan** re-runs the incremental PSR
+//!   planning pass up to the last ill-conditioned position and finalizes
+//!   only those rows (O(w·k) for a window of length `w`) — never more
+//!   expensive than the full rebuild it replaces.
+//!
+//! The cheaper of the two is chosen per mutation; [`DeltaStats`] reports
+//! which rows took which path.  [`rank_probabilities`] /
+//! [`rank_probabilities_exact`](crate::psr::rank_probabilities_exact) on
+//! the mutated database remain the correctness oracles; the
+//! `delta_equivalence` test suite pins the delta path against them across
+//! randomized mutation sequences.
+
+use crate::poly;
+use crate::psr::{self, rank_probabilities, RankProbabilities, MAX_DIVISOR_Q};
+use pdb_core::{DbError, RankedDatabase, Result};
+use serde::{Deserialize, Serialize};
+
+/// Existential probabilities below this value make the "rescale the stored
+/// row by `eᵢ′ / eᵢ`" shortcut ill-conditioned (the division amplifies the
+/// row's absolute floating-point residue by `1 / eᵢ`); such rows are
+/// rebuilt from the mutated database instead.
+const MIN_SCALE_PROB: f64 = 1e-3;
+
+/// Old and new factor masses closer than this are treated as equal and the
+/// row is copied.  Copying instead of swapping a factor whose mass moved by
+/// `δ` changes each coefficient by at most `2·δ` (the error is linear in
+/// `δ` and independent of the factor's conditioning), so the tolerance
+/// directly bounds the introduced error.  Without it, a collapsed
+/// full-mass x-tuple whose member probabilities sum to 1 ± a few ulps
+/// would push every row below its last alternative (`q_old ≈ 1` vs
+/// `q_new = 1`) into the expensive rebuild path for no accuracy gain.
+const Q_EQUAL_EPSILON: f64 = 1e-12;
+
+/// A mutation of a single x-tuple — exactly what one observed probe
+/// outcome does to the database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum XTupleMutation {
+    /// A successful probe revealed the alternative at rank position
+    /// `keep_pos` (which must belong to the mutated x-tuple): every other
+    /// alternative is removed and the kept one becomes certain.
+    CollapseToAlternative {
+        /// Rank position (in the *pre-mutation* database) of the revealed
+        /// alternative.
+        keep_pos: usize,
+    },
+    /// A successful probe revealed the implicit null alternative: the
+    /// entity has no reading and drops out of the database.
+    CollapseToNull,
+    /// The x-tuple's alternatives keep their positions but carry new
+    /// existential probabilities (a partial observation that sharpens the
+    /// distribution without collapsing it).
+    Reweight {
+        /// New probabilities, in the x-tuple's rank (member) order.
+        probs: Vec<f64>,
+    },
+}
+
+/// How the rows of one (or several accumulated) incremental updates were
+/// produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaStats {
+    /// Rows whose mutated factor was unchanged (`q_L = q_L′`) or whose
+    /// existential probability is zero: copied verbatim.
+    pub rows_copied: usize,
+    /// Rows updated by the O(k) divide + multiply factor swap.
+    pub rows_swapped: usize,
+    /// Rows of the mutated x-tuple itself, rescaled by `eᵢ′ / eᵢ`.
+    pub rows_rescaled: usize,
+    /// Ill-conditioned rows rebuilt from the mutated database (exact
+    /// per-row rebuild or windowed scan).
+    pub rows_rebuilt: usize,
+    /// Rows removed together with the mutated x-tuple's dropped
+    /// alternatives.
+    pub rows_dropped: usize,
+    /// Number of mutations that fell back to a windowed planning scan for
+    /// their rebuilt rows (as opposed to per-row exact rebuilds).
+    pub windowed_scans: usize,
+}
+
+impl DeltaStats {
+    /// Fold another update's statistics into this accumulator.
+    pub fn accumulate(&mut self, other: &DeltaStats) {
+        self.rows_copied += other.rows_copied;
+        self.rows_swapped += other.rows_swapped;
+        self.rows_rescaled += other.rows_rescaled;
+        self.rows_rebuilt += other.rows_rebuilt;
+        self.rows_dropped += other.rows_dropped;
+        self.windowed_scans += other.windowed_scans;
+    }
+
+    /// Total number of rows of the mutated database that were produced.
+    pub fn rows_total(&self) -> usize {
+        self.rows_copied + self.rows_swapped + self.rows_rescaled + self.rows_rebuilt
+    }
+}
+
+/// Apply a single-x-tuple mutation to a database **and** its completed
+/// rank-probability matrix, producing the mutated database, the updated
+/// matrix and the per-row update statistics.
+///
+/// This is the pure form of [`apply_mutation_in_place`] (one clone of the
+/// inputs); use the in-place form — or [`DeltaEvaluation`], which wraps it
+/// — when the pre-mutation state is no longer needed, since the clone of
+/// the ρ matrix costs more than the patch itself.
+pub fn apply_mutation(
+    db: &RankedDatabase,
+    rp: &RankProbabilities,
+    l: usize,
+    mutation: &XTupleMutation,
+) -> Result<(RankedDatabase, RankProbabilities, DeltaStats)> {
+    let mut db = db.clone();
+    let mut rp = rp.clone();
+    let stats = apply_mutation_in_place(&mut db, &mut rp, l, mutation)?;
+    Ok((db, rp, stats))
+}
+
+/// [`apply_mutation`] without reallocating: the database is mutated in
+/// place (no re-sort — every mutation preserves the rank order of the
+/// surviving tuples) and the ρ matrix is patched row by row.
+///
+/// Rows ranked above the mutated x-tuple's first alternative are not
+/// touched at all; surviving rows below it are compacted forward (a
+/// `memmove` when alternatives were dropped), factor-swapped, rescaled or
+/// rebuilt as the module docs describe.  All validation happens before
+/// anything is mutated, so on `Err` both inputs are unchanged.
+pub fn apply_mutation_in_place(
+    db: &mut RankedDatabase,
+    rp: &mut RankProbabilities,
+    l: usize,
+    mutation: &XTupleMutation,
+) -> Result<DeltaStats> {
+    if rp.num_tuples() != db.len() {
+        return Err(DbError::invalid_parameter(format!(
+            "rank probabilities cover {} tuples but the database has {}",
+            rp.num_tuples(),
+            db.len()
+        )));
+    }
+    if l >= db.num_x_tuples() {
+        return Err(DbError::index_out_of_range(format!("x-tuple {l} of {}", db.num_x_tuples())));
+    }
+    let k = rp.k();
+    let old_n = db.len();
+    // Snapshots of the mutated x-tuple (its pre-mutation probabilities are
+    // needed while patching rows after the database has been updated).
+    let members = db.x_tuple(l).members.clone();
+    let old_probs: Vec<f64> = members.iter().map(|&p| db.tuple(p).prob).collect();
+
+    // Per-member probability and survival after the mutation.
+    let (new_probs, kept): (Vec<f64>, Vec<bool>) = match mutation {
+        XTupleMutation::CollapseToAlternative { keep_pos } => {
+            if *keep_pos >= db.len() || db.tuple(*keep_pos).x_index != l {
+                return Err(DbError::index_out_of_range(format!(
+                    "tuple position {keep_pos} is not an alternative of x-tuple {l}"
+                )));
+            }
+            let keep = members.iter().map(|&p| p == *keep_pos);
+            (keep.clone().map(|k| if k { 1.0 } else { 0.0 }).collect(), keep.collect())
+        }
+        XTupleMutation::CollapseToNull => (vec![0.0; members.len()], vec![false; members.len()]),
+        XTupleMutation::Reweight { probs } => {
+            if probs.len() != members.len() {
+                return Err(DbError::invalid_parameter(format!(
+                    "x-tuple {l} has {} alternatives but {} probabilities were supplied",
+                    members.len(),
+                    probs.len()
+                )));
+            }
+            (probs.clone(), vec![true; members.len()])
+        }
+    };
+
+    // Mutate the database first; each in-place mutator validates before
+    // touching anything, so an error here leaves both inputs intact.
+    match mutation {
+        XTupleMutation::CollapseToAlternative { keep_pos } => {
+            db.collapse_x_tuple_in_place(l, *keep_pos)?
+        }
+        XTupleMutation::CollapseToNull => db.collapse_x_tuple_to_null_in_place(l)?,
+        XTupleMutation::Reweight { probs } => db.reweight_x_tuple_in_place(l, probs)?,
+    }
+
+    let mut stats = DeltaStats::default();
+    // New positions whose update is ill-conditioned; ascending by
+    // construction.
+    let mut ill: Vec<usize> = Vec::new();
+    {
+        let (rho, top_k) = rp.parts_mut();
+        // Running clamped folds of x-tuple l's higher-ranked mass — the
+        // exact quantity the PSR scan maintains, before and after the
+        // mutation — plus the forward-compaction shift from dropped rows.
+        let mut member_idx = 0usize;
+        let mut q_old = 0.0f64;
+        let mut q_new = 0.0f64;
+        let mut shift = 0usize;
+        for pos in 0..old_n {
+            while member_idx < members.len() && members[member_idx] < pos {
+                q_old = (q_old + old_probs[member_idx]).min(1.0);
+                q_new = (q_new + new_probs[member_idx]).min(1.0);
+                member_idx += 1;
+            }
+            let is_own = member_idx < members.len() && members[member_idx] == pos;
+            if is_own && !kept[member_idx] {
+                shift += 1;
+                stats.rows_dropped += 1;
+                continue;
+            }
+            let new_pos = pos - shift;
+            let (src, dst) = (pos * k, new_pos * k);
+            if is_own {
+                // The x-tuple's own rows never contained its own factor:
+                // only the leading eᵢ changes.
+                let e_old = old_probs[member_idx];
+                let e_new = new_probs[member_idx];
+                if e_new <= 0.0 {
+                    // ρ = eᵢ′ · (…) is identically zero.
+                    rho[dst..dst + k].fill(0.0);
+                    top_k[new_pos] = 0.0;
+                    stats.rows_rescaled += 1;
+                } else if e_old >= MIN_SCALE_PROB {
+                    let scale = e_new / e_old;
+                    for j in 0..k {
+                        rho[dst + j] = rho[src + j] * scale;
+                    }
+                    top_k[new_pos] = top_k[pos] * scale;
+                    stats.rows_rescaled += 1;
+                } else {
+                    rho[dst..dst + k].fill(0.0);
+                    top_k[new_pos] = 0.0;
+                    ill.push(new_pos);
+                }
+            } else if (q_old - q_new).abs() <= Q_EQUAL_EPSILON || db.tuple(new_pos).prob <= 0.0 {
+                // Unchanged value (a zero-probability row is identically
+                // zero both before and after); move it only if rows above
+                // were dropped.
+                if shift > 0 {
+                    rho.copy_within(src..src + k, dst);
+                    top_k[new_pos] = top_k[pos];
+                }
+                stats.rows_copied += 1;
+            } else if q_old <= MAX_DIVISOR_Q {
+                if shift > 0 {
+                    rho.copy_within(src..src + k, dst);
+                }
+                let row = &mut rho[dst..dst + k];
+                if q_old > 0.0 {
+                    poly::divide_binomial_in(row, q_old);
+                    poly::clamp_non_negative_in(row);
+                }
+                if q_new > 0.0 {
+                    poly::multiply_binomial_in(row, q_new);
+                }
+                top_k[new_pos] = row.iter().sum();
+                stats.rows_swapped += 1;
+            } else {
+                rho[dst..dst + k].fill(0.0);
+                top_k[new_pos] = 0.0;
+                ill.push(new_pos);
+            }
+        }
+        rho.truncate((old_n - shift) * k);
+        top_k.truncate(old_n - shift);
+    }
+    debug_assert_eq!(rp.num_tuples(), db.len());
+
+    if !ill.is_empty() {
+        stats.rows_rebuilt = ill.len();
+        let last = *ill.last().expect("non-empty");
+        // Per-row exact rebuilds cost O(m·k) each; one windowed planning
+        // scan costs O(last·k).  Pick the cheaper total.
+        let windowed = ill.len() * db.num_x_tuples() > last + 1;
+        let (rho, top_k) = rp.parts_mut();
+        if windowed {
+            stats.windowed_scans = 1;
+            let mut want = vec![false; last + 1];
+            for &p in &ill {
+                want[p] = true;
+            }
+            psr::scan_rows_filtered(
+                db,
+                k,
+                last,
+                |pos| want[pos],
+                |task| {
+                    let pos = task.pos;
+                    psr::compute_row_into(task, k, &mut rho[pos * k..(pos + 1) * k]);
+                },
+            )?;
+        } else {
+            for &p in &ill {
+                let row = psr::exact_row(db, k, p);
+                rho[p * k..(p + 1) * k].copy_from_slice(&row);
+            }
+        }
+        for &p in &ill {
+            top_k[p] = rho[p * k..(p + 1) * k].iter().sum();
+        }
+    }
+
+    Ok(stats)
+}
+
+/// A database together with rank probabilities that are kept current under
+/// single-x-tuple mutations.
+///
+/// Run the full PSR pipeline once ([`DeltaEvaluation::new`]), then
+/// [`apply`](DeltaEvaluation::apply) each observed mutation in O(k) per
+/// affected row.  The full-rebuild entry points remain available as the
+/// correctness oracle: at any point, [`rank_probabilities`] on
+/// [`database`](DeltaEvaluation::database) must agree with
+/// [`rank_probabilities`](DeltaEvaluation::rank_probabilities) within the
+/// documented tolerance.
+#[derive(Debug, Clone)]
+pub struct DeltaEvaluation {
+    db: RankedDatabase,
+    rp: RankProbabilities,
+    last: DeltaStats,
+    total: DeltaStats,
+    mutations: u64,
+}
+
+impl DeltaEvaluation {
+    /// Run PSR once for the given `k` and take ownership of the database.
+    pub fn new(db: RankedDatabase, k: usize) -> Result<Self> {
+        let rp = rank_probabilities(&db, k)?;
+        Ok(Self::assemble(db, rp))
+    }
+
+    /// Wrap a database and rank probabilities computed elsewhere.
+    pub fn from_parts(db: RankedDatabase, rp: RankProbabilities) -> Result<Self> {
+        if rp.num_tuples() != db.len() {
+            return Err(DbError::invalid_parameter(format!(
+                "rank probabilities cover {} tuples but the database has {}",
+                rp.num_tuples(),
+                db.len()
+            )));
+        }
+        Ok(Self::assemble(db, rp))
+    }
+
+    fn assemble(db: RankedDatabase, rp: RankProbabilities) -> Self {
+        Self { db, rp, last: DeltaStats::default(), total: DeltaStats::default(), mutations: 0 }
+    }
+
+    /// The `k` the evaluation is maintained for.
+    pub fn k(&self) -> usize {
+        self.rp.k()
+    }
+
+    /// The current (post-mutation) database.
+    pub fn database(&self) -> &RankedDatabase {
+        &self.db
+    }
+
+    /// The current rank probabilities.
+    pub fn rank_probabilities(&self) -> &RankProbabilities {
+        &self.rp
+    }
+
+    /// Statistics of the most recent [`apply`](DeltaEvaluation::apply).
+    pub fn last_stats(&self) -> DeltaStats {
+        self.last
+    }
+
+    /// Statistics accumulated over every mutation applied so far.
+    pub fn total_stats(&self) -> DeltaStats {
+        self.total
+    }
+
+    /// Number of mutations applied so far.
+    pub fn mutations(&self) -> u64 {
+        self.mutations
+    }
+
+    /// Apply one mutation incrementally, patching the held database and
+    /// probabilities in place.  On error the evaluation is left unchanged
+    /// (all validation happens before anything is mutated).
+    pub fn apply(&mut self, l: usize, mutation: &XTupleMutation) -> Result<DeltaStats> {
+        let stats = apply_mutation_in_place(&mut self.db, &mut self.rp, l, mutation)?;
+        self.last = stats;
+        self.total.accumulate(&stats);
+        self.mutations += 1;
+        Ok(stats)
+    }
+
+    /// Dissolve into the current database and rank probabilities.
+    pub fn into_parts(self) -> (RankedDatabase, RankProbabilities) {
+        (self.db, self.rp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psr::rank_probabilities_exact;
+
+    fn udb1() -> RankedDatabase {
+        RankedDatabase::from_scored_x_tuples(&[
+            vec![(21.0, 0.6), (32.0, 0.4)],
+            vec![(30.0, 0.7), (22.0, 0.3)],
+            vec![(25.0, 0.4), (27.0, 0.6)],
+            vec![(26.0, 1.0)],
+        ])
+        .unwrap()
+    }
+
+    fn assert_matches_oracle(db: &RankedDatabase, rp: &RankProbabilities, tol: f64) {
+        let oracle = rank_probabilities_exact(db, rp.k()).unwrap();
+        for pos in 0..db.len() {
+            for h in 1..=rp.k() {
+                let got = rp.rank_prob(pos, h);
+                let want = oracle.rank_prob(pos, h);
+                assert!((got - want).abs() < tol, "pos {pos} h {h}: delta {got} vs oracle {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn collapse_to_alternative_matches_full_rebuild() {
+        let db = udb1();
+        let rp = rank_probabilities(&db, 2).unwrap();
+        // Collapse S3 to its 27° reading (position 2): the udb1 → udb2
+        // transition of the paper.
+        let (db2, rp2, stats) =
+            apply_mutation(&db, &rp, 2, &XTupleMutation::CollapseToAlternative { keep_pos: 2 })
+                .unwrap();
+        assert_eq!(db2.len(), 6);
+        assert_eq!(stats.rows_dropped, 1);
+        assert_eq!(stats.rows_total(), 6);
+        assert_matches_oracle(&db2, &rp2, 1e-9);
+    }
+
+    #[test]
+    fn collapse_to_null_matches_full_rebuild() {
+        let db = RankedDatabase::from_scored_x_tuples(&[
+            vec![(10.0, 0.5)],
+            vec![(9.0, 0.4), (8.0, 0.2)],
+            vec![(7.0, 1.0)],
+        ])
+        .unwrap();
+        let rp = rank_probabilities(&db, 2).unwrap();
+        let (db2, rp2, stats) =
+            apply_mutation(&db, &rp, 0, &XTupleMutation::CollapseToNull).unwrap();
+        assert_eq!(db2.num_x_tuples(), 2);
+        assert_eq!(stats.rows_dropped, 1);
+        assert_matches_oracle(&db2, &rp2, 1e-9);
+    }
+
+    #[test]
+    fn reweight_matches_full_rebuild() {
+        let db = udb1();
+        let rp = rank_probabilities(&db, 3).unwrap();
+        let (db2, rp2, _) =
+            apply_mutation(&db, &rp, 0, &XTupleMutation::Reweight { probs: vec![0.1, 0.8] })
+                .unwrap();
+        assert_matches_oracle(&db2, &rp2, 1e-9);
+    }
+
+    #[test]
+    fn delta_evaluation_tracks_a_mutation_sequence() {
+        let db = udb1();
+        let mut eval = DeltaEvaluation::new(db, 2).unwrap();
+        assert_eq!(eval.k(), 2);
+        eval.apply(2, &XTupleMutation::CollapseToAlternative { keep_pos: 2 }).unwrap();
+        eval.apply(1, &XTupleMutation::Reweight { probs: vec![0.2, 0.1] }).unwrap();
+        eval.apply(1, &XTupleMutation::CollapseToNull).unwrap();
+        assert_eq!(eval.mutations(), 3);
+        assert_eq!(eval.database().num_x_tuples(), 3);
+        assert_eq!(eval.total_stats().rows_dropped, 3);
+        assert_matches_oracle(eval.database(), eval.rank_probabilities(), 1e-8);
+        let (db, rp) = eval.into_parts();
+        assert_eq!(db.len(), rp.num_tuples());
+    }
+
+    #[test]
+    fn shadowed_rows_are_rebuilt_when_a_certain_blocker_drops_out() {
+        // One near-certain x-tuple with null mass shadows everything below
+        // it at k = 1; collapsing it to null must resurrect those rows,
+        // which requires dividing out a factor with q > MAX_DIVISOR_Q —
+        // i.e. the rebuild path.
+        let db = RankedDatabase::from_scored_x_tuples(&[
+            vec![(100.0, 0.99)],
+            vec![(50.0, 0.6), (40.0, 0.4)],
+            vec![(30.0, 1.0)],
+        ])
+        .unwrap();
+        let rp = rank_probabilities(&db, 1).unwrap();
+        let (db2, rp2, stats) =
+            apply_mutation(&db, &rp, 0, &XTupleMutation::CollapseToNull).unwrap();
+        assert!(stats.rows_rebuilt > 0, "expected the ill-conditioned rebuild path: {stats:?}");
+        assert_matches_oracle(&db2, &rp2, 1e-9);
+        // The 50-score tuple now leads the ranking outright.
+        assert!((rp2.top_k_prob(0) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_inconsistent_inputs() {
+        let db = udb1();
+        let rp = rank_probabilities(&db, 2).unwrap();
+        // Foreign keep position.
+        assert!(apply_mutation(
+            &db,
+            &rp,
+            0,
+            &XTupleMutation::CollapseToAlternative { keep_pos: 1 }
+        )
+        .is_err());
+        // Out-of-range x-tuple.
+        assert!(apply_mutation(&db, &rp, 9, &XTupleMutation::CollapseToNull).is_err());
+        // Reweight arity mismatch.
+        assert!(
+            apply_mutation(&db, &rp, 0, &XTupleMutation::Reweight { probs: vec![0.5] }).is_err()
+        );
+        // Probabilities computed for a different database.
+        let other = RankedDatabase::from_scored_x_tuples(&[vec![(1.0, 1.0)]]).unwrap();
+        let rp_other = rank_probabilities(&other, 2).unwrap();
+        assert!(apply_mutation(&db, &rp_other, 0, &XTupleMutation::CollapseToNull).is_err());
+        assert!(DeltaEvaluation::from_parts(db, rp_other).is_err());
+    }
+}

@@ -9,6 +9,9 @@
 //! * [`queries`] — the three probabilistic top-k query semantics the paper
 //!   studies (U-kRanks, PT-k and Global-topk), all answered from the PSR
 //!   output so the same computation can be shared with quality evaluation.
+//! * [`delta`] — incremental re-evaluation: carry a completed PSR result
+//!   across single-x-tuple mutations (probe outcomes) with one divide + one
+//!   multiply per affected row instead of a full O(n·k) rerun.
 //! * [`poly`] — the truncated generating-function polynomials PSR maintains.
 //! * [`oracle`] — brute-force possible-world oracles used to validate the
 //!   efficient algorithms on small databases.
@@ -26,11 +29,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod delta;
 pub mod oracle;
 pub mod poly;
 pub mod psr;
 pub mod queries;
 
+pub use delta::{
+    apply_mutation, apply_mutation_in_place, DeltaEvaluation, DeltaStats, XTupleMutation,
+};
 #[cfg(feature = "parallel")]
 pub use psr::rank_probabilities_parallel;
 pub use psr::{
@@ -43,6 +50,7 @@ pub use queries::{
 
 /// Convenience prelude bringing the most frequently used items into scope.
 pub mod prelude {
+    pub use crate::delta::{DeltaEvaluation, DeltaStats, XTupleMutation};
     pub use crate::psr::{rank_probabilities, rank_probabilities_exact, RankProbabilities};
     pub use crate::queries::{
         global_topk, pt_k, u_k_ranks, AnswerTuple, QueryAnswer, TopKQuery, TupleSetAnswer,

@@ -75,12 +75,7 @@ impl TruncatedPoly {
     /// Multiply in place by the binomial `(1 − q) + q·z`, truncating to the
     /// stored degree.
     pub fn multiply_binomial(&mut self, q: f64) {
-        debug_assert!((0.0..=1.0 + 1e-9).contains(&q), "q = {q} out of range");
-        let a = 1.0 - q;
-        for j in (0..self.coeffs.len()).rev() {
-            let from_lower = if j > 0 { self.coeffs[j - 1] * q } else { 0.0 };
-            self.coeffs[j] = self.coeffs[j] * a + from_lower;
-        }
+        multiply_binomial_in(&mut self.coeffs, q);
     }
 
     /// Divide in place by the binomial `(1 − q) + q·z`.
@@ -95,17 +90,7 @@ impl TruncatedPoly {
     /// [`DIVISION_REBUILD_THRESHOLD`]; callers must handle near-saturated
     /// factors separately.
     pub fn divide_binomial(&mut self, q: f64) {
-        let a = 1.0 - q;
-        debug_assert!(
-            a >= DIVISION_REBUILD_THRESHOLD,
-            "dividing by a near-saturated factor (q = {q}) is numerically unsafe"
-        );
-        let mut prev = 0.0;
-        for j in 0..self.coeffs.len() {
-            let b = (self.coeffs[j] - prev * q) / a;
-            self.coeffs[j] = b;
-            prev = b;
-        }
+        divide_binomial_in(&mut self.coeffs, q);
     }
 
     /// Sum of the first `upto` coefficients (`upto` clamped to the stored
@@ -118,11 +103,43 @@ impl TruncatedPoly {
     /// Clamp tiny negative coefficients (floating-point residue from
     /// repeated divide/multiply cycles) back to zero.
     pub fn clamp_non_negative(&mut self) {
-        for c in &mut self.coeffs {
-            if *c < 0.0 {
-                debug_assert!(*c > -1e-5, "large negative coefficient {c}: numerical blow-up");
-                *c = 0.0;
-            }
+        clamp_non_negative_in(&mut self.coeffs);
+    }
+}
+
+/// [`TruncatedPoly::multiply_binomial`] on a raw coefficient slice, for
+/// callers (the incremental delta engine) that patch rows of a larger
+/// matrix without wrapping each one in a polynomial.
+pub fn multiply_binomial_in(coeffs: &mut [f64], q: f64) {
+    debug_assert!((0.0..=1.0 + 1e-9).contains(&q), "q = {q} out of range");
+    let a = 1.0 - q;
+    for j in (0..coeffs.len()).rev() {
+        let from_lower = if j > 0 { coeffs[j - 1] * q } else { 0.0 };
+        coeffs[j] = coeffs[j] * a + from_lower;
+    }
+}
+
+/// [`TruncatedPoly::divide_binomial`] on a raw coefficient slice.
+pub fn divide_binomial_in(coeffs: &mut [f64], q: f64) {
+    let a = 1.0 - q;
+    debug_assert!(
+        a >= DIVISION_REBUILD_THRESHOLD,
+        "dividing by a near-saturated factor (q = {q}) is numerically unsafe"
+    );
+    let mut prev = 0.0;
+    for c in coeffs.iter_mut() {
+        let b = (*c - prev * q) / a;
+        *c = b;
+        prev = b;
+    }
+}
+
+/// [`TruncatedPoly::clamp_non_negative`] on a raw coefficient slice.
+pub fn clamp_non_negative_in(coeffs: &mut [f64]) {
+    for c in coeffs.iter_mut() {
+        if *c < 0.0 {
+            debug_assert!(*c > -1e-5, "large negative coefficient {c}: numerical blow-up");
+            *c = 0.0;
         }
     }
 }

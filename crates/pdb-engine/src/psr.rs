@@ -60,8 +60,10 @@ const SATURATION_THRESHOLD: f64 = 1.0 - 1e-12;
 /// `(q / (1 − q))^j` at degree `j`, so divisions are restricted to the
 /// well-conditioned regime `q ≤ 0.5` (amplification ≤ 1); factors with
 /// larger `q` are removed by rebuilding the product from the active factor
-/// list instead.
-const MAX_DIVISOR_Q: f64 = 0.5;
+/// list instead.  The incremental re-evaluation engine ([`crate::delta`])
+/// applies the same gate before dividing a mutated x-tuple's factor out of
+/// a stored ρ row.
+pub const MAX_DIVISOR_Q: f64 = 0.5;
 
 /// Rank-h and top-k probabilities of every tuple of a database, for a fixed
 /// `k`.
@@ -136,6 +138,13 @@ impl RankProbabilities {
     pub fn nonzero_positions(&self) -> Vec<usize> {
         self.top_k.iter().enumerate().filter(|(_, &p)| p > 0.0).map(|(i, _)| i).collect()
     }
+
+    /// Mutable access to the backing storage for the in-place delta engine
+    /// ([`crate::delta`]).  Callers must keep the invariant
+    /// `rho.len() == top_k.len() * k` and `top_k[i] == Σ_h rho[i*k + h]`.
+    pub(crate) fn parts_mut(&mut self) -> (&mut Vec<f64>, &mut Vec<f64>) {
+        (&mut self.rho, &mut self.top_k)
+    }
 }
 
 /// Validate a top-k parameter against a database.
@@ -178,9 +187,9 @@ enum RowOthers {
 /// tasks can be finalized sequentially or in parallel with bit-for-bit
 /// identical results.
 #[derive(Clone)]
-struct RowTask {
+pub(crate) struct RowTask {
     /// Rank position of the tuple (row index into ρ).
-    pos: usize,
+    pub(crate) pos: usize,
     /// The tuple's existential probability eᵢ.
     prob: f64,
     /// Number of saturated x-tuples above this position (deterministic
@@ -199,7 +208,28 @@ struct RowTask {
 /// snapshot is transient, exactly like the per-row clone of the one-pass
 /// formulation; a collecting sink (the parallel path) trades O(rows·k)
 /// snapshot memory for threadable row finalization.
-fn scan_rows(db: &RankedDatabase, k: usize, mut sink: impl FnMut(RowTask)) -> Result<()> {
+fn scan_rows(db: &RankedDatabase, k: usize, sink: impl FnMut(RowTask)) -> Result<()> {
+    scan_rows_filtered(db, k, db.len().saturating_sub(1), |_| true, sink)
+}
+
+/// [`scan_rows`] restricted to a window: the scan stops after planning
+/// position `stop_after`, and a row snapshot (an O(k) polynomial clone) is
+/// only taken for positions accepted by `want`.  The running product is
+/// still advanced through every position, so accepted rows are planned with
+/// exactly the state the unrestricted scan would use — results are
+/// bit-for-bit identical to the corresponding rows of
+/// [`rank_probabilities_sequential`].
+///
+/// The incremental re-evaluation engine ([`crate::delta`]) uses this to
+/// rebuild only the (typically few) rows whose mutated factor is too
+/// ill-conditioned to divide out of the stored ρ row.
+pub(crate) fn scan_rows_filtered(
+    db: &RankedDatabase,
+    k: usize,
+    stop_after: usize,
+    mut want: impl FnMut(usize) -> bool,
+    mut sink: impl FnMut(RowTask),
+) -> Result<()> {
     validate_k(db, k)?;
     let n = db.len();
     let m = db.num_x_tuples();
@@ -234,6 +264,9 @@ fn scan_rows(db: &RankedDatabase, k: usize, mut sink: impl FnMut(RowTask)) -> Re
     }
 
     for i in 0..n {
+        if i > stop_after {
+            break;
+        }
         if i > 0 {
             // Advance: the previous tuple is now "higher-ranked"; its
             // x-tuple's factor gains the previous tuple's mass.
@@ -275,6 +308,9 @@ fn scan_rows(db: &RankedDatabase, k: usize, mut sink: impl FnMut(RowTask)) -> Re
             break;
         }
 
+        if !want(i) {
+            continue;
+        }
         let t = db.tuple(i);
         let l = t.x_index;
         if is_saturated[l] {
@@ -297,7 +333,7 @@ fn scan_rows(db: &RankedDatabase, k: usize, mut sink: impl FnMut(RowTask)) -> Re
 /// Finalize one row: ρᵢ(h) = eᵢ · Pr[exactly h−1 higher-ranked tuples
 /// exist], where the saturated x-tuples contribute a deterministic
 /// `task.saturated`. Pure per task.
-fn compute_row_into(task: RowTask, k: usize, row: &mut [f64]) {
+pub(crate) fn compute_row_into(task: RowTask, k: usize, row: &mut [f64]) {
     let others = match task.others {
         RowOthers::Ready(poly) => poly,
         RowOthers::Snapshot { mut poly, divide_q } => {
@@ -387,7 +423,7 @@ pub fn rank_probabilities_parallel(db: &RankedDatabase, k: usize) -> Result<Rank
 /// generating-function product from scratch using only the mass ranked
 /// strictly above `pos`. Pure per tuple, so rows can be computed in any
 /// order or in parallel.
-fn exact_row(db: &RankedDatabase, k: usize, pos: usize) -> Vec<f64> {
+pub(crate) fn exact_row(db: &RankedDatabase, k: usize, pos: usize) -> Vec<f64> {
     let t = db.tuple(pos);
     let mut poly = TruncatedPoly::one(k);
     for (j, info) in db.x_tuples().enumerate() {

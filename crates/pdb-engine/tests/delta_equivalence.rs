@@ -1,0 +1,261 @@
+//! Equivalence of the incremental delta engine and the full-rebuild
+//! oracles.
+//!
+//! [`DeltaEvaluation`] promises that, after any sequence of
+//! single-x-tuple mutations, its rank probabilities match what
+//! [`rank_probabilities_exact`] computes from scratch on the mutated
+//! database within the documented tolerance (rebuilt rows match the
+//! incremental scan bit-for-bit; factor-swapped rows accumulate one
+//! divide + one multiply of floating-point error per mutation).  These
+//! tests pin that promise across proptest-generated collapse / reweight
+//! sequences and on deterministic databases that force the saturated and
+//! ill-conditioned (`q > MAX_DIVISOR_Q`) rebuild paths.
+
+use pdb_core::RankedDatabase;
+use pdb_engine::delta::{apply_mutation, DeltaEvaluation, XTupleMutation};
+use pdb_engine::psr::{rank_probabilities, rank_probabilities_exact};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Documented tolerance of the delta path against the exact oracle, per
+/// row entry, after a handful of chained mutations.
+const DELTA_TOLERANCE: f64 = 1e-8;
+
+fn assert_matches_exact(eval: &DeltaEvaluation, tol: f64, context: &str) {
+    let db = eval.database();
+    let rp = eval.rank_probabilities();
+    let oracle = rank_probabilities_exact(db, rp.k()).unwrap();
+    for pos in 0..db.len() {
+        for h in 1..=rp.k() {
+            let got = rp.rank_prob(pos, h);
+            let want = oracle.rank_prob(pos, h);
+            assert!(
+                (got - want).abs() < tol,
+                "{context}: pos {pos} h {h}: delta {got} vs exact {want}"
+            );
+        }
+    }
+}
+
+/// One abstract mutation step, resolved against whatever database the
+/// sequence has produced so far.
+#[derive(Debug, Clone)]
+struct Step {
+    x_sel: usize,
+    kind: u8,
+    alt_sel: usize,
+    weights: Vec<f64>,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    (any::<usize>(), 0u8..3, any::<usize>(), vec(0.0f64..1.0, 8))
+        .prop_map(|(x_sel, kind, alt_sel, weights)| Step { x_sel, kind, alt_sel, weights })
+}
+
+/// Resolve an abstract step into a concrete valid mutation for `db`, or
+/// `None` when the step must be skipped (e.g. a null collapse that would
+/// empty the database).
+fn resolve(db: &RankedDatabase, s: &Step) -> Option<(usize, XTupleMutation)> {
+    let m = db.num_x_tuples();
+    let l = s.x_sel % m;
+    let info = db.x_tuple(l);
+    match s.kind {
+        0 => {
+            let keep_pos = info.members[s.alt_sel % info.members.len()];
+            Some((l, XTupleMutation::CollapseToAlternative { keep_pos }))
+        }
+        1 if info.null_prob() > 1e-9 && m > 1 => Some((l, XTupleMutation::CollapseToNull)),
+        1 => None,
+        _ => {
+            // Reweight: scale the drawn weights so the total mass stays in
+            // (0, 1]; keeps the database valid for any draw.
+            let raw: Vec<f64> = info
+                .members
+                .iter()
+                .enumerate()
+                .map(|(i, _)| s.weights[i % s.weights.len()])
+                .collect();
+            let total: f64 = raw.iter().sum();
+            if total <= 0.0 {
+                return None;
+            }
+            let target = 0.2 + 0.8 * s.weights[0];
+            let probs = raw.iter().map(|w| w / total * target).collect();
+            Some((l, XTupleMutation::Reweight { probs }))
+        }
+    }
+}
+
+fn x_tuple() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    (vec((0.0f64..100.0, 0.05f64..1.0), 1..5), 0.1f64..1.0).prop_map(|(alts, mass)| {
+        let total: f64 = alts.iter().map(|(_, w)| w).sum();
+        alts.into_iter().map(|(s, w)| (s, w / total * mass)).collect()
+    })
+}
+
+fn db() -> impl Strategy<Value = RankedDatabase> {
+    vec(x_tuple(), 2..8).prop_map(|x| RankedDatabase::from_scored_x_tuples(&x).unwrap())
+}
+
+/// An adversarial database family: clustered scores and near-certain
+/// alternatives drive the PSR saturation machinery and make the divided
+/// factors heavy, exercising the `q > MAX_DIVISOR_Q` rebuild paths.
+fn adversarial_db() -> impl Strategy<Value = RankedDatabase> {
+    // The raw probability draw is bimodal: half the x-tuples are
+    // near-certain (0.85..1.0), the rest are light (0.01..0.3).
+    vec((0.0f64..5.0, 0.0f64..1.0), 3..10).prop_map(|alts| {
+        let x: Vec<Vec<(f64, f64)>> = alts
+            .into_iter()
+            .map(|(s, raw)| {
+                let p = if raw < 0.5 { 0.85 + raw * 0.3 } else { 0.01 + (raw - 0.5) * 0.58 };
+                vec![(s, p)]
+            })
+            .collect();
+        RankedDatabase::from_scored_x_tuples(&x).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After every mutation of a random sequence, the delta evaluation
+    /// matches the exact full rebuild within the documented tolerance.
+    #[test]
+    fn mutation_sequences_match_the_exact_oracle(
+        db in db(),
+        k in 1usize..6,
+        steps in vec(step(), 1..6),
+    ) {
+        let mut eval = DeltaEvaluation::new(db, k).unwrap();
+        for (i, s) in steps.iter().enumerate() {
+            let Some((l, mutation)) = resolve(eval.database(), s) else { continue };
+            eval.apply(l, &mutation).unwrap();
+            assert_matches_exact(&eval, DELTA_TOLERANCE, &format!("step {i} ({mutation:?})"));
+        }
+    }
+
+    /// Near-certain single-alternative databases force saturation and the
+    /// ill-conditioned rebuild fallbacks; the delta path must still track
+    /// the oracle.
+    #[test]
+    fn adversarial_sequences_match_the_exact_oracle(
+        db in adversarial_db(),
+        k in 1usize..4,
+        steps in vec(step(), 1..5),
+    ) {
+        let mut eval = DeltaEvaluation::new(db, k).unwrap();
+        for (i, s) in steps.iter().enumerate() {
+            let Some((l, mutation)) = resolve(eval.database(), s) else { continue };
+            eval.apply(l, &mutation).unwrap();
+            assert_matches_exact(&eval, DELTA_TOLERANCE, &format!("step {i} ({mutation:?})"));
+        }
+    }
+
+    /// The delta result also matches the production (incremental PSR)
+    /// rebuild — the path the adaptive session would otherwise take.
+    #[test]
+    fn single_collapse_matches_the_incremental_rebuild(db in db(), k in 1usize..6) {
+        let rp = rank_probabilities(&db, k).unwrap();
+        let info = db.x_tuple(0);
+        let keep_pos = info.members[0];
+        let (db2, rp2, _) =
+            apply_mutation(&db, &rp, 0, &XTupleMutation::CollapseToAlternative { keep_pos })
+                .unwrap();
+        let rebuilt = rank_probabilities(&db2, k).unwrap();
+        for pos in 0..db2.len() {
+            for h in 1..=k {
+                prop_assert!(
+                    (rp2.rank_prob(pos, h) - rebuilt.rank_prob(pos, h)).abs() < DELTA_TOLERANCE
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn windowed_scan_handles_a_mass_resurrection() {
+    // A near-certain blocker shadows thirty single-alternative x-tuples at
+    // k = 2; collapsing it to null makes every shadowed row ill-conditioned
+    // (divided factor q = 0.99 > MAX_DIVISOR_Q) at once, which must select
+    // the windowed-scan rebuild over thirty O(m·k) exact rebuilds.
+    let mut x = vec![vec![(1000.0, 0.99)], vec![(999.0, 0.99)]];
+    for i in 0..30 {
+        x.push(vec![(500.0 - i as f64, 0.5)]);
+    }
+    let db = RankedDatabase::from_scored_x_tuples(&x).unwrap();
+    let rp = rank_probabilities(&db, 2).unwrap();
+    let (db2, rp2, stats) = apply_mutation(&db, &rp, 0, &XTupleMutation::CollapseToNull).unwrap();
+    assert!(stats.rows_rebuilt >= 30, "all shadowed rows rebuilt: {stats:?}");
+    assert_eq!(stats.windowed_scans, 1, "expected the windowed scan: {stats:?}");
+    let oracle = rank_probabilities_exact(&db2, 2).unwrap();
+    for pos in 0..db2.len() {
+        for h in 1..=2 {
+            assert!((rp2.rank_prob(pos, h) - oracle.rank_prob(pos, h)).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn few_ill_rows_use_the_per_row_exact_rebuild() {
+    // Many well-conditioned rows above the blocker, only two shadowed rows
+    // below it: per-row exact rebuilds are cheaper than scanning the whole
+    // prefix, so no windowed scan must run.
+    let mut x: Vec<Vec<(f64, f64)>> = Vec::new();
+    for i in 0..12 {
+        x.push(vec![(1000.0 - i as f64, 0.3), (500.0 - i as f64, 0.3), (100.0 - i as f64, 0.2)]);
+    }
+    x.push(vec![(50.0, 0.9)]); // the blocker (null mass 0.1)
+    x.push(vec![(40.0, 0.5)]);
+    x.push(vec![(30.0, 0.5)]);
+    let db = RankedDatabase::from_scored_x_tuples(&x).unwrap();
+    let l = 12;
+    let rp = rank_probabilities(&db, 1).unwrap();
+    let (db2, rp2, stats) = apply_mutation(&db, &rp, l, &XTupleMutation::CollapseToNull).unwrap();
+    assert_eq!(stats.rows_rebuilt, 2, "{stats:?}");
+    assert_eq!(stats.windowed_scans, 0, "{stats:?}");
+    let oracle = rank_probabilities_exact(&db2, 1).unwrap();
+    for pos in 0..db2.len() {
+        assert!((rp2.rank_prob(pos, 1) - oracle.rank_prob(pos, 1)).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn k_edge_cases() {
+    let db = RankedDatabase::from_scored_x_tuples(&[
+        vec![(10.0, 0.5), (9.0, 0.5)],
+        vec![(8.0, 0.7)],
+        vec![(7.0, 1.0)],
+    ])
+    .unwrap();
+    // k = 0 is rejected up front, exactly like the full pipeline.
+    assert!(DeltaEvaluation::new(db.clone(), 0).is_err());
+    // k far beyond n: every rank position is representable and the delta
+    // still matches the oracle.
+    for k in [db.len(), db.len() + 7] {
+        let mut eval = DeltaEvaluation::new(db.clone(), k).unwrap();
+        eval.apply(0, &XTupleMutation::CollapseToAlternative { keep_pos: 0 }).unwrap();
+        eval.apply(1, &XTupleMutation::CollapseToNull).unwrap();
+        assert_matches_exact(&eval, 1e-9, "k >= n");
+    }
+}
+
+#[test]
+fn collapsing_every_x_tuple_yields_a_certain_database() {
+    let db = RankedDatabase::from_scored_x_tuples(&[
+        vec![(21.0, 0.6), (32.0, 0.4)],
+        vec![(30.0, 0.7), (22.0, 0.3)],
+        vec![(25.0, 0.4), (27.0, 0.6)],
+        vec![(26.0, 1.0)],
+    ])
+    .unwrap();
+    let mut eval = DeltaEvaluation::new(db, 2).unwrap();
+    for l in 0..4 {
+        let keep_pos = eval.database().x_tuple(l).members[0];
+        eval.apply(l, &XTupleMutation::CollapseToAlternative { keep_pos }).unwrap();
+    }
+    let db = eval.database();
+    assert!(db.tuples().all(|t| (t.prob - 1.0).abs() < 1e-12));
+    assert_matches_exact(&eval, 1e-9, "fully collapsed");
+    // Top-2 of a certain 4-tuple database is deterministic.
+    assert_eq!(eval.rank_probabilities().nonzero_positions().len(), 2);
+}

@@ -13,10 +13,12 @@
 //! | `fig4a`–`fig4f` | Fig. 4 (quality & quality-computation time) | [`quality_exp`] |
 //! | `fig5a`–`fig5d` | Fig. 5 (query/quality computation sharing) | [`sharing_exp`] |
 //! | `fig6a`–`fig6g` | Fig. 6 (cleaning effectiveness & efficiency) | [`cleaning_exp`] |
+//! | `adaptive-n`, `adaptive-c` | beyond the paper: adaptive re-planning, incremental vs full rebuild | [`adaptive_exp`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adaptive_exp;
 pub mod cleaning_exp;
 pub mod datasets;
 pub mod quality_exp;
@@ -31,8 +33,26 @@ use pdb_core::{DbError, Result};
 
 /// All experiment identifiers, in the order they appear in the paper.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig2-3", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig5a", "fig5b", "fig5c",
-    "fig5d", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig6g",
+    "fig2-3",
+    "fig4a",
+    "fig4b",
+    "fig4c",
+    "fig4d",
+    "fig4e",
+    "fig4f",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig5d",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig6d",
+    "fig6e",
+    "fig6f",
+    "fig6g",
+    "adaptive-n",
+    "adaptive-c",
 ];
 
 /// Run one experiment by its identifier (see [`ALL_EXPERIMENTS`]).
@@ -56,6 +76,8 @@ pub fn run(id: &str, scale: Scale) -> Result<ExperimentResult> {
         "fig6e" => cleaning_exp::fig6e(scale),
         "fig6f" => cleaning_exp::fig6f(scale),
         "fig6g" => cleaning_exp::fig6g(scale),
+        "adaptive-n" => adaptive_exp::adaptive_n(scale),
+        "adaptive-c" => adaptive_exp::adaptive_c(scale),
         other => Err(DbError::invalid_parameter(format!(
             "unknown experiment {other:?}; known ids: {}",
             ALL_EXPERIMENTS.join(", ")
@@ -86,6 +108,6 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), ALL_EXPERIMENTS.len());
-        assert_eq!(ALL_EXPERIMENTS.len(), 18);
+        assert_eq!(ALL_EXPERIMENTS.len(), 20);
     }
 }

@@ -40,16 +40,21 @@ pub mod tp;
 pub use pw::{pw_result_distribution, quality_pw};
 pub use pw_results::{PwEntry, PwResult, PwResultSet};
 pub use pwr::{pwr_result_distribution, quality_pwr, quality_pwr_bounded};
-pub use shared::SharedEvaluation;
+pub use shared::{CollapseOutcome, CollapseUpdate, SharedEvaluation};
 pub use tp::{quality_breakdown, quality_tp, quality_tp_with, tuple_weights, QualityBreakdown};
+
+// Re-exported so downstream crates (the adaptive cleaning session) can
+// name probe mutations without depending on pdb-engine directly.
+pub use pdb_engine::delta::{DeltaStats, XTupleMutation};
 
 /// Convenience prelude bringing the most frequently used items into scope.
 pub mod prelude {
     pub use crate::pw::{pw_result_distribution, quality_pw};
     pub use crate::pw_results::{PwEntry, PwResult, PwResultSet};
     pub use crate::pwr::{pwr_result_distribution, quality_pwr, quality_pwr_bounded};
-    pub use crate::shared::SharedEvaluation;
+    pub use crate::shared::{CollapseOutcome, CollapseUpdate, SharedEvaluation};
     pub use crate::tp::{
         quality_breakdown, quality_tp, quality_tp_with, tuple_weights, QualityBreakdown,
     };
+    pub use pdb_engine::delta::{DeltaStats, XTupleMutation};
 }

@@ -6,29 +6,108 @@
 //! scores and the per-x-tuple quality breakdown from it, which is what the
 //! paper measures in Figure 5 ("the quality computation time is only 6% of
 //! the query evaluation time").
+//!
+//! The evaluation can also be carried *across* database versions: when a
+//! cleaning probe mutates a single x-tuple,
+//! [`SharedEvaluation::apply_collapse`] patches the stored rank
+//! probabilities through the incremental delta engine
+//! ([`pdb_engine::delta`]) instead of re-running PSR, and returns the
+//! updated evaluation together with the change to the quality score and
+//! the fresh per-x-tuple decomposition `g(l, D′)` that the cleaning
+//! algorithms re-plan from.
 
 use crate::tp::{quality_breakdown, quality_tp_with, QualityBreakdown};
 use pdb_core::{RankedDatabase, Result};
+use pdb_engine::delta::{apply_mutation_in_place, DeltaStats, XTupleMutation};
 use pdb_engine::psr::{rank_probabilities, RankProbabilities};
 use pdb_engine::queries::{global_topk, pt_k, u_k_ranks, TupleSetAnswer, UKRanksAnswer};
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel bit pattern marking the quality cache as empty.  It decodes to
+/// a NaN, which a real quality score (a finite weighted sum) can never be.
+const QUALITY_UNCACHED: u64 = u64::MAX;
 
 /// One PSR run serving both query answers and quality scores.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SharedEvaluation<'a> {
-    db: &'a RankedDatabase,
+    db: Cow<'a, RankedDatabase>,
     rp: RankProbabilities,
+    /// Lazily computed (and mutation-maintained) quality score, so probe
+    /// loops don't pay the O(n) weighted sum more than once per version.
+    /// Stored as bit-cast f64 in an atomic (rather than a `Cell`) so the
+    /// evaluation stays `Sync` and can be shared across threads; the
+    /// benign race recomputes the same idempotent value.
+    cached_quality: AtomicU64,
+}
+
+impl Clone for SharedEvaluation<'_> {
+    fn clone(&self) -> Self {
+        Self {
+            db: self.db.clone(),
+            rp: self.rp.clone(),
+            cached_quality: AtomicU64::new(self.cached_quality.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Result of applying one probe outcome to a [`SharedEvaluation`]
+/// incrementally: the evaluation of the mutated database plus everything
+/// an adaptive re-planner needs to pick the next probe.
+#[derive(Debug, Clone)]
+pub struct CollapseOutcome {
+    /// Evaluation of the mutated database (owns its database, so it
+    /// outlives the pre-mutation borrow).
+    pub eval: SharedEvaluation<'static>,
+    /// `S(D′, Q)`: the quality score after the mutation.
+    pub quality: f64,
+    /// `S(D′, Q) − S(D, Q)`: the realised change to the quality score.
+    pub quality_delta: f64,
+    /// The per-x-tuple decomposition `g(l, D′)` of the new quality score,
+    /// indexed by the mutated database's x-indices.
+    pub g: Vec<f64>,
+    /// How the delta engine produced the updated rows.
+    pub stats: DeltaStats,
+}
+
+/// [`CollapseOutcome`] for the in-place form
+/// ([`SharedEvaluation::apply_collapse_in_place`]): the evaluation itself
+/// was updated, so only the re-planning quantities are returned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollapseUpdate {
+    /// `S(D′, Q)`: the quality score after the mutation.
+    pub quality: f64,
+    /// `S(D′, Q) − S(D, Q)`: the realised change to the quality score.
+    pub quality_delta: f64,
+    /// The per-x-tuple decomposition `g(l, D′)`, indexed by the mutated
+    /// database's x-indices.
+    pub g: Vec<f64>,
+    /// How the delta engine produced the updated rows.
+    pub stats: DeltaStats,
 }
 
 impl<'a> SharedEvaluation<'a> {
     /// Run PSR once for the given `k`.
     pub fn new(db: &'a RankedDatabase, k: usize) -> Result<Self> {
         let rp = rank_probabilities(db, k)?;
-        Ok(Self { db, rp })
+        Ok(Self { db: Cow::Borrowed(db), rp, cached_quality: AtomicU64::new(QUALITY_UNCACHED) })
+    }
+
+    /// Run PSR once for the given `k`, taking ownership of the database
+    /// (the form long-lived sessions use, since the evaluation then borrows
+    /// nothing).
+    pub fn from_owned(db: RankedDatabase, k: usize) -> Result<SharedEvaluation<'static>> {
+        let rp = rank_probabilities(&db, k)?;
+        Ok(SharedEvaluation {
+            db: Cow::Owned(db),
+            rp,
+            cached_quality: AtomicU64::new(QUALITY_UNCACHED),
+        })
     }
 
     /// Build from rank probabilities computed elsewhere.
     pub fn from_rank_probabilities(db: &'a RankedDatabase, rp: RankProbabilities) -> Self {
-        Self { db, rp }
+        Self { db: Cow::Borrowed(db), rp, cached_quality: AtomicU64::new(QUALITY_UNCACHED) }
     }
 
     /// The `k` the evaluation was prepared for.
@@ -38,7 +117,55 @@ impl<'a> SharedEvaluation<'a> {
 
     /// The database under evaluation.
     pub fn database(&self) -> &RankedDatabase {
-        self.db
+        &self.db
+    }
+
+    /// Apply a single-x-tuple mutation (one observed probe outcome)
+    /// through the incremental delta engine: the stored rank probabilities
+    /// are patched with one divide + one multiply per affected row instead
+    /// of a full PSR + TP rerun (see [`pdb_engine::delta`] for when the
+    /// engine falls back to rebuilding rows).
+    ///
+    /// The returned outcome carries the updated evaluation, the quality
+    /// delta `S(D′, Q) − S(D, Q)` and the per-x-tuple contribution vector
+    /// `g(l, D′)`; the pre-mutation evaluation is untouched and remains
+    /// usable as a correctness oracle.
+    pub fn apply_collapse(&self, l: usize, mutation: &XTupleMutation) -> Result<CollapseOutcome> {
+        let mut next = SharedEvaluation {
+            db: Cow::Owned(self.database().clone()),
+            rp: self.rp.clone(),
+            cached_quality: AtomicU64::new(self.cached_quality.load(Ordering::Relaxed)),
+        };
+        let update = next.apply_collapse_in_place(l, mutation)?;
+        Ok(CollapseOutcome {
+            quality: update.quality,
+            quality_delta: update.quality_delta,
+            g: update.g,
+            stats: update.stats,
+            eval: next,
+        })
+    }
+
+    /// [`apply_collapse`](Self::apply_collapse) without cloning: the
+    /// evaluation itself is advanced to the mutated database.  This is the
+    /// per-probe step of an adaptive session — rows untouched by the
+    /// mutation are not even copied.  All validation happens before
+    /// anything is mutated, so on `Err` the evaluation is unchanged.
+    pub fn apply_collapse_in_place(
+        &mut self,
+        l: usize,
+        mutation: &XTupleMutation,
+    ) -> Result<CollapseUpdate> {
+        let quality_before = self.quality();
+        let stats = apply_mutation_in_place(self.db.to_mut(), &mut self.rp, l, mutation)?;
+        let breakdown = quality_breakdown(self.database(), &self.rp);
+        self.cached_quality.store(breakdown.quality.to_bits(), Ordering::Relaxed);
+        Ok(CollapseUpdate {
+            quality: breakdown.quality,
+            quality_delta: breakdown.quality - quality_before,
+            g: breakdown.x_tuple_contribution,
+            stats,
+        })
     }
 
     /// The underlying rank-probability information.
@@ -48,29 +175,35 @@ impl<'a> SharedEvaluation<'a> {
 
     /// Answer a PT-k query (tuples with top-k probability ≥ `threshold`).
     pub fn pt_k(&self, threshold: f64) -> Result<TupleSetAnswer> {
-        pt_k(self.db, &self.rp, threshold)
+        pt_k(self.database(), &self.rp, threshold)
     }
 
     /// Answer a U-kRanks query.
     pub fn u_k_ranks(&self) -> UKRanksAnswer {
-        u_k_ranks(self.db, &self.rp)
+        u_k_ranks(self.database(), &self.rp)
     }
 
     /// Answer a Global-topk query.
     pub fn global_topk(&self) -> TupleSetAnswer {
-        global_topk(self.db, &self.rp)
+        global_topk(self.database(), &self.rp)
     }
 
     /// The PWS-quality of the top-k query, computed with TP from the shared
-    /// rank probabilities.
+    /// rank probabilities (cached per database version).
     pub fn quality(&self) -> f64 {
-        quality_tp_with(self.db, &self.rp)
+        let bits = self.cached_quality.load(Ordering::Relaxed);
+        if bits != QUALITY_UNCACHED {
+            return f64::from_bits(bits);
+        }
+        let q = quality_tp_with(self.database(), &self.rp);
+        self.cached_quality.store(q.to_bits(), Ordering::Relaxed);
+        q
     }
 
     /// The quality together with its per-x-tuple decomposition `g(l, D)`,
     /// which the cleaning algorithms consume.
     pub fn quality_breakdown(&self) -> QualityBreakdown {
-        quality_breakdown(self.db, &self.rp)
+        quality_breakdown(self.database(), &self.rp)
     }
 }
 
@@ -125,5 +258,57 @@ mod tests {
     fn invalid_k_is_rejected() {
         let db = udb1();
         assert!(SharedEvaluation::new(&db, 0).is_err());
+    }
+
+    #[test]
+    fn evaluation_is_send_and_sync() {
+        // The quality cache must not cost the type its thread-shareability
+        // (callers fan read-only query evaluation out across threads).
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedEvaluation<'static>>();
+    }
+
+    #[test]
+    fn apply_collapse_matches_a_fresh_evaluation() {
+        // Collapse S3 to its 27° reading: the paper's udb1 → udb2
+        // transition, whose quality improves from ≈ −2.55 to ≈ −1.85.
+        let db = udb1();
+        let shared = SharedEvaluation::new(&db, 2).unwrap();
+        let before = shared.quality();
+        let out = shared
+            .apply_collapse(2, &XTupleMutation::CollapseToAlternative { keep_pos: 2 })
+            .unwrap();
+        assert!((out.quality - (-1.85)).abs() < 0.005);
+        assert!((out.quality_delta - (out.quality - before)).abs() < 1e-12);
+        assert_eq!(out.g.len(), 4);
+        assert!((out.g.iter().sum::<f64>() - out.quality).abs() < 1e-12);
+        assert!(out.stats.rows_total() > 0);
+
+        // The incremental evaluation agrees with a from-scratch one.
+        let fresh = SharedEvaluation::new(out.eval.database(), 2).unwrap();
+        assert!((out.eval.quality() - fresh.quality()).abs() < 1e-9);
+        assert_eq!(out.eval.pt_k(0.4).unwrap().len(), fresh.pt_k(0.4).unwrap().len());
+
+        // The pre-mutation evaluation is untouched.
+        assert!((shared.quality() - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_collapse_chains_across_owned_evaluations() {
+        let db = udb1();
+        let mut eval = SharedEvaluation::from_owned(db, 2).unwrap();
+        let mut quality = eval.quality();
+        for l in [2usize, 1, 0] {
+            let keep_pos = eval.database().x_tuple(l).members[0];
+            let out = eval
+                .apply_collapse(l, &XTupleMutation::CollapseToAlternative { keep_pos })
+                .unwrap();
+            assert!(out.quality >= quality - 1e-12, "collapsing never hurts the quality score");
+            quality = out.quality;
+            eval = out.eval;
+        }
+        // Every x-tuple is certain now, so the ambiguity is fully resolved.
+        assert!(quality.abs() < 1e-9);
+        assert!((quality - quality_pw(eval.database(), 2).unwrap()).abs() < 1e-8);
     }
 }

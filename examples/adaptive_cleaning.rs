@@ -4,12 +4,15 @@
 //! early or keeps failing, the leftover budget is not redirected.  This
 //! example compares the realised quality improvement of the static greedy
 //! plan against the adaptive policy that re-plans after every observed
-//! probe outcome, on the same sensor database and budget.
+//! probe outcome, on the same sensor database and budget — and shows the
+//! incremental delta engine doing that re-planning with one PSR run per
+//! *session* instead of one per *probe*.
 //!
 //! Run with `cargo run --release --example adaptive_cleaning`.
 
 use rand::{rngs::StdRng, SeedableRng};
-use uncertain_topk::clean::run_adaptive_session;
+use std::time::Instant;
+use uncertain_topk::clean::{run_adaptive_session_with, ReplanMode};
 use uncertain_topk::gen::cleaning_params::{generate as gen_params, CleaningParamsConfig};
 use uncertain_topk::gen::synthetic::{generate_ranked, SyntheticConfig};
 use uncertain_topk::prelude::*;
@@ -40,6 +43,9 @@ fn main() {
     let mut static_total = 0.0;
     let mut adaptive_total = 0.0;
     let mut adaptive_probes = 0u64;
+    let mut swapped = 0usize;
+    let mut rebuilt = 0usize;
+    let mut mode_times = [0.0f64; 2];
     for trial in 0..trials {
         let mut rng = StdRng::seed_from_u64(trial);
         if let Some(cleaned) =
@@ -47,17 +53,37 @@ fn main() {
         {
             static_total += quality_tp(&cleaned, k).expect("quality computable") - ctx.quality;
         }
-        let mut rng = StdRng::seed_from_u64(50_000 + trial);
-        let outcome = run_adaptive_session(&db, &setup, k, budget, &mut rng).expect("session runs");
-        adaptive_total += outcome.improvement();
-        adaptive_probes += outcome.probes;
+        // The same probe stream drives both re-planning modes, so their
+        // sessions take identical probes; only the wall-clock differs.
+        for (slot, mode) in [ReplanMode::Incremental, ReplanMode::FullRebuild].iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(50_000 + trial);
+            let start = Instant::now();
+            let outcome = run_adaptive_session_with(&db, &setup, k, budget, *mode, &mut rng)
+                .expect("session runs");
+            mode_times[slot] += start.elapsed().as_secs_f64() * 1e3;
+            if *mode == ReplanMode::Incremental {
+                adaptive_total += outcome.improvement();
+                adaptive_probes += outcome.probes;
+                swapped += outcome.delta_stats.rows_swapped;
+                rebuilt += outcome.delta_stats.rows_rebuilt;
+            }
+        }
     }
+    let t = trials as f64;
     println!("\naveraged over {trials} simulated campaigns:");
-    println!("  static  realised improvement : {:.3}", static_total / trials as f64);
+    println!("  static  realised improvement : {:.3}", static_total / t);
     println!(
         "  adaptive realised improvement : {:.3}  ({:.1} probes per campaign)",
-        adaptive_total / trials as f64,
-        adaptive_probes as f64 / trials as f64
+        adaptive_total / t,
+        adaptive_probes as f64 / t
+    );
+    println!("\nre-planning cost per campaign (same probes, same outcomes):");
+    println!("  incremental deltas  : {:.2} ms  (one PSR run per session)", mode_times[0] / t);
+    println!("  full rebuilds       : {:.2} ms  (one PSR run per probe)", mode_times[1] / t);
+    println!(
+        "  delta rows per campaign: {:.1} factor-swapped, {:.1} rebuilt",
+        swapped as f64 / t,
+        rebuilt as f64 / t
     );
     println!("\nThe adaptive policy redirects budget away from already-cleaned or");
     println!("hopeless entities, so its realised improvement is at least the static plan's.");

@@ -25,9 +25,11 @@ fn every_experiment_runs_at_quick_scale_and_renders() {
 
 #[test]
 fn experiment_list_covers_every_figure_of_the_evaluation() {
-    // Figures 2-3, 4(a)-(f), 5(a)-(d), 6(a)-(g): 1 + 6 + 4 + 7 = 18 ids.
-    assert_eq!(ALL_EXPERIMENTS.len(), 18);
-    for prefix in ["fig4", "fig5", "fig6"] {
+    // Figures 2-3, 4(a)-(f), 5(a)-(d), 6(a)-(g): 1 + 6 + 4 + 7 = 18 ids,
+    // plus the two adaptive re-planning experiments that go beyond the
+    // paper (`adaptive-n`, `adaptive-c`).
+    assert_eq!(ALL_EXPERIMENTS.len(), 20);
+    for prefix in ["fig4", "fig5", "fig6", "adaptive-"] {
         assert!(ALL_EXPERIMENTS.iter().any(|id| id.starts_with(prefix)));
     }
 }
