@@ -1,0 +1,80 @@
+//! Batched multi-query shared evaluation: one PSR run at `k_max` serving a
+//! whole registered query set vs one independent evaluation per query, and
+//! the shared delta repatch vs a full batch rebuild after a probe outcome.
+//! Times the same workload as the `batch-q` experiment (n = 10⁴); the
+//! `bench-smoke` CI job runs this target in quick mode and commits its
+//! medians as `BENCH_batch.json` (see `crates/bench/src/bin/bench_json.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdb_bench::synthetic;
+use pdb_engine::batch::BatchEvaluation;
+use pdb_engine::delta::XTupleMutation;
+use pdb_engine::queries::TopKQuery;
+// The same registered query set the batch-q experiment measures, so the
+// committed BENCH_batch.json and the experiment figures track one
+// workload.
+use pdb_experiments::datasets::DEFAULT_THRESHOLD as THRESHOLD;
+use pdb_experiments::sharing_exp::batch_query_set as query_set;
+use pdb_quality::{BatchQuality, SharedEvaluation};
+use std::hint::black_box;
+use std::time::Duration;
+
+const TUPLES: usize = 10_000;
+
+fn bench_batch_vs_independent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch/query_plus_quality");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let db = synthetic(TUPLES);
+    for &q in &[2usize, 10] {
+        let specs = query_set(q);
+        group.bench_with_input(BenchmarkId::new("independent", q), &q, |b, _| {
+            b.iter(|| {
+                let mut out = Vec::with_capacity(specs.len());
+                for spec in &specs {
+                    let shared = SharedEvaluation::new(black_box(&db), spec.query.k()).unwrap();
+                    let answer = shared.pt_k(THRESHOLD).unwrap();
+                    out.push((answer.len(), shared.quality()));
+                }
+                out
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("shared", q), &q, |b, _| {
+            b.iter(|| {
+                let batch = BatchQuality::new(black_box(&db), specs.clone()).unwrap();
+                let answers = batch.answers().unwrap();
+                (answers.len(), batch.quality_vector())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_collapse_repatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch/collapse");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let db = synthetic(TUPLES);
+    let queries: Vec<TopKQuery> = query_set(10).into_iter().map(|s| s.query).collect();
+    // Probe a mid-ranking x-tuple: plenty of affected rows below it.
+    let l = db.tuple(db.len() / 2).x_index;
+    let keep = db.x_tuple(l).members[0];
+    let mutation = XTupleMutation::CollapseToAlternative { keep_pos: keep };
+    let batch = BatchEvaluation::new(&db, queries.clone()).unwrap();
+    // One shared delta pass re-serves all 10 registered queries.
+    group.bench_with_input(BenchmarkId::new("delta_repatch", 10), &l, |b, &l| {
+        b.iter(|| batch.apply_collapse(black_box(l), &mutation).unwrap())
+    });
+    // Baseline: rebuild the whole batch evaluation on the mutated database.
+    let mut mutated = db.clone();
+    mutated.collapse_x_tuple_in_place(l, keep).unwrap();
+    group.bench_with_input(BenchmarkId::new("full_rebuild", 10), &mutated, |b, mutated| {
+        b.iter(|| BatchEvaluation::new(black_box(mutated), queries.clone()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_independent, bench_collapse_repatch);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Convert Criterion bench output into a `BENCH_*.json` artifact.
+//!
+//! Reads bench output lines from stdin — either the vendored stand-in's
+//! `<id>  time: [<min> <median> <max>]  (...)` summary lines or the real
+//! crate's `<id>  time:   [1.23 ms 1.30 ms 1.40 ms]` estimates — and
+//! writes a JSON object mapping each benchmark id to its **median
+//! nanoseconds** (the middle value of the bracketed triple) to stdout.
+//! Non-matching lines are ignored, so piping the whole `cargo bench`
+//! output through works.
+//!
+//! Usage (what CI's `bench-smoke` job runs):
+//!
+//! ```sh
+//! cargo bench --bench batch_evaluation -- --warm-up-time 0.5 --measurement-time 1 \
+//!   | tee bench-out.txt
+//! cargo run --release -p pdb-bench --bin bench_json < bench-out.txt > BENCH_batch.json
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::Read;
+
+/// Convert a `(value, unit)` pair from a criterion summary to nanoseconds.
+fn to_ns(value: f64, unit: &str) -> Option<f64> {
+    let factor = match unit {
+        "ns" => 1.0,
+        "us" | "µs" => 1e3,
+        "ms" => 1e6,
+        "s" => 1e9,
+        _ => return None,
+    };
+    Some(value * factor)
+}
+
+/// Parse one bench output line into `(bench id, median ns)`.
+///
+/// Expects `<id> ... time: [<v> <u> <v> <u> <v> <u>] ...` and returns the
+/// middle (median) value; `None` for lines that are not bench summaries.
+fn parse_line(line: &str) -> Option<(String, f64)> {
+    let (head, tail) = line.split_once("time:")?;
+    let id = head.trim();
+    if id.is_empty() {
+        return None;
+    }
+    let bracket = tail.trim().strip_prefix('[')?;
+    let (inside, _) = bracket.split_once(']')?;
+    let tokens: Vec<&str> = inside.split_whitespace().collect();
+    if tokens.len() != 6 {
+        return None;
+    }
+    let median = tokens[2].parse::<f64>().ok()?;
+    to_ns(median, tokens[3]).map(|ns| (id.to_string(), ns))
+}
+
+/// Render the map as deterministic, human-diffable JSON.  Bench ids only
+/// contain `[A-Za-z0-9_/.-]`, but escape quotes and backslashes anyway.
+fn to_json(medians: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n");
+    for (i, (id, ns)) in medians.iter().enumerate() {
+        let escaped: String = id
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c => vec![c],
+            })
+            .collect();
+        out.push_str(&format!("  \"{escaped}\": {ns:.1}"));
+        out.push_str(if i + 1 < medians.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let mut input = String::new();
+    std::io::stdin().read_to_string(&mut input).expect("reading stdin failed");
+    let medians: BTreeMap<String, f64> = input.lines().filter_map(parse_line).collect();
+    if medians.is_empty() {
+        eprintln!("bench_json: no `time: [..]` summary lines found on stdin");
+        std::process::exit(1);
+    }
+    print!("{}", to_json(&medians));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_stand_in_summary_lines() {
+        let line = "batch/query_plus_quality/shared/10                 \
+                    time: [3.10 ms 3.25 ms 3.90 ms]  (10 samples x 1 iters)";
+        let (id, ns) = parse_line(line).unwrap();
+        assert_eq!(id, "batch/query_plus_quality/shared/10");
+        assert!((ns - 3.25e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parses_real_criterion_estimate_lines() {
+        let line = "fib 20                  time:   [26.029 us 26.251 us 26.505 us]";
+        let (id, ns) = parse_line(line).unwrap();
+        assert_eq!(id, "fib 20");
+        assert!((ns - 26_251.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn converts_all_units_to_ns() {
+        assert_eq!(to_ns(2.0, "ns"), Some(2.0));
+        assert_eq!(to_ns(2.0, "us"), Some(2_000.0));
+        assert_eq!(to_ns(2.0, "ms"), Some(2_000_000.0));
+        assert_eq!(to_ns(2.0, "s"), Some(2_000_000_000.0));
+        assert_eq!(to_ns(2.0, "lightyears"), None);
+    }
+
+    #[test]
+    fn ignores_non_summary_lines() {
+        assert!(parse_line("Running benches/batch_evaluation.rs").is_none());
+        assert!(parse_line("   time: [garbage]").is_none());
+        assert!(parse_line("id time: [1.0 ms 2.0 ms]").is_none());
+        assert!(parse_line("").is_none());
+    }
+
+    #[test]
+    fn json_is_sorted_escaped_and_well_formed() {
+        let mut m = BTreeMap::new();
+        m.insert("b/second".to_string(), 2.5);
+        m.insert("a\"quote".to_string(), 1.0);
+        let json = to_json(&m);
+        assert_eq!(json, "{\n  \"a\\\"quote\": 1.0,\n  \"b/second\": 2.5\n}\n");
+    }
+}

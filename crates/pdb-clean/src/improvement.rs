@@ -18,7 +18,7 @@
 
 use crate::model::{CleaningPlan, CleaningSetup};
 use pdb_core::{DbError, RankedDatabase, Result, TupleId};
-use pdb_quality::{quality_tp, SharedEvaluation};
+use pdb_quality::{quality_tp, BatchQuality, SharedEvaluation};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -64,6 +64,28 @@ impl CleaningContext {
             g: breakdown.x_tuple_contribution,
             x_topk,
         }
+    }
+
+    /// The *aggregate* cleaning context of a whole registered query set:
+    /// quality and decomposition are the weighted sums `Σ_q w_q·S_q` and
+    /// `g_agg(l) = Σ_q w_q·g_q(l)` served by the batch's one shared PSR
+    /// run.
+    ///
+    /// The aggregate is a fixed non-negative combination of per-query
+    /// qualities, so Theorem 2 (and Lemmas 4/5 behind the planners) apply
+    /// to it verbatim: every planner in [`crate::algorithms`] runs
+    /// unchanged on the returned context and then maximizes the expected
+    /// improvement summed over every registered query — the
+    /// pick-one-plan-for-all-tenants step of a multi-query deployment.
+    pub fn from_batch(batch: &BatchQuality<'_>) -> Self {
+        let db = batch.database();
+        let (g, combined) = batch.aggregate_parts();
+        let quality = g.iter().sum();
+        let mut x_topk = vec![0.0; db.num_x_tuples()];
+        for pos in 0..db.len() {
+            x_topk[db.tuple(pos).x_index] += combined[pos];
+        }
+        Self { k: batch.evaluation().k_max(), quality, g, x_topk }
     }
 
     /// Number of x-tuples.
@@ -170,7 +192,7 @@ pub fn expected_improvement_sequential(
 }
 
 /// Theorem 2 evaluation with the per-x-tuple terms computed across
-/// threads. Inputs below [`PARALLEL_MIN_ITEMS`] x-tuples skip the thread
+/// threads. Inputs below `PARALLEL_MIN_ITEMS` x-tuples skip the thread
 /// pool entirely and run the identical chunked sum inline.
 #[cfg(feature = "parallel")]
 pub fn expected_improvement_parallel(
@@ -208,6 +230,30 @@ pub fn first_attempt_scores(
         }
     }
     candidates.iter().map(score).collect()
+}
+
+/// The single next cleaning action with the best expected improvement per
+/// unit cost: `argmax_l b(l, D, 1) / c_l` over the candidate set.
+///
+/// Returns the chosen x-tuple and the expected improvement `b(l, D, 1)` of
+/// one attempt on it, or `None` when no x-tuple can improve the quality
+/// (the database is effectively certain).  On a context built with
+/// [`CleaningContext::from_batch`] this is the probe maximizing the
+/// *aggregate* improvement across every registered query — the greedy
+/// serving-loop step of a multi-query deployment.  Ties break toward the
+/// lower x-index, keeping the choice deterministic.
+pub fn best_single_probe(ctx: &CleaningContext, setup: &CleaningSetup) -> Option<(usize, f64)> {
+    let candidates = ctx.candidates();
+    let scores = first_attempt_scores(ctx, setup, &candidates);
+    let mut best: Option<(usize, f64)> = None;
+    for (&l, &score) in candidates.iter().zip(&scores) {
+        // Strictly positive only: a candidate whose sc-probability is 0
+        // can never improve the quality, no matter how ambiguous it is.
+        if score > 0.0 && best.is_none_or(|(_, s)| score > s) {
+            best = Some((l, score));
+        }
+    }
+    best.map(|(l, _)| (l, marginal_gain(ctx, setup, l, 1)))
 }
 
 /// Outcome of the cleaning attempts on one x-tuple.
@@ -576,6 +622,64 @@ mod tests {
             (mean - expected).abs() < 0.05,
             "Monte-Carlo mean {mean} should approach Theorem 2 value {expected}"
         );
+    }
+
+    #[test]
+    fn batch_context_aggregates_single_query_contexts() {
+        use pdb_quality::{TopKQuery, WeightedQuery};
+        let db = udb1();
+        let specs = vec![
+            WeightedQuery::weighted(TopKQuery::PTk { k: 1, threshold: 0.1 }, 1.0),
+            WeightedQuery::weighted(TopKQuery::PTk { k: 3, threshold: 0.1 }, 2.0),
+        ];
+        let batch = BatchQuality::new(&db, specs).unwrap();
+        let ctx = CleaningContext::from_batch(&batch);
+        let c1 = CleaningContext::prepare(&db, 1).unwrap();
+        let c3 = CleaningContext::prepare(&db, 3).unwrap();
+        assert_eq!(ctx.k, 3);
+        assert!((ctx.quality - (c1.quality + 2.0 * c3.quality)).abs() < 1e-9);
+        for l in 0..4 {
+            assert!((ctx.g[l] - (c1.g[l] + 2.0 * c3.g[l])).abs() < 1e-9, "g[{l}]");
+            assert!(
+                (ctx.x_topk[l] - (c1.x_topk[l] + 2.0 * c3.x_topk[l])).abs() < 1e-9,
+                "x_topk[{l}]"
+            );
+        }
+        // Theorem 2 on the aggregate context = weighted sum of Theorem 2
+        // on the per-query contexts.
+        let setup = CleaningSetup::uniform(4, 1, 0.8).unwrap();
+        let plan = CleaningPlan::from_counts(vec![1, 2, 0, 1]);
+        let agg = expected_improvement(&ctx, &setup, &plan);
+        let single = expected_improvement(&c1, &setup, &plan)
+            + 2.0 * expected_improvement(&c3, &setup, &plan);
+        assert!((agg - single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_single_probe_maximizes_gain_per_cost() {
+        let db = udb1();
+        let ctx = CleaningContext::prepare(&db, 2).unwrap();
+        // Uniform costs: the best probe targets the largest |g|.
+        let setup = CleaningSetup::uniform(4, 1, 0.8).unwrap();
+        let (l, gain) = best_single_probe(&ctx, &setup).unwrap();
+        let expected_l = (0..4).min_by(|&a, &b| ctx.g[a].partial_cmp(&ctx.g[b]).unwrap()).unwrap();
+        assert_eq!(l, expected_l);
+        assert!((gain - marginal_gain(&ctx, &setup, l, 1)).abs() < 1e-12);
+        assert!(gain > 0.0);
+
+        // A certain database has no probe worth making.
+        let certain =
+            RankedDatabase::from_scored_x_tuples(&[vec![(3.0, 1.0)], vec![(2.0, 1.0)]]).unwrap();
+        let ctx = CleaningContext::prepare(&certain, 2).unwrap();
+        let setup = CleaningSetup::uniform(2, 1, 0.8).unwrap();
+        assert!(best_single_probe(&ctx, &setup).is_none());
+
+        // Probes that can never succeed (sc-probability 0) are not worth
+        // making either, however ambiguous the database is.
+        let db = udb1();
+        let ctx = CleaningContext::prepare(&db, 2).unwrap();
+        let hopeless = CleaningSetup::uniform(4, 1, 0.0).unwrap();
+        assert!(best_single_probe(&ctx, &hopeless).is_none());
     }
 
     #[test]

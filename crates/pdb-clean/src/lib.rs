@@ -48,7 +48,7 @@ pub use algorithms::{
 #[cfg(feature = "parallel")]
 pub use improvement::expected_improvement_parallel;
 pub use improvement::{
-    apply_outcomes, expected_improvement, expected_improvement_exhaustive,
+    apply_outcomes, best_single_probe, expected_improvement, expected_improvement_exhaustive,
     expected_improvement_sequential, expected_quality_exhaustive, first_attempt_scores,
     marginal_gain, marginal_gain_raw, simulate_cleaning, CleanOutcome, CleaningContext,
 };
@@ -67,8 +67,8 @@ pub mod prelude {
         plan_dp, plan_exhaustive, plan_greedy, plan_rand_p, plan_rand_u, CleaningAlgorithm,
     };
     pub use crate::improvement::{
-        expected_improvement, expected_improvement_exhaustive, marginal_gain, simulate_cleaning,
-        CleanOutcome, CleaningContext,
+        best_single_probe, expected_improvement, expected_improvement_exhaustive, marginal_gain,
+        simulate_cleaning, CleanOutcome, CleaningContext,
     };
     pub use crate::model::{CleaningPlan, CleaningSetup};
     pub use crate::target::{

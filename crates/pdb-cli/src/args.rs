@@ -13,6 +13,7 @@ pub const USAGE: &str = "usage:
   pdb quality [--dataset synthetic|mov|udb1] [--k <k>] [--algo tp|pwr|pw]
   pdb clean [--dataset synthetic|mov|udb1] [--k <k>] [--budget <C>] [--algo greedy|dp|randp|randu]
   pdb adaptive [--dataset synthetic|mov|udb1] [--k <k>] [--budget <C>] [--trials <t>] [--mode incremental|rebuild|both]
+  pdb batch [--dataset synthetic|mov|udb1] [--ks <k1,k2,...>] [--weights <w1,w2,...>] [--threshold <T>] [--budget <C>]
   pdb help";
 
 /// Which dataset a `quality` / `clean` invocation runs on.
@@ -79,6 +80,20 @@ pub enum Command {
         budget: u64,
         /// Cleaning algorithm (`greedy`, `dp`, `randp`, `randu`).
         algo: String,
+    },
+    /// `pdb batch`
+    Batch {
+        /// Dataset to serve the batch on.
+        dataset: DatasetChoice,
+        /// The `k` of each registered PT-k query.
+        ks: Vec<usize>,
+        /// Per-query aggregate weights (same length as `ks`; all 1 when
+        /// omitted).
+        weights: Option<Vec<f64>>,
+        /// PT-k probability threshold shared by the registered queries.
+        threshold: f64,
+        /// Budget for the aggregate greedy cleaning plan.
+        budget: u64,
     },
     /// `pdb adaptive`
     Adaptive {
@@ -188,6 +203,43 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Clean { dataset, k, budget, algo })
         }
+        "batch" => {
+            let mut dataset = DatasetChoice::Synthetic;
+            let mut ks = vec![5, 15, 50];
+            let mut weights = None;
+            let mut threshold = 0.1;
+            let mut budget = 100;
+            let mut flags = Flags::new(rest);
+            while let Some(flag) = flags.next_flag() {
+                match flag {
+                    "--dataset" => dataset = DatasetChoice::parse(flags.value_for("--dataset")?)?,
+                    "--ks" => ks = parse_usize_list(flags.value_for("--ks")?, "--ks")?,
+                    "--weights" => {
+                        weights = Some(parse_f64_list(flags.value_for("--weights")?, "--weights")?)
+                    }
+                    "--threshold" => {
+                        threshold = parse_f64(flags.value_for("--threshold")?, "--threshold")?
+                    }
+                    "--budget" => {
+                        budget = parse_usize(flags.value_for("--budget")?, "--budget")? as u64
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            if ks.is_empty() {
+                return Err("--ks needs at least one k".to_string());
+            }
+            if let Some(w) = &weights {
+                if w.len() != ks.len() {
+                    return Err(format!(
+                        "--weights lists {} values for {} queries",
+                        w.len(),
+                        ks.len()
+                    ));
+                }
+            }
+            Ok(Command::Batch { dataset, ks, weights, threshold, budget })
+        }
         "adaptive" => {
             let mut dataset = DatasetChoice::Synthetic;
             let mut k = 15;
@@ -229,6 +281,18 @@ fn parse_scale(s: &str) -> Result<Scale, String> {
 
 fn parse_usize(s: &str, flag: &str) -> Result<usize, String> {
     s.parse().map_err(|_| format!("{flag} expects a positive integer, got {s:?}"))
+}
+
+fn parse_f64(s: &str, flag: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("{flag} expects a number, got {s:?}"))
+}
+
+fn parse_usize_list(s: &str, flag: &str) -> Result<Vec<usize>, String> {
+    s.split(',').map(|part| parse_usize(part.trim(), flag)).collect()
+}
+
+fn parse_f64_list(s: &str, flag: &str) -> Result<Vec<f64>, String> {
+    s.split(',').map(|part| parse_f64(part.trim(), flag)).collect()
 }
 
 #[cfg(test)]
@@ -288,6 +352,48 @@ mod tests {
 
         assert!(parse(&argv(&["quality", "--k", "abc"])).is_err());
         assert!(parse(&argv(&["clean", "--dataset", "nope"])).is_err());
+    }
+
+    #[test]
+    fn parses_batch_flags() {
+        let c = parse(&argv(&["batch"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Batch {
+                dataset: DatasetChoice::Synthetic,
+                ks: vec![5, 15, 50],
+                weights: None,
+                threshold: 0.1,
+                budget: 100,
+            }
+        );
+        let c = parse(&argv(&[
+            "batch",
+            "--dataset",
+            "udb1",
+            "--ks",
+            "1,2,4",
+            "--weights",
+            "1,0.5,2",
+            "--threshold",
+            "0.4",
+            "--budget",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Batch {
+                dataset: DatasetChoice::Udb1,
+                ks: vec![1, 2, 4],
+                weights: Some(vec![1.0, 0.5, 2.0]),
+                threshold: 0.4,
+                budget: 5,
+            }
+        );
+        assert!(parse(&argv(&["batch", "--ks", "1,x"])).is_err());
+        assert!(parse(&argv(&["batch", "--ks", "1,2", "--weights", "1"])).is_err());
+        assert!(parse(&argv(&["batch", "--bogus"])).is_err());
     }
 
     #[test]

@@ -2,12 +2,14 @@
 
 use crate::args::{Command, DatasetChoice, USAGE};
 use pdb_clean::{
-    expected_improvement, run_adaptive_session_with, CleaningAlgorithm, CleaningContext,
-    CleaningSetup, ReplanMode,
+    best_single_probe, expected_improvement, plan_greedy, run_adaptive_session_with,
+    CleaningAlgorithm, CleaningContext, CleaningSetup, ReplanMode,
 };
 use pdb_core::{DbError, RankedDatabase, Result, ScoreRanking};
 use pdb_experiments::{datasets, report::ExperimentResult, scale::time_ms, Scale, ALL_EXPERIMENTS};
-use pdb_quality::{quality_pw, quality_pwr, quality_tp, SharedEvaluation};
+use pdb_quality::{
+    quality_pw, quality_pwr, quality_tp, BatchQuality, SharedEvaluation, TopKQuery, WeightedQuery,
+};
 use rand::{rngs::StdRng, SeedableRng};
 use std::fmt::Write as _;
 
@@ -25,6 +27,9 @@ pub fn run(command: Command) -> Result<String> {
         Command::Clean { dataset, k, budget, algo } => clean(dataset, k, budget, &algo),
         Command::Adaptive { dataset, k, budget, trials, mode } => {
             adaptive(dataset, k, budget, trials, &mode)
+        }
+        Command::Batch { dataset, ks, weights, threshold, budget } => {
+            batch(dataset, &ks, weights.as_deref(), threshold, budget)
         }
     }
 }
@@ -207,6 +212,106 @@ fn adaptive(
     Ok(out)
 }
 
+fn batch(
+    choice: DatasetChoice,
+    ks: &[usize],
+    weights: Option<&[f64]>,
+    threshold: f64,
+    budget: u64,
+) -> Result<String> {
+    let db = load_dataset(choice)?;
+    let specs: Vec<WeightedQuery> = ks
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| {
+            let query = TopKQuery::PTk { k, threshold };
+            match weights {
+                Some(w) => WeightedQuery::weighted(query, w[i]),
+                None => WeightedQuery::new(query),
+            }
+        })
+        .collect();
+
+    // Batched: one PSR run at k_max serves every query.
+    let (shared, batch_ms) = time_ms(|| -> Result<(BatchQuality<'_>, Vec<f64>, Vec<usize>)> {
+        let batch = BatchQuality::new(&db, specs.clone())?;
+        let qualities = batch.quality_vector();
+        let sizes = batch.answers()?.iter().map(|a| a.len()).collect();
+        Ok((batch, qualities, sizes))
+    });
+    let (batch_eval, qualities, sizes) = shared?;
+
+    // Independent baseline: one full evaluation per registered query.
+    let (independent, independent_ms) = time_ms(|| -> Result<()> {
+        for spec in &specs {
+            let shared = SharedEvaluation::new(&db, spec.query.k())?;
+            let _answer = shared.pt_k(threshold)?;
+            let _quality = shared.quality();
+        }
+        Ok(())
+    });
+    independent?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "dataset          : {}", dataset_name(choice));
+    let _ = writeln!(out, "tuples           : {} ({} x-tuples)", db.len(), db.num_x_tuples());
+    let _ = writeln!(
+        out,
+        "registered       : {} PT-k queries (threshold {threshold}), k_max = {}",
+        specs.len(),
+        batch_eval.evaluation().k_max()
+    );
+    for (i, spec) in specs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  query {i:>2}       : k = {:>4}, weight {:.2}, answer {:>4} tuples, quality {:+.6}",
+            spec.query.k(),
+            spec.weight,
+            sizes[i],
+            qualities[i],
+        );
+    }
+    let _ = writeln!(out, "aggregate quality: {:+.6}", batch_eval.aggregate_quality());
+    let plan = batch_eval.evaluation().plan();
+    let _ = writeln!(
+        out,
+        "shared PSR       : {:.2} ms for the batch vs {:.2} ms independent ({:.1}x, \
+         amortization bound {:.1}x)",
+        batch_ms,
+        independent_ms,
+        independent_ms / batch_ms.max(1e-9),
+        plan.amortization(batch_eval.evaluation().queries()),
+    );
+
+    // Aggregate cleaning: one plan maximizing Σ_q w_q · improvement.
+    let setup = match choice {
+        DatasetChoice::Udb1 => CleaningSetup::uniform(db.num_x_tuples(), 1, 0.8)?,
+        _ => datasets::default_cleaning_setup(db.num_x_tuples())?,
+    };
+    let ctx = CleaningContext::from_batch(&batch_eval);
+    match best_single_probe(&ctx, &setup) {
+        Some((l, gain)) => {
+            let _ = writeln!(
+                out,
+                "best next probe  : x-tuple {l} (expected aggregate improvement {gain:+.6})"
+            );
+        }
+        None => {
+            let _ = writeln!(out, "best next probe  : none (database is effectively certain)");
+        }
+    }
+    let greedy = plan_greedy(&ctx, &setup, budget)?;
+    let improvement = expected_improvement(&ctx, &setup, &greedy);
+    let _ = writeln!(
+        out,
+        "greedy (C = {budget:>4}): {} x-tuples, {} attempts, expected aggregate \
+         improvement {improvement:+.6}",
+        greedy.selected().len(),
+        greedy.total_attempts(),
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +364,23 @@ mod tests {
         assert!(!single.contains("incremental"));
         assert!(adaptive(DatasetChoice::Udb1, 2, 5, 5, "bogus").is_err());
         assert!(adaptive(DatasetChoice::Udb1, 2, 5, 0, "both").is_err());
+    }
+
+    #[test]
+    fn batch_command_serves_multiple_queries_from_one_run() {
+        let out = batch(DatasetChoice::Udb1, &[1, 2, 4], None, 0.4, 5).unwrap();
+        assert!(out.contains("k_max = 4"), "{out}");
+        assert!(out.contains("query  0"), "{out}");
+        assert!(out.contains("aggregate quality"), "{out}");
+        assert!(out.contains("best next probe"), "{out}");
+        assert!(out.contains("greedy"), "{out}");
+        // PT-2 answer of the paper at threshold 0.4 has 3 tuples.
+        assert!(out.contains("answer    3 tuples"), "{out}");
+
+        let weighted = batch(DatasetChoice::Udb1, &[1, 2], Some(&[0.0, 1.0]), 0.4, 5).unwrap();
+        assert!(weighted.contains("weight 0.00"), "{weighted}");
+        assert!(batch(DatasetChoice::Udb1, &[1, 2], Some(&[-1.0, 1.0]), 0.4, 5).is_err());
+        assert!(batch(DatasetChoice::Udb1, &[1], None, 0.0, 5).is_err());
     }
 
     #[test]

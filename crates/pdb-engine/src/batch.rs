@@ -1,0 +1,520 @@
+//! Batched multi-query shared evaluation.
+//!
+//! A serving-scale deployment answers many registered top-k queries —
+//! different `k`, different semantics, different thresholds — over the
+//! *same* ranked database.  Evaluating each query independently costs one
+//! full PSR run per query, O(Σᵢ n·kᵢ) in total.  But the rank-probability
+//! matrix has a **prefix structure** (see
+//! [`RankProbabilities::prefix`]): a single PSR run at
+//! `k_max = maxᵢ kᵢ` contains the run at every smaller `k` bit for bit,
+//! so one O(n·k_max) scan serves the whole batch:
+//!
+//! ```text
+//! independent:  Σᵢ n·kᵢ   polynomial steps  (Q full PSR runs)
+//! batched:      n·k_max   polynomial steps  + one O(n·k_max) prefix-sum pass
+//! ```
+//!
+//! The per-query *snapshots* are deliberately cheap: a query at `kᵢ`
+//! needs its tuples' rank-h probabilities (columns `1..=kᵢ` of the master
+//! matrix, read in place — no copy) and its top-kᵢ probability vector
+//! (the running prefix sum of each master row, cut at `kᵢ`).  One pass
+//! over the master emits every registered query's top-k vector at once,
+//! so the batch's total extra work is a single scan of the matrix it
+//! already computed — materializing per-query ρ copies would cost more
+//! than the shared PSR run itself.  [`QueryRanks`] is that zero-copy
+//! view; the query semantics and the TP quality algorithm accept it
+//! through the [`RankAccess`] trait.
+//!
+//! [`BatchPlan`] performs the planning step (deduplicate the `kᵢ`, pick
+//! `k_max`, map each query to its snapshot); [`BatchEvaluation`] executes
+//! it.  Single-x-tuple mutations (probe outcomes) are carried through the
+//! incremental delta engine **once**, on the master matrix, and every
+//! per-query snapshot is re-derived from the patched master — one delta
+//! pass instead of one per registered query
+//! ([`BatchEvaluation::apply_collapse_in_place`]).
+//!
+//! The quality layer on top (per-query PWS-quality, aggregate-improvement
+//! cleaning) lives in `pdb-quality`'s `batch` module, which wraps this
+//! type.
+
+use crate::delta::{apply_mutation_in_place, DeltaStats, XTupleMutation};
+use crate::psr::{rank_probabilities, RankAccess, RankProbabilities};
+use crate::queries::{QueryAnswer, TopKQuery};
+use pdb_core::{DbError, RankedDatabase, Result};
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+
+/// Minimum `rows × queries` volume before [`BatchEvaluation::answers`]
+/// evaluates the registered queries across threads (the pool-less rayon
+/// stand-in pays a thread spawn/join per call, so small batches run
+/// inline).
+#[cfg(feature = "parallel")]
+const PARALLEL_ANSWER_THRESHOLD: usize = 1 << 16;
+
+/// How a set of registered queries maps onto one shared PSR run: the
+/// planning step of the batch engine.
+///
+/// The plan is a pure function of the query list (not of any database):
+/// it picks `k_max`, deduplicates the smaller `kᵢ` into the snapshot list,
+/// and records which snapshot serves each query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchPlan {
+    k_max: usize,
+    /// Distinct `kᵢ < k_max` needing a prefix snapshot, ascending.
+    snapshot_ks: Vec<usize>,
+    /// Per query: index into `snapshot_ks`, or `None` for queries served
+    /// directly from the master (`kᵢ = k_max`) matrix.
+    snapshot_of: Vec<Option<usize>>,
+}
+
+impl BatchPlan {
+    /// Plan a query set.  Fails on an empty set or a query with `k = 0`.
+    pub fn plan(queries: &[TopKQuery]) -> Result<Self> {
+        if queries.is_empty() {
+            return Err(DbError::invalid_parameter("a batch needs at least one registered query"));
+        }
+        for (i, q) in queries.iter().enumerate() {
+            if q.k() == 0 {
+                return Err(DbError::invalid_parameter(format!(
+                    "registered query {i} has k = 0; k must be at least 1"
+                )));
+            }
+        }
+        let k_max = queries.iter().map(|q| q.k()).max().expect("non-empty");
+        let mut snapshot_ks: Vec<usize> =
+            queries.iter().map(|q| q.k()).filter(|&k| k < k_max).collect();
+        snapshot_ks.sort_unstable();
+        snapshot_ks.dedup();
+        let snapshot_of = queries
+            .iter()
+            .map(|q| {
+                if q.k() == k_max {
+                    None
+                } else {
+                    Some(snapshot_ks.binary_search(&q.k()).expect("k was collected above"))
+                }
+            })
+            .collect();
+        Ok(Self { k_max, snapshot_ks, snapshot_of })
+    }
+
+    /// The `k` the one shared PSR run uses.
+    pub fn k_max(&self) -> usize {
+        self.k_max
+    }
+
+    /// Number of registered queries covered by the plan.
+    pub fn num_queries(&self) -> usize {
+        self.snapshot_of.len()
+    }
+
+    /// The distinct `kᵢ < k_max` that get a prefix snapshot (ascending).
+    pub fn snapshot_ks(&self) -> &[usize] {
+        &self.snapshot_ks
+    }
+
+    /// Per-tuple polynomial steps of one shared run (`k_max`) vs `Q`
+    /// independent runs (`Σᵢ kᵢ`): the amortization factor the batch
+    /// engine approaches, ignoring the (much cheaper) prefix-sum pass.
+    pub fn amortization(&self, queries: &[TopKQuery]) -> f64 {
+        let independent: usize = queries.iter().map(|q| q.k()).sum();
+        independent as f64 / self.k_max as f64
+    }
+}
+
+/// Zero-copy view of one registered query's rank probabilities inside the
+/// shared master matrix.
+///
+/// Rank-h probabilities are read from the master's rows in place (columns
+/// `1..=k` are exactly the smaller run's matrix — the prefix property);
+/// only the per-tuple top-k vector is materialized, once per distinct `k`,
+/// by the batch's single prefix-sum pass.  Implements [`RankAccess`], so
+/// the query semantics and quality algorithms consume it exactly like an
+/// owned matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryRanks<'m> {
+    master: &'m RankProbabilities,
+    k: usize,
+    top_k: &'m [f64],
+}
+
+impl RankAccess for QueryRanks<'_> {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn num_tuples(&self) -> usize {
+        self.top_k.len()
+    }
+
+    fn rank_prob(&self, pos: usize, h: usize) -> f64 {
+        assert!(h >= 1 && h <= self.k, "rank h = {h} out of 1..={}", self.k);
+        self.master.rank_prob(pos, h)
+    }
+
+    fn top_k_prob(&self, pos: usize) -> f64 {
+        self.top_k[pos]
+    }
+
+    fn top_k_probs(&self) -> &[f64] {
+        self.top_k
+    }
+}
+
+/// One PSR run at `k_max` serving a whole set of registered queries.
+///
+/// See the [module docs](self) for the amortization model.  The evaluation
+/// owns (or borrows) the database;
+/// [`apply_collapse_in_place`](BatchEvaluation::apply_collapse_in_place)
+/// advances it across probe outcomes with a single delta pass shared by
+/// every query.
+#[derive(Debug, Clone)]
+pub struct BatchEvaluation<'a> {
+    db: Cow<'a, RankedDatabase>,
+    queries: Vec<TopKQuery>,
+    plan: BatchPlan,
+    /// The shared matrix, computed at `plan.k_max()`.
+    master: RankProbabilities,
+    /// Per-snapshot top-k probability vectors, parallel to
+    /// `plan.snapshot_ks()`; each is the prefix sum of the master's rows
+    /// cut at that snapshot's `k`.
+    snapshot_top_k: Vec<Vec<f64>>,
+}
+
+impl<'a> BatchEvaluation<'a> {
+    /// Plan `queries` and run PSR once at `k_max`, borrowing the database.
+    pub fn new(db: &'a RankedDatabase, queries: Vec<TopKQuery>) -> Result<Self> {
+        let plan = BatchPlan::plan(&queries)?;
+        let master = rank_probabilities(db, plan.k_max())?;
+        let snapshot_top_k = snapshot_top_ks(&master, plan.snapshot_ks());
+        Ok(Self { db: Cow::Borrowed(db), queries, plan, master, snapshot_top_k })
+    }
+
+    /// [`new`](Self::new) taking ownership of the database — the form
+    /// long-lived serving sessions use, since the evaluation then borrows
+    /// nothing.
+    pub fn from_owned(
+        db: RankedDatabase,
+        queries: Vec<TopKQuery>,
+    ) -> Result<BatchEvaluation<'static>> {
+        let plan = BatchPlan::plan(&queries)?;
+        let master = rank_probabilities(&db, plan.k_max())?;
+        let snapshot_top_k = snapshot_top_ks(&master, plan.snapshot_ks());
+        Ok(BatchEvaluation { db: Cow::Owned(db), queries, plan, master, snapshot_top_k })
+    }
+
+    /// The database under evaluation.
+    pub fn database(&self) -> &RankedDatabase {
+        &self.db
+    }
+
+    /// The registered queries, in registration order.
+    pub fn queries(&self) -> &[TopKQuery] {
+        &self.queries
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The plan mapping queries onto the shared run.
+    pub fn plan(&self) -> &BatchPlan {
+        &self.plan
+    }
+
+    /// The `k` of the one shared PSR run.
+    pub fn k_max(&self) -> usize {
+        self.plan.k_max()
+    }
+
+    /// The shared `k_max` rank-probability matrix.
+    pub fn master(&self) -> &RankProbabilities {
+        &self.master
+    }
+
+    /// The zero-copy rank-probability view serving registered query `q` —
+    /// the master matrix itself for `k_q = k_max`, the shared prefix
+    /// snapshot otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a registered query index.
+    pub fn ranks(&self, q: usize) -> QueryRanks<'_> {
+        assert!(q < self.queries.len(), "query {q} of {}", self.queries.len());
+        match self.plan.snapshot_of[q] {
+            Some(s) => QueryRanks {
+                master: &self.master,
+                k: self.plan.snapshot_ks[s],
+                top_k: &self.snapshot_top_k[s],
+            },
+            None => QueryRanks {
+                master: &self.master,
+                k: self.plan.k_max,
+                top_k: self.master.top_k_probs(),
+            },
+        }
+    }
+
+    /// Answer registered query `q` from the shared matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a registered query index (parameter errors,
+    /// e.g. an invalid PT-k threshold, are returned as `Err`).
+    pub fn answer(&self, q: usize) -> Result<QueryAnswer> {
+        self.queries[q].evaluate_with(self.database(), &self.ranks(q))
+    }
+
+    /// Answer every registered query, in registration order.  With the
+    /// `parallel` feature the per-query selections fan out across threads
+    /// once the batch is large enough; answers are identical to the
+    /// sequential order either way (each is a pure function of the shared
+    /// matrix).
+    pub fn answers(&self) -> Result<Vec<QueryAnswer>> {
+        #[cfg(feature = "parallel")]
+        {
+            use rayon::prelude::*;
+            if self.master.num_tuples() * self.queries.len() >= PARALLEL_ANSWER_THRESHOLD {
+                let ids: Vec<usize> = (0..self.queries.len()).collect();
+                return ids.par_iter().map(|&q| self.answer(q)).collect();
+            }
+        }
+        (0..self.queries.len()).map(|q| self.answer(q)).collect()
+    }
+
+    /// Apply a single-x-tuple mutation (one observed probe outcome) to the
+    /// database and to **every** registered query's rank probabilities.
+    ///
+    /// The delta engine patches the master matrix once — O(k_max) per
+    /// affected row, exactly as for a single query — and the per-query
+    /// snapshots are re-derived from the patched master by the one
+    /// prefix-sum pass, so the whole batch is updated in one delta pass
+    /// instead of one per query.  On `Err` nothing is modified.
+    pub fn apply_collapse_in_place(
+        &mut self,
+        l: usize,
+        mutation: &XTupleMutation,
+    ) -> Result<DeltaStats> {
+        // Rows ranked above the mutated x-tuple's first alternative are
+        // untouched by the delta pass *and* keep their positions, so their
+        // snapshot entries stay valid; only the suffix is recomputed.
+        let untouched = if l < self.db.num_x_tuples() { self.db.x_tuple(l).members[0] } else { 0 };
+        let stats = apply_mutation_in_place(self.db.to_mut(), &mut self.master, l, mutation)?;
+        refresh_snapshot_top_ks(
+            &self.master,
+            self.plan.snapshot_ks(),
+            untouched,
+            &mut self.snapshot_top_k,
+        );
+        Ok(stats)
+    }
+
+    /// [`apply_collapse_in_place`](Self::apply_collapse_in_place) on a
+    /// copy: the pre-mutation evaluation is untouched (and remains usable
+    /// as an oracle); the returned evaluation owns its database.
+    pub fn apply_collapse(
+        &self,
+        l: usize,
+        mutation: &XTupleMutation,
+    ) -> Result<(BatchEvaluation<'static>, DeltaStats)> {
+        let mut next = BatchEvaluation {
+            db: Cow::Owned(self.database().clone()),
+            queries: self.queries.clone(),
+            plan: self.plan.clone(),
+            master: self.master.clone(),
+            // The untouched-prefix entries are reused by the incremental
+            // snapshot refresh, so the clone is live data, not waste.
+            snapshot_top_k: self.snapshot_top_k.clone(),
+        };
+        let stats = next.apply_collapse_in_place(l, mutation)?;
+        Ok((next, stats))
+    }
+}
+
+/// One pass over the master matrix emitting every snapshot's top-k vector:
+/// the prefix sum of each row, cut at each distinct snapshot `k`.  Summing
+/// left to right reproduces the smaller run's own top-k sum bit for bit
+/// (it adds the identical values in the identical order).
+fn snapshot_top_ks(master: &RankProbabilities, ks: &[usize]) -> Vec<Vec<f64>> {
+    let mut out: Vec<Vec<f64>> = ks.iter().map(|_| Vec::new()).collect();
+    refresh_snapshot_top_ks(master, ks, 0, &mut out);
+    out
+}
+
+/// Recompute the snapshot vectors for positions `start..` only (rows above
+/// `start` are known untouched — the delta engine's untouched-prefix
+/// guarantee) and resize them to the master's current tuple count.
+fn refresh_snapshot_top_ks(
+    master: &RankProbabilities,
+    ks: &[usize],
+    start: usize,
+    out: &mut [Vec<f64>],
+) {
+    let n = master.num_tuples();
+    let start = start.min(n);
+    for v in out.iter_mut() {
+        v.resize(n, 0.0);
+    }
+    let Some(&k_last) = ks.last() else {
+        return;
+    };
+    // `pos` indexes into every snapshot's output vector at once, so a
+    // plain indexed loop is clearer than zipping `ks.len()` iterators.
+    #[allow(clippy::needless_range_loop)]
+    for pos in start..n {
+        let row = &master.rank_probs(pos)[..k_last];
+        let mut sum = 0.0;
+        let mut s = 0;
+        for (h0, &v) in row.iter().enumerate() {
+            sum += v;
+            while s < ks.len() && ks[s] == h0 + 1 {
+                out[s][pos] = sum;
+                s += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psr::rank_probabilities_exact;
+
+    fn udb1() -> RankedDatabase {
+        RankedDatabase::from_scored_x_tuples(&[
+            vec![(21.0, 0.6), (32.0, 0.4)],
+            vec![(30.0, 0.7), (22.0, 0.3)],
+            vec![(25.0, 0.4), (27.0, 0.6)],
+            vec![(26.0, 1.0)],
+        ])
+        .unwrap()
+    }
+
+    fn mixed_queries() -> Vec<TopKQuery> {
+        vec![
+            TopKQuery::PTk { k: 2, threshold: 0.4 },
+            TopKQuery::UKRanks { k: 1 },
+            TopKQuery::GlobalTopk { k: 4 },
+            TopKQuery::PTk { k: 4, threshold: 0.1 },
+            TopKQuery::UKRanks { k: 3 },
+        ]
+    }
+
+    fn assert_view_matches(view: &QueryRanks<'_>, rp: &RankProbabilities, tol: f64, what: &str) {
+        assert_eq!(view.k(), rp.k(), "{what}");
+        assert_eq!(view.num_tuples(), rp.num_tuples(), "{what}");
+        for pos in 0..rp.num_tuples() {
+            let got = view.top_k_prob(pos);
+            let want = rp.top_k_prob(pos);
+            assert!((got - want).abs() <= tol, "{what} pos {pos}: top-k {got} vs {want}");
+            for h in 1..=rp.k() {
+                let got = view.rank_prob(pos, h);
+                let want = rp.rank_prob(pos, h);
+                assert!((got - want).abs() <= tol, "{what} pos {pos} h {h}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_deduplicates_and_maps_queries() {
+        let queries = mixed_queries();
+        let plan = BatchPlan::plan(&queries).unwrap();
+        assert_eq!(plan.k_max(), 4);
+        assert_eq!(plan.num_queries(), 5);
+        assert_eq!(plan.snapshot_ks(), &[1, 2, 3]);
+        assert!((plan.amortization(&queries) - 14.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_rejects_degenerate_inputs() {
+        assert!(BatchPlan::plan(&[]).is_err());
+        assert!(BatchPlan::plan(&[TopKQuery::UKRanks { k: 0 }]).is_err());
+    }
+
+    #[test]
+    fn every_query_is_served_from_an_independent_runs_matrix() {
+        let db = udb1();
+        let queries = mixed_queries();
+        let batch = BatchEvaluation::new(&db, queries.clone()).unwrap();
+        assert_eq!(batch.num_queries(), 5);
+        assert_eq!(batch.k_max(), 4);
+        for (q, query) in queries.iter().enumerate() {
+            let independent = rank_probabilities(&db, query.k()).unwrap();
+            // Bit-for-bit: prefix columns and prefix sums reproduce the
+            // independent run exactly.
+            assert_view_matches(&batch.ranks(q), &independent, 0.0, &format!("query {q}"));
+            let from_batch = batch.answer(q).unwrap();
+            let from_scratch = query.evaluate(&db).unwrap();
+            assert_eq!(from_batch, from_scratch, "query {q}");
+        }
+        let answers = batch.answers().unwrap();
+        assert_eq!(answers.len(), 5);
+        for (q, a) in answers.iter().enumerate() {
+            assert_eq!(a, &batch.answer(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn single_query_batch_degenerates_to_one_run() {
+        let db = udb1();
+        let batch =
+            BatchEvaluation::new(&db, vec![TopKQuery::PTk { k: 2, threshold: 0.4 }]).unwrap();
+        assert_eq!(batch.plan().snapshot_ks(), &[] as &[usize]);
+        assert_eq!(batch.ranks(0).top_k_probs(), batch.master().top_k_probs());
+        assert_eq!(batch.answer(0).unwrap().len(), 3); // {t1, t2, t5}
+    }
+
+    #[test]
+    fn collapse_patches_every_registered_query() {
+        let db = udb1();
+        let queries = mixed_queries();
+        let batch = BatchEvaluation::from_owned(db, queries.clone()).unwrap();
+        // Collapse S3 to its 27° reading: the paper's udb1 → udb2 step.
+        let (next, stats) = batch
+            .apply_collapse(2, &XTupleMutation::CollapseToAlternative { keep_pos: 2 })
+            .unwrap();
+        assert_eq!(stats.rows_dropped, 1);
+        assert_eq!(next.database().len(), 6);
+        for (q, query) in queries.iter().enumerate() {
+            let oracle = rank_probabilities_exact(next.database(), query.k()).unwrap();
+            assert_view_matches(&next.ranks(q), &oracle, 1e-9, &format!("query {q}"));
+        }
+        // The pre-mutation batch is untouched.
+        assert_eq!(batch.database().len(), 7);
+    }
+
+    #[test]
+    fn in_place_collapse_chains_across_mutations() {
+        let db = udb1();
+        let mut batch = BatchEvaluation::from_owned(db, mixed_queries()).unwrap();
+        batch
+            .apply_collapse_in_place(2, &XTupleMutation::CollapseToAlternative { keep_pos: 2 })
+            .unwrap();
+        batch
+            .apply_collapse_in_place(1, &XTupleMutation::Reweight { probs: vec![0.9, 0.1] })
+            .unwrap();
+        let keep = batch.database().x_tuple(0).members[0];
+        batch
+            .apply_collapse_in_place(0, &XTupleMutation::CollapseToAlternative { keep_pos: keep })
+            .unwrap();
+        assert_eq!(batch.database().num_x_tuples(), 4);
+        for q in 0..batch.num_queries() {
+            let independent = rank_probabilities(batch.database(), batch.queries()[q].k()).unwrap();
+            assert_view_matches(&batch.ranks(q), &independent, 1e-8, &format!("query {q}"));
+        }
+    }
+
+    #[test]
+    fn failed_collapse_leaves_the_batch_unchanged() {
+        let db = udb1();
+        let mut batch = BatchEvaluation::new(&db, mixed_queries()).unwrap();
+        let before = batch.master().clone();
+        // keep_pos 1 is not an alternative of x-tuple 0.
+        assert!(batch
+            .apply_collapse_in_place(0, &XTupleMutation::CollapseToAlternative { keep_pos: 1 })
+            .is_err());
+        assert_eq!(batch.master(), &before);
+        assert_eq!(batch.database().len(), 7);
+    }
+}

@@ -21,7 +21,8 @@
 //!
 //! where `q_j` is x-tuple `j`'s existential mass ranked strictly above
 //! position `i`.  A mutation of x-tuple `L` changes only `q_L`, and both
-//! [`TruncatedPoly`] operations are linear in the coefficients, so the new
+//! [`TruncatedPoly`](crate::poly::TruncatedPoly) operations are linear in
+//! the coefficients, so the new
 //! row is obtained **without knowing eᵢ** by one divide + one multiply on
 //! the stored row itself:
 //!
@@ -47,7 +48,7 @@
 //! from the mutated database instead of patched:
 //!
 //! * when the ill-conditioned rows are few, each is recomputed exactly
-//!   ([`psr::exact_row`], O(m·k) per row);
+//!   (`psr::exact_row`, O(m·k) per row);
 //! * when they are many, one **windowed scan** re-runs the incremental PSR
 //!   planning pass up to the last ill-conditioned position and finalizes
 //!   only those rows (O(w·k) for a window of length `w`) — never more

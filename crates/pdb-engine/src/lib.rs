@@ -12,6 +12,9 @@
 //! * [`delta`] — incremental re-evaluation: carry a completed PSR result
 //!   across single-x-tuple mutations (probe outcomes) with one divide + one
 //!   multiply per affected row instead of a full O(n·k) rerun.
+//! * [`batch`] — batched multi-query shared evaluation: one PSR run at
+//!   `k_max` serves a whole set of registered queries through prefix
+//!   snapshots, and one delta pass re-patches them all.
 //! * [`poly`] — the truncated generating-function polynomials PSR maintains.
 //! * [`oracle`] — brute-force possible-world oracles used to validate the
 //!   efficient algorithms on small databases.
@@ -29,19 +32,22 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod delta;
 pub mod oracle;
 pub mod poly;
 pub mod psr;
 pub mod queries;
 
+pub use batch::{BatchEvaluation, BatchPlan, QueryRanks};
 pub use delta::{
     apply_mutation, apply_mutation_in_place, DeltaEvaluation, DeltaStats, XTupleMutation,
 };
 #[cfg(feature = "parallel")]
 pub use psr::rank_probabilities_parallel;
 pub use psr::{
-    rank_probabilities, rank_probabilities_exact, rank_probabilities_sequential, RankProbabilities,
+    rank_probabilities, rank_probabilities_exact, rank_probabilities_sequential, RankAccess,
+    RankProbabilities,
 };
 pub use queries::{
     global_topk, pt_k, u_k_ranks, AnswerTuple, QueryAnswer, TopKQuery, TupleSetAnswer,
@@ -50,8 +56,11 @@ pub use queries::{
 
 /// Convenience prelude bringing the most frequently used items into scope.
 pub mod prelude {
+    pub use crate::batch::{BatchEvaluation, BatchPlan, QueryRanks};
     pub use crate::delta::{DeltaEvaluation, DeltaStats, XTupleMutation};
-    pub use crate::psr::{rank_probabilities, rank_probabilities_exact, RankProbabilities};
+    pub use crate::psr::{
+        rank_probabilities, rank_probabilities_exact, RankAccess, RankProbabilities,
+    };
     pub use crate::queries::{
         global_topk, pt_k, u_k_ranks, AnswerTuple, QueryAnswer, TopKQuery, TupleSetAnswer,
         UKRanksAnswer,

@@ -65,6 +65,32 @@ const SATURATION_THRESHOLD: f64 = 1.0 - 1e-12;
 /// a stored ρ row.
 pub const MAX_DIVISOR_Q: f64 = 0.5;
 
+/// Read access to rank-probability information for a fixed `k`.
+///
+/// The query semantics ([`crate::queries`]) and the TP quality algorithm
+/// consume rank probabilities through this trait, so they serve equally
+/// from an owned [`RankProbabilities`] matrix and from a zero-copy view
+/// into a larger shared matrix ([`crate::batch::QueryRanks`], the prefix
+/// views of the batched evaluation engine).
+pub trait RankAccess {
+    /// The `k` the probabilities describe.
+    fn k(&self) -> usize;
+
+    /// Number of tuples covered.
+    fn num_tuples(&self) -> usize;
+
+    /// ρᵢ(h): probability that the tuple at rank position `pos` occupies
+    /// rank `h` (1-based, `1 ≤ h ≤ k`) of a possible world's top-k answer.
+    fn rank_prob(&self, pos: usize, h: usize) -> f64;
+
+    /// pᵢ: probability that the tuple at rank position `pos` appears in
+    /// the top-k answer of a possible world.
+    fn top_k_prob(&self, pos: usize) -> f64;
+
+    /// All top-k probabilities, indexed by rank position.
+    fn top_k_probs(&self) -> &[f64];
+}
+
 /// Rank-h and top-k probabilities of every tuple of a database, for a fixed
 /// `k`.
 ///
@@ -144,6 +170,64 @@ impl RankProbabilities {
     /// `rho.len() == top_k.len() * k` and `top_k[i] == Σ_h rho[i*k + h]`.
     pub(crate) fn parts_mut(&mut self) -> (&mut Vec<f64>, &mut Vec<f64>) {
         (&mut self.rho, &mut self.top_k)
+    }
+
+    /// The rank probabilities for a *smaller* `k`, extracted from this
+    /// matrix without re-running PSR.
+    ///
+    /// This is the prefix property the batched evaluation engine
+    /// ([`crate::batch`]) builds on: ρᵢ(h) is the degree-(h−1) coefficient
+    /// of a generating-function product, and every [`TruncatedPoly`]
+    /// operation (multiply, divide, rebuild) computes coefficient `j` from
+    /// coefficients `≤ j` only, while the saturation and division gates
+    /// depend on factor masses, never on `k`.  A PSR run at `k_max`
+    /// therefore contains the run at every `k ≤ k_max` bit for bit: its
+    /// first `k` columns *are* that run's ρ matrix (positions past a
+    /// smaller `k`'s Lemma-2 early stop carry ≥ `k` saturated x-tuples, so
+    /// their first `k` entries are identically zero), and the prefix
+    /// top-k probability is the same left-to-right partial sum the smaller
+    /// run would form.  `prefix_equivalence` in the tests and the
+    /// `batch_equivalence` suite pin this against independent runs.
+    ///
+    /// Returns an error when `k` is zero or exceeds the `k` this matrix
+    /// was computed for.
+    pub fn prefix(&self, k: usize) -> Result<RankProbabilities> {
+        if k == 0 || k > self.k {
+            return Err(DbError::invalid_parameter(format!(
+                "prefix k = {k} must lie in 1..={}",
+                self.k
+            )));
+        }
+        if k == self.k {
+            return Ok(self.clone());
+        }
+        let mut rho = Vec::with_capacity(self.top_k.len() * k);
+        for row in self.rho.chunks_exact(self.k) {
+            rho.extend_from_slice(&row[..k]);
+        }
+        Ok(RankProbabilities::from_rho(k, rho))
+    }
+}
+
+impl RankAccess for RankProbabilities {
+    fn k(&self) -> usize {
+        RankProbabilities::k(self)
+    }
+
+    fn num_tuples(&self) -> usize {
+        RankProbabilities::num_tuples(self)
+    }
+
+    fn rank_prob(&self, pos: usize, h: usize) -> f64 {
+        RankProbabilities::rank_prob(self, pos, h)
+    }
+
+    fn top_k_prob(&self, pos: usize) -> f64 {
+        RankProbabilities::top_k_prob(self, pos)
+    }
+
+    fn top_k_probs(&self) -> &[f64] {
+        RankProbabilities::top_k_probs(self)
     }
 }
 
@@ -389,7 +473,7 @@ pub fn rank_probabilities_sequential(db: &RankedDatabase, k: usize) -> Result<Ra
 ///
 /// The scan stays sequential (the generating-function product is a
 /// running state), but each pending row is then finalized independently.
-/// Below [`PARALLEL_ROW_THRESHOLD`] pending coefficients this defers to
+/// Below `PARALLEL_ROW_THRESHOLD` pending coefficients this defers to
 /// the streaming sequential path (same O(k) working state, no thread
 /// overhead); above it, the scan collects its row tasks — O(rows·k)
 /// snapshot memory — and finalizes them across threads. Either way the
@@ -399,7 +483,11 @@ pub fn rank_probabilities_sequential(db: &RankedDatabase, k: usize) -> Result<Ra
 pub fn rank_probabilities_parallel(db: &RankedDatabase, k: usize) -> Result<RankProbabilities> {
     use rayon::prelude::*;
 
-    if db.len() * k < PARALLEL_ROW_THRESHOLD {
+    // Collecting row tasks only pays off when threads exist to finalize
+    // them; on a single-core host the streaming path is strictly better
+    // (same arithmetic, no snapshot buffer).
+    let single_core = std::thread::available_parallelism().map(|c| c.get() <= 1).unwrap_or(false);
+    if single_core || db.len() * k < PARALLEL_ROW_THRESHOLD {
         return rank_probabilities_sequential(db, k);
     }
     let mut tasks = Vec::with_capacity(db.len());
@@ -605,6 +693,40 @@ mod tests {
         assert_eq!(rp.k(), 3);
         assert_eq!(rp.num_tuples(), 7);
         assert!((rp.rank_prob(0, 1) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_equivalence_matches_independent_runs() {
+        let db = udb1();
+        let master = rank_probabilities(&db, 5).unwrap();
+        for k in 1..=5 {
+            let independent = rank_probabilities(&db, k).unwrap();
+            let prefix = master.prefix(k).unwrap();
+            // Bit-for-bit: every poly op computes coefficient j from
+            // coefficients ≤ j only (see `prefix`'s docs).
+            assert_eq!(prefix, independent, "k = {k}");
+        }
+        assert!(master.prefix(0).is_err());
+        assert!(master.prefix(6).is_err());
+    }
+
+    #[test]
+    fn prefix_equivalence_across_early_termination() {
+        // Ten certain tuples followed by an uncertain one: small-k runs
+        // stop early (Lemma 2) while the k_max run scans further; the
+        // prefix must still agree because post-stop rows are zero in the
+        // first k columns.
+        let mut x = vec![vec![(100.0, 1.0)]];
+        for i in 1..10 {
+            x.push(vec![(100.0 - i as f64, 1.0)]);
+        }
+        x.push(vec![(1.0, 0.7)]);
+        let db = RankedDatabase::from_scored_x_tuples(&x).unwrap();
+        let master = rank_probabilities(&db, 11).unwrap();
+        for k in [1, 2, 3, 5, 10] {
+            let independent = rank_probabilities(&db, k).unwrap();
+            assert_eq!(master.prefix(k).unwrap(), independent, "k = {k}");
+        }
     }
 
     #[test]

@@ -11,11 +11,14 @@
 //! * **Global-topk** — return the `k` tuples with the highest top-k
 //!   probabilities (ties broken by rank).
 //!
-//! All three are answered here from a [`RankProbabilities`] structure, which
-//! is what allows the query evaluation to share its PSR run with quality
-//! computation (Section IV-C).
+//! All three are answered here from rank-probability information (any
+//! [`RankAccess`] implementor — an owned
+//! [`RankProbabilities`](crate::psr::RankProbabilities) matrix or a
+//! zero-copy batch view), which is what allows the query evaluation to
+//! share its PSR run with quality computation (Section IV-C) and with
+//! other registered queries ([`crate::batch`]).
 
-use crate::psr::{rank_probabilities, RankProbabilities};
+use crate::psr::{rank_probabilities, RankAccess};
 use pdb_core::{DbError, RankedDatabase, Result, TupleId};
 use serde::{Deserialize, Serialize};
 
@@ -95,7 +98,7 @@ impl TupleSetAnswer {
 ///
 /// Ties (two tuples equally likely to occupy rank h) are broken in favour of
 /// the higher-ranked tuple, keeping the answer deterministic.
-pub fn u_k_ranks(db: &RankedDatabase, rp: &RankProbabilities) -> UKRanksAnswer {
+pub fn u_k_ranks<R: RankAccess + ?Sized>(db: &RankedDatabase, rp: &R) -> UKRanksAnswer {
     let k = rp.k();
     let mut winners = Vec::with_capacity(k);
     for h in 1..=k {
@@ -122,7 +125,11 @@ pub fn u_k_ranks(db: &RankedDatabase, rp: &RankProbabilities) -> UKRanksAnswer {
 /// `threshold`.
 ///
 /// Returns an error if the threshold lies outside `(0, 1]`.
-pub fn pt_k(db: &RankedDatabase, rp: &RankProbabilities, threshold: f64) -> Result<TupleSetAnswer> {
+pub fn pt_k<R: RankAccess + ?Sized>(
+    db: &RankedDatabase,
+    rp: &R,
+    threshold: f64,
+) -> Result<TupleSetAnswer> {
     if !(threshold > 0.0 && threshold <= 1.0) {
         return Err(DbError::invalid_parameter(format!(
             "PT-k threshold must lie in (0, 1], got {threshold}"
@@ -137,7 +144,7 @@ pub fn pt_k(db: &RankedDatabase, rp: &RankProbabilities, threshold: f64) -> Resu
 
 /// Evaluate a **Global-topk** query: the `k` tuples with the highest top-k
 /// probabilities, ties broken in favour of the higher-ranked tuple.
-pub fn global_topk(db: &RankedDatabase, rp: &RankProbabilities) -> TupleSetAnswer {
+pub fn global_topk<R: RankAccess + ?Sized>(db: &RankedDatabase, rp: &R) -> TupleSetAnswer {
     let k = rp.k();
     let mut order: Vec<usize> = (0..rp.num_tuples()).filter(|&p| rp.top_k_prob(p) > 0.0).collect();
     // Sort by descending top-k probability; ties by ascending position
@@ -200,10 +207,10 @@ impl TopKQuery {
 
     /// Evaluate the query from precomputed rank probabilities (computation
     /// sharing with quality evaluation, Section IV-C of the paper).
-    pub fn evaluate_with(
+    pub fn evaluate_with<R: RankAccess + ?Sized>(
         &self,
         db: &RankedDatabase,
-        rp: &RankProbabilities,
+        rp: &R,
     ) -> Result<QueryAnswer> {
         if rp.k() != self.k() {
             return Err(DbError::invalid_parameter(format!(

@@ -14,6 +14,7 @@
 //! | `fig5a`–`fig5d` | Fig. 5 (query/quality computation sharing) | [`sharing_exp`] |
 //! | `fig6a`–`fig6g` | Fig. 6 (cleaning effectiveness & efficiency) | [`cleaning_exp`] |
 //! | `adaptive-n`, `adaptive-c` | beyond the paper: adaptive re-planning, incremental vs full rebuild | [`adaptive_exp`] |
+//! | `batch-q` | beyond the paper: batched multi-query shared evaluation vs independent runs | [`sharing_exp`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -53,6 +54,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig6g",
     "adaptive-n",
     "adaptive-c",
+    "batch-q",
 ];
 
 /// Run one experiment by its identifier (see [`ALL_EXPERIMENTS`]).
@@ -78,6 +80,7 @@ pub fn run(id: &str, scale: Scale) -> Result<ExperimentResult> {
         "fig6g" => cleaning_exp::fig6g(scale),
         "adaptive-n" => adaptive_exp::adaptive_n(scale),
         "adaptive-c" => adaptive_exp::adaptive_c(scale),
+        "batch-q" => sharing_exp::batch_q(scale),
         other => Err(DbError::invalid_parameter(format!(
             "unknown experiment {other:?}; known ids: {}",
             ALL_EXPERIMENTS.join(", ")
@@ -108,6 +111,6 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), ALL_EXPERIMENTS.len());
-        assert_eq!(ALL_EXPERIMENTS.len(), 20);
+        assert_eq!(ALL_EXPERIMENTS.len(), 21);
     }
 }

@@ -1,13 +1,15 @@
 //! Experiments on sharing computation between query evaluation and quality
-//! computation (Figure 5 of the paper, Section IV-C).
+//! computation (Figure 5 of the paper, Section IV-C), and on the batched
+//! multi-query generalisation of that sharing (`batch-q`, beyond the
+//! paper): one PSR run at `k_max` serving a whole registered query set.
 
 use crate::datasets;
 use crate::report::{ExperimentResult, Series};
 use crate::scale::{time_ms, Scale};
 use pdb_core::{RankedDatabase, Result};
 use pdb_engine::psr::rank_probabilities;
-use pdb_engine::queries::{global_topk, pt_k, u_k_ranks};
-use pdb_quality::{quality_tp, quality_tp_with, SharedEvaluation};
+use pdb_engine::queries::{global_topk, pt_k, u_k_ranks, TopKQuery};
+use pdb_quality::{quality_tp, quality_tp_with, BatchQuality, SharedEvaluation, WeightedQuery};
 
 fn sweep_ks(scale: Scale) -> Vec<usize> {
     scale.pick(vec![5, 15, 30, 50, 80, 100], vec![1, 5, 15, 30, 50, 80, 100])
@@ -130,6 +132,98 @@ pub fn fig5c(scale: Scale) -> Result<ExperimentResult> {
     Ok(result)
 }
 
+/// The `k` of the largest registered query in the `batch-q` sweep.
+pub const BATCH_K_MAX: usize = 200;
+
+/// The registered query set of the `batch-q` experiment: `q` PT-k queries
+/// with `k` spread evenly up to [`BATCH_K_MAX`] (for `q = 10`:
+/// k = 20, 40, …, 200), all with weight 1.
+pub fn batch_query_set(q: usize) -> Vec<WeightedQuery> {
+    (1..=q)
+        .map(|i| {
+            WeightedQuery::new(TopKQuery::PTk {
+                k: (BATCH_K_MAX * i).div_ceil(q),
+                threshold: datasets::DEFAULT_THRESHOLD,
+            })
+        })
+        .collect()
+}
+
+/// Beyond the paper: batched shared evaluation of a registered query set
+/// vs one independent evaluation per query, sweeping the batch size `Q`
+/// (n = 10⁴ tuples at quick scale, 10⁵ at paper scale).
+///
+/// Both sides produce every query's PT-k answer *and* quality score.  The
+/// independent side runs one full PSR per query (Σᵢ n·kᵢ polynomial
+/// steps); the batched side runs PSR once at `k_max` and serves every
+/// query from prefix snapshots, so its cost stays ≈ n·k_max and the
+/// speedup approaches Σᵢ kᵢ / k_max (5.5× for the 10-query set).
+pub fn batch_q(scale: Scale) -> Result<ExperimentResult> {
+    let n = scale.pick(10_000, 100_000);
+    let db = datasets::synthetic_with_tuples(n)?;
+    let mut result = ExperimentResult::new(
+        "batch-q",
+        "batched multi-query evaluation vs independent per-query runs",
+        "Q (registered queries)",
+        "time (ms)",
+    );
+    // Best of five repetitions per measurement: the workload is
+    // deterministic, so the minimum is the least noisy estimator (shared
+    // CI runners and frequency scaling only ever add time).
+    const REPS: usize = 5;
+    let min_time = |f: &dyn Fn() -> Result<()>| -> Result<f64> {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let (res, ms) = time_ms(f);
+            res?;
+            best = best.min(ms);
+        }
+        Ok(best)
+    };
+
+    let mut independent = Vec::new();
+    let mut batched = Vec::new();
+    let mut speedups = Vec::new();
+    for &q in &scale.pick(vec![2usize, 5, 10], vec![2, 5, 10, 20, 50]) {
+        let x = q as f64;
+        let specs = batch_query_set(q);
+
+        // Independent: one full evaluation (PSR + answer + quality) per
+        // registered query.
+        let indep_ms = min_time(&|| -> Result<()> {
+            for spec in &specs {
+                let shared = SharedEvaluation::new(&db, spec.query.k())?;
+                let _answer = shared.pt_k(datasets::DEFAULT_THRESHOLD)?;
+                let _quality = shared.quality();
+            }
+            Ok(())
+        })?;
+        independent.push((x, indep_ms));
+
+        // Batched: one PSR run at k_max serves every answer and quality.
+        let batch_ms = min_time(&|| -> Result<()> {
+            let batch = BatchQuality::new(&db, specs.clone())?;
+            let _answers = batch.answers()?;
+            let _qualities = batch.quality_vector();
+            Ok(())
+        })?;
+        batched.push((x, batch_ms));
+        speedups.push((x, indep_ms / batch_ms.max(1e-9)));
+    }
+    result.push_note(format!(
+        "{} x-tuples, {} tuples, k_max = {BATCH_K_MAX}",
+        db.num_x_tuples(),
+        db.len()
+    ));
+    if let Some(&(q, s)) = speedups.last() {
+        result.push_note(format!("shared-vs-independent speedup at Q = {q}: {s:.1}x"));
+    }
+    result.push_series(Series::new("independent", independent));
+    result.push_series(Series::new("batched", batched));
+    result.push_series(Series::new("speedup", speedups));
+    Ok(result)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +266,48 @@ mod tests {
         for name in ["U-kRanks", "Global-topk", "PT-k", "Quality"] {
             assert!(!r.series_named(name).unwrap().points.is_empty(), "{name}");
         }
+    }
+
+    #[test]
+    fn batch_q_produces_all_three_series() {
+        // Wall-clock ratios are asserted only in the opt-in perf check
+        // below — under a parallel `cargo test` on an oversubscribed
+        // runner even a 2x margin can flake, and a timing blip must not
+        // fail the functional suite.
+        let r = batch_q(Scale::Quick).unwrap();
+        for name in ["independent", "batched", "speedup"] {
+            let series = r.series_named(name).unwrap();
+            assert_eq!(series.points.len(), 3, "{name}");
+            assert!(series.points.iter().all(|&(_, y)| y > 0.0), "{name}");
+        }
+        assert!(r.notes.iter().any(|n| n.contains("speedup at Q = 10")));
+    }
+
+    /// Opt-in perf regression check (`cargo test -- --ignored`): the
+    /// 10-query batch must beat independent evaluation by well over 2x
+    /// (amortization bound 5.5x; ~3.3-4x measured on one idle core).
+    /// Run alone, not under the parallel test harness.
+    #[test]
+    #[ignore = "wall-clock assertion; run explicitly on an idle machine"]
+    fn batch_q_beats_independent_evaluation() {
+        let r = batch_q(Scale::Quick).unwrap();
+        let q = 10.0;
+        let indep = r.series_named("independent").unwrap().y_at(q).unwrap();
+        let batch = r.series_named("batched").unwrap().y_at(q).unwrap();
+        assert!(
+            indep > 2.0 * batch,
+            "10-query batch should be well over 2x faster: independent {indep} ms vs \
+             batched {batch} ms"
+        );
+        assert!(r.series_named("speedup").unwrap().y_at(q).unwrap() > 2.0);
+    }
+
+    #[test]
+    fn batch_query_set_spreads_ks_up_to_k_max() {
+        let specs = batch_query_set(10);
+        let ks: Vec<usize> = specs.iter().map(|s| s.query.k()).collect();
+        assert_eq!(ks, vec![20, 40, 60, 80, 100, 120, 140, 160, 180, 200]);
+        assert_eq!(batch_query_set(1)[0].query.k(), BATCH_K_MAX);
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! Batched quality evaluation across a registered query set.
+//!
+//! [`BatchQuality`] layers per-query PWS-quality on top of the engine's
+//! [`BatchEvaluation`]: every registered query `(kᵢ, semantics, weight)`
+//! gets its quality score from the one shared `k_max` PSR run, and the
+//! batch exposes the **aggregate** quantities a multi-tenant cleaner
+//! optimizes —
+//!
+//! ```text
+//! S_agg(D)   = Σ_q w_q · S(D, Q_q)
+//! g_agg(l,D) = Σ_q w_q · g_q(l, D)
+//! ```
+//!
+//! Theorem 1 makes the per-query scores nearly free: the tuple weights ωᵢ
+//! depend only on the database (never on `k`), so one O(n) weight pass
+//! plus one dot product with each query's top-k probability vector yields
+//! the whole quality vector.  And because the aggregate is a fixed
+//! positive combination of per-query scores, Theorem 2 applies to it
+//! verbatim — the cleaning planners in `pdb-clean` run unchanged on a
+//! `CleaningContext` built from `g_agg` (see `CleaningContext::from_batch`
+//! there), so one plan maximizes the expected improvement summed over
+//! every registered query.
+//!
+//! Probe outcomes flow through
+//! [`BatchQuality::apply_collapse_in_place`]: one delta pass on the
+//! shared matrix re-serves every query, and the returned
+//! [`BatchCollapseUpdate`] carries the refreshed quality vector and
+//! aggregate decomposition for re-planning.
+
+use crate::tp::tuple_weights;
+use pdb_core::{DbError, RankedDatabase, Result};
+use pdb_engine::batch::BatchEvaluation;
+use pdb_engine::delta::{DeltaStats, XTupleMutation};
+use pdb_engine::psr::RankAccess;
+use pdb_engine::queries::{QueryAnswer, TopKQuery};
+
+/// One registered query together with its serving weight (the importance
+/// the aggregate quality assigns to it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedQuery {
+    /// The query (semantics + `k` + parameters).
+    pub query: TopKQuery,
+    /// Non-negative finite weight `w_q` in the aggregate `Σ_q w_q·S_q`.
+    pub weight: f64,
+}
+
+impl WeightedQuery {
+    /// A query with the default weight 1.
+    pub fn new(query: TopKQuery) -> Self {
+        Self { query, weight: 1.0 }
+    }
+
+    /// A query with an explicit weight.
+    pub fn weighted(query: TopKQuery, weight: f64) -> Self {
+        Self { query, weight }
+    }
+}
+
+/// Result of applying one probe outcome to a [`BatchQuality`] in place:
+/// everything an aggregate re-planner needs for the next probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchCollapseUpdate {
+    /// `S(D′, Q_q)` for every registered query, in registration order.
+    pub qualities: Vec<f64>,
+    /// The new aggregate quality `Σ_q w_q·S(D′, Q_q)`.
+    pub aggregate: f64,
+    /// Change to the aggregate quality realised by this mutation.
+    pub aggregate_delta: f64,
+    /// The aggregate per-x-tuple decomposition `g_agg(l, D′)`, indexed by
+    /// the mutated database's x-indices.
+    pub g: Vec<f64>,
+    /// How the (single, shared) delta pass produced the updated rows.
+    pub stats: DeltaStats,
+}
+
+/// A set of weighted queries served — answers *and* quality scores — from
+/// one shared PSR run.
+#[derive(Debug, Clone)]
+pub struct BatchQuality<'a> {
+    eval: BatchEvaluation<'a>,
+    weights: Vec<f64>,
+    /// Cached Theorem-1 tuple weights ωᵢ of the current database version.
+    /// They depend only on the database (never on `k`), so one O(n) pass
+    /// serves every registered query's quality; recomputed per mutation.
+    tuple_w: Vec<f64>,
+    /// Cached aggregate quality `Σ_q w_q·S_q` of the current database
+    /// version, maintained at construction and across mutations so a
+    /// serving loop never rescans the matrix for the pre-probe score.
+    aggregate: f64,
+}
+
+/// `Σ_q w_q·S_q` from a quality vector.
+fn weighted_aggregate(qualities: &[f64], weights: &[f64]) -> f64 {
+    qualities.iter().zip(weights).map(|(s, w)| s * w).sum()
+}
+
+fn validate_weights(weights: &[f64]) -> Result<()> {
+    for (q, &w) in weights.iter().enumerate() {
+        if !w.is_finite() || w < 0.0 {
+            return Err(DbError::invalid_parameter(format!(
+                "query {q} has invalid weight {w}; weights must be finite and non-negative"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn split_specs(specs: Vec<WeightedQuery>) -> (Vec<TopKQuery>, Vec<f64>) {
+    specs.into_iter().map(|s| (s.query, s.weight)).unzip()
+}
+
+impl<'a> BatchQuality<'a> {
+    /// Plan the query set and run PSR once at `k_max`, borrowing the
+    /// database.
+    pub fn new(db: &'a RankedDatabase, specs: Vec<WeightedQuery>) -> Result<Self> {
+        let (queries, weights) = split_specs(specs);
+        validate_weights(&weights)?;
+        let eval = BatchEvaluation::new(db, queries)?;
+        let tuple_w = tuple_weights(eval.database());
+        let mut batch = Self { eval, weights, tuple_w, aggregate: 0.0 };
+        batch.aggregate = weighted_aggregate(&batch.quality_vector(), &batch.weights);
+        Ok(batch)
+    }
+
+    /// [`new`](Self::new) taking ownership of the database (the long-lived
+    /// serving form).
+    pub fn from_owned(
+        db: RankedDatabase,
+        specs: Vec<WeightedQuery>,
+    ) -> Result<BatchQuality<'static>> {
+        let (queries, weights) = split_specs(specs);
+        validate_weights(&weights)?;
+        let eval = BatchEvaluation::from_owned(db, queries)?;
+        let tuple_w = tuple_weights(eval.database());
+        let mut batch = BatchQuality { eval, weights, tuple_w, aggregate: 0.0 };
+        batch.aggregate = weighted_aggregate(&batch.quality_vector(), &batch.weights);
+        Ok(batch)
+    }
+
+    /// The underlying engine-level batch evaluation.
+    pub fn evaluation(&self) -> &BatchEvaluation<'a> {
+        &self.eval
+    }
+
+    /// The database under evaluation.
+    pub fn database(&self) -> &RankedDatabase {
+        self.eval.database()
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.eval.num_queries()
+    }
+
+    /// The per-query weights, in registration order.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Answer every registered query from the shared matrix.
+    pub fn answers(&self) -> Result<Vec<QueryAnswer>> {
+        self.eval.answers()
+    }
+
+    /// `Σ_q w_q · pᵢ^{(q)}`: each tuple's top-k probability combined
+    /// across the registered queries.  This is the only per-tuple quantity
+    /// the aggregate quality and its decomposition need.
+    pub fn combined_top_k_probs(&self) -> Vec<f64> {
+        self.per_query_parts().1
+    }
+
+    /// `S(D, Q_q)` for every registered query: one O(n) tuple-weight pass
+    /// (ωᵢ is independent of `k`) and one dot product per query.
+    pub fn quality_vector(&self) -> Vec<f64> {
+        self.per_query_parts().0
+    }
+
+    /// The aggregate quality `Σ_q w_q · S(D, Q_q)` of the current database
+    /// version (cached; maintained across mutations).
+    pub fn aggregate_quality(&self) -> f64 {
+        self.aggregate
+    }
+
+    /// One pass over the per-query top-k vectors producing the quality
+    /// vector *and* the combined probabilities together: the single
+    /// weighted-scan implementation behind `quality_vector`,
+    /// `combined_top_k_probs`, `aggregate_parts` and the post-mutation
+    /// refresh.
+    fn per_query_parts(&self) -> (Vec<f64>, Vec<f64>) {
+        let n = self.database().len();
+        let w = &self.tuple_w;
+        let mut combined = vec![0.0; n];
+        let mut qualities = Vec::with_capacity(self.num_queries());
+        for q in 0..self.num_queries() {
+            let wq = self.weights[q];
+            let ranks = self.eval.ranks(q);
+            let probs = ranks.top_k_probs();
+            let mut quality = 0.0;
+            for ((wi, &p), c) in w.iter().zip(probs).zip(combined.iter_mut()) {
+                quality += wi * p;
+                if wq != 0.0 {
+                    *c += wq * p;
+                }
+            }
+            qualities.push(quality);
+        }
+        (qualities, combined)
+    }
+
+    /// Fold a combined probability vector into the per-x-tuple aggregate
+    /// decomposition `g_agg`.
+    fn g_from_combined(&self, combined: &[f64]) -> Vec<f64> {
+        let db = self.database();
+        let mut g = vec![0.0; db.num_x_tuples()];
+        for pos in 0..db.len() {
+            let term = self.tuple_w[pos] * combined[pos];
+            if term != 0.0 {
+                g[db.tuple(pos).x_index] += term;
+            }
+        }
+        g
+    }
+
+    /// The aggregate per-x-tuple decomposition `g_agg(l, D)`: cleaning
+    /// x-tuple `l` removes `−g_agg(l, D)` of weighted ambiguity across the
+    /// whole query set in expectation.  Sums to
+    /// [`aggregate_quality`](Self::aggregate_quality).
+    pub fn aggregate_breakdown(&self) -> Vec<f64> {
+        self.aggregate_parts().0
+    }
+
+    /// [`aggregate_breakdown`](Self::aggregate_breakdown) and
+    /// [`combined_top_k_probs`](Self::combined_top_k_probs) from one O(n·Q)
+    /// accumulation pass — the form `CleaningContext::from_batch` consumes,
+    /// since an aggregate re-planner needs both per probe.
+    pub fn aggregate_parts(&self) -> (Vec<f64>, Vec<f64>) {
+        let (_, combined) = self.per_query_parts();
+        (self.g_from_combined(&combined), combined)
+    }
+
+    /// Refresh the caches after a successful delta pass and assemble the
+    /// re-planning update (`before` is the pre-mutation aggregate).  The
+    /// single code path both collapse forms share.
+    fn finish_update(&mut self, before: f64, stats: DeltaStats) -> BatchCollapseUpdate {
+        self.tuple_w = tuple_weights(self.eval.database());
+        let (qualities, combined) = self.per_query_parts();
+        let aggregate = weighted_aggregate(&qualities, &self.weights);
+        self.aggregate = aggregate;
+        BatchCollapseUpdate {
+            aggregate,
+            aggregate_delta: aggregate - before,
+            qualities,
+            g: self.g_from_combined(&combined),
+            stats,
+        }
+    }
+
+    /// Apply a single-x-tuple mutation (one observed probe outcome) to the
+    /// batch: one shared delta pass patches the master matrix, every
+    /// registered query is re-served from it, and the refreshed quality
+    /// vector / aggregate decomposition are returned for re-planning.  On
+    /// `Err` nothing is modified.
+    pub fn apply_collapse_in_place(
+        &mut self,
+        l: usize,
+        mutation: &XTupleMutation,
+    ) -> Result<BatchCollapseUpdate> {
+        let before = self.aggregate;
+        let stats = self.eval.apply_collapse_in_place(l, mutation)?;
+        Ok(self.finish_update(before, stats))
+    }
+
+    /// [`apply_collapse_in_place`](Self::apply_collapse_in_place) on a
+    /// copy: the pre-mutation batch stays usable as an oracle.
+    pub fn apply_collapse(
+        &self,
+        l: usize,
+        mutation: &XTupleMutation,
+    ) -> Result<(BatchQuality<'static>, BatchCollapseUpdate)> {
+        let (eval, stats) = self.eval.apply_collapse(l, mutation)?;
+        let mut next = BatchQuality {
+            eval,
+            weights: self.weights.clone(),
+            // Placeholders: finish_update recomputes both caches.
+            tuple_w: Vec::new(),
+            aggregate: 0.0,
+        };
+        // The delta is measured against the *pre*-mutation aggregate.
+        let update = next.finish_update(self.aggregate, stats);
+        Ok((next, update))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tp::quality_tp;
+
+    fn udb1() -> RankedDatabase {
+        RankedDatabase::from_scored_x_tuples(&[
+            vec![(21.0, 0.6), (32.0, 0.4)],
+            vec![(30.0, 0.7), (22.0, 0.3)],
+            vec![(25.0, 0.4), (27.0, 0.6)],
+            vec![(26.0, 1.0)],
+        ])
+        .unwrap()
+    }
+
+    fn specs() -> Vec<WeightedQuery> {
+        vec![
+            WeightedQuery::new(TopKQuery::PTk { k: 2, threshold: 0.4 }),
+            WeightedQuery::weighted(TopKQuery::GlobalTopk { k: 3 }, 2.0),
+            WeightedQuery::weighted(TopKQuery::UKRanks { k: 1 }, 0.5),
+        ]
+    }
+
+    #[test]
+    fn quality_vector_matches_independent_tp_runs() {
+        let db = udb1();
+        let batch = BatchQuality::new(&db, specs()).unwrap();
+        let qualities = batch.quality_vector();
+        let mut aggregate = 0.0;
+        for (q, spec) in specs().iter().enumerate() {
+            let independent = quality_tp(&db, spec.query.k()).unwrap();
+            assert!(
+                (qualities[q] - independent).abs() < 1e-10,
+                "query {q}: {} vs {independent}",
+                qualities[q]
+            );
+            aggregate += spec.weight * independent;
+        }
+        assert!((batch.aggregate_quality() - aggregate).abs() < 1e-10);
+    }
+
+    #[test]
+    fn aggregate_breakdown_sums_to_aggregate_quality() {
+        let db = udb1();
+        let batch = BatchQuality::new(&db, specs()).unwrap();
+        let g = batch.aggregate_breakdown();
+        assert_eq!(g.len(), 4);
+        assert!((g.iter().sum::<f64>() - batch.aggregate_quality()).abs() < 1e-10);
+        // Ambiguity contributions are non-positive for non-negative weights.
+        assert!(g.iter().all(|&v| v <= 1e-12));
+    }
+
+    #[test]
+    fn zero_weight_queries_do_not_move_the_aggregate() {
+        let db = udb1();
+        let mut with_zero = specs();
+        with_zero.push(WeightedQuery::weighted(TopKQuery::PTk { k: 4, threshold: 0.1 }, 0.0));
+        let a = BatchQuality::new(&db, specs()).unwrap().aggregate_quality();
+        let b = BatchQuality::new(&db, with_zero).unwrap().aggregate_quality();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected() {
+        let db = udb1();
+        let bad = vec![WeightedQuery::weighted(TopKQuery::UKRanks { k: 1 }, -1.0)];
+        assert!(BatchQuality::new(&db, bad).is_err());
+        let nan = vec![WeightedQuery::weighted(TopKQuery::UKRanks { k: 1 }, f64::NAN)];
+        assert!(BatchQuality::new(&db, nan).is_err());
+    }
+
+    #[test]
+    fn collapse_refreshes_every_quality() {
+        let db = udb1();
+        let batch = BatchQuality::from_owned(db, specs()).unwrap();
+        let before = batch.aggregate_quality();
+        let (next, update) = batch
+            .apply_collapse(2, &XTupleMutation::CollapseToAlternative { keep_pos: 2 })
+            .unwrap();
+        assert!(update.aggregate > before, "cleaning improves the weighted aggregate");
+        assert!((update.aggregate_delta - (update.aggregate - before)).abs() < 1e-12);
+        assert!((update.g.iter().sum::<f64>() - update.aggregate).abs() < 1e-10);
+        assert!(update.stats.rows_total() > 0);
+        for (q, spec) in specs().iter().enumerate() {
+            let independent = quality_tp(next.database(), spec.query.k()).unwrap();
+            assert!(
+                (update.qualities[q] - independent).abs() < 1e-8,
+                "query {q}: {} vs {independent}",
+                update.qualities[q]
+            );
+        }
+        // Pre-mutation batch untouched.
+        assert!((batch.aggregate_quality() - before).abs() < 1e-12);
+    }
+}

@@ -14,7 +14,10 @@
 //!
 //! [`shared::SharedEvaluation`] runs PSR once and serves both query answers
 //! and quality scores from it (Section IV-C), which is the configuration
-//! the paper benchmarks in Figure 5.
+//! the paper benchmarks in Figure 5.  [`batch::BatchQuality`] extends the
+//! same sharing across a whole set of registered queries: one PSR run at
+//! `k_max` serves every query's answer *and* quality score, plus the
+//! aggregate decomposition a multi-query cleaner plans from.
 //!
 //! ```
 //! use pdb_core::prelude::*;
@@ -31,24 +34,29 @@
 #![forbid(unsafe_code)]
 
 pub mod augment;
+pub mod batch;
 pub mod pw;
 pub mod pw_results;
 pub mod pwr;
 pub mod shared;
 pub mod tp;
 
+pub use batch::{BatchCollapseUpdate, BatchQuality, WeightedQuery};
 pub use pw::{pw_result_distribution, quality_pw};
 pub use pw_results::{PwEntry, PwResult, PwResultSet};
 pub use pwr::{pwr_result_distribution, quality_pwr, quality_pwr_bounded};
 pub use shared::{CollapseOutcome, CollapseUpdate, SharedEvaluation};
 pub use tp::{quality_breakdown, quality_tp, quality_tp_with, tuple_weights, QualityBreakdown};
 
-// Re-exported so downstream crates (the adaptive cleaning session) can
-// name probe mutations without depending on pdb-engine directly.
+// Re-exported so downstream crates (the adaptive cleaning session, the
+// batch consumers in pdb-clean and the CLI) can name probe mutations and
+// registered queries without depending on pdb-engine directly.
 pub use pdb_engine::delta::{DeltaStats, XTupleMutation};
+pub use pdb_engine::queries::{QueryAnswer, TopKQuery};
 
 /// Convenience prelude bringing the most frequently used items into scope.
 pub mod prelude {
+    pub use crate::batch::{BatchCollapseUpdate, BatchQuality, WeightedQuery};
     pub use crate::pw::{pw_result_distribution, quality_pw};
     pub use crate::pw_results::{PwEntry, PwResult, PwResultSet};
     pub use crate::pwr::{pwr_result_distribution, quality_pwr, quality_pwr_bounded};
@@ -57,4 +65,5 @@ pub mod prelude {
         quality_breakdown, quality_tp, quality_tp_with, tuple_weights, QualityBreakdown,
     };
     pub use pdb_engine::delta::{DeltaStats, XTupleMutation};
+    pub use pdb_engine::queries::{QueryAnswer, TopKQuery};
 }

@@ -23,7 +23,7 @@
 
 use crate::pw_results::plogp;
 use pdb_core::{RankedDatabase, Result};
-use pdb_engine::psr::{rank_probabilities, RankProbabilities};
+use pdb_engine::psr::{rank_probabilities, RankAccess};
 use serde::{Deserialize, Serialize};
 
 /// Per-x-tuple decomposition of the quality score, used by the cleaning
@@ -81,7 +81,7 @@ pub fn quality_tp(db: &RankedDatabase, k: usize) -> Result<f64> {
 
 /// Compute the PWS-quality from precomputed rank probabilities
 /// (computation sharing with query evaluation).
-pub fn quality_tp_with(db: &RankedDatabase, rp: &RankProbabilities) -> f64 {
+pub fn quality_tp_with<R: RankAccess + ?Sized>(db: &RankedDatabase, rp: &R) -> f64 {
     let mut total = 0.0;
     for pos in 0..db.len() {
         let p = rp.top_k_prob(pos);
@@ -94,7 +94,7 @@ pub fn quality_tp_with(db: &RankedDatabase, rp: &RankProbabilities) -> f64 {
 
 /// Compute the quality together with its per-x-tuple decomposition
 /// `g(l, D)`, the input of the cleaning problem.
-pub fn quality_breakdown(db: &RankedDatabase, rp: &RankProbabilities) -> QualityBreakdown {
+pub fn quality_breakdown<R: RankAccess + ?Sized>(db: &RankedDatabase, rp: &R) -> QualityBreakdown {
     let mut per_x = vec![0.0; db.num_x_tuples()];
     for pos in 0..db.len() {
         let p = rp.top_k_prob(pos);

@@ -26,10 +26,11 @@ fn every_experiment_runs_at_quick_scale_and_renders() {
 #[test]
 fn experiment_list_covers_every_figure_of_the_evaluation() {
     // Figures 2-3, 4(a)-(f), 5(a)-(d), 6(a)-(g): 1 + 6 + 4 + 7 = 18 ids,
-    // plus the two adaptive re-planning experiments that go beyond the
-    // paper (`adaptive-n`, `adaptive-c`).
-    assert_eq!(ALL_EXPERIMENTS.len(), 20);
-    for prefix in ["fig4", "fig5", "fig6", "adaptive-"] {
+    // plus the beyond-the-paper experiments: adaptive re-planning
+    // (`adaptive-n`, `adaptive-c`) and batched multi-query evaluation
+    // (`batch-q`).
+    assert_eq!(ALL_EXPERIMENTS.len(), 21);
+    for prefix in ["fig4", "fig5", "fig6", "adaptive-", "batch-"] {
         assert!(ALL_EXPERIMENTS.iter().any(|id| id.starts_with(prefix)));
     }
 }
