@@ -1,34 +1,56 @@
 //! Vendored stand-in for the `criterion` crate (see `vendor/README.md`).
 //!
 //! Runs benchmarks with a plain wall-clock measurement loop and prints a
-//! `min / mean / max` summary line per benchmark — no statistics engine,
-//! no HTML reports. The API mirrors the real crate's
+//! `min / median / max` summary line per benchmark — no statistics
+//! engine, no HTML reports. The API mirrors the real crate's
 //! (`benchmark_group`, `bench_with_input`, `BenchmarkId`,
 //! `criterion_group!`, `criterion_main!`) so bench targets compile
-//! unchanged against either implementation.
+//! unchanged against either implementation.  Like the real crate, the
+//! `--warm-up-time <s>` / `--measurement-time <s>` / `--sample-size <n>`
+//! CLI flags override the per-group settings — that is what CI's
+//! `bench-smoke` quick mode uses.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
-/// Benchmark driver: owns CLI-style configuration (a name filter).
+/// Benchmark driver: owns CLI-style configuration (a name filter and the
+/// quick-mode measurement overrides).
 #[derive(Debug, Default)]
 pub struct Criterion {
     filter: Option<String>,
+    warm_up_override: Option<Duration>,
+    measurement_override: Option<Duration>,
+    sample_size_override: Option<usize>,
+}
+
+/// Parse a `--warm-up-time` / `--measurement-time` style value: seconds as
+/// a (possibly fractional) number.  Invalid or non-positive values are
+/// ignored, matching a lenient CLI.
+fn parse_seconds(value: Option<String>) -> Option<Duration> {
+    let secs: f64 = value?.parse().ok()?;
+    (secs > 0.0).then(|| Duration::from_secs_f64(secs))
 }
 
 impl Criterion {
     /// Read configuration from the process arguments. Recognizes a bare
-    /// `<filter>` substring argument and ignores the flags cargo-bench
-    /// passes (`--bench`, `--profile-time <t>`, ...).
+    /// `<filter>` substring argument, applies the measurement-override
+    /// flags (`--warm-up-time <s>`, `--measurement-time <s>`,
+    /// `--sample-size <n>`) and ignores the other flags cargo-bench passes
+    /// (`--bench`, `--profile-time <t>`, ...).
     pub fn configure_from_args(mut self) -> Self {
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--bench" | "--test" | "--verbose" | "--quiet" => {}
-                "--profile-time" | "--measurement-time" | "--warm-up-time" | "--sample-size"
-                | "--save-baseline" | "--baseline" | "--load-baseline" => {
+                "--warm-up-time" => self.warm_up_override = parse_seconds(args.next()),
+                "--measurement-time" => self.measurement_override = parse_seconds(args.next()),
+                "--sample-size" => {
+                    self.sample_size_override =
+                        args.next().and_then(|v| v.parse().ok()).filter(|&n: &usize| n > 0);
+                }
+                "--profile-time" | "--save-baseline" | "--baseline" | "--load-baseline" => {
                     let _ = args.next();
                 }
                 flag if flag.starts_with("--") => {}
@@ -124,13 +146,18 @@ impl BenchmarkGroup<'_> {
         if !self.criterion.matches(&full_id) {
             return;
         }
+        // CLI overrides win over the group's in-code settings, like the
+        // real crate.
+        let warm_up_time = self.criterion.warm_up_override.unwrap_or(self.warm_up_time);
+        let measurement_time = self.criterion.measurement_override.unwrap_or(self.measurement_time);
+        let sample_size = self.criterion.sample_size_override.unwrap_or(self.sample_size);
 
         // Warm-up: run batches until the warm-up budget is spent, deriving
         // an iteration-time estimate as we go.
         let warm_up_start = Instant::now();
         let mut iters_done: u64 = 0;
         let mut batch: u64 = 1;
-        while warm_up_start.elapsed() < self.warm_up_time {
+        while warm_up_start.elapsed() < warm_up_time {
             let mut bencher = Bencher { iters: batch, elapsed: Duration::ZERO };
             f(&mut bencher);
             iters_done += batch;
@@ -140,21 +167,21 @@ impl BenchmarkGroup<'_> {
 
         // Measurement: `sample_size` samples splitting the measurement
         // budget, each a batch big enough to be timeable.
-        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let per_sample = measurement_time.as_secs_f64() / sample_size as f64;
         let iters_per_sample = ((per_sample / per_iter.max(1e-9)) as u64).max(1);
-        let mut sample_means: Vec<f64> = Vec::with_capacity(self.sample_size);
-        for _ in 0..self.sample_size {
+        let mut sample_means: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
             let mut bencher = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
             f(&mut bencher);
             sample_means.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
         }
         let min = sample_means.iter().copied().fold(f64::INFINITY, f64::min);
         let max = sample_means.iter().copied().fold(0.0f64, f64::max);
-        let mean = sample_means.iter().sum::<f64>() / sample_means.len() as f64;
+        let median = median_of(&mut sample_means);
         println!(
             "{full_id:<50} time: [{} {} {}]  ({} samples x {} iters)",
             format_time(min),
-            format_time(mean),
+            format_time(median),
             format_time(max),
             sample_means.len(),
             iters_per_sample,
@@ -163,6 +190,20 @@ impl BenchmarkGroup<'_> {
 
     /// End the group (prints nothing; provided for API compatibility).
     pub fn finish(self) {}
+}
+
+/// Median of the samples (sorts in place; averages the two middle samples
+/// for even counts).  The middle value of the printed `[min median max]`
+/// triple — the number `bench_json` extracts.
+fn median_of(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
 }
 
 fn format_time(seconds: f64) -> String {
@@ -269,7 +310,7 @@ mod tests {
 
     #[test]
     fn filters_skip_non_matching_benchmarks() {
-        let mut c = Criterion { filter: Some("nomatch".into()) };
+        let mut c = Criterion { filter: Some("nomatch".into()), ..Criterion::default() };
         let mut group = c.benchmark_group("demo");
         group.sample_size(1);
         group.warm_up_time(Duration::from_millis(1));
@@ -277,6 +318,22 @@ mod tests {
         group.bench_with_input(BenchmarkId::from_parameter(1), &1u32, |_b, _i| {
             panic!("filtered benchmark must not run")
         });
+    }
+
+    #[test]
+    fn median_is_the_middle_sample() {
+        assert_eq!(median_of(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_of(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median_of(&mut [5.0]), 5.0);
+    }
+
+    #[test]
+    fn seconds_parsing_accepts_fractions_and_rejects_junk() {
+        assert_eq!(parse_seconds(Some("0.5".into())), Some(Duration::from_millis(500)));
+        assert_eq!(parse_seconds(Some("2".into())), Some(Duration::from_secs(2)));
+        assert_eq!(parse_seconds(Some("0".into())), None);
+        assert_eq!(parse_seconds(Some("abc".into())), None);
+        assert_eq!(parse_seconds(None), None);
     }
 
     #[test]
