@@ -317,6 +317,17 @@ mod tests {
     use crate::improvement::{expected_improvement, simulate_cleaning, CleaningContext};
     use rand::{rngs::StdRng, SeedableRng};
 
+    #[test]
+    fn adaptive_outcome_round_trips_through_json() {
+        let db = udb1();
+        let setup = CleaningSetup::uniform(db.num_x_tuples(), 1, 0.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let outcome = run_adaptive_session(&db, &setup, 2, 5, &mut rng).unwrap();
+        let json = serde_json::to_string(&outcome).unwrap();
+        let back: AdaptiveOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, outcome, "via {json}");
+    }
+
     fn udb1() -> RankedDatabase {
         RankedDatabase::from_scored_x_tuples(&[
             vec![(21.0, 0.6), (32.0, 0.4)],

@@ -474,6 +474,14 @@ mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
 
+    #[test]
+    fn cleaning_context_round_trips_through_json() {
+        let ctx = CleaningContext::prepare(&udb1(), 2).unwrap();
+        let json = serde_json::to_string(&ctx).unwrap();
+        let back: CleaningContext = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ctx, "via {json}");
+    }
+
     fn udb1() -> RankedDatabase {
         RankedDatabase::from_scored_x_tuples(&[
             vec![(21.0, 0.6), (32.0, 0.4)],

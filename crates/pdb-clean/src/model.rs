@@ -243,6 +243,19 @@ mod tests {
     }
 
     #[test]
+    fn setup_and_plan_round_trip_through_json() {
+        let setup = CleaningSetup::new(vec![2, 3, 5], vec![0.5, 0.25, 1.0]).unwrap();
+        let json = serde_json::to_string(&setup).unwrap();
+        let back: CleaningSetup = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, setup, "via {json}");
+
+        let plan = CleaningPlan::from_counts(vec![2, 0, 1]);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: CleaningPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan, "via {json}");
+    }
+
+    #[test]
     fn plan_validation() {
         let setup = CleaningSetup::new(vec![2, 3], vec![0.5, 0.5]).unwrap();
         let plan = CleaningPlan::from_counts(vec![1, 1]);

@@ -10,10 +10,12 @@ pub const USAGE: &str = "usage:
   pdb list
   pdb exp <id> [--scale quick|paper] [--csv]
   pdb all [--scale quick|paper] [--csv <dir>]
-  pdb quality [--dataset synthetic|mov|udb1] [--k <k>] [--algo tp|pwr|pw]
-  pdb clean [--dataset synthetic|mov|udb1] [--k <k>] [--budget <C>] [--algo greedy|dp|randp|randu]
+  pdb quality [--dataset synthetic|mov|udb1] [--k <k>] [--algo tp|pwr|pw] [--json]
+  pdb clean [--dataset synthetic|mov|udb1] [--k <k>] [--budget <C>] [--algo greedy|dp|randp|randu] [--json]
   pdb adaptive [--dataset synthetic|mov|udb1] [--k <k>] [--budget <C>] [--trials <t>] [--mode incremental|rebuild|both]
   pdb batch [--dataset synthetic|mov|udb1] [--ks <k1,k2,...>] [--weights <w1,w2,...>] [--threshold <T>] [--budget <C>]
+  pdb serve [--addr <host:port>] [--threads <n>] [--shards <n>]
+  pdb call <request-json> [--addr <host:port>]
   pdb help";
 
 /// Which dataset a `quality` / `clean` invocation runs on.
@@ -69,6 +71,8 @@ pub enum Command {
         k: usize,
         /// Quality algorithm (`tp`, `pwr`, `pw`).
         algo: String,
+        /// Emit machine-readable JSON instead of the aligned table.
+        json: bool,
     },
     /// `pdb clean`
     Clean {
@@ -80,6 +84,8 @@ pub enum Command {
         budget: u64,
         /// Cleaning algorithm (`greedy`, `dp`, `randp`, `randu`).
         algo: String,
+        /// Emit machine-readable JSON instead of the aligned table.
+        json: bool,
     },
     /// `pdb batch`
     Batch {
@@ -94,6 +100,22 @@ pub enum Command {
         threshold: f64,
         /// Budget for the aggregate greedy cleaning plan.
         budget: u64,
+    },
+    /// `pdb serve`
+    Serve {
+        /// Address to bind (port 0 picks an ephemeral port).
+        addr: String,
+        /// Worker threads handling connections.
+        threads: usize,
+        /// Shards of the session store.
+        shards: usize,
+    },
+    /// `pdb call`
+    Call {
+        /// Server address to connect to.
+        addr: String,
+        /// The request, as one JSON value (see README "Serving & sessions").
+        request: String,
     },
     /// `pdb adaptive`
     Adaptive {
@@ -173,22 +195,25 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut dataset = DatasetChoice::Synthetic;
             let mut k = 15;
             let mut algo = "tp".to_string();
+            let mut json = false;
             let mut flags = Flags::new(rest);
             while let Some(flag) = flags.next_flag() {
                 match flag {
                     "--dataset" => dataset = DatasetChoice::parse(flags.value_for("--dataset")?)?,
                     "--k" => k = parse_usize(flags.value_for("--k")?, "--k")?,
                     "--algo" => algo = flags.value_for("--algo")?.to_ascii_lowercase(),
+                    "--json" => json = true,
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
-            Ok(Command::Quality { dataset, k, algo })
+            Ok(Command::Quality { dataset, k, algo, json })
         }
         "clean" => {
             let mut dataset = DatasetChoice::Synthetic;
             let mut k = 15;
             let mut budget = 100;
             let mut algo = "greedy".to_string();
+            let mut json = false;
             let mut flags = Flags::new(rest);
             while let Some(flag) = flags.next_flag() {
                 match flag {
@@ -198,10 +223,45 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         budget = parse_usize(flags.value_for("--budget")?, "--budget")? as u64
                     }
                     "--algo" => algo = flags.value_for("--algo")?.to_ascii_lowercase(),
+                    "--json" => json = true,
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
-            Ok(Command::Clean { dataset, k, budget, algo })
+            Ok(Command::Clean { dataset, k, budget, algo, json })
+        }
+        "serve" => {
+            let mut addr = "127.0.0.1:7878".to_string();
+            let mut threads = 4;
+            let mut shards = 8;
+            let mut flags = Flags::new(rest);
+            while let Some(flag) = flags.next_flag() {
+                match flag {
+                    "--addr" => addr = flags.value_for("--addr")?.to_string(),
+                    "--threads" => {
+                        threads = parse_usize(flags.value_for("--threads")?, "--threads")?
+                    }
+                    "--shards" => shards = parse_usize(flags.value_for("--shards")?, "--shards")?,
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            if threads == 0 || shards == 0 {
+                return Err("--threads and --shards must be at least 1".to_string());
+            }
+            Ok(Command::Serve { addr, threads, shards })
+        }
+        "call" => {
+            let (request, rest) = rest
+                .split_first()
+                .ok_or_else(|| "call requires a JSON request argument".to_string())?;
+            let mut addr = "127.0.0.1:7878".to_string();
+            let mut flags = Flags::new(rest);
+            while let Some(flag) = flags.next_flag() {
+                match flag {
+                    "--addr" => addr = flags.value_for("--addr")?.to_string(),
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Call { addr, request: request.clone() })
         }
         "batch" => {
             let mut dataset = DatasetChoice::Synthetic;
@@ -331,7 +391,10 @@ mod tests {
     fn parses_quality_and_clean() {
         let c =
             parse(&argv(&["quality", "--dataset", "mov", "--k", "5", "--algo", "pwr"])).unwrap();
-        assert_eq!(c, Command::Quality { dataset: DatasetChoice::Mov, k: 5, algo: "pwr".into() });
+        assert_eq!(
+            c,
+            Command::Quality { dataset: DatasetChoice::Mov, k: 5, algo: "pwr".into(), json: false }
+        );
 
         let c = parse(&argv(&[
             "clean",
@@ -343,15 +406,39 @@ mod tests {
             "udb1",
             "--k",
             "2",
+            "--json",
         ]))
         .unwrap();
         assert_eq!(
             c,
-            Command::Clean { dataset: DatasetChoice::Udb1, k: 2, budget: 50, algo: "dp".into() }
+            Command::Clean {
+                dataset: DatasetChoice::Udb1,
+                k: 2,
+                budget: 50,
+                algo: "dp".into(),
+                json: true
+            }
         );
 
         assert!(parse(&argv(&["quality", "--k", "abc"])).is_err());
         assert!(parse(&argv(&["clean", "--dataset", "nope"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_and_call() {
+        let c = parse(&argv(&["serve"])).unwrap();
+        assert_eq!(c, Command::Serve { addr: "127.0.0.1:7878".into(), threads: 4, shards: 8 });
+        let c =
+            parse(&argv(&["serve", "--addr", "0.0.0.0:9000", "--threads", "8", "--shards", "16"]))
+                .unwrap();
+        assert_eq!(c, Command::Serve { addr: "0.0.0.0:9000".into(), threads: 8, shards: 16 });
+        assert!(parse(&argv(&["serve", "--threads", "0"])).is_err());
+        assert!(parse(&argv(&["serve", "--bogus"])).is_err());
+
+        let c = parse(&argv(&["call", "\"stats\"", "--addr", "127.0.0.1:9"])).unwrap();
+        assert_eq!(c, Command::Call { addr: "127.0.0.1:9".into(), request: "\"stats\"".into() });
+        assert!(parse(&argv(&["call"])).is_err());
+        assert!(parse(&argv(&["call", "\"stats\"", "--bogus"])).is_err());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Execution of parsed CLI commands.
 
 use crate::args::{Command, DatasetChoice, USAGE};
+use pdb_clean::CleaningPlan;
 use pdb_clean::{
     best_single_probe, expected_improvement, plan_greedy, run_adaptive_session_with,
     CleaningAlgorithm, CleaningContext, CleaningSetup, ReplanMode,
@@ -8,9 +9,11 @@ use pdb_clean::{
 use pdb_core::{DbError, RankedDatabase, Result, ScoreRanking};
 use pdb_experiments::{datasets, report::ExperimentResult, scale::time_ms, Scale, ALL_EXPERIMENTS};
 use pdb_quality::{
-    quality_pw, quality_pwr, quality_tp, BatchQuality, SharedEvaluation, TopKQuery, WeightedQuery,
+    quality_pw, quality_pwr, quality_tp, BatchQuality, QueryAnswer, SharedEvaluation, TopKQuery,
+    WeightedQuery,
 };
 use rand::{rngs::StdRng, SeedableRng};
+use serde::Serialize;
 use std::fmt::Write as _;
 
 /// Run a parsed command and return the text to print.
@@ -23,8 +26,10 @@ pub fn run(command: Command) -> Result<String> {
             Ok(if csv { result.to_csv() } else { result.to_table() })
         }
         Command::All { scale, csv_dir } => run_all(scale, csv_dir.as_deref()),
-        Command::Quality { dataset, k, algo } => quality(dataset, k, &algo),
-        Command::Clean { dataset, k, budget, algo } => clean(dataset, k, budget, &algo),
+        Command::Quality { dataset, k, algo, json } => quality(dataset, k, &algo, json),
+        Command::Clean { dataset, k, budget, algo, json } => clean(dataset, k, budget, &algo, json),
+        Command::Serve { addr, threads, shards } => serve(&addr, threads, shards),
+        Command::Call { addr, request } => call(&addr, &request),
         Command::Adaptive { dataset, k, budget, trials, mode } => {
             adaptive(dataset, k, budget, trials, &mode)
         }
@@ -83,7 +88,21 @@ fn dataset_name(choice: DatasetChoice) -> &'static str {
     }
 }
 
-fn quality(choice: DatasetChoice, k: usize, algo: &str) -> Result<String> {
+/// Machine-readable `pdb quality --json` report (one JSON object on
+/// stdout, reusing the workspace's serde impls for the answer payload).
+#[derive(Serialize)]
+struct QualityJson {
+    dataset: String,
+    tuples: usize,
+    x_tuples: usize,
+    k: usize,
+    threshold: f64,
+    algorithm: String,
+    quality: f64,
+    pt_k: QueryAnswer,
+}
+
+fn quality(choice: DatasetChoice, k: usize, algo: &str, json: bool) -> Result<String> {
     let db = load_dataset(choice)?;
     let quality = match algo {
         "tp" => quality_tp(&db, k)?,
@@ -97,6 +116,19 @@ fn quality(choice: DatasetChoice, k: usize, algo: &str) -> Result<String> {
     };
     let shared = SharedEvaluation::new(&db, k)?;
     let answer = shared.pt_k(datasets::DEFAULT_THRESHOLD)?;
+    if json {
+        let report = QualityJson {
+            dataset: dataset_name(choice).to_string(),
+            tuples: db.len(),
+            x_tuples: db.num_x_tuples(),
+            k,
+            threshold: datasets::DEFAULT_THRESHOLD,
+            algorithm: algo.to_string(),
+            quality,
+            pt_k: QueryAnswer::TupleSet(answer),
+        };
+        return to_json_line(&report);
+    }
     let mut out = String::new();
     let _ = writeln!(out, "dataset   : {}", dataset_name(choice));
     let _ = writeln!(out, "tuples    : {} ({} x-tuples)", db.len(), db.num_x_tuples());
@@ -107,7 +139,32 @@ fn quality(choice: DatasetChoice, k: usize, algo: &str) -> Result<String> {
     Ok(out)
 }
 
-fn clean(choice: DatasetChoice, k: usize, budget: u64, algo: &str) -> Result<String> {
+/// Serialize a report as one JSON line, mapping serde failures onto the
+/// CLI's error type.
+fn to_json_line<T: Serialize>(report: &T) -> Result<String> {
+    serde_json::to_string(report)
+        .map_err(|e| DbError::invalid_parameter(format!("serializing JSON output failed: {e}")))
+}
+
+/// Machine-readable `pdb clean --json` report.  `plan` reuses
+/// [`CleaningPlan`]'s own serde impl, so scripted callers get the full
+/// per-x-tuple attempt counts, not just the summary.
+#[derive(Serialize)]
+struct CleanJson {
+    dataset: String,
+    k: usize,
+    budget: u64,
+    algorithm: String,
+    quality_before: f64,
+    plan: CleaningPlan,
+    x_tuples_cleaned: usize,
+    total_attempts: u64,
+    budget_spent: u64,
+    expected_improvement: f64,
+    expected_quality: f64,
+}
+
+fn clean(choice: DatasetChoice, k: usize, budget: u64, algo: &str, json: bool) -> Result<String> {
     let db = load_dataset(choice)?;
     let algorithm = match algo {
         "dp" => CleaningAlgorithm::Dp,
@@ -128,6 +185,22 @@ fn clean(choice: DatasetChoice, k: usize, budget: u64, algo: &str) -> Result<Str
     let mut rng = StdRng::seed_from_u64(budget);
     let plan = algorithm.plan(&ctx, &setup, budget, &mut rng)?;
     let improvement = expected_improvement(&ctx, &setup, &plan);
+    if json {
+        let report = CleanJson {
+            dataset: dataset_name(choice).to_string(),
+            k,
+            budget,
+            algorithm: algorithm.to_string(),
+            quality_before: ctx.quality,
+            x_tuples_cleaned: plan.selected().len(),
+            total_attempts: plan.total_attempts(),
+            budget_spent: plan.total_cost(&setup),
+            expected_improvement: improvement,
+            expected_quality: ctx.quality + improvement,
+            plan,
+        };
+        return to_json_line(&report);
+    }
     let mut out = String::new();
     let _ = writeln!(out, "dataset              : {}", dataset_name(choice));
     let _ = writeln!(out, "query                : top-{k}");
@@ -140,6 +213,33 @@ fn clean(choice: DatasetChoice, k: usize, budget: u64, algo: &str) -> Result<Str
     let _ = writeln!(out, "expected improvement : {improvement:.6}");
     let _ = writeln!(out, "expected quality     : {:.6}", ctx.quality + improvement);
     Ok(out)
+}
+
+/// `pdb serve`: bind the cleaning service and block until a `shutdown`
+/// request drains it.
+fn serve(addr: &str, threads: usize, shards: usize) -> Result<String> {
+    let config = pdb_server::ServerConfig { addr: addr.to_string(), threads, shards };
+    let server = pdb_server::Server::bind(&config)
+        .map_err(|e| DbError::invalid_parameter(format!("binding {addr} failed: {e}")))?;
+    let bound = server
+        .local_addr()
+        .map_err(|e| DbError::invalid_parameter(format!("resolving bound address failed: {e}")))?;
+    // Announce readiness before blocking: scripts wait for this line.
+    println!("pdb-server listening on {bound} ({threads} threads, {shards} shards)");
+    server.run().map_err(|e| DbError::invalid_parameter(format!("server failed: {e}")))?;
+    Ok(format!("pdb-server on {bound} drained in-flight requests and shut down"))
+}
+
+/// `pdb call`: send one JSON request line to a running server and print
+/// the JSON response line.
+fn call(addr: &str, request: &str) -> Result<String> {
+    let request = pdb_server::protocol::decode_request(request)
+        .map_err(|e| DbError::invalid_parameter(format!("invalid request JSON: {e}")))?;
+    let mut client = pdb_server::Client::connect(addr)
+        .map_err(|e| DbError::invalid_parameter(format!("connecting to {addr} failed: {e}")))?;
+    let response = client.call(&request).map_err(|e| DbError::invalid_parameter(e.to_string()))?;
+    pdb_server::protocol::encode(&response)
+        .map_err(|e| DbError::invalid_parameter(format!("encoding response failed: {e}")))
 }
 
 fn adaptive(
@@ -326,21 +426,81 @@ mod tests {
 
     #[test]
     fn quality_command_on_udb1_matches_the_paper() {
-        let out = quality(DatasetChoice::Udb1, 2, "tp").unwrap();
+        let out = quality(DatasetChoice::Udb1, 2, "tp", false).unwrap();
         assert!(out.contains("quality   : -2.55"), "{out}");
-        let out = quality(DatasetChoice::Udb1, 2, "pw").unwrap();
+        let out = quality(DatasetChoice::Udb1, 2, "pw", false).unwrap();
         assert!(out.contains("quality   : -2.55"), "{out}");
-        assert!(quality(DatasetChoice::Udb1, 2, "bogus").is_err());
+        assert!(quality(DatasetChoice::Udb1, 2, "bogus", false).is_err());
+    }
+
+    #[test]
+    fn quality_json_mode_emits_parsable_json() {
+        let out = quality(DatasetChoice::Udb1, 2, "tp", true).unwrap();
+        let value: serde::Value = serde_json::from_str(&out).unwrap();
+        let map = value.as_map().expect("top-level object");
+        let quality = match serde::Value::map_get(map, "quality") {
+            Some(serde::Value::F64(q)) => *q,
+            other => panic!("missing/invalid quality field: {other:?}"),
+        };
+        assert!((quality - (-2.55)).abs() < 0.005, "{out}");
+        // The PT-k answer payload reuses the engine's QueryAnswer impl.
+        assert!(out.contains("\"TupleSet\""), "{out}");
+        assert!(out.contains("\"position\""), "{out}");
     }
 
     #[test]
     fn clean_command_reports_a_positive_improvement() {
-        let out = clean(DatasetChoice::Udb1, 2, 5, "greedy").unwrap();
+        let out = clean(DatasetChoice::Udb1, 2, 5, "greedy", false).unwrap();
         assert!(out.contains("expected improvement"));
         let line = out.lines().find(|l| l.starts_with("expected improvement")).unwrap();
         let value: f64 = line.split(':').nth(1).unwrap().trim().parse().unwrap();
         assert!(value > 0.0);
-        assert!(clean(DatasetChoice::Udb1, 2, 5, "nope").is_err());
+        assert!(clean(DatasetChoice::Udb1, 2, 5, "nope", false).is_err());
+    }
+
+    #[test]
+    fn clean_json_mode_emits_plan_and_improvement() {
+        let out = clean(DatasetChoice::Udb1, 2, 5, "greedy", true).unwrap();
+        let value: serde::Value = serde_json::from_str(&out).unwrap();
+        let map = value.as_map().expect("top-level object");
+        let improvement = match serde::Value::map_get(map, "expected_improvement") {
+            Some(serde::Value::F64(v)) => *v,
+            other => panic!("missing/invalid expected_improvement: {other:?}"),
+        };
+        assert!(improvement > 0.0, "{out}");
+        let plan: CleaningPlan =
+            serde::Deserialize::from_value(serde::Value::map_get(map, "plan").expect("plan field"))
+                .unwrap();
+        assert!(plan.total_attempts() > 0);
+    }
+
+    #[test]
+    fn call_command_round_trips_against_a_served_instance() {
+        let server = pdb_server::Server::bind(&pdb_server::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            shards: 1,
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.run());
+
+        let reply = call(
+            &addr,
+            "{\"create_session\": {\"dataset\": \"Udb1\", \"probe_cost\": 1, \
+             \"probe_success\": 0.8}}",
+        )
+        .unwrap();
+        assert!(reply.contains("session_created"), "{reply}");
+        assert!(reply.contains("\"tuples\":7"), "{reply}");
+
+        assert!(call(&addr, "not json").is_err());
+        let reply = call(&addr, "{\"evaluate\": {\"session\": 12345}}").unwrap();
+        assert!(reply.contains("error"), "{reply}");
+
+        let reply = call(&addr, "\"shutdown\"").unwrap();
+        assert!(reply.contains("shutting_down"), "{reply}");
+        handle.join().unwrap().unwrap();
     }
 
     #[test]

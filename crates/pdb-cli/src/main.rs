@@ -4,8 +4,10 @@
 //! pdb list                          # list the available experiments
 //! pdb exp fig4a [--scale paper]     # run one experiment, print its table
 //! pdb all [--scale quick] [--csv DIR]
-//! pdb quality [--dataset synthetic|mov|udb1] [--k 15] [--algo tp|pwr|pw]
-//! pdb clean   [--dataset synthetic|mov|udb1] [--k 15] [--budget 100] [--algo greedy|dp|randp|randu]
+//! pdb quality [--dataset synthetic|mov|udb1] [--k 15] [--algo tp|pwr|pw] [--json]
+//! pdb clean   [--dataset synthetic|mov|udb1] [--k 15] [--budget 100] [--algo greedy|dp|randp|randu] [--json]
+//! pdb serve   [--addr 127.0.0.1:7878] [--threads 4] [--shards 8]
+//! pdb call '<request-json>' [--addr 127.0.0.1:7878]
 //! ```
 
 mod args;

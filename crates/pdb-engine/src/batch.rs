@@ -427,6 +427,14 @@ mod tests {
     }
 
     #[test]
+    fn plan_round_trips_through_json() {
+        let plan = BatchPlan::plan(&mixed_queries()).unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: BatchPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan, "via {json}");
+    }
+
+    #[test]
     fn plan_rejects_degenerate_inputs() {
         assert!(BatchPlan::plan(&[]).is_err());
         assert!(BatchPlan::plan(&[TopKQuery::UKRanks { k: 0 }]).is_err());

@@ -445,6 +445,30 @@ mod tests {
     use super::*;
     use crate::psr::rank_probabilities_exact;
 
+    #[test]
+    fn mutations_and_delta_stats_round_trip_through_json() {
+        for mutation in [
+            XTupleMutation::CollapseToAlternative { keep_pos: 3 },
+            XTupleMutation::CollapseToNull,
+            XTupleMutation::Reweight { probs: vec![0.25, 0.5] },
+        ] {
+            let json = serde_json::to_string(&mutation).unwrap();
+            let back: XTupleMutation = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, mutation, "via {json}");
+        }
+        let stats = DeltaStats {
+            rows_copied: 1,
+            rows_swapped: 2,
+            rows_rescaled: 3,
+            rows_rebuilt: 4,
+            rows_dropped: 5,
+            windowed_scans: 6,
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: DeltaStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats, "via {json}");
+    }
+
     fn udb1() -> RankedDatabase {
         RankedDatabase::from_scored_x_tuples(&[
             vec![(21.0, 0.6), (32.0, 0.4)],

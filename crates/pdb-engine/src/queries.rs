@@ -361,6 +361,27 @@ mod tests {
     }
 
     #[test]
+    fn query_answers_round_trip_through_json() {
+        let db = udb1();
+        for query in [
+            TopKQuery::PTk { k: 2, threshold: 0.4 },
+            TopKQuery::UKRanks { k: 2 },
+            TopKQuery::GlobalTopk { k: 2 },
+        ] {
+            let query_json = serde_json::to_string(&query).unwrap();
+            let query_back: TopKQuery = serde_json::from_str(&query_json).unwrap();
+            assert_eq!(query_back, query, "via {query_json}");
+
+            let answer = query.evaluate(&db).unwrap();
+            let json = serde_json::to_string(&answer).unwrap();
+            let back: QueryAnswer = serde_json::from_str(&json).unwrap();
+            // Float fields survive bit-for-bit (shortest-round-trip
+            // printing), so full equality holds.
+            assert_eq!(back, answer, "via {json}");
+        }
+    }
+
+    #[test]
     fn query_enum_dispatches_and_validates() {
         let db = udb1();
         let q = TopKQuery::PTk { k: 2, threshold: 0.4 };

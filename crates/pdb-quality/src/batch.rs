@@ -33,10 +33,11 @@ use pdb_engine::batch::BatchEvaluation;
 use pdb_engine::delta::{DeltaStats, XTupleMutation};
 use pdb_engine::psr::RankAccess;
 use pdb_engine::queries::{QueryAnswer, TopKQuery};
+use serde::{Deserialize, Serialize};
 
 /// One registered query together with its serving weight (the importance
 /// the aggregate quality assigns to it).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WeightedQuery {
     /// The query (semantics + `k` + parameters).
     pub query: TopKQuery,
@@ -58,7 +59,7 @@ impl WeightedQuery {
 
 /// Result of applying one probe outcome to a [`BatchQuality`] in place:
 /// everything an aggregate re-planner needs for the next probe.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BatchCollapseUpdate {
     /// `S(D′, Q_q)` for every registered query, in registration order.
     pub qualities: Vec<f64>,
@@ -360,6 +361,29 @@ mod tests {
         assert!(BatchQuality::new(&db, bad).is_err());
         let nan = vec![WeightedQuery::weighted(TopKQuery::UKRanks { k: 1 }, f64::NAN)];
         assert!(BatchQuality::new(&db, nan).is_err());
+    }
+
+    #[test]
+    fn weighted_query_round_trips_through_json() {
+        for spec in specs() {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: WeightedQuery = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec, "via {json}");
+        }
+    }
+
+    #[test]
+    fn batch_collapse_update_round_trips_through_json() {
+        let db = udb1();
+        let batch = BatchQuality::from_owned(db, specs()).unwrap();
+        let (_, update) = batch
+            .apply_collapse(2, &XTupleMutation::CollapseToAlternative { keep_pos: 2 })
+            .unwrap();
+        let json = serde_json::to_string(&update).unwrap();
+        let back: BatchCollapseUpdate = serde_json::from_str(&json).unwrap();
+        // The vendored serde_json prints shortest-round-trip floats, so the
+        // decoded update is bit-identical, not merely close.
+        assert_eq!(back, update, "via {json}");
     }
 
     #[test]

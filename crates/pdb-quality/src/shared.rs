@@ -21,6 +21,7 @@ use pdb_core::{RankedDatabase, Result};
 use pdb_engine::delta::{apply_mutation_in_place, DeltaStats, XTupleMutation};
 use pdb_engine::psr::{rank_probabilities, RankProbabilities};
 use pdb_engine::queries::{global_topk, pt_k, u_k_ranks, TupleSetAnswer, UKRanksAnswer};
+use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -73,7 +74,7 @@ pub struct CollapseOutcome {
 /// [`CollapseOutcome`] for the in-place form
 /// ([`SharedEvaluation::apply_collapse_in_place`]): the evaluation itself
 /// was updated, so only the re-planning quantities are returned.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CollapseUpdate {
     /// `S(D′, Q)`: the quality score after the mutation.
     pub quality: f64,
@@ -291,6 +292,18 @@ mod tests {
 
         // The pre-mutation evaluation is untouched.
         assert!((shared.quality() - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapse_update_round_trips_through_json() {
+        let db = udb1();
+        let mut eval = SharedEvaluation::from_owned(db, 2).unwrap();
+        let update = eval
+            .apply_collapse_in_place(2, &XTupleMutation::CollapseToAlternative { keep_pos: 2 })
+            .unwrap();
+        let json = serde_json::to_string(&update).unwrap();
+        let back: CollapseUpdate = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, update, "via {json}");
     }
 
     #[test]

@@ -112,6 +112,15 @@ mod tests {
     use crate::pw::quality_pw;
     use crate::pwr::quality_pwr;
 
+    #[test]
+    fn quality_breakdown_round_trips_through_json() {
+        let db = udb1();
+        let breakdown = quality_breakdown(&db, &rank_probabilities(&db, 2).unwrap());
+        let json = serde_json::to_string(&breakdown).unwrap();
+        let back: QualityBreakdown = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, breakdown, "via {json}");
+    }
+
     fn udb1() -> RankedDatabase {
         RankedDatabase::from_scored_x_tuples(&[
             vec![(21.0, 0.6), (32.0, 0.4)],

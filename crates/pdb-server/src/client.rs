@@ -1,0 +1,182 @@
+//! Blocking client for the newline-delimited JSON protocol.
+//!
+//! One [`Client`] wraps one TCP connection; [`Client::call`] sends a
+//! request line and reads the matching response line.  The typed
+//! convenience methods unwrap the expected response kind and surface
+//! `{"error": ...}` replies as [`ClientError::Server`].
+
+use crate::protocol::{
+    self, Answers, ApplyProbe, CreateSession, DatasetSpec, EvalMode, ProbeAdvice, ProbeApplied,
+    QualityReport, QueryRegistered, RegisterQuery, Request, Response, ServerStats, SessionCreated,
+    SessionRef,
+};
+use pdb_engine::delta::XTupleMutation;
+use pdb_engine::queries::TopKQuery;
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or closed mid-call.
+    Io(std::io::Error),
+    /// The server's bytes did not parse as a protocol response, or the
+    /// response kind did not match the request.
+    Protocol(String),
+    /// The server answered with `{"error": ...}`.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(err) => write!(f, "connection error: {err}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(err: std::io::Error) -> Self {
+        ClientError::Io(err)
+    }
+}
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone()?;
+        Ok(Self { reader: BufReader::new(read_half), writer: BufWriter::new(stream) })
+    }
+
+    /// Send one request and read its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let line = protocol::encode(request)
+            .map_err(|err| ClientError::Protocol(format!("encoding request failed: {err}")))?;
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        protocol::decode_response(reply.trim_end())
+            .map_err(|err| ClientError::Protocol(format!("parsing response failed: {err}")))
+    }
+
+    /// `create_session`: open a session over `dataset` with uniform probe
+    /// cost / success probability.
+    pub fn create_session(
+        &mut self,
+        dataset: DatasetSpec,
+        probe_cost: u64,
+        probe_success: f64,
+    ) -> Result<SessionCreated, ClientError> {
+        match self.call(&Request::CreateSession(CreateSession {
+            dataset,
+            probe_cost,
+            probe_success,
+        }))? {
+            Response::SessionCreated(created) => Ok(created),
+            other => Err(unexpected("session_created", &other)),
+        }
+    }
+
+    /// `register_query`: add a weighted query to the session.
+    pub fn register_query(
+        &mut self,
+        session: u64,
+        query: TopKQuery,
+        weight: f64,
+    ) -> Result<QueryRegistered, ClientError> {
+        match self.call(&Request::RegisterQuery(RegisterQuery { session, query, weight }))? {
+            Response::QueryRegistered(registered) => Ok(registered),
+            other => Err(unexpected("query_registered", &other)),
+        }
+    }
+
+    /// `evaluate`: every registered query's answer.
+    pub fn evaluate(&mut self, session: u64) -> Result<Answers, ClientError> {
+        match self.call(&Request::Evaluate(SessionRef { session }))? {
+            Response::Answers(answers) => Ok(answers),
+            other => Err(unexpected("answers", &other)),
+        }
+    }
+
+    /// `quality`: the session's quality report.
+    pub fn quality(&mut self, session: u64) -> Result<QualityReport, ClientError> {
+        match self.call(&Request::Quality(SessionRef { session }))? {
+            Response::QualityReport(report) => Ok(report),
+            other => Err(unexpected("quality_report", &other)),
+        }
+    }
+
+    /// `recommend_probe`: the best next probe, if any.
+    pub fn recommend_probe(&mut self, session: u64) -> Result<ProbeAdvice, ClientError> {
+        match self.call(&Request::RecommendProbe(SessionRef { session }))? {
+            Response::ProbeRecommendation(advice) => Ok(advice),
+            other => Err(unexpected("probe_recommendation", &other)),
+        }
+    }
+
+    /// `apply_probe`: fold one observed probe outcome into the session.
+    pub fn apply_probe(
+        &mut self,
+        session: u64,
+        x_tuple: usize,
+        mutation: XTupleMutation,
+        mode: EvalMode,
+    ) -> Result<ProbeApplied, ClientError> {
+        match self.call(&Request::ApplyProbe(ApplyProbe { session, x_tuple, mutation, mode }))? {
+            Response::ProbeApplied(applied) => Ok(applied),
+            other => Err(unexpected("probe_applied", &other)),
+        }
+    }
+
+    /// `drop_session`: discard the session.
+    pub fn drop_session(&mut self, session: u64) -> Result<SessionRef, ClientError> {
+        match self.call(&Request::DropSession(SessionRef { session }))? {
+            Response::SessionDropped(dropped) => Ok(dropped),
+            other => Err(unexpected("session_dropped", &other)),
+        }
+    }
+
+    /// `stats`: server-wide counters.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// `shutdown`: ask the server to drain and stop.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutting_down", &other)),
+        }
+    }
+}
+
+/// Map a mismatched (or error) response to the matching [`ClientError`].
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    match got {
+        Response::Error(reply) => ClientError::Server(reply.message.clone()),
+        other => ClientError::Protocol(format!("expected {wanted:?}, got {:?}", other.kind())),
+    }
+}

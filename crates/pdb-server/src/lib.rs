@@ -1,0 +1,53 @@
+//! # pdb-server — a concurrent cleaning service with persistent sessions
+//!
+//! The paper's adaptive-cleaning loop is inherently *stateful*: probe
+//! outcomes must be folded into a live evaluation, not re-derived from
+//! scratch per call.  This crate turns the workspace's batch/delta engines
+//! into a long-running service:
+//!
+//! * [`protocol`] — the newline-delimited JSON wire protocol
+//!   (`create_session`, `register_query`, `evaluate`, `quality`,
+//!   `recommend_probe`, `apply_probe`, `drop_session`, `stats`,
+//!   `shutdown`);
+//! * [`session`] — persistent sessions (a database + a live
+//!   [`pdb_quality::BatchQuality`]) in a sharded, per-session-locked
+//!   store, so concurrent callers on different sessions never contend;
+//! * [`server`] — the `std::net` TCP server: a listener feeding a worker
+//!   thread pool, with graceful drain on `shutdown`;
+//! * [`client`] — a blocking client used by `pdb call`, the loopback
+//!   integration test and the `server_throughput` bench.
+//!
+//! A session keeps the one shared PSR run of its registered query set
+//! alive across requests, so applying a probe outcome is a single O(n)
+//! in-place delta patch shared by every registered query — the
+//! `server_throughput` bench measures the resulting speedup over naive
+//! per-request full re-evaluation.
+//!
+//! ```no_run
+//! use pdb_server::{Client, DatasetSpec, Server, ServerConfig};
+//! use pdb_server::protocol::EvalMode;
+//! use pdb_engine::queries::TopKQuery;
+//!
+//! let server = Server::bind(&ServerConfig::default()).unwrap();
+//! let addr = server.local_addr().unwrap();
+//! std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! let session = client.create_session(DatasetSpec::Udb1, 1, 0.8).unwrap().session;
+//! client.register_query(session, TopKQuery::PTk { k: 2, threshold: 0.4 }, 1.0).unwrap();
+//! let answers = client.evaluate(session).unwrap();
+//! assert_eq!(answers.answers[0].len(), 3); // {t1, t2, t5}
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use client::{Client, ClientError};
+pub use protocol::{DatasetSpec, EvalMode, Request, Response};
+pub use server::{Server, ServerConfig};
+pub use session::SessionManager;

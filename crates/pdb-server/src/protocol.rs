@@ -1,0 +1,628 @@
+//! Wire protocol of the cleaning service.
+//!
+//! The server speaks **newline-delimited JSON** over TCP: every request is
+//! one JSON value on one line, and every request produces exactly one JSON
+//! response line.  A request is a single-entry object whose key is the verb
+//! (`{"evaluate": {"session": 3}}`); the two verbs that carry no payload
+//! (`stats`, `shutdown`) may also be sent as bare strings (`"stats"`).
+//! Responses follow the same shape with the response kind as the key, and
+//! every error — parse failure, unknown session, engine error — comes back
+//! as `{"error": {"message": "..."}}` instead of closing the connection.
+//!
+//! The payloads reuse the workspace's serde implementations, so the types
+//! that cross the wire here (query answers, quality reports, probe
+//! recommendations, [`BatchCollapseUpdate`],
+//! [`DeltaStats`](pdb_engine::delta::DeltaStats)) are exactly
+//! the ones the in-process engines return — a served session and a direct
+//! [`pdb_quality::BatchQuality`] call produce byte-identical JSON.
+//!
+//! ## Verbs
+//!
+//! | Verb | Payload | Response |
+//! |------|---------|----------|
+//! | `create_session` | [`CreateSession`] | `session_created` ([`SessionCreated`]) |
+//! | `register_query` | [`RegisterQuery`] | `query_registered` ([`QueryRegistered`]) |
+//! | `evaluate` | [`SessionRef`] | `answers` ([`Answers`]) |
+//! | `quality` | [`SessionRef`] | `quality_report` ([`QualityReport`]) |
+//! | `recommend_probe` | [`SessionRef`] | `probe_recommendation` ([`ProbeAdvice`]) |
+//! | `apply_probe` | [`ApplyProbe`] | `probe_applied` ([`ProbeApplied`]) |
+//! | `drop_session` | [`SessionRef`] | `session_dropped` ([`SessionRef`]) |
+//! | `stats` | — | `stats` ([`ServerStats`]) |
+//! | `shutdown` | — | `shutting_down` |
+//!
+//! See the README section *Serving & sessions* for one request/response
+//! example per verb.
+
+use pdb_core::examples;
+use pdb_core::{RankedDatabase, Result as DbResult, ScoreRanking};
+use pdb_engine::delta::XTupleMutation;
+use pdb_engine::queries::{QueryAnswer, TopKQuery};
+use pdb_gen::mov::{self, MovConfig};
+use pdb_gen::synthetic::{self, SyntheticConfig};
+use pdb_quality::BatchCollapseUpdate;
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+// ---------------------------------------------------------------------------
+// Request payloads
+// ---------------------------------------------------------------------------
+
+/// Which database a new session evaluates.
+///
+/// The generated variants are deterministic (fixed-seed generators), so a
+/// client can rebuild the identical database locally — that is what the
+/// loopback equivalence test and the `server_throughput` bench rely on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DatasetSpec {
+    /// The synthetic dataset family with approximately this many tuples.
+    Synthetic {
+        /// Total tuple count (10 alternatives per x-tuple).
+        tuples: usize,
+    },
+    /// The MOV stand-in dataset with this many x-tuples.
+    Mov {
+        /// Number of (movie, viewer) x-tuples.
+        x_tuples: usize,
+    },
+    /// The paper's running example `udb1` (Table I, 7 tuples).
+    Udb1,
+    /// An inline database: per x-tuple, its `(score, probability)`
+    /// alternatives.
+    Inline {
+        /// `x_tuples[l]` lists x-tuple `l`'s alternatives.
+        x_tuples: Vec<Vec<(f64, f64)>>,
+    },
+}
+
+impl DatasetSpec {
+    /// Materialize the database this spec describes.
+    pub fn build(&self) -> DbResult<RankedDatabase> {
+        match self {
+            DatasetSpec::Synthetic { tuples } => {
+                synthetic::generate_ranked(&SyntheticConfig::with_total_tuples(*tuples))
+            }
+            DatasetSpec::Mov { x_tuples } => mov::generate_ranked(&MovConfig {
+                num_x_tuples: *x_tuples,
+                ..MovConfig::paper_default()
+            }),
+            DatasetSpec::Udb1 => Ok(examples::udb1().rank_by(&ScoreRanking)),
+            DatasetSpec::Inline { x_tuples } => RankedDatabase::from_scored_x_tuples(x_tuples),
+        }
+    }
+}
+
+/// Payload of `create_session`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CreateSession {
+    /// Database the session evaluates.
+    pub dataset: DatasetSpec,
+    /// Budget units one `pclean` probe costs (uniform across x-tuples).
+    pub probe_cost: u64,
+    /// Probability that one probe succeeds (uniform across x-tuples).
+    pub probe_success: f64,
+}
+
+/// Payload of `register_query`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegisterQuery {
+    /// Target session.
+    pub session: u64,
+    /// The query to register (semantics + `k` + parameters).
+    pub query: TopKQuery,
+    /// The query's weight in the session's aggregate quality.
+    pub weight: f64,
+}
+
+/// Payload of the verbs that only name a session (`evaluate`, `quality`,
+/// `recommend_probe`, `drop_session`) and of the `session_dropped`
+/// response.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionRef {
+    /// Target session.
+    pub session: u64,
+}
+
+/// How `apply_probe` folds the outcome into the session's evaluation.
+/// The `mode` field is mandatory on the wire — there is no implicit
+/// default, so callers always state which path they are measuring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    /// One in-place delta pass on the shared master matrix (the session
+    /// path: O(k_max) per affected row, shared by every registered query).
+    Delta,
+    /// Naive full re-evaluation: mutate the database and re-run PSR + TP
+    /// from scratch.  Kept as the correctness oracle and as the baseline
+    /// the `server_throughput` bench measures the delta path against.
+    Rebuild,
+}
+
+impl Serialize for EvalMode {
+    fn to_value(&self) -> Value {
+        Value::Str(
+            match self {
+                EvalMode::Delta => "delta",
+                EvalMode::Rebuild => "rebuild",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for EvalMode {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        match value.as_str() {
+            Some("delta") => Ok(EvalMode::Delta),
+            Some("rebuild") => Ok(EvalMode::Rebuild),
+            _ => Err(SerdeError::custom(format!(
+                "expected \"delta\" or \"rebuild\" for an evaluation mode, found {value:?}"
+            ))),
+        }
+    }
+}
+
+/// Payload of `apply_probe`: one observed probe outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplyProbe {
+    /// Target session.
+    pub session: u64,
+    /// The probed x-tuple (index into the session's current database).
+    pub x_tuple: usize,
+    /// What the probe revealed.
+    pub mutation: XTupleMutation,
+    /// Delta patch (the session path) or naive full rebuild.
+    pub mode: EvalMode,
+}
+
+/// One request of the wire protocol.
+///
+/// Serializes as a single-entry JSON object keyed by the verb; `stats` and
+/// `shutdown` additionally parse from bare strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `create_session`: load/generate a database and open a session on it.
+    CreateSession(CreateSession),
+    /// `register_query`: add a weighted query to a session (re-plans the
+    /// shared evaluation).
+    RegisterQuery(RegisterQuery),
+    /// `evaluate`: answer every registered query from the shared matrix.
+    Evaluate(SessionRef),
+    /// `quality`: per-query and aggregate PWS-quality plus the aggregate
+    /// per-x-tuple decomposition.
+    Quality(SessionRef),
+    /// `recommend_probe`: the single probe maximizing the expected
+    /// aggregate improvement (Theorem 2 on the aggregate context).
+    RecommendProbe(SessionRef),
+    /// `apply_probe`: fold one observed probe outcome into the session.
+    ApplyProbe(ApplyProbe),
+    /// `drop_session`: discard a session.
+    DropSession(SessionRef),
+    /// `stats`: server-wide counters.
+    Stats,
+    /// `shutdown`: stop accepting connections and drain in-flight requests.
+    Shutdown,
+}
+
+impl Request {
+    /// The protocol verb naming this request on the wire.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::CreateSession(_) => "create_session",
+            Request::RegisterQuery(_) => "register_query",
+            Request::Evaluate(_) => "evaluate",
+            Request::Quality(_) => "quality",
+            Request::RecommendProbe(_) => "recommend_probe",
+            Request::ApplyProbe(_) => "apply_probe",
+            Request::DropSession(_) => "drop_session",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        let payload = match self {
+            Request::CreateSession(p) => p.to_value(),
+            Request::RegisterQuery(p) => p.to_value(),
+            Request::Evaluate(p)
+            | Request::Quality(p)
+            | Request::RecommendProbe(p)
+            | Request::DropSession(p) => p.to_value(),
+            Request::ApplyProbe(p) => p.to_value(),
+            Request::Stats | Request::Shutdown => Value::Map(Vec::new()),
+        };
+        Value::Map(vec![(self.verb().to_string(), payload)])
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        if let Some(verb) = value.as_str() {
+            return match verb {
+                "stats" => Ok(Request::Stats),
+                "shutdown" => Ok(Request::Shutdown),
+                other => Err(SerdeError::custom(format!(
+                    "verb {other:?} requires a payload; send {{\"{other}\": {{...}}}}"
+                ))),
+            };
+        }
+        let (verb, payload) = single_entry(value, "request")?;
+        match verb {
+            "create_session" => Ok(Request::CreateSession(Deserialize::from_value(payload)?)),
+            "register_query" => Ok(Request::RegisterQuery(Deserialize::from_value(payload)?)),
+            "evaluate" => Ok(Request::Evaluate(Deserialize::from_value(payload)?)),
+            "quality" => Ok(Request::Quality(Deserialize::from_value(payload)?)),
+            "recommend_probe" => Ok(Request::RecommendProbe(Deserialize::from_value(payload)?)),
+            "apply_probe" => Ok(Request::ApplyProbe(Deserialize::from_value(payload)?)),
+            "drop_session" => Ok(Request::DropSession(Deserialize::from_value(payload)?)),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(SerdeError::custom(format!("unknown request verb {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response payloads
+// ---------------------------------------------------------------------------
+
+/// Response to `create_session`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionCreated {
+    /// Identifier of the new session.
+    pub session: u64,
+    /// Tuples in the loaded/generated database.
+    pub tuples: usize,
+    /// X-tuples (entities) in the database.
+    pub x_tuples: usize,
+}
+
+/// Response to `register_query`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryRegistered {
+    /// The session the query was registered in.
+    pub session: u64,
+    /// Index of the query within the session (registration order).
+    pub index: usize,
+    /// The `k` of the session's one shared PSR run after re-planning.
+    pub k_max: usize,
+}
+
+/// Response to `evaluate`: every registered query's answer, in
+/// registration order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Answers {
+    /// Per-query answers.
+    pub answers: Vec<QueryAnswer>,
+}
+
+/// Response to `quality`: the session's quality state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityReport {
+    /// `S(D, Q_q)` per registered query, in registration order.
+    pub qualities: Vec<f64>,
+    /// The per-query aggregate weights, in registration order.
+    pub weights: Vec<f64>,
+    /// The aggregate quality `Σ_q w_q·S(D, Q_q)`.
+    pub aggregate: f64,
+    /// The aggregate per-x-tuple decomposition `g_agg(l, D)`.
+    pub g: Vec<f64>,
+}
+
+/// A recommended probe: the x-tuple whose single probe maximizes the
+/// expected aggregate quality improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbeRecommendation {
+    /// The x-tuple to probe.
+    pub x_tuple: usize,
+    /// Expected aggregate improvement of that one probe (Theorem 2).
+    pub expected_gain: f64,
+}
+
+/// Response to `recommend_probe`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbeAdvice {
+    /// The best single probe, or `None` when the database is effectively
+    /// certain (no probe can improve the aggregate quality).
+    pub recommendation: Option<ProbeRecommendation>,
+}
+
+/// Response to `apply_probe`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeApplied {
+    /// The mutated session.
+    pub session: u64,
+    /// The mode that produced the update.
+    pub mode: EvalMode,
+    /// Refreshed qualities, aggregate decomposition and delta statistics —
+    /// exactly what [`pdb_quality::BatchQuality::apply_collapse_in_place`]
+    /// returns in process.
+    pub update: BatchCollapseUpdate,
+}
+
+/// Response to `stats`: server-wide counters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Sessions currently live.
+    pub sessions_live: u64,
+    /// Sessions created since the server started.
+    pub sessions_created: u64,
+    /// Requests served since the server started (including errors).
+    pub requests_served: u64,
+    /// Probes applied across all sessions.
+    pub probes_applied: u64,
+    /// Number of store shards.
+    pub shards: usize,
+    /// Number of worker threads.
+    pub threads: usize,
+}
+
+/// Error payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+/// One response of the wire protocol (single-entry JSON object keyed by
+/// the response kind).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `session_created`
+    SessionCreated(SessionCreated),
+    /// `query_registered`
+    QueryRegistered(QueryRegistered),
+    /// `answers`
+    Answers(Answers),
+    /// `quality_report`
+    QualityReport(QualityReport),
+    /// `probe_recommendation`
+    ProbeRecommendation(ProbeAdvice),
+    /// `probe_applied`
+    ProbeApplied(ProbeApplied),
+    /// `session_dropped`
+    SessionDropped(SessionRef),
+    /// `stats`
+    Stats(ServerStats),
+    /// `shutting_down`
+    ShuttingDown,
+    /// `error`
+    Error(ErrorReply),
+}
+
+impl Response {
+    /// The protocol key naming this response on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Response::SessionCreated(_) => "session_created",
+            Response::QueryRegistered(_) => "query_registered",
+            Response::Answers(_) => "answers",
+            Response::QualityReport(_) => "quality_report",
+            Response::ProbeRecommendation(_) => "probe_recommendation",
+            Response::ProbeApplied(_) => "probe_applied",
+            Response::SessionDropped(_) => "session_dropped",
+            Response::Stats(_) => "stats",
+            Response::ShuttingDown => "shutting_down",
+            Response::Error(_) => "error",
+        }
+    }
+
+    /// Build an error response from any displayable error.
+    pub fn error(err: impl std::fmt::Display) -> Self {
+        Response::Error(ErrorReply { message: err.to_string() })
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        let payload = match self {
+            Response::SessionCreated(p) => p.to_value(),
+            Response::QueryRegistered(p) => p.to_value(),
+            Response::Answers(p) => p.to_value(),
+            Response::QualityReport(p) => p.to_value(),
+            Response::ProbeRecommendation(p) => p.to_value(),
+            Response::ProbeApplied(p) => p.to_value(),
+            Response::SessionDropped(p) => p.to_value(),
+            Response::Stats(p) => p.to_value(),
+            Response::ShuttingDown => Value::Map(Vec::new()),
+            Response::Error(p) => p.to_value(),
+        };
+        Value::Map(vec![(self.kind().to_string(), payload)])
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        if value.as_str() == Some("shutting_down") {
+            return Ok(Response::ShuttingDown);
+        }
+        let (kind, payload) = single_entry(value, "response")?;
+        match kind {
+            "session_created" => Ok(Response::SessionCreated(Deserialize::from_value(payload)?)),
+            "query_registered" => Ok(Response::QueryRegistered(Deserialize::from_value(payload)?)),
+            "answers" => Ok(Response::Answers(Deserialize::from_value(payload)?)),
+            "quality_report" => Ok(Response::QualityReport(Deserialize::from_value(payload)?)),
+            "probe_recommendation" => {
+                Ok(Response::ProbeRecommendation(Deserialize::from_value(payload)?))
+            }
+            "probe_applied" => Ok(Response::ProbeApplied(Deserialize::from_value(payload)?)),
+            "session_dropped" => Ok(Response::SessionDropped(Deserialize::from_value(payload)?)),
+            "stats" => Ok(Response::Stats(Deserialize::from_value(payload)?)),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "error" => Ok(Response::Error(Deserialize::from_value(payload)?)),
+            other => Err(SerdeError::custom(format!("unknown response kind {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Line framing
+// ---------------------------------------------------------------------------
+
+/// Serialize a protocol value as one compact JSON line (no trailing
+/// newline).
+pub fn encode<T: Serialize>(value: &T) -> Result<String, SerdeError> {
+    serde_json::to_string(value)
+}
+
+/// Parse one request line.
+pub fn decode_request(line: &str) -> Result<Request, SerdeError> {
+    serde_json::from_str(line)
+}
+
+/// Parse one response line.
+pub fn decode_response(line: &str) -> Result<Response, SerdeError> {
+    serde_json::from_str(line)
+}
+
+/// The single `(key, value)` entry of a protocol envelope.
+fn single_entry<'v>(value: &'v Value, what: &str) -> Result<(&'v str, &'v Value), SerdeError> {
+    let entries = value.as_map().ok_or_else(|| {
+        SerdeError::custom(format!("expected a single-entry object for a {what}"))
+    })?;
+    match entries {
+        [(key, payload)] => Ok((key.as_str(), payload)),
+        _ => Err(SerdeError::custom(format!(
+            "expected exactly one verb key in a {what}, found {} entries",
+            entries.len()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_engine::delta::DeltaStats;
+
+    fn round_trip_request(req: &Request) {
+        let json = encode(req).unwrap();
+        let back = decode_request(&json).unwrap();
+        assert_eq!(&back, req, "via {json}");
+    }
+
+    fn round_trip_response(resp: &Response) {
+        let json = encode(resp).unwrap();
+        let back = decode_response(&json).unwrap();
+        assert_eq!(&back, resp, "via {json}");
+    }
+
+    #[test]
+    fn every_request_verb_round_trips() {
+        round_trip_request(&Request::CreateSession(CreateSession {
+            dataset: DatasetSpec::Synthetic { tuples: 1000 },
+            probe_cost: 2,
+            probe_success: 0.8,
+        }));
+        round_trip_request(&Request::RegisterQuery(RegisterQuery {
+            session: 7,
+            query: TopKQuery::PTk { k: 15, threshold: 0.1 },
+            weight: 1.5,
+        }));
+        round_trip_request(&Request::Evaluate(SessionRef { session: 7 }));
+        round_trip_request(&Request::Quality(SessionRef { session: 7 }));
+        round_trip_request(&Request::RecommendProbe(SessionRef { session: 7 }));
+        round_trip_request(&Request::ApplyProbe(ApplyProbe {
+            session: 7,
+            x_tuple: 3,
+            mutation: XTupleMutation::CollapseToAlternative { keep_pos: 12 },
+            mode: EvalMode::Delta,
+        }));
+        round_trip_request(&Request::DropSession(SessionRef { session: 7 }));
+        round_trip_request(&Request::Stats);
+        round_trip_request(&Request::Shutdown);
+    }
+
+    #[test]
+    fn every_response_kind_round_trips() {
+        round_trip_response(&Response::SessionCreated(SessionCreated {
+            session: 1,
+            tuples: 7,
+            x_tuples: 4,
+        }));
+        round_trip_response(&Response::QueryRegistered(QueryRegistered {
+            session: 1,
+            index: 0,
+            k_max: 15,
+        }));
+        round_trip_response(&Response::Answers(Answers { answers: Vec::new() }));
+        round_trip_response(&Response::QualityReport(QualityReport {
+            qualities: vec![-2.55, -1.0],
+            weights: vec![1.0, 0.5],
+            aggregate: -3.05,
+            g: vec![-1.0, -2.05],
+        }));
+        round_trip_response(&Response::ProbeRecommendation(ProbeAdvice {
+            recommendation: Some(ProbeRecommendation { x_tuple: 2, expected_gain: 0.56 }),
+        }));
+        round_trip_response(&Response::ProbeRecommendation(ProbeAdvice { recommendation: None }));
+        round_trip_response(&Response::ProbeApplied(ProbeApplied {
+            session: 1,
+            mode: EvalMode::Rebuild,
+            update: BatchCollapseUpdate {
+                qualities: vec![-1.85],
+                aggregate: -1.85,
+                aggregate_delta: 0.7,
+                g: vec![0.0, -1.85],
+                stats: DeltaStats::default(),
+            },
+        }));
+        round_trip_response(&Response::SessionDropped(SessionRef { session: 1 }));
+        round_trip_response(&Response::Stats(ServerStats {
+            sessions_live: 1,
+            sessions_created: 2,
+            requests_served: 10,
+            probes_applied: 3,
+            shards: 8,
+            threads: 4,
+        }));
+        round_trip_response(&Response::ShuttingDown);
+        round_trip_response(&Response::error("boom"));
+    }
+
+    #[test]
+    fn payloadless_verbs_parse_from_bare_strings() {
+        assert_eq!(decode_request("\"stats\"").unwrap(), Request::Stats);
+        assert_eq!(decode_request("\"shutdown\"").unwrap(), Request::Shutdown);
+        assert_eq!(decode_request("{\"stats\": {}}").unwrap(), Request::Stats);
+    }
+
+    #[test]
+    fn eval_mode_uses_lowercase_wire_names() {
+        assert_eq!(encode(&EvalMode::Delta).unwrap(), "\"delta\"");
+        assert_eq!(encode(&EvalMode::Rebuild).unwrap(), "\"rebuild\"");
+        assert!(serde_json::from_str::<EvalMode>("\"Delta\"").is_err());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_context() {
+        assert!(decode_request("{}").is_err());
+        assert!(decode_request("{\"evaluate\": {}, \"quality\": {}}").is_err());
+        assert!(decode_request("{\"bogus\": {}}").is_err());
+        assert!(decode_request("\"evaluate\"").is_err());
+        assert!(decode_request("not json").is_err());
+    }
+
+    #[test]
+    fn dataset_specs_build_and_round_trip() {
+        for spec in [
+            DatasetSpec::Udb1,
+            DatasetSpec::Synthetic { tuples: 100 },
+            DatasetSpec::Mov { x_tuples: 20 },
+            DatasetSpec::Inline { x_tuples: vec![vec![(1.0, 0.5), (2.0, 0.5)], vec![(3.0, 1.0)]] },
+        ] {
+            let db = spec.build().unwrap();
+            assert!(!db.is_empty());
+            let json = encode(&spec).unwrap();
+            let back: DatasetSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
+        assert_eq!(DatasetSpec::Udb1.build().unwrap().len(), 7);
+        // Generated datasets are deterministic: clients can mirror them.
+        let a = DatasetSpec::Synthetic { tuples: 200 }.build().unwrap();
+        let b = DatasetSpec::Synthetic { tuples: 200 }.build().unwrap();
+        assert_eq!(a.len(), b.len());
+        for pos in 0..a.len() {
+            assert_eq!(a.tuple(pos).score.to_bits(), b.tuple(pos).score.to_bits());
+            assert_eq!(a.tuple(pos).prob.to_bits(), b.tuple(pos).prob.to_bits());
+        }
+    }
+}

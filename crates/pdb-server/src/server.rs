@@ -1,0 +1,287 @@
+//! The TCP server: listener, worker thread pool and request dispatch.
+//!
+//! Built on `std::net` only.  The listener thread accepts connections and
+//! hands them to a fixed pool of worker threads over an MPSC queue; each
+//! worker reads newline-delimited JSON requests off its connection,
+//! dispatches them against the shared [`SessionManager`], and writes one
+//! response line per request.  A `shutdown` request flips the shared stop
+//! flag and wakes the listener; the queue is then drained — every
+//! connection already accepted finishes its in-flight request before its
+//! worker exits (idle connections poll the flag on a short read timeout,
+//! so a parked persistent client never wedges the drain) — and
+//! [`Server::run`] returns after joining the pool.
+//!
+//! **Connections, not requests, are the pooled unit**: a worker serves
+//! one connection for that connection's lifetime, so at most `--threads`
+//! *connections* are served concurrently and the `threads + 1`-th
+//! concurrent persistent client waits in the accept queue until a slot
+//! frees.  Size `--threads` to the expected number of concurrent
+//! long-lived clients; the per-session locking (see
+//! [`crate::session`]) is what keeps one slow evaluation from blocking
+//! other *sessions* once their connections hold a worker.
+
+use crate::protocol::{self, Request, Response, ServerStats};
+use crate::session::SessionManager;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// How a [`Server`] is configured (`pdb serve --addr --threads --shards`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:7878`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling connections.  Each worker owns one
+    /// connection for its lifetime, so this is also the maximum number of
+    /// concurrently served connections — size it to the expected number
+    /// of concurrent persistent clients.
+    pub threads: usize,
+    /// Shards of the session store.
+    pub shards: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { addr: "127.0.0.1:7878".to_string(), threads: 4, shards: 8 }
+    }
+}
+
+/// A bound (but not yet running) cleaning service.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    manager: Arc<SessionManager>,
+    shutdown: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+    threads: usize,
+}
+
+impl Server {
+    /// Bind the listener and build the session store.  The server does not
+    /// accept connections until [`run`](Self::run) is called.
+    pub fn bind(config: &ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Self {
+            listener,
+            manager: Arc::new(SessionManager::new(config.shards)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            requests: Arc::new(AtomicU64::new(0)),
+            threads: config.threads.max(1),
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept and serve connections until a `shutdown` request arrives,
+    /// then drain in-flight requests and return.
+    pub fn run(self) -> std::io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        // Bounded: with every worker busy, at most `threads` further
+        // accepted connections are buffered (the send below then blocks),
+        // so excess clients genuinely wait in the OS accept backlog as
+        // documented instead of accumulating in an unbounded queue.
+        let (queue_tx, queue_rx) = mpsc::sync_channel::<TcpStream>(self.threads);
+        let queue_rx = Arc::new(Mutex::new(queue_rx));
+
+        let workers: Vec<thread::JoinHandle<()>> = (0..self.threads)
+            .map(|_| {
+                let queue_rx = Arc::clone(&queue_rx);
+                let ctx = HandlerContext {
+                    manager: Arc::clone(&self.manager),
+                    shutdown: Arc::clone(&self.shutdown),
+                    requests: Arc::clone(&self.requests),
+                    addr,
+                    threads: self.threads,
+                };
+                thread::spawn(move || loop {
+                    // Take the queue lock only long enough to pop one
+                    // connection; handling happens outside it.
+                    let conn = queue_rx.lock().expect("queue lock poisoned").recv();
+                    match conn {
+                        Ok(stream) => handle_connection(stream, &ctx),
+                        Err(_) => break, // queue closed: drain complete
+                    }
+                })
+            })
+            .collect();
+
+        for conn in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break; // the wake-up connection (or a raced client) is dropped
+            }
+            match conn {
+                Ok(stream) => {
+                    // A send can only fail after every worker exited, which
+                    // only happens once shutdown already drained the queue.
+                    if queue_tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => {
+                    // Persistent accept failures (e.g. EMFILE when the fd
+                    // limit is hit) yield Err immediately and repeatedly;
+                    // back off briefly instead of busy-spinning a core.
+                    thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+            }
+        }
+
+        // Close the queue: workers finish the connections already accepted
+        // (draining their in-flight requests) and then exit.
+        drop(queue_tx);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Everything a worker needs to serve one connection.
+struct HandlerContext {
+    manager: Arc<SessionManager>,
+    shutdown: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+    addr: SocketAddr,
+    threads: usize,
+}
+
+/// How often an idle worker wakes from a blocking read to re-check the
+/// shutdown flag.  Without the timeout, a worker parked on a persistent
+/// connection that never sends another request would block `run`'s final
+/// join forever, hanging shutdown.
+const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(100);
+
+/// Serve one connection: one response line per request line, until the
+/// client disconnects or the server begins shutting down.
+fn handle_connection(stream: TcpStream, ctx: &HandlerContext) {
+    // Nagle off: request/response lines are tiny and latency-bound.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+
+    loop {
+        // A timeout mid-line leaves the bytes read so far in `line`; the
+        // next pass appends to them, so split packets reassemble cleanly.
+        line.clear();
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return, // client disconnected
+                Ok(_) => break,  // one full line (or EOF mid-line)
+                Err(err)
+                    if matches!(
+                        err.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    if ctx.shutdown.load(Ordering::SeqCst) {
+                        return; // idle connection: nothing in flight to drain
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match protocol::decode_request(line.trim_end()) {
+            Ok(request) => dispatch(request, ctx),
+            Err(err) => Response::error(format!("malformed request: {err}")),
+        };
+        ctx.requests.fetch_add(1, Ordering::Relaxed);
+        let payload = protocol::encode(&response).unwrap_or_else(|err| {
+            format!("{{\"error\":{{\"message\":\"encoding failed: {err}\"}}}}")
+        });
+        if writeln!(writer, "{payload}").and_then(|()| writer.flush()).is_err() {
+            return;
+        }
+        // Finish the in-flight request, then stop picking up new ones so
+        // shutdown can drain: a persistent client must reconnect (and will
+        // be refused once the listener stopped).
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Route one request to the session store.
+fn dispatch(request: Request, ctx: &HandlerContext) -> Response {
+    let manager = &ctx.manager;
+    match request {
+        Request::CreateSession(req) => match manager.create(&req) {
+            Ok(created) => Response::SessionCreated(created),
+            Err(err) => Response::error(err),
+        },
+        Request::RegisterQuery(req) => {
+            match manager.with_session(req.session, |s| s.register_query(&req)) {
+                Ok(registered) => Response::QueryRegistered(registered),
+                Err(err) => Response::error(err),
+            }
+        }
+        Request::Evaluate(req) => match manager.with_session(req.session, |s| s.evaluate()) {
+            Ok(answers) => Response::Answers(answers),
+            Err(err) => Response::error(err),
+        },
+        Request::Quality(req) => match manager.with_session(req.session, |s| s.quality()) {
+            Ok(report) => Response::QualityReport(report),
+            Err(err) => Response::error(err),
+        },
+        Request::RecommendProbe(req) => {
+            match manager.with_session(req.session, |s| s.recommend_probe()) {
+                Ok(advice) => Response::ProbeRecommendation(advice),
+                Err(err) => Response::error(err),
+            }
+        }
+        Request::ApplyProbe(req) => {
+            match manager.with_session(req.session, |s| s.apply_probe(&req)) {
+                Ok(applied) => {
+                    manager.record_probe();
+                    Response::ProbeApplied(applied)
+                }
+                Err(err) => Response::error(err),
+            }
+        }
+        Request::DropSession(req) => match manager.drop_session(req.session) {
+            Ok(dropped) => Response::SessionDropped(dropped),
+            Err(err) => Response::error(err),
+        },
+        Request::Stats => Response::Stats(ServerStats {
+            sessions_live: manager.sessions_live(),
+            sessions_created: manager.sessions_created(),
+            requests_served: ctx.requests.load(Ordering::Relaxed) + 1,
+            probes_applied: manager.probes_applied(),
+            shards: manager.num_shards(),
+            threads: ctx.threads,
+        }),
+        Request::Shutdown => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the flag; the dummy
+            // connection is dropped unserved.  A wildcard bind address
+            // (0.0.0.0 / ::) is not connectable on every platform, so the
+            // self-wake targets the loopback of the bound port instead.
+            let wake_ip = if ctx.addr.ip().is_unspecified() {
+                match ctx.addr.ip() {
+                    std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                    std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+                }
+            } else {
+                ctx.addr.ip()
+            };
+            let _ = TcpStream::connect(SocketAddr::new(wake_ip, ctx.addr.port()));
+            Response::ShuttingDown
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! Persistent evaluation sessions and the sharded store that holds them.
+//!
+//! A [`Session`] pins one database together with a live
+//! [`BatchQuality`] evaluation: the paper's adaptive-cleaning loop is
+//! stateful (each probe outcome must be folded into the evaluation it was
+//! planned from), so the server keeps the shared PSR run alive across
+//! requests instead of rebuilding the world per call.  A probe is then one
+//! O(k_max)-per-affected-row delta pass shared by every registered query —
+//! never a full PSR rebuild (unless the naive
+//! [`EvalMode::Rebuild`] baseline is explicitly requested).
+//!
+//! The [`SessionManager`] shards its `session-id → session` map across `N`
+//! independent [`RwLock`]s, keyed by a hash of the session id: concurrent
+//! requests touching sessions on different shards never contend, and
+//! because each session is boxed behind its own [`Mutex`] (an `Arc` cloned
+//! out of the shard under the read lock), one slow evaluation blocks only
+//! its own session — the shard map, and every other session on the same
+//! shard, stay available.
+
+use crate::protocol::{
+    Answers, ApplyProbe, CreateSession, EvalMode, ProbeAdvice, ProbeApplied, ProbeRecommendation,
+    QualityReport, QueryRegistered, RegisterQuery, SessionCreated, SessionRef,
+};
+use pdb_clean::{best_single_probe, CleaningContext, CleaningSetup};
+use pdb_core::{DbError, RankedDatabase, Result as DbResult};
+use pdb_engine::delta::{DeltaStats, XTupleMutation};
+use pdb_quality::{BatchCollapseUpdate, BatchQuality, WeightedQuery};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One live session: a database, its cleaning parameters and (once a query
+/// is registered) the shared batch evaluation serving every registered
+/// query from one PSR run.
+#[derive(Debug)]
+pub struct Session {
+    specs: Vec<WeightedQuery>,
+    state: State,
+    probe_cost: u64,
+    probe_success: f64,
+}
+
+/// The evaluation state: until the first query is registered there is
+/// nothing to evaluate, so the session only holds the database.  The live
+/// evaluation is boxed: it dwarfs the idle variant, and sessions move
+/// (into the shard map, out of `register_query`) while in either state.
+#[derive(Debug)]
+enum State {
+    /// No registered queries yet.
+    Idle(RankedDatabase),
+    /// The live shared evaluation (owns the database).
+    Live(Box<BatchQuality<'static>>),
+}
+
+impl Session {
+    fn new(db: RankedDatabase, probe_cost: u64, probe_success: f64) -> DbResult<Self> {
+        if probe_cost == 0 {
+            return Err(DbError::invalid_parameter("probe_cost must be at least 1"));
+        }
+        if !(0.0..=1.0).contains(&probe_success) || !probe_success.is_finite() {
+            return Err(DbError::InvalidProbability {
+                prob: probe_success,
+                context: "session probe success probability".to_string(),
+            });
+        }
+        Ok(Self { specs: Vec::new(), state: State::Idle(db), probe_cost, probe_success })
+    }
+
+    /// The session's current database version.
+    pub fn database(&self) -> &RankedDatabase {
+        match &self.state {
+            State::Idle(db) => db,
+            State::Live(batch) => batch.database(),
+        }
+    }
+
+    fn live(&self) -> DbResult<&BatchQuality<'static>> {
+        match &self.state {
+            State::Live(batch) => Ok(batch),
+            State::Idle(_) => Err(DbError::invalid_parameter(
+                "session has no registered queries yet; send register_query first",
+            )),
+        }
+    }
+
+    fn live_mut(&mut self) -> DbResult<&mut BatchQuality<'static>> {
+        match &mut self.state {
+            State::Live(batch) => Ok(batch),
+            State::Idle(_) => Err(DbError::invalid_parameter(
+                "session has no registered queries yet; send register_query first",
+            )),
+        }
+    }
+
+    /// Register one weighted query: the query set is re-planned and the
+    /// shared PSR run re-executed at the (possibly new) `k_max`.
+    /// Registration is the expensive, rare operation; probes stay on the
+    /// delta path.
+    pub fn register_query(&mut self, req: &RegisterQuery) -> DbResult<QueryRegistered> {
+        let mut specs = self.specs.clone();
+        specs.push(WeightedQuery::weighted(req.query, req.weight));
+        let db = self.database().clone();
+        let batch = BatchQuality::from_owned(db, specs.clone())?;
+        let registered = QueryRegistered {
+            session: req.session,
+            index: specs.len() - 1,
+            k_max: batch.evaluation().k_max(),
+        };
+        self.specs = specs;
+        self.state = State::Live(Box::new(batch));
+        Ok(registered)
+    }
+
+    /// Answer every registered query from the shared matrix.
+    pub fn evaluate(&self) -> DbResult<Answers> {
+        Ok(Answers { answers: self.live()?.answers()? })
+    }
+
+    /// Per-query and aggregate quality plus the aggregate decomposition.
+    pub fn quality(&self) -> DbResult<QualityReport> {
+        let batch = self.live()?;
+        Ok(QualityReport {
+            qualities: batch.quality_vector(),
+            weights: batch.weights().to_vec(),
+            aggregate: batch.aggregate_quality(),
+            g: batch.aggregate_breakdown(),
+        })
+    }
+
+    /// The cleaning setup of the current database version (uniform probe
+    /// cost / success, re-derived so it always matches the x-tuple count —
+    /// null collapses shrink the database).
+    fn cleaning_setup(&self) -> DbResult<CleaningSetup> {
+        CleaningSetup::uniform(self.database().num_x_tuples(), self.probe_cost, self.probe_success)
+    }
+
+    /// The single probe maximizing the expected aggregate improvement.
+    pub fn recommend_probe(&self) -> DbResult<ProbeAdvice> {
+        let batch = self.live()?;
+        let ctx = CleaningContext::from_batch(batch);
+        let setup = self.cleaning_setup()?;
+        let recommendation = best_single_probe(&ctx, &setup)
+            .map(|(x_tuple, expected_gain)| ProbeRecommendation { x_tuple, expected_gain });
+        Ok(ProbeAdvice { recommendation })
+    }
+
+    /// Fold one observed probe outcome into the session.
+    pub fn apply_probe(&mut self, req: &ApplyProbe) -> DbResult<ProbeApplied> {
+        let update = match req.mode {
+            EvalMode::Delta => {
+                self.live_mut()?.apply_collapse_in_place(req.x_tuple, &req.mutation)?
+            }
+            EvalMode::Rebuild => self.apply_probe_rebuild(req.x_tuple, &req.mutation)?,
+        };
+        Ok(ProbeApplied { session: req.session, mode: req.mode, update })
+    }
+
+    /// The naive baseline: mutate the database and re-run the full
+    /// PSR + TP pipeline from scratch.  Equivalent to the delta path up to
+    /// floating-point round-off; `stats` is all zeros because no row was
+    /// patched incrementally.
+    fn apply_probe_rebuild(
+        &mut self,
+        l: usize,
+        mutation: &XTupleMutation,
+    ) -> DbResult<BatchCollapseUpdate> {
+        let before = self.live()?.aggregate_quality();
+        let mut db = self.database().clone();
+        match mutation {
+            XTupleMutation::CollapseToAlternative { keep_pos } => {
+                db.collapse_x_tuple_in_place(l, *keep_pos)?
+            }
+            XTupleMutation::CollapseToNull => db.collapse_x_tuple_to_null_in_place(l)?,
+            XTupleMutation::Reweight { probs } => db.reweight_x_tuple_in_place(l, probs)?,
+        }
+        let batch = BatchQuality::from_owned(db, self.specs.clone())?;
+        let update = BatchCollapseUpdate {
+            qualities: batch.quality_vector(),
+            aggregate: batch.aggregate_quality(),
+            aggregate_delta: batch.aggregate_quality() - before,
+            g: batch.aggregate_breakdown(),
+            stats: DeltaStats::default(),
+        };
+        self.state = State::Live(Box::new(batch));
+        Ok(update)
+    }
+}
+
+/// Counters a [`SessionManager`] maintains for the `stats` verb.
+#[derive(Debug, Default)]
+struct Counters {
+    live: AtomicU64,
+    created: AtomicU64,
+    probes: AtomicU64,
+}
+
+/// The sharded session store.
+///
+/// `shards[h(id)]` holds the sessions whose id hashes to shard `h(id)`;
+/// each shard is an independent `RwLock<HashMap<..>>`, so lookups on
+/// different shards proceed fully in parallel and a lookup only ever takes
+/// the *read* side.  Sessions are handed out as `Arc<Mutex<Session>>`
+/// clones: the shard lock is released before the session lock is taken, so
+/// a long-running evaluation never blocks the store.
+#[derive(Debug)]
+pub struct SessionManager {
+    shards: Vec<RwLock<HashMap<u64, Arc<Mutex<Session>>>>>,
+    next_id: AtomicU64,
+    counters: Counters,
+}
+
+impl SessionManager {
+    /// A store with the given number of shards (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            next_id: AtomicU64::new(1),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Number of shards the store was built with.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Sessions currently live.
+    pub fn sessions_live(&self) -> u64 {
+        self.counters.live.load(Ordering::Relaxed)
+    }
+
+    /// Sessions created since the store was built.
+    pub fn sessions_created(&self) -> u64 {
+        self.counters.created.load(Ordering::Relaxed)
+    }
+
+    /// Probes applied across all sessions.
+    pub fn probes_applied(&self) -> u64 {
+        self.counters.probes.load(Ordering::Relaxed)
+    }
+
+    /// SplitMix64: id → shard index.  Session ids are sequential, so a
+    /// plain modulo would put consecutive sessions on consecutive shards —
+    /// fine — but hashing keeps the distribution independent of how ids
+    /// are allocated.
+    fn shard_of(&self, id: u64) -> usize {
+        let mut z = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as usize % self.shards.len()
+    }
+
+    /// Create a session over the requested dataset.
+    pub fn create(&self, req: &CreateSession) -> DbResult<SessionCreated> {
+        let db = req.dataset.build()?;
+        let info = SessionCreated { session: 0, tuples: db.len(), x_tuples: db.num_x_tuples() };
+        let session = Session::new(db, req.probe_cost, req.probe_success)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard_of(id);
+        // Count before inserting: ids are predictable, so a racing
+        // drop_session of this id must never decrement `live` below the
+        // increment that funded it (underflow to u64::MAX).
+        self.counters.live.fetch_add(1, Ordering::Relaxed);
+        self.counters.created.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard]
+            .write()
+            .expect("shard lock poisoned")
+            .insert(id, Arc::new(Mutex::new(session)));
+        Ok(SessionCreated { session: id, ..info })
+    }
+
+    /// Look up a session (the returned handle outlives the shard lock).
+    pub fn session(&self, id: u64) -> DbResult<Arc<Mutex<Session>>> {
+        let shard = self.shard_of(id);
+        self.shards[shard]
+            .read()
+            .expect("shard lock poisoned")
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| DbError::invalid_parameter(format!("unknown session {id}")))
+    }
+
+    /// Drop a session.
+    pub fn drop_session(&self, id: u64) -> DbResult<SessionRef> {
+        let shard = self.shard_of(id);
+        let removed = self.shards[shard].write().expect("shard lock poisoned").remove(&id);
+        match removed {
+            Some(_) => {
+                self.counters.live.fetch_sub(1, Ordering::Relaxed);
+                Ok(SessionRef { session: id })
+            }
+            None => Err(DbError::invalid_parameter(format!("unknown session {id}"))),
+        }
+    }
+
+    /// Run `op` on a session under its own lock.
+    pub fn with_session<T>(
+        &self,
+        id: u64,
+        op: impl FnOnce(&mut Session) -> DbResult<T>,
+    ) -> DbResult<T> {
+        let handle = self.session(id)?;
+        let mut session = handle.lock().expect("session lock poisoned");
+        op(&mut session)
+    }
+
+    /// Record one applied probe (for `stats`).
+    pub fn record_probe(&self) {
+        self.counters.probes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::DatasetSpec;
+    use pdb_engine::queries::TopKQuery;
+
+    fn create_req(dataset: DatasetSpec) -> CreateSession {
+        CreateSession { dataset, probe_cost: 1, probe_success: 0.8 }
+    }
+
+    fn register_req(session: u64, k: usize) -> RegisterQuery {
+        RegisterQuery { session, query: TopKQuery::PTk { k, threshold: 0.4 }, weight: 1.0 }
+    }
+
+    #[test]
+    fn session_lifecycle_on_udb1() {
+        let mgr = SessionManager::new(4);
+        let created = mgr.create(&create_req(DatasetSpec::Udb1)).unwrap();
+        assert_eq!(created.tuples, 7);
+        assert_eq!(created.x_tuples, 4);
+        assert_eq!(mgr.sessions_live(), 1);
+
+        // No queries yet: evaluation verbs fail, registration fixes that.
+        let id = created.session;
+        assert!(mgr.with_session(id, |s| s.evaluate()).is_err());
+        let reg = mgr.with_session(id, |s| s.register_query(&register_req(id, 2))).unwrap();
+        assert_eq!(reg.index, 0);
+        assert_eq!(reg.k_max, 2);
+
+        let answers = mgr.with_session(id, |s| s.evaluate()).unwrap();
+        assert_eq!(answers.answers.len(), 1);
+        assert_eq!(answers.answers[0].len(), 3); // PT-2 = {t1, t2, t5}
+
+        let quality = mgr.with_session(id, |s| s.quality()).unwrap();
+        assert!((quality.aggregate - (-2.55)).abs() < 0.005);
+        assert_eq!(quality.g.len(), 4);
+
+        let advice = mgr.with_session(id, |s| s.recommend_probe()).unwrap();
+        let rec = advice.recommendation.expect("udb1 is uncertain");
+        assert!(rec.expected_gain > 0.0);
+
+        mgr.drop_session(id).unwrap();
+        assert_eq!(mgr.sessions_live(), 0);
+        assert!(mgr.session(id).is_err());
+        assert!(mgr.drop_session(id).is_err());
+    }
+
+    #[test]
+    fn registering_a_larger_k_replans_the_shared_run() {
+        let mgr = SessionManager::new(2);
+        let id = mgr.create(&create_req(DatasetSpec::Udb1)).unwrap().session;
+        let r1 = mgr.with_session(id, |s| s.register_query(&register_req(id, 2))).unwrap();
+        assert_eq!(r1.k_max, 2);
+        let r2 = mgr.with_session(id, |s| s.register_query(&register_req(id, 4))).unwrap();
+        assert_eq!((r2.index, r2.k_max), (1, 4));
+        let quality = mgr.with_session(id, |s| s.quality()).unwrap();
+        assert_eq!(quality.qualities.len(), 2);
+    }
+
+    #[test]
+    fn delta_and_rebuild_probe_paths_agree() {
+        let mgr = SessionManager::new(1);
+        let mk = || {
+            let id = mgr.create(&create_req(DatasetSpec::Udb1)).unwrap().session;
+            mgr.with_session(id, |s| s.register_query(&register_req(id, 2))).unwrap();
+            id
+        };
+        let (a, b) = (mk(), mk());
+        let mutation = XTupleMutation::CollapseToAlternative { keep_pos: 2 };
+        let probe =
+            |id, mode| ApplyProbe { session: id, x_tuple: 2, mutation: mutation.clone(), mode };
+        let delta =
+            mgr.with_session(a, |s| s.apply_probe(&probe(a, EvalMode::Delta))).unwrap().update;
+        let rebuild =
+            mgr.with_session(b, |s| s.apply_probe(&probe(b, EvalMode::Rebuild))).unwrap().update;
+        assert!((delta.aggregate - rebuild.aggregate).abs() < 1e-9);
+        assert!((delta.aggregate - (-1.85)).abs() < 0.005); // udb1 → udb2
+        assert!(delta.stats.rows_total() > 0, "delta path patched rows");
+        assert_eq!(rebuild.stats, DeltaStats::default(), "rebuild path patches nothing");
+        // Recommendations after the probe see the shrunk x-tuple set.
+        let advice = mgr.with_session(a, |s| s.recommend_probe()).unwrap();
+        assert!(advice.recommendation.is_some());
+    }
+
+    #[test]
+    fn invalid_session_parameters_are_rejected() {
+        let mgr = SessionManager::new(4);
+        assert!(mgr
+            .create(&CreateSession {
+                dataset: DatasetSpec::Udb1,
+                probe_cost: 0,
+                probe_success: 0.5
+            })
+            .is_err());
+        assert!(mgr
+            .create(&CreateSession {
+                dataset: DatasetSpec::Udb1,
+                probe_cost: 1,
+                probe_success: 1.5
+            })
+            .is_err());
+        assert_eq!(mgr.sessions_live(), 0);
+    }
+
+    #[test]
+    fn failed_registration_leaves_the_session_usable() {
+        let mgr = SessionManager::new(2);
+        let id = mgr.create(&create_req(DatasetSpec::Udb1)).unwrap().session;
+        mgr.with_session(id, |s| s.register_query(&register_req(id, 2))).unwrap();
+        // k = 0 is rejected by the batch planner; the session keeps serving
+        // its previous query set.
+        let bad = RegisterQuery { session: id, query: TopKQuery::UKRanks { k: 0 }, weight: 1.0 };
+        assert!(mgr.with_session(id, |s| s.register_query(&bad)).is_err());
+        let quality = mgr.with_session(id, |s| s.quality()).unwrap();
+        assert_eq!(quality.qualities.len(), 1);
+    }
+
+    #[test]
+    fn shards_spread_sessions() {
+        let mgr = SessionManager::new(4);
+        for _ in 0..32 {
+            mgr.create(&create_req(DatasetSpec::Udb1)).unwrap();
+        }
+        let occupied = mgr.shards.iter().filter(|s| !s.read().unwrap().is_empty()).count();
+        assert!(occupied >= 2, "32 sessions landed on {occupied} of 4 shards");
+        assert_eq!(mgr.sessions_created(), 32);
+    }
+}

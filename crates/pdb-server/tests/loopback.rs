@@ -1,0 +1,234 @@
+//! End-to-end loopback test: a real TCP server on an ephemeral port,
+//! concurrent clients, and byte-level equivalence against direct
+//! in-process `BatchQuality` calls.
+//!
+//! Every served answer, quality score and probe recommendation must match
+//! what the same sequence of engine calls produces in process (tolerance
+//! 1e-12 on floats; in practice the wire round-trip is bit-exact because
+//! the vendored serde_json prints shortest-round-trip floats and the
+//! server runs the identical code path on the identical database).
+
+use pdb_clean::{best_single_probe, CleaningContext, CleaningSetup};
+use pdb_engine::delta::XTupleMutation;
+use pdb_engine::queries::TopKQuery;
+use pdb_quality::{BatchQuality, WeightedQuery};
+use pdb_server::protocol::EvalMode;
+use pdb_server::{Client, DatasetSpec, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::thread;
+
+const TOL: f64 = 1e-12;
+
+/// Boot a server on an ephemeral loopback port.
+fn boot(threads: usize, shards: usize) -> (SocketAddr, thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(&ServerConfig { addr: "127.0.0.1:0".to_string(), threads, shards })
+        .expect("bind ephemeral loopback port");
+    let addr = server.local_addr().expect("bound address");
+    let handle = thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+/// The query set each worker registers (distinct `k`, all three
+/// semantics, non-uniform weights).
+fn query_specs(k_base: usize) -> Vec<(TopKQuery, f64)> {
+    vec![
+        (TopKQuery::PTk { k: k_base, threshold: 0.1 }, 1.0),
+        (TopKQuery::UKRanks { k: k_base + 2 }, 0.5),
+        (TopKQuery::GlobalTopk { k: 2 * k_base }, 2.0),
+    ]
+}
+
+fn assert_close(a: f64, b: f64, what: &str) {
+    assert!((a - b).abs() <= TOL, "{what}: served {a} vs direct {b}");
+}
+
+fn assert_all_close(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_close(*x, *y, &format!("{what}[{i}]"));
+    }
+}
+
+/// One worker's full session: register → evaluate → probe → re-evaluate,
+/// mirrored step for step by an in-process `BatchQuality` on the same
+/// (deterministically generated) database.
+fn exercise_session(addr: SocketAddr, worker: usize) {
+    let tuples = 400 + 100 * worker; // distinct database per worker
+    let k_base = 3 + worker;
+    let spec = DatasetSpec::Synthetic { tuples };
+    let mut client = Client::connect(addr).expect("connect");
+
+    let created = client.create_session(spec.clone(), 1, 0.8).expect("create_session");
+    assert_eq!(created.tuples, tuples);
+
+    // In-process mirror of the same session.
+    let db = spec.build().expect("mirror dataset");
+    assert_eq!(db.len(), tuples);
+    let specs: Vec<WeightedQuery> =
+        query_specs(k_base).into_iter().map(|(q, w)| WeightedQuery::weighted(q, w)).collect();
+    let mut mirror = BatchQuality::from_owned(db, specs.clone()).expect("mirror batch");
+
+    for (i, (query, weight)) in query_specs(k_base).into_iter().enumerate() {
+        let registered =
+            client.register_query(created.session, query, weight).expect("register_query");
+        assert_eq!(registered.index, i);
+    }
+
+    // --- evaluate + quality, pre-probe -------------------------------
+    let answers = client.evaluate(created.session).expect("evaluate");
+    assert_eq!(answers.answers, mirror.answers().expect("mirror answers"));
+
+    let report = client.quality(created.session).expect("quality");
+    assert_all_close(&report.qualities, &mirror.quality_vector(), "pre-probe qualities");
+    assert_close(report.aggregate, mirror.aggregate_quality(), "pre-probe aggregate");
+    assert_all_close(&report.g, &mirror.aggregate_breakdown(), "pre-probe g");
+
+    // --- probe recommendation ----------------------------------------
+    let advice = client.recommend_probe(created.session).expect("recommend_probe");
+    let setup = CleaningSetup::uniform(mirror.database().num_x_tuples(), 1, 0.8).unwrap();
+    let direct = best_single_probe(&CleaningContext::from_batch(&mirror), &setup);
+    match (advice.recommendation, direct) {
+        (Some(served), Some((l, gain))) => {
+            assert_eq!(served.x_tuple, l, "recommended x-tuple");
+            assert_close(served.expected_gain, gain, "recommended gain");
+        }
+        (None, None) => {}
+        (served, direct) => panic!("served {served:?} but direct says {direct:?}"),
+    }
+
+    // --- apply the recommended probe (delta path) --------------------
+    let l = advice.recommendation.expect("synthetic data is uncertain").x_tuple;
+    let keep_pos = mirror.database().x_tuple(l).members[0];
+    let mutation = XTupleMutation::CollapseToAlternative { keep_pos };
+    let applied = client
+        .apply_probe(created.session, l, mutation.clone(), EvalMode::Delta)
+        .expect("apply_probe");
+    let direct_update = mirror.apply_collapse_in_place(l, &mutation).expect("mirror collapse");
+    assert_eq!(applied.update.stats, direct_update.stats, "delta statistics");
+    assert_all_close(&applied.update.qualities, &direct_update.qualities, "post-probe qualities");
+    assert_close(applied.update.aggregate, direct_update.aggregate, "post-probe aggregate");
+    assert_close(
+        applied.update.aggregate_delta,
+        direct_update.aggregate_delta,
+        "post-probe aggregate delta",
+    );
+    assert_all_close(&applied.update.g, &direct_update.g, "post-probe g");
+
+    // --- re-evaluate on the mutated session --------------------------
+    let answers = client.evaluate(created.session).expect("re-evaluate");
+    assert_eq!(answers.answers, mirror.answers().expect("mirror re-answers"));
+    let report = client.quality(created.session).expect("re-quality");
+    assert_all_close(&report.qualities, &mirror.quality_vector(), "post-probe qualities");
+
+    client.drop_session(created.session).expect("drop_session");
+}
+
+#[test]
+fn concurrent_sessions_match_direct_engine_calls() {
+    let (addr, handle) = boot(4, 4);
+
+    let workers: Vec<thread::JoinHandle<()>> =
+        (0..4).map(|worker| thread::spawn(move || exercise_session(addr, worker))).collect();
+    for worker in workers {
+        worker.join().expect("worker session matched the direct engine");
+    }
+
+    // All sessions were dropped; the counters saw all of them.
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.sessions_live, 0);
+    assert_eq!(stats.sessions_created, 4);
+    assert_eq!(stats.probes_applied, 4);
+    assert!(stats.requests_served >= 4 * 8);
+
+    client.shutdown().unwrap();
+    handle.join().expect("server thread").expect("clean shutdown");
+}
+
+#[test]
+fn rebuild_mode_agrees_with_the_delta_path() {
+    let (addr, handle) = boot(2, 2);
+    let mut client = Client::connect(addr).unwrap();
+    let spec = DatasetSpec::Udb1;
+
+    let mk = |client: &mut Client| {
+        let session = client.create_session(spec.clone(), 1, 0.8).unwrap().session;
+        client.register_query(session, TopKQuery::PTk { k: 2, threshold: 0.4 }, 1.0).unwrap();
+        session
+    };
+    let (a, b) = (mk(&mut client), mk(&mut client));
+    let mutation = XTupleMutation::CollapseToAlternative { keep_pos: 2 };
+    let delta = client.apply_probe(a, 2, mutation.clone(), EvalMode::Delta).unwrap();
+    let rebuild = client.apply_probe(b, 2, mutation, EvalMode::Rebuild).unwrap();
+    // Full rebuild is the oracle for the delta patch (1e-9: different
+    // summation orders legitimately differ in round-off).
+    assert!((delta.update.aggregate - rebuild.update.aggregate).abs() < 1e-9);
+    assert!((delta.update.aggregate - (-1.85)).abs() < 0.005, "udb1 → udb2 quality");
+
+    client.shutdown().unwrap();
+    handle.join().expect("server thread").expect("clean shutdown");
+}
+
+#[test]
+fn errors_come_back_as_error_replies_not_disconnects() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let (addr, handle) = boot(1, 1);
+
+    // Unparseable bytes on a raw socket (below the typed Client, which
+    // validates requests before sending): the server must answer with an
+    // error reply and keep the connection open.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    let mut raw_reader = BufReader::new(raw.try_clone().unwrap());
+    let mut reply = String::new();
+    for bad in ["not json\n", "{\"evaluate\": {}, \"quality\": {}}\n", "{\"bogus\": {}}\n"] {
+        raw.write_all(bad.as_bytes()).unwrap();
+        reply.clear();
+        raw_reader.read_line(&mut reply).unwrap();
+        assert!(reply.starts_with("{\"error\":"), "for {bad:?} got {reply:?}");
+    }
+    // The same raw connection still serves well-formed requests.
+    raw.write_all(b"\"stats\"\n").unwrap();
+    reply.clear();
+    raw_reader.read_line(&mut reply).unwrap();
+    assert!(reply.starts_with("{\"stats\":"), "{reply:?}");
+    drop((raw, raw_reader));
+
+    let mut client = Client::connect(addr).unwrap();
+
+    // Unknown session: a typed error, not a disconnect.
+    let err = client.evaluate(999).unwrap_err();
+    assert!(err.to_string().contains("unknown session"), "{err}");
+    let err = client
+        .call(&pdb_server::Request::Evaluate(pdb_server::protocol::SessionRef { session: 999 }))
+        .unwrap();
+    assert!(matches!(err, pdb_server::Response::Error(_)));
+
+    // The same connection still works.
+    let created = client.create_session(DatasetSpec::Udb1, 1, 0.8).unwrap();
+    assert_eq!(created.tuples, 7);
+
+    client.shutdown().unwrap();
+    handle.join().expect("server thread").expect("clean shutdown");
+}
+
+#[test]
+fn shutdown_drains_even_with_an_idle_persistent_connection() {
+    let (addr, handle) = boot(2, 1);
+
+    // A client that connects and then never sends anything: its worker is
+    // parked in a blocking read when shutdown arrives.
+    let idle = Client::connect(addr).unwrap();
+
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown().unwrap();
+
+    // run() must return promptly despite the idle connection; join through
+    // a channel so a regression fails the test instead of hanging it.
+    let (tx, rx) = std::sync::mpsc::channel();
+    thread::spawn(move || tx.send(handle.join().expect("server thread")));
+    rx.recv_timeout(std::time::Duration::from_secs(10))
+        .expect("server drained despite the idle connection")
+        .expect("clean shutdown");
+    drop(idle);
+}
