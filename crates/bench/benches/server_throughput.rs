@@ -34,16 +34,20 @@ const KS: [usize; 3] = [5, 15, 50];
 /// alternative keep their factors), and the session returns to the same
 /// state every two iterations so the series is stationary.
 fn bench_probe_requality(c: &mut Criterion) {
-    let server =
-        Server::bind(&ServerConfig { addr: "127.0.0.1:0".to_string(), threads: 2, shards: 4 })
-            .expect("bind ephemeral port");
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        shards: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
     let addr = server.local_addr().expect("bound address");
     let server_thread = std::thread::spawn(move || server.run());
 
     let spec = DatasetSpec::Synthetic { tuples: TUPLES };
     // The generator is deterministic, so the client can mirror the
     // database to learn x-tuple 0's alternative probabilities.
-    let db = spec.build().expect("mirror dataset");
+    let db = pdb_gen::spec::build_dataset(&spec).expect("mirror dataset");
     let original: Vec<f64> = db.x_tuple(0).members.iter().map(|&pos| db.tuple(pos).prob).collect();
     let mut swapped = original.clone();
     swapped.swap(0, original.len() - 1);

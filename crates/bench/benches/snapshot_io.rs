@@ -1,0 +1,57 @@
+//! Snapshot I/O vs regeneration: loading a binary snapshot must beat
+//! regenerating the dataset and re-running PSR — that is the premise of
+//! checkpoint-based recovery (a session restart loads its last snapshot
+//! instead of rebuilding the dirty database and replaying everything).
+//!
+//! Three timings at n = 10⁴:
+//!
+//! * `load_snapshot` — `Snapshot::read` of the columnar binary file;
+//! * `regenerate` — the synthetic generator alone (what a snapshot-less
+//!   restart pays before any evaluation);
+//! * `regenerate_and_psr` — generator + one PSR run at k = 50 (the full
+//!   price of rebuilding a session's evaluation from nothing).
+//!
+//! The `recovery-smoke` CI job runs this target in quick mode and tracks
+//! its medians as `BENCH_store.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdb_bench::synthetic;
+use pdb_engine::psr::rank_probabilities;
+use pdb_store::Snapshot;
+use std::hint::black_box;
+use std::time::Duration;
+
+const TUPLES: usize = 10_000;
+const K: usize = 50;
+
+fn bench_snapshot_io(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_io");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+
+    let db = synthetic(TUPLES);
+    let dir = std::env::temp_dir().join("pdb-bench-snapshot-io");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("bench-{TUPLES}.pdbs"));
+    Snapshot::write(&db, &path).unwrap();
+
+    group.bench_with_input(BenchmarkId::new("load_snapshot", TUPLES), &path, |b, path| {
+        b.iter(|| Snapshot::read(black_box(path)).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("regenerate", TUPLES), &TUPLES, |b, &n| {
+        b.iter(|| synthetic(black_box(n)))
+    });
+    group.bench_with_input(BenchmarkId::new("regenerate_and_psr", TUPLES), &TUPLES, |b, &n| {
+        b.iter(|| {
+            let db = synthetic(black_box(n));
+            rank_probabilities(&db, K).unwrap()
+        })
+    });
+
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_snapshot_io);
+criterion_main!(benches);

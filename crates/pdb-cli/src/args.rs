@@ -14,8 +14,11 @@ pub const USAGE: &str = "usage:
   pdb clean [--dataset synthetic|mov|udb1] [--k <k>] [--budget <C>] [--algo greedy|dp|randp|randu] [--json]
   pdb adaptive [--dataset synthetic|mov|udb1] [--k <k>] [--budget <C>] [--trials <t>] [--mode incremental|rebuild|both]
   pdb batch [--dataset synthetic|mov|udb1] [--ks <k1,k2,...>] [--weights <w1,w2,...>] [--threshold <T>] [--budget <C>]
-  pdb serve [--addr <host:port>] [--threads <n>] [--shards <n>]
-  pdb call <request-json> [--addr <host:port>]
+  pdb serve [--addr <host:port>] [--threads <n>] [--shards <n>] [--store-dir <dir>] [--compact-every <n>]
+  pdb call <request-json | -> [--addr <host:port>]   (- streams stdin lines over one connection)
+  pdb export [--dataset synthetic|mov|udb1] [--tuples <n>] --out <file.pdbs>
+  pdb import <file> [--out <file>]
+  pdb recover --store-dir <dir>
   pdb help";
 
 /// Which dataset a `quality` / `clean` invocation runs on.
@@ -109,13 +112,40 @@ pub enum Command {
         threads: usize,
         /// Shards of the session store.
         shards: usize,
+        /// Durable store directory (sessions journalled + recovered).
+        store_dir: Option<String>,
+        /// Auto-compaction threshold in WAL records (0 disables).
+        compact_every: u64,
     },
     /// `pdb call`
     Call {
         /// Server address to connect to.
         addr: String,
-        /// The request, as one JSON value (see README "Serving & sessions").
+        /// The request, as one JSON value (see README "Serving &
+        /// sessions"), or `-` to stream newline-delimited requests from
+        /// stdin over one persistent connection.
         request: String,
+    },
+    /// `pdb export`
+    Export {
+        /// Dataset to generate and export.
+        dataset: DatasetChoice,
+        /// Approximate tuple count for generated datasets.
+        tuples: usize,
+        /// Output snapshot file.
+        out: String,
+    },
+    /// `pdb import`
+    Import {
+        /// Snapshot (or JSON) file to load.
+        file: String,
+        /// Optional re-export target (format picked by extension).
+        out: Option<String>,
+    },
+    /// `pdb recover`
+    Recover {
+        /// Store directory to replay.
+        store_dir: String,
     },
     /// `pdb adaptive`
     Adaptive {
@@ -233,6 +263,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut addr = "127.0.0.1:7878".to_string();
             let mut threads = 4;
             let mut shards = 8;
+            let mut store_dir = None;
+            let mut compact_every = 1024;
             let mut flags = Flags::new(rest);
             while let Some(flag) = flags.next_flag() {
                 match flag {
@@ -241,13 +273,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         threads = parse_usize(flags.value_for("--threads")?, "--threads")?
                     }
                     "--shards" => shards = parse_usize(flags.value_for("--shards")?, "--shards")?,
+                    "--store-dir" => store_dir = Some(flags.value_for("--store-dir")?.to_string()),
+                    "--compact-every" => {
+                        compact_every =
+                            parse_usize(flags.value_for("--compact-every")?, "--compact-every")?
+                                as u64
+                    }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
             if threads == 0 || shards == 0 {
                 return Err("--threads and --shards must be at least 1".to_string());
             }
-            Ok(Command::Serve { addr, threads, shards })
+            Ok(Command::Serve { addr, threads, shards, store_dir, compact_every })
         }
         "call" => {
             let (request, rest) = rest
@@ -262,6 +300,52 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 }
             }
             Ok(Command::Call { addr, request: request.clone() })
+        }
+        "export" => {
+            let mut dataset = DatasetChoice::Synthetic;
+            let mut tuples = 10_000;
+            let mut out = None;
+            let mut flags = Flags::new(rest);
+            while let Some(flag) = flags.next_flag() {
+                match flag {
+                    "--dataset" => dataset = DatasetChoice::parse(flags.value_for("--dataset")?)?,
+                    "--tuples" => tuples = parse_usize(flags.value_for("--tuples")?, "--tuples")?,
+                    "--out" => out = Some(flags.value_for("--out")?.to_string()),
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            let out = out.ok_or_else(|| "export requires --out <file>".to_string())?;
+            if tuples == 0 {
+                return Err("--tuples must be at least 1".to_string());
+            }
+            Ok(Command::Export { dataset, tuples, out })
+        }
+        "import" => {
+            let (file, rest) = rest
+                .split_first()
+                .ok_or_else(|| "import requires a snapshot file argument".to_string())?;
+            let mut out = None;
+            let mut flags = Flags::new(rest);
+            while let Some(flag) = flags.next_flag() {
+                match flag {
+                    "--out" => out = Some(flags.value_for("--out")?.to_string()),
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Import { file: file.clone(), out })
+        }
+        "recover" => {
+            let mut store_dir = None;
+            let mut flags = Flags::new(rest);
+            while let Some(flag) = flags.next_flag() {
+                match flag {
+                    "--store-dir" => store_dir = Some(flags.value_for("--store-dir")?.to_string()),
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            let store_dir =
+                store_dir.ok_or_else(|| "recover requires --store-dir <dir>".to_string())?;
+            Ok(Command::Recover { store_dir })
         }
         "batch" => {
             let mut dataset = DatasetChoice::Synthetic;
@@ -427,18 +511,83 @@ mod tests {
     #[test]
     fn parses_serve_and_call() {
         let c = parse(&argv(&["serve"])).unwrap();
-        assert_eq!(c, Command::Serve { addr: "127.0.0.1:7878".into(), threads: 4, shards: 8 });
-        let c =
-            parse(&argv(&["serve", "--addr", "0.0.0.0:9000", "--threads", "8", "--shards", "16"]))
-                .unwrap();
-        assert_eq!(c, Command::Serve { addr: "0.0.0.0:9000".into(), threads: 8, shards: 16 });
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "127.0.0.1:7878".into(),
+                threads: 4,
+                shards: 8,
+                store_dir: None,
+                compact_every: 1024,
+            }
+        );
+        let c = parse(&argv(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--threads",
+            "8",
+            "--shards",
+            "16",
+            "--store-dir",
+            "/var/lib/pdb",
+            "--compact-every",
+            "64",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "0.0.0.0:9000".into(),
+                threads: 8,
+                shards: 16,
+                store_dir: Some("/var/lib/pdb".into()),
+                compact_every: 64,
+            }
+        );
         assert!(parse(&argv(&["serve", "--threads", "0"])).is_err());
         assert!(parse(&argv(&["serve", "--bogus"])).is_err());
 
         let c = parse(&argv(&["call", "\"stats\"", "--addr", "127.0.0.1:9"])).unwrap();
         assert_eq!(c, Command::Call { addr: "127.0.0.1:9".into(), request: "\"stats\"".into() });
+        // `-` selects the stdin line mode.
+        let c = parse(&argv(&["call", "-"])).unwrap();
+        assert_eq!(c, Command::Call { addr: "127.0.0.1:7878".into(), request: "-".into() });
         assert!(parse(&argv(&["call"])).is_err());
         assert!(parse(&argv(&["call", "\"stats\"", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_export_import_recover() {
+        let c = parse(&argv(&["export", "--out", "db.pdbs"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Export {
+                dataset: DatasetChoice::Synthetic,
+                tuples: 10_000,
+                out: "db.pdbs".into()
+            }
+        );
+        let c =
+            parse(&argv(&["export", "--dataset", "udb1", "--tuples", "7", "--out", "/tmp/u.pdbs"]))
+                .unwrap();
+        assert_eq!(
+            c,
+            Command::Export { dataset: DatasetChoice::Udb1, tuples: 7, out: "/tmp/u.pdbs".into() }
+        );
+        assert!(parse(&argv(&["export"])).is_err(), "--out is mandatory");
+        assert!(parse(&argv(&["export", "--out", "x", "--tuples", "0"])).is_err());
+
+        let c = parse(&argv(&["import", "db.pdbs"])).unwrap();
+        assert_eq!(c, Command::Import { file: "db.pdbs".into(), out: None });
+        let c = parse(&argv(&["import", "db.pdbs", "--out", "db.json"])).unwrap();
+        assert_eq!(c, Command::Import { file: "db.pdbs".into(), out: Some("db.json".into()) });
+        assert!(parse(&argv(&["import"])).is_err());
+
+        let c = parse(&argv(&["recover", "--store-dir", "/tmp/store"])).unwrap();
+        assert_eq!(c, Command::Recover { store_dir: "/tmp/store".into() });
+        assert!(parse(&argv(&["recover"])).is_err(), "--store-dir is mandatory");
+        assert!(parse(&argv(&["recover", "--bogus"])).is_err());
     }
 
     #[test]

@@ -28,8 +28,13 @@ pub fn run(command: Command) -> Result<String> {
         Command::All { scale, csv_dir } => run_all(scale, csv_dir.as_deref()),
         Command::Quality { dataset, k, algo, json } => quality(dataset, k, &algo, json),
         Command::Clean { dataset, k, budget, algo, json } => clean(dataset, k, budget, &algo, json),
-        Command::Serve { addr, threads, shards } => serve(&addr, threads, shards),
+        Command::Serve { addr, threads, shards, store_dir, compact_every } => {
+            serve(&addr, threads, shards, store_dir, compact_every)
+        }
         Command::Call { addr, request } => call(&addr, &request),
+        Command::Export { dataset, tuples, out } => export(dataset, tuples, &out),
+        Command::Import { file, out } => import(&file, out.as_deref()),
+        Command::Recover { store_dir } => recover(&store_dir),
         Command::Adaptive { dataset, k, budget, trials, mode } => {
             adaptive(dataset, k, budget, trials, &mode)
         }
@@ -217,13 +222,32 @@ fn clean(choice: DatasetChoice, k: usize, budget: u64, algo: &str, json: bool) -
 
 /// `pdb serve`: bind the cleaning service and block until a `shutdown`
 /// request drains it.
-fn serve(addr: &str, threads: usize, shards: usize) -> Result<String> {
-    let config = pdb_server::ServerConfig { addr: addr.to_string(), threads, shards };
+fn serve(
+    addr: &str,
+    threads: usize,
+    shards: usize,
+    store_dir: Option<String>,
+    compact_every: u64,
+) -> Result<String> {
+    let durable = store_dir.clone();
+    let config = pdb_server::ServerConfig {
+        addr: addr.to_string(),
+        threads,
+        shards,
+        store_dir,
+        compact_every,
+    };
     let server = pdb_server::Server::bind(&config)
         .map_err(|e| DbError::invalid_parameter(format!("binding {addr} failed: {e}")))?;
     let bound = server
         .local_addr()
         .map_err(|e| DbError::invalid_parameter(format!("resolving bound address failed: {e}")))?;
+    if let Some(dir) = &durable {
+        println!(
+            "pdb-server recovered {} session(s) from {dir} (compact every {compact_every} records)",
+            server.sessions_recovered()
+        );
+    }
     // Announce readiness before blocking: scripts wait for this line.
     println!("pdb-server listening on {bound} ({threads} threads, {shards} shards)");
     server.run().map_err(|e| DbError::invalid_parameter(format!("server failed: {e}")))?;
@@ -231,15 +255,133 @@ fn serve(addr: &str, threads: usize, shards: usize) -> Result<String> {
 }
 
 /// `pdb call`: send one JSON request line to a running server and print
-/// the JSON response line.
+/// the JSON response line.  With `-` as the request, newline-delimited
+/// requests are streamed from stdin over one persistent connection — one
+/// response line per request line, printed as they arrive — so scripted
+/// clients pay the connect cost once instead of per request.
 fn call(addr: &str, request: &str) -> Result<String> {
-    let request = pdb_server::protocol::decode_request(request)
-        .map_err(|e| DbError::invalid_parameter(format!("invalid request JSON: {e}")))?;
     let mut client = pdb_server::Client::connect(addr)
         .map_err(|e| DbError::invalid_parameter(format!("connecting to {addr} failed: {e}")))?;
+    if request == "-" {
+        return call_lines(&mut client, std::io::stdin().lock());
+    }
+    let request = pdb_server::protocol::decode_request(request)
+        .map_err(|e| DbError::invalid_parameter(format!("invalid request JSON: {e}")))?;
     let response = client.call(&request).map_err(|e| DbError::invalid_parameter(e.to_string()))?;
     pdb_server::protocol::encode(&response)
         .map_err(|e| DbError::invalid_parameter(format!("encoding response failed: {e}")))
+}
+
+/// The `pdb call -` line mode: stream requests from `input` over one
+/// connection.  A malformed line yields a local `{"error": ...}` line
+/// (matching the server's own error shape) and the stream continues.
+fn call_lines(client: &mut pdb_server::Client, input: impl std::io::BufRead) -> Result<String> {
+    use std::io::Write as _;
+    let stdout = std::io::stdout();
+    let mut served = 0u64;
+    for line in input.lines() {
+        let line =
+            line.map_err(|e| DbError::invalid_parameter(format!("reading stdin failed: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match pdb_server::protocol::decode_request(line.trim()) {
+            Ok(request) => {
+                client.call(&request).map_err(|e| DbError::invalid_parameter(e.to_string()))?
+            }
+            Err(err) => pdb_server::Response::error(format!("invalid request JSON: {err}")),
+        };
+        let encoded = pdb_server::protocol::encode(&response)
+            .map_err(|e| DbError::invalid_parameter(format!("encoding response failed: {e}")))?;
+        let mut out = stdout.lock();
+        if let Err(e) = writeln!(out, "{encoded}").and_then(|()| out.flush()) {
+            if e.kind() == std::io::ErrorKind::BrokenPipe {
+                break; // reader hung up: stop streaming quietly
+            }
+            return Err(DbError::invalid_parameter(format!("writing output failed: {e}")));
+        }
+        served += 1;
+    }
+    Ok(format!("{served} request(s) served over one connection"))
+}
+
+/// The spec `pdb export` materializes for each dataset choice.
+fn export_spec(choice: DatasetChoice, tuples: usize) -> pdb_gen::DatasetSpec {
+    match choice {
+        // MOV averages ~2 alternatives per x-tuple, so halve the count.
+        DatasetChoice::Synthetic => pdb_gen::DatasetSpec::Synthetic { tuples },
+        DatasetChoice::Mov => pdb_gen::DatasetSpec::Mov { x_tuples: (tuples / 2).max(1) },
+        DatasetChoice::Udb1 => pdb_gen::DatasetSpec::Udb1,
+    }
+}
+
+/// `pdb export`: generate a dataset and write it as a binary snapshot.
+fn export(choice: DatasetChoice, tuples: usize, out: &str) -> Result<String> {
+    let db = pdb_gen::build_dataset(&export_spec(choice, tuples))?;
+    let path = std::path::Path::new(out);
+    pdb_gen::io::save_ranked(&db, path)?;
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    Ok(format!(
+        "exported {} ({} tuples, {} x-tuples) to {out} ({bytes} bytes)",
+        dataset_name(choice),
+        db.len(),
+        db.num_x_tuples(),
+    ))
+}
+
+/// `pdb import`: load a snapshot (or JSON) database, print its shape and
+/// optionally re-export it (format picked by the output extension).
+fn import(file: &str, out: Option<&str>) -> Result<String> {
+    let db = pdb_gen::io::load_ranked(std::path::Path::new(file))?;
+    let mut text = String::new();
+    let _ = writeln!(text, "file      : {file}");
+    let _ = writeln!(text, "tuples    : {} ({} x-tuples)", db.len(), db.num_x_tuples());
+    let _ =
+        writeln!(text, "avg alts  : {:.2} per x-tuple", db.len() as f64 / db.num_x_tuples() as f64);
+    let _ = writeln!(text, "worlds    : {}", db.world_count());
+    if let Some(out) = out {
+        pdb_gen::io::save_ranked(&db, std::path::Path::new(out))?;
+        let _ = writeln!(text, "written   : {out}");
+    }
+    Ok(text)
+}
+
+/// `pdb recover`: dry-run a store directory's recovery and report what a
+/// server started with `--store-dir` would rehydrate.  Strictly
+/// read-only: nothing is created, and a torn log tail is reported, not
+/// truncated.
+fn recover(store_dir: &str) -> Result<String> {
+    let recovery = pdb_store::Store::peek(std::path::Path::new(store_dir), &pdb_gen::build_dataset)
+        .map_err(DbError::from)?;
+    let mut text = String::new();
+    let _ = writeln!(text, "store      : {store_dir}");
+    let _ = writeln!(
+        text,
+        "log        : {} record(s), {} torn tail byte(s) (a restart truncates them)",
+        recovery.records, recovery.truncated_bytes
+    );
+    let _ = writeln!(text, "sessions   : {} recovered", recovery.sessions.len());
+    for session in &recovery.sessions {
+        let state = match &session.state {
+            pdb_store::RecoveredState::Idle(_) => "idle".to_string(),
+            pdb_store::RecoveredState::Live(batch) => {
+                format!("live, aggregate quality {:+.6}", batch.aggregate_quality())
+            }
+        };
+        let _ = writeln!(
+            text,
+            "  session {:>3}: {} tuples, {} quer{}, {} probe(s) ({} replayed, {} delta rows), {state}",
+            session.id,
+            session.state.database().len(),
+            session.specs.len(),
+            if session.specs.len() == 1 { "y" } else { "ies" },
+            session.probes,
+            session.probes_replayed,
+            session.replay_stats.rows_total(),
+        );
+    }
+    let _ = writeln!(text, "next id    : {}", recovery.next_session_id);
+    Ok(text)
 }
 
 fn adaptive(
@@ -480,6 +622,7 @@ mod tests {
             addr: "127.0.0.1:0".to_string(),
             threads: 1,
             shards: 1,
+            ..pdb_server::ServerConfig::default()
         })
         .unwrap();
         let addr = server.local_addr().unwrap().to_string();
@@ -501,6 +644,102 @@ mod tests {
         let reply = call(&addr, "\"shutdown\"").unwrap();
         assert!(reply.contains("shutting_down"), "{reply}");
         handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn call_line_mode_streams_requests_over_one_connection() {
+        let server = pdb_server::Server::bind(&pdb_server::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            shards: 1,
+            ..pdb_server::ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.run());
+
+        let mut client = pdb_server::Client::connect(&addr).unwrap();
+        let script = "\
+{\"create_session\": {\"dataset\": \"Udb1\", \"probe_cost\": 1, \"probe_success\": 0.8}}\n\
+\n\
+{\"register_query\": {\"session\": 1, \"query\": {\"PTk\": {\"k\": 2, \"threshold\": 0.4}}, \"weight\": 1}}\n\
+not json\n\
+{\"evaluate\": {\"session\": 1}}\n";
+        let summary = call_lines(&mut client, std::io::Cursor::new(script)).unwrap();
+        assert!(summary.contains("4 request(s)"), "{summary}");
+
+        // The connection survives the malformed line; the session built
+        // up over the stream still answers.
+        let answers = client.evaluate(1).unwrap();
+        assert_eq!(answers.answers[0].len(), 3);
+
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn export_then_import_round_trips_a_snapshot() {
+        let dir = std::env::temp_dir().join("pdb-cli-export-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snapshot = dir.join("udb1.pdbs");
+        let json = dir.join("udb1.json");
+
+        let out = export(DatasetChoice::Udb1, 7, &snapshot.display().to_string()).unwrap();
+        assert!(out.contains("7 tuples"), "{out}");
+        assert!(snapshot.exists());
+
+        let summary =
+            import(&snapshot.display().to_string(), Some(&json.display().to_string())).unwrap();
+        assert!(summary.contains("tuples    : 7 (4 x-tuples)"), "{summary}");
+        assert!(summary.contains("worlds    : 8"), "{summary}");
+        let back = pdb_gen::io::load_ranked(&json).unwrap();
+        assert_eq!(back.len(), 7);
+
+        assert!(import("/definitely/not/here.pdbs", None).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_command_reports_the_replayed_log() {
+        use pdb_quality::{TopKQuery, XTupleMutation};
+        let dir = std::env::temp_dir().join("pdb-cli-recover-test");
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let (store, _) = pdb_store::Store::open(&dir, true, &pdb_gen::build_dataset).unwrap();
+            store
+                .append(&pdb_store::WalRecord::CreateSession {
+                    session: 1,
+                    dataset: pdb_gen::DatasetSpec::Udb1,
+                    probe_cost: 1,
+                    probe_success: 0.8,
+                })
+                .unwrap();
+            store
+                .append(&pdb_store::WalRecord::RegisterQuery {
+                    session: 1,
+                    query: TopKQuery::PTk { k: 2, threshold: 0.4 },
+                    weight: 1.0,
+                })
+                .unwrap();
+            store
+                .append(&pdb_store::WalRecord::ApplyProbe {
+                    session: 1,
+                    x_tuple: 2,
+                    mutation: XTupleMutation::CollapseToAlternative { keep_pos: 2 },
+                })
+                .unwrap();
+        }
+        let text = recover(&dir.display().to_string()).unwrap();
+        assert!(text.contains("3 record(s)"), "{text}");
+        // Dry run: peeking a missing store is an error, not a mkdir.
+        let missing = dir.join("not-a-store");
+        assert!(recover(&missing.display().to_string()).is_err());
+        assert!(!missing.exists(), "recover must not create directories");
+        assert!(text.contains("sessions   : 1 recovered"), "{text}");
+        assert!(text.contains("1 probe(s) (1 replayed"), "{text}");
+        assert!(text.contains("live, aggregate quality"), "{text}");
+        assert!(text.contains("next id    : 2"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

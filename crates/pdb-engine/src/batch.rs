@@ -310,6 +310,26 @@ impl<'a> BatchEvaluation<'a> {
         Ok(stats)
     }
 
+    /// Replay a journalled sequence of probe outcomes in order, one delta
+    /// pass each, and return the accumulated statistics.
+    ///
+    /// This is the crash-recovery hook of `pdb-store`: a write-ahead log
+    /// replays as O(probes) delta passes on the shared master matrix —
+    /// never a PSR rerun per probe.  On `Err` the already-applied prefix
+    /// of the sequence remains in place (the evaluation matches the state
+    /// just before the failing mutation), so a caller recovering from a
+    /// log should discard the evaluation on error.
+    pub fn replay_in_place(
+        &mut self,
+        probes: impl IntoIterator<Item = (usize, XTupleMutation)>,
+    ) -> Result<DeltaStats> {
+        let mut total = DeltaStats::default();
+        for (l, mutation) in probes {
+            total.accumulate(&self.apply_collapse_in_place(l, &mutation)?);
+        }
+        Ok(total)
+    }
+
     /// [`apply_collapse_in_place`](Self::apply_collapse_in_place) on a
     /// copy: the pre-mutation evaluation is untouched (and remains usable
     /// as an oracle); the returned evaluation owns its database.

@@ -2,27 +2,57 @@
 //!
 //! Experiments that sweep a parameter while holding the dataset fixed (most
 //! of the paper's figures) benefit from generating once and reloading; this
-//! module provides JSON persistence for ranked databases and generator
-//! configurations.
+//! module persists ranked databases in two formats:
+//!
+//! * **JSON** — human-readable, diff-able, the historical default;
+//! * **binary snapshots** (`pdb-store`'s checksummed columnar format) —
+//!   the fast path: a `.pdbs` file loads as a sequential read plus one
+//!   index rebuild, with bit-exact `f64` fidelity, instead of a JSON
+//!   parse.  The `snapshot_io` bench measures the difference against
+//!   regenerating the dataset outright.
+//!
+//! [`save_ranked`] picks the format from the file extension (`.pdbs` →
+//! binary, anything else → JSON); [`load_ranked`] sniffs the file's
+//! magic bytes, so it reads either format regardless of the name.
 
 use pdb_core::{DbError, RankedDatabase, Result};
+use pdb_store::Snapshot;
 use std::fs;
 use std::path::Path;
 
-/// Serialise a ranked database to a JSON file.
+/// Whether a path requests the binary snapshot format when writing.
+fn wants_snapshot(path: &Path) -> bool {
+    path.extension().is_some_and(|ext| ext.eq_ignore_ascii_case("pdbs"))
+}
+
+/// Serialise a ranked database to a file: binary snapshot for `.pdbs`
+/// paths, JSON otherwise.
 pub fn save_ranked(db: &RankedDatabase, path: &Path) -> Result<()> {
+    if wants_snapshot(path) {
+        return Snapshot::write(db, path).map_err(Into::into);
+    }
     let json = serde_json::to_string(db)
         .map_err(|e| DbError::invalid_parameter(format!("serialisation failed: {e}")))?;
     fs::write(path, json)
         .map_err(|e| DbError::invalid_parameter(format!("writing {} failed: {e}", path.display())))
 }
 
-/// Load a ranked database from a JSON file produced by [`save_ranked`].
+/// Load a ranked database saved by [`save_ranked`], auto-detecting the
+/// format from the file's leading bytes.
 pub fn load_ranked(path: &Path) -> Result<RankedDatabase> {
-    let json = fs::read_to_string(path).map_err(|e| {
+    let bytes = fs::read(path).map_err(|e| {
         DbError::invalid_parameter(format!("reading {} failed: {e}", path.display()))
     })?;
-    serde_json::from_str(&json)
+    if Snapshot::is_snapshot(&bytes) {
+        return Snapshot::decode(&bytes, path).map_err(Into::into);
+    }
+    let json = std::str::from_utf8(&bytes).map_err(|e| {
+        DbError::invalid_parameter(format!(
+            "{} is neither a snapshot nor UTF-8 JSON: {e}",
+            path.display()
+        ))
+    })?;
+    serde_json::from_str(json)
         .map_err(|e| DbError::invalid_parameter(format!("parsing {} failed: {e}", path.display())))
 }
 
@@ -31,18 +61,46 @@ mod tests {
     use super::*;
     use crate::synthetic::{generate_ranked, SyntheticConfig};
 
+    fn temp_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pdb-gen-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn round_trips_through_json() {
         let db =
             generate_ranked(&SyntheticConfig { num_x_tuples: 10, ..SyntheticConfig::default() })
                 .unwrap();
-        let dir = std::env::temp_dir().join("pdb-gen-io-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("db.json");
+        let path = temp_dir().join("db.json");
         save_ranked(&db, &path).unwrap();
+        assert_eq!(fs::read(&path).unwrap()[0], b'{', "JSON on non-.pdbs paths");
         let back = load_ranked(&path).unwrap();
         assert_eq!(db, back);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn round_trips_through_the_binary_fast_path() {
+        let db =
+            generate_ranked(&SyntheticConfig { num_x_tuples: 10, ..SyntheticConfig::default() })
+                .unwrap();
+        let path = temp_dir().join("db.pdbs");
+        save_ranked(&db, &path).unwrap();
+        assert_eq!(&fs::read(&path).unwrap()[..4], b"PDBS", "binary on .pdbs paths");
+        let back = load_ranked(&path).unwrap();
+        assert_eq!(db, back);
+        for pos in 0..db.len() {
+            assert_eq!(db.tuple(pos).prob.to_bits(), back.tuple(pos).prob.to_bits());
+        }
+
+        // The loader sniffs magic, not extensions: a snapshot under a
+        // .json name still loads.
+        let disguised = temp_dir().join("disguised.json");
+        fs::copy(&path, &disguised).unwrap();
+        assert_eq!(load_ranked(&disguised).unwrap(), db);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&disguised).ok();
     }
 
     #[test]
@@ -55,5 +113,18 @@ mod tests {
             missing
         )
         .is_err());
+        // A corrupt snapshot is a clean error through the auto-detecting
+        // loader too.
+        let path = temp_dir().join("corrupt.pdbs");
+        let db =
+            generate_ranked(&SyntheticConfig { num_x_tuples: 4, ..SyntheticConfig::default() })
+                .unwrap();
+        save_ranked(&db, &path).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(load_ranked(&path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 }

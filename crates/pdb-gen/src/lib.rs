@@ -10,8 +10,10 @@
 //!
 //! [`cleaning_params`] generates the per-x-tuple cleaning costs and
 //! sc-probabilities of the cleaning experiments, [`dist`] holds the small
-//! amount of in-house numerics (normal CDF / sampling), and [`io`] persists
-//! generated datasets as JSON.
+//! amount of in-house numerics (normal CDF / sampling), [`io`] persists
+//! generated datasets (JSON, with a binary-snapshot fast path), and
+//! [`spec`] materializes durable [`spec::DatasetSpec`] descriptions into
+//! databases.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -20,15 +22,18 @@ pub mod cleaning_params;
 pub mod dist;
 pub mod io;
 pub mod mov;
+pub mod spec;
 pub mod synthetic;
 
 pub use cleaning_params::{CleaningParams, CleaningParamsConfig, ScPdf};
 pub use mov::{MovConfig, MovRanking, MovRating};
+pub use spec::{build_dataset, DatasetSpec};
 pub use synthetic::{SyntheticConfig, UncertaintyPdf};
 
 /// Convenience prelude bringing the most frequently used items into scope.
 pub mod prelude {
     pub use crate::cleaning_params::{CleaningParams, CleaningParamsConfig, ScPdf};
     pub use crate::mov::{MovConfig, MovRanking, MovRating};
+    pub use crate::spec::{build_dataset, DatasetSpec};
     pub use crate::synthetic::{SyntheticConfig, UncertaintyPdf};
 }

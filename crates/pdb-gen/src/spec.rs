@@ -1,0 +1,75 @@
+//! Materializing durable dataset specs.
+//!
+//! [`DatasetSpec`] itself lives in `pdb-store` (it is a write-ahead-log
+//! and wire-protocol payload, below the generators in the dependency
+//! order); this module is its builder — the one place that knows how to
+//! turn every spec variant into a ranked database.  All variants are
+//! deterministic, so the same spec always materializes the identical
+//! database: that is what lets a `create_session` log record stand in
+//! for the database it created, and what lets clients mirror a served
+//! session in process.
+
+use crate::mov::{self, MovConfig};
+use crate::synthetic::{self, SyntheticConfig};
+use pdb_core::{examples, RankedDatabase, Result, ScoreRanking};
+use pdb_store::Snapshot;
+use std::path::Path;
+
+pub use pdb_store::DatasetSpec;
+
+/// Materialize the database a spec describes.
+pub fn build_dataset(spec: &DatasetSpec) -> Result<RankedDatabase> {
+    match spec {
+        DatasetSpec::Synthetic { tuples } => {
+            synthetic::generate_ranked(&SyntheticConfig::with_total_tuples(*tuples))
+        }
+        DatasetSpec::Mov { x_tuples } => mov::generate_ranked(&MovConfig {
+            num_x_tuples: *x_tuples,
+            ..MovConfig::paper_default()
+        }),
+        DatasetSpec::Udb1 => Ok(examples::udb1().rank_by(&ScoreRanking)),
+        DatasetSpec::Inline { x_tuples } => RankedDatabase::from_scored_x_tuples(x_tuples),
+        DatasetSpec::Snapshot { path } => Snapshot::read(Path::new(path)).map_err(Into::into),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_builds_deterministically() {
+        for spec in [
+            DatasetSpec::Udb1,
+            DatasetSpec::Synthetic { tuples: 200 },
+            DatasetSpec::Mov { x_tuples: 20 },
+            DatasetSpec::Inline { x_tuples: vec![vec![(1.0, 0.5), (2.0, 0.5)], vec![(3.0, 1.0)]] },
+        ] {
+            let a = build_dataset(&spec).unwrap();
+            let b = build_dataset(&spec).unwrap();
+            assert!(!a.is_empty());
+            assert_eq!(a.len(), b.len(), "{spec:?}");
+            for pos in 0..a.len() {
+                assert_eq!(a.tuple(pos).score.to_bits(), b.tuple(pos).score.to_bits());
+                assert_eq!(a.tuple(pos).prob.to_bits(), b.tuple(pos).prob.to_bits());
+            }
+        }
+        assert_eq!(build_dataset(&DatasetSpec::Udb1).unwrap().len(), 7);
+    }
+
+    #[test]
+    fn snapshot_variant_loads_the_file_bit_exactly() {
+        let db = build_dataset(&DatasetSpec::Synthetic { tuples: 100 }).unwrap();
+        let dir = std::env::temp_dir().join("pdb-gen-spec-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spec.pdbs");
+        Snapshot::write(&db, &path).unwrap();
+        let spec = DatasetSpec::Snapshot { path: path.display().to_string() };
+        let back = build_dataset(&spec).unwrap();
+        assert_eq!(db, back);
+        std::fs::remove_file(&path).ok();
+
+        // A missing snapshot is a clean engine error, not a panic.
+        assert!(build_dataset(&spec).is_err());
+    }
+}

@@ -271,6 +271,24 @@ impl<'a> BatchQuality<'a> {
         Ok(self.finish_update(before, stats))
     }
 
+    /// Replay a journalled sequence of probe outcomes: every mutation is
+    /// one delta pass on the shared master matrix, and the quality caches
+    /// are refreshed **once** at the end instead of once per probe — the
+    /// intermediate quality vectors a live session serves to clients are
+    /// pure overhead during crash recovery.
+    ///
+    /// On `Err` the batch is inconsistent (the evaluation holds the
+    /// partially replayed state but the cached qualities do not) and must
+    /// be discarded.
+    pub fn replay_in_place(
+        &mut self,
+        probes: impl IntoIterator<Item = (usize, XTupleMutation)>,
+    ) -> Result<BatchCollapseUpdate> {
+        let before = self.aggregate;
+        let stats = self.eval.replay_in_place(probes)?;
+        Ok(self.finish_update(before, stats))
+    }
+
     /// [`apply_collapse_in_place`](Self::apply_collapse_in_place) on a
     /// copy: the pre-mutation batch stays usable as an oracle.
     pub fn apply_collapse(
@@ -384,6 +402,31 @@ mod tests {
         // The vendored serde_json prints shortest-round-trip floats, so the
         // decoded update is bit-identical, not merely close.
         assert_eq!(back, update, "via {json}");
+    }
+
+    #[test]
+    fn replay_in_place_matches_sequential_applies() {
+        let probes = vec![
+            (2usize, XTupleMutation::CollapseToAlternative { keep_pos: 2 }),
+            (1usize, XTupleMutation::Reweight { probs: vec![0.9, 0.1] }),
+        ];
+        let mut sequential = BatchQuality::from_owned(udb1(), specs()).unwrap();
+        let before = sequential.aggregate_quality();
+        let mut stats = DeltaStats::default();
+        for (l, mutation) in &probes {
+            stats.accumulate(&sequential.apply_collapse_in_place(*l, mutation).unwrap().stats);
+        }
+
+        let mut replayed = BatchQuality::from_owned(udb1(), specs()).unwrap();
+        let update = replayed.replay_in_place(probes).unwrap();
+        assert_eq!(update.stats, stats, "delta statistics accumulate across the replay");
+        assert!((update.aggregate - sequential.aggregate_quality()).abs() < 1e-12);
+        assert!((update.aggregate_delta - (update.aggregate - before)).abs() < 1e-12);
+        let sequential_qualities = sequential.quality_vector();
+        for (q, quality) in update.qualities.iter().enumerate() {
+            assert!((quality - sequential_qualities[q]).abs() < 1e-12, "query {q}");
+        }
+        assert_eq!(replayed.database(), sequential.database());
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! `{"error": ...}` replies as [`ClientError::Server`].
 
 use crate::protocol::{
-    self, Answers, ApplyProbe, CreateSession, DatasetSpec, EvalMode, ProbeAdvice, ProbeApplied,
-    QualityReport, QueryRegistered, RegisterQuery, Request, Response, ServerStats, SessionCreated,
-    SessionRef,
+    self, Answers, ApplyProbe, CreateSession, DatasetSpec, EvalMode, Persisted, ProbeAdvice,
+    ProbeApplied, QualityReport, QueryRegistered, RegisterQuery, Request, Response, RestoreSession,
+    ServerStats, SessionCreated, SessionRef,
 };
 use pdb_engine::delta::XTupleMutation;
 use pdb_engine::queries::TopKQuery;
@@ -153,6 +153,31 @@ impl Client {
         match self.call(&Request::DropSession(SessionRef { session }))? {
             Response::SessionDropped(dropped) => Ok(dropped),
             other => Err(unexpected("session_dropped", &other)),
+        }
+    }
+
+    /// `persist`: checkpoint the session into the server's store.
+    pub fn persist(&mut self, session: u64) -> Result<Persisted, ClientError> {
+        match self.call(&Request::Persist(SessionRef { session }))? {
+            Response::Persisted(persisted) => Ok(persisted),
+            other => Err(unexpected("persisted", &other)),
+        }
+    }
+
+    /// `restore`: open a new session over a snapshot file on the server.
+    pub fn restore(
+        &mut self,
+        snapshot: impl Into<String>,
+        probe_cost: u64,
+        probe_success: f64,
+    ) -> Result<SessionCreated, ClientError> {
+        match self.call(&Request::Restore(RestoreSession {
+            snapshot: snapshot.into(),
+            probe_cost,
+            probe_success,
+        }))? {
+            Response::SessionCreated(created) => Ok(created),
+            other => Err(unexpected("session_created", &other)),
         }
     }
 

@@ -7,11 +7,14 @@
 //!
 //! * [`protocol`] — the newline-delimited JSON wire protocol
 //!   (`create_session`, `register_query`, `evaluate`, `quality`,
-//!   `recommend_probe`, `apply_probe`, `drop_session`, `stats`,
-//!   `shutdown`);
+//!   `recommend_probe`, `apply_probe`, `drop_session`, `persist`,
+//!   `restore`, `stats`, `shutdown`);
 //! * [`session`] — persistent sessions (a database + a live
 //!   [`pdb_quality::BatchQuality`]) in a sharded, per-session-locked
 //!   store, so concurrent callers on different sessions never contend;
+//!   with a `--store-dir`, every session-mutating request is journalled
+//!   to a `pdb-store` write-ahead log and sessions are rehydrated from
+//!   it on startup (see the *Persistence & recovery* README section);
 //! * [`server`] — the `std::net` TCP server: a listener feeding a worker
 //!   thread pool, with graceful drain on `shutdown`;
 //! * [`client`] — a blocking client used by `pdb call`, the loopback
@@ -50,4 +53,4 @@ pub mod session;
 pub use client::{Client, ClientError};
 pub use protocol::{DatasetSpec, EvalMode, Request, Response};
 pub use server::{Server, ServerConfig};
-pub use session::SessionManager;
+pub use session::{Session, SessionManager};

@@ -27,18 +27,16 @@
 //! | `recommend_probe` | [`SessionRef`] | `probe_recommendation` ([`ProbeAdvice`]) |
 //! | `apply_probe` | [`ApplyProbe`] | `probe_applied` ([`ProbeApplied`]) |
 //! | `drop_session` | [`SessionRef`] | `session_dropped` ([`SessionRef`]) |
+//! | `persist` | [`SessionRef`] | `persisted` ([`Persisted`]) |
+//! | `restore` | [`RestoreSession`] | `session_created` ([`SessionCreated`]) |
 //! | `stats` | — | `stats` ([`ServerStats`]) |
 //! | `shutdown` | — | `shutting_down` |
 //!
 //! See the README section *Serving & sessions* for one request/response
 //! example per verb.
 
-use pdb_core::examples;
-use pdb_core::{RankedDatabase, Result as DbResult, ScoreRanking};
 use pdb_engine::delta::XTupleMutation;
 use pdb_engine::queries::{QueryAnswer, TopKQuery};
-use pdb_gen::mov::{self, MovConfig};
-use pdb_gen::synthetic::{self, SyntheticConfig};
 use pdb_quality::BatchCollapseUpdate;
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
@@ -48,47 +46,13 @@ use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 /// Which database a new session evaluates.
 ///
-/// The generated variants are deterministic (fixed-seed generators), so a
-/// client can rebuild the identical database locally — that is what the
+/// The type lives in `pdb-store` (it doubles as a write-ahead-log
+/// payload: a journalled `create_session` record must rebuild the same
+/// database on recovery); every variant is deterministic, so a client
+/// can rebuild the identical database locally — that is what the
 /// loopback equivalence test and the `server_throughput` bench rely on.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum DatasetSpec {
-    /// The synthetic dataset family with approximately this many tuples.
-    Synthetic {
-        /// Total tuple count (10 alternatives per x-tuple).
-        tuples: usize,
-    },
-    /// The MOV stand-in dataset with this many x-tuples.
-    Mov {
-        /// Number of (movie, viewer) x-tuples.
-        x_tuples: usize,
-    },
-    /// The paper's running example `udb1` (Table I, 7 tuples).
-    Udb1,
-    /// An inline database: per x-tuple, its `(score, probability)`
-    /// alternatives.
-    Inline {
-        /// `x_tuples[l]` lists x-tuple `l`'s alternatives.
-        x_tuples: Vec<Vec<(f64, f64)>>,
-    },
-}
-
-impl DatasetSpec {
-    /// Materialize the database this spec describes.
-    pub fn build(&self) -> DbResult<RankedDatabase> {
-        match self {
-            DatasetSpec::Synthetic { tuples } => {
-                synthetic::generate_ranked(&SyntheticConfig::with_total_tuples(*tuples))
-            }
-            DatasetSpec::Mov { x_tuples } => mov::generate_ranked(&MovConfig {
-                num_x_tuples: *x_tuples,
-                ..MovConfig::paper_default()
-            }),
-            DatasetSpec::Udb1 => Ok(examples::udb1().rank_by(&ScoreRanking)),
-            DatasetSpec::Inline { x_tuples } => RankedDatabase::from_scored_x_tuples(x_tuples),
-        }
-    }
-}
+/// Materialize a spec with [`pdb_gen::spec::build_dataset`].
+pub use pdb_store::DatasetSpec;
 
 /// Payload of `create_session`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -172,6 +136,21 @@ pub struct ApplyProbe {
     pub mode: EvalMode,
 }
 
+/// Payload of `restore`: open a session directly over a snapshot file on
+/// the server's filesystem (e.g. one produced by `pdb export` or a
+/// previous `persist`).  On a store-backed server the snapshot is copied
+/// into the store via an immediate checkpoint, so the new session
+/// survives restarts without the external file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RestoreSession {
+    /// Path of the snapshot file to load.
+    pub snapshot: String,
+    /// Budget units one `pclean` probe costs (uniform across x-tuples).
+    pub probe_cost: u64,
+    /// Probability that one probe succeeds (uniform across x-tuples).
+    pub probe_success: f64,
+}
+
 /// One request of the wire protocol.
 ///
 /// Serializes as a single-entry JSON object keyed by the verb; `stats` and
@@ -195,6 +174,11 @@ pub enum Request {
     ApplyProbe(ApplyProbe),
     /// `drop_session`: discard a session.
     DropSession(SessionRef),
+    /// `persist`: checkpoint a session's current state into the store
+    /// (snapshot + WAL record), so recovery starts from the snapshot.
+    Persist(SessionRef),
+    /// `restore`: open a new session over a snapshot file.
+    Restore(RestoreSession),
     /// `stats`: server-wide counters.
     Stats,
     /// `shutdown`: stop accepting connections and drain in-flight requests.
@@ -212,6 +196,8 @@ impl Request {
             Request::RecommendProbe(_) => "recommend_probe",
             Request::ApplyProbe(_) => "apply_probe",
             Request::DropSession(_) => "drop_session",
+            Request::Persist(_) => "persist",
+            Request::Restore(_) => "restore",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
         }
@@ -226,8 +212,10 @@ impl Serialize for Request {
             Request::Evaluate(p)
             | Request::Quality(p)
             | Request::RecommendProbe(p)
-            | Request::DropSession(p) => p.to_value(),
+            | Request::DropSession(p)
+            | Request::Persist(p) => p.to_value(),
             Request::ApplyProbe(p) => p.to_value(),
+            Request::Restore(p) => p.to_value(),
             Request::Stats | Request::Shutdown => Value::Map(Vec::new()),
         };
         Value::Map(vec![(self.verb().to_string(), payload)])
@@ -254,6 +242,8 @@ impl Deserialize for Request {
             "recommend_probe" => Ok(Request::RecommendProbe(Deserialize::from_value(payload)?)),
             "apply_probe" => Ok(Request::ApplyProbe(Deserialize::from_value(payload)?)),
             "drop_session" => Ok(Request::DropSession(Deserialize::from_value(payload)?)),
+            "persist" => Ok(Request::Persist(Deserialize::from_value(payload)?)),
+            "restore" => Ok(Request::Restore(Deserialize::from_value(payload)?)),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(SerdeError::custom(format!("unknown request verb {other:?}"))),
@@ -339,8 +329,37 @@ pub struct ProbeApplied {
     pub update: BatchCollapseUpdate,
 }
 
+/// Response to `persist`: where a session's checkpoint landed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Persisted {
+    /// The checkpointed session.
+    pub session: u64,
+    /// File name of the snapshot inside the store directory.
+    pub snapshot: String,
+    /// Tuples in the snapshotted database version.
+    pub tuples: usize,
+    /// Probes baked into the snapshot (recovery replays only probes
+    /// applied after this point).
+    pub probes: u64,
+}
+
+/// Per-session counters inside [`ServerStats`]: what an operator needs
+/// to see how big each session is and how much work a recovery of it
+/// would replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionStat {
+    /// The session id.
+    pub session: u64,
+    /// Milliseconds since the session was created (or recovered).
+    pub age_ms: u64,
+    /// Registered queries.
+    pub queries: usize,
+    /// Probes applied so far.
+    pub probes: u64,
+}
+
 /// Response to `stats`: server-wide counters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerStats {
     /// Sessions currently live.
     pub sessions_live: u64,
@@ -354,6 +373,11 @@ pub struct ServerStats {
     pub shards: usize,
     /// Number of worker threads.
     pub threads: usize,
+    /// Whether sessions are journalled to a durable store
+    /// (`--store-dir`).
+    pub durable: bool,
+    /// Per-session age / query / probe counters, ascending by id.
+    pub sessions: Vec<SessionStat>,
 }
 
 /// Error payload.
@@ -381,6 +405,8 @@ pub enum Response {
     ProbeApplied(ProbeApplied),
     /// `session_dropped`
     SessionDropped(SessionRef),
+    /// `persisted`
+    Persisted(Persisted),
     /// `stats`
     Stats(ServerStats),
     /// `shutting_down`
@@ -400,6 +426,7 @@ impl Response {
             Response::ProbeRecommendation(_) => "probe_recommendation",
             Response::ProbeApplied(_) => "probe_applied",
             Response::SessionDropped(_) => "session_dropped",
+            Response::Persisted(_) => "persisted",
             Response::Stats(_) => "stats",
             Response::ShuttingDown => "shutting_down",
             Response::Error(_) => "error",
@@ -422,6 +449,7 @@ impl Serialize for Response {
             Response::ProbeRecommendation(p) => p.to_value(),
             Response::ProbeApplied(p) => p.to_value(),
             Response::SessionDropped(p) => p.to_value(),
+            Response::Persisted(p) => p.to_value(),
             Response::Stats(p) => p.to_value(),
             Response::ShuttingDown => Value::Map(Vec::new()),
             Response::Error(p) => p.to_value(),
@@ -446,6 +474,7 @@ impl Deserialize for Response {
             }
             "probe_applied" => Ok(Response::ProbeApplied(Deserialize::from_value(payload)?)),
             "session_dropped" => Ok(Response::SessionDropped(Deserialize::from_value(payload)?)),
+            "persisted" => Ok(Response::Persisted(Deserialize::from_value(payload)?)),
             "stats" => Ok(Response::Stats(Deserialize::from_value(payload)?)),
             "shutting_down" => Ok(Response::ShuttingDown),
             "error" => Ok(Response::Error(Deserialize::from_value(payload)?)),
@@ -527,6 +556,12 @@ mod tests {
             mode: EvalMode::Delta,
         }));
         round_trip_request(&Request::DropSession(SessionRef { session: 7 }));
+        round_trip_request(&Request::Persist(SessionRef { session: 7 }));
+        round_trip_request(&Request::Restore(RestoreSession {
+            snapshot: "/tmp/db.pdbs".to_string(),
+            probe_cost: 1,
+            probe_success: 0.8,
+        }));
         round_trip_request(&Request::Stats);
         round_trip_request(&Request::Shutdown);
     }
@@ -566,6 +601,12 @@ mod tests {
             },
         }));
         round_trip_response(&Response::SessionDropped(SessionRef { session: 1 }));
+        round_trip_response(&Response::Persisted(Persisted {
+            session: 1,
+            snapshot: "snapshot-1-3.pdbs".to_string(),
+            tuples: 7,
+            probes: 2,
+        }));
         round_trip_response(&Response::Stats(ServerStats {
             sessions_live: 1,
             sessions_created: 2,
@@ -573,6 +614,8 @@ mod tests {
             probes_applied: 3,
             shards: 8,
             threads: 4,
+            durable: true,
+            sessions: vec![SessionStat { session: 1, age_ms: 1234, queries: 2, probes: 3 }],
         }));
         round_trip_response(&Response::ShuttingDown);
         round_trip_response(&Response::error("boom"));
@@ -603,22 +646,23 @@ mod tests {
 
     #[test]
     fn dataset_specs_build_and_round_trip() {
+        use pdb_gen::spec::build_dataset;
         for spec in [
             DatasetSpec::Udb1,
             DatasetSpec::Synthetic { tuples: 100 },
             DatasetSpec::Mov { x_tuples: 20 },
             DatasetSpec::Inline { x_tuples: vec![vec![(1.0, 0.5), (2.0, 0.5)], vec![(3.0, 1.0)]] },
         ] {
-            let db = spec.build().unwrap();
+            let db = build_dataset(&spec).unwrap();
             assert!(!db.is_empty());
             let json = encode(&spec).unwrap();
             let back: DatasetSpec = serde_json::from_str(&json).unwrap();
             assert_eq!(back, spec);
         }
-        assert_eq!(DatasetSpec::Udb1.build().unwrap().len(), 7);
+        assert_eq!(build_dataset(&DatasetSpec::Udb1).unwrap().len(), 7);
         // Generated datasets are deterministic: clients can mirror them.
-        let a = DatasetSpec::Synthetic { tuples: 200 }.build().unwrap();
-        let b = DatasetSpec::Synthetic { tuples: 200 }.build().unwrap();
+        let a = build_dataset(&DatasetSpec::Synthetic { tuples: 200 }).unwrap();
+        let b = build_dataset(&DatasetSpec::Synthetic { tuples: 200 }).unwrap();
         assert_eq!(a.len(), b.len());
         for pos in 0..a.len() {
             assert_eq!(a.tuple(pos).score.to_bits(), b.tuple(pos).score.to_bits());

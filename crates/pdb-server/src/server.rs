@@ -29,7 +29,8 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
 
-/// How a [`Server`] is configured (`pdb serve --addr --threads --shards`).
+/// How a [`Server`] is configured
+/// (`pdb serve --addr --threads --shards --store-dir --compact-every`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Address to bind (`127.0.0.1:7878`; port 0 picks an ephemeral port).
@@ -41,11 +42,25 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Shards of the session store.
     pub shards: usize,
+    /// Durable store directory.  When set, [`Server::bind`] recovers
+    /// every journalled session from it (WAL replay through the delta
+    /// engine) and every session-mutating request is journalled, fsync'd
+    /// per record.  `None` keeps sessions purely in memory.
+    pub store_dir: Option<String>,
+    /// Auto-compaction threshold: checkpoint all sessions and truncate
+    /// the log once this many records accumulate (0 disables).
+    pub compact_every: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { addr: "127.0.0.1:7878".to_string(), threads: 4, shards: 8 }
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            threads: 4,
+            shards: 8,
+            store_dir: None,
+            compact_every: 1024,
+        }
     }
 }
 
@@ -60,17 +75,47 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind the listener and build the session store.  The server does not
-    /// accept connections until [`run`](Self::run) is called.
+    /// Bind the listener and build the session store.  With a
+    /// `store_dir` configured this is also where crash recovery happens:
+    /// the write-ahead log is replayed (one delta pass per journalled
+    /// probe) and every recovered session is live before the first
+    /// connection is accepted.  The server does not accept connections
+    /// until [`run`](Self::run) is called.
     pub fn bind(config: &ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
+        let manager = match &config.store_dir {
+            Some(dir) => {
+                let (store, recovery) = pdb_store::Store::open(
+                    std::path::Path::new(dir),
+                    true,
+                    &pdb_gen::spec::build_dataset,
+                )
+                .map_err(|err| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, err.to_string())
+                })?;
+                SessionManager::with_store(
+                    config.shards,
+                    Arc::new(store),
+                    recovery,
+                    config.compact_every,
+                )
+            }
+            None => SessionManager::new(config.shards),
+        };
         Ok(Self {
             listener,
-            manager: Arc::new(SessionManager::new(config.shards)),
+            manager: Arc::new(manager),
             shutdown: Arc::new(AtomicBool::new(false)),
             requests: Arc::new(AtomicU64::new(0)),
             threads: config.threads.max(1),
         })
+    }
+
+    /// Sessions recovered from the store at bind time (0 without a
+    /// store).  Lets operators and tests confirm a recovery happened
+    /// before any client connects.
+    pub fn sessions_recovered(&self) -> u64 {
+        self.manager.sessions_created()
     }
 
     /// The address the listener actually bound (resolves port 0).
@@ -225,12 +270,10 @@ fn dispatch(request: Request, ctx: &HandlerContext) -> Response {
             Ok(created) => Response::SessionCreated(created),
             Err(err) => Response::error(err),
         },
-        Request::RegisterQuery(req) => {
-            match manager.with_session(req.session, |s| s.register_query(&req)) {
-                Ok(registered) => Response::QueryRegistered(registered),
-                Err(err) => Response::error(err),
-            }
-        }
+        Request::RegisterQuery(req) => match manager.register_query(&req) {
+            Ok(registered) => Response::QueryRegistered(registered),
+            Err(err) => Response::error(err),
+        },
         Request::Evaluate(req) => match manager.with_session(req.session, |s| s.evaluate()) {
             Ok(answers) => Response::Answers(answers),
             Err(err) => Response::error(err),
@@ -245,17 +288,37 @@ fn dispatch(request: Request, ctx: &HandlerContext) -> Response {
                 Err(err) => Response::error(err),
             }
         }
-        Request::ApplyProbe(req) => {
-            match manager.with_session(req.session, |s| s.apply_probe(&req)) {
-                Ok(applied) => {
-                    manager.record_probe();
-                    Response::ProbeApplied(applied)
+        Request::ApplyProbe(req) => match manager.apply_probe(&req) {
+            Ok(applied) => {
+                manager.record_probe();
+                // Compaction is triggered by the probe path (the only
+                // verb that grows the log proportionally to work done)
+                // but runs on its own thread: checkpointing every live
+                // session must not stall the probe that happened to trip
+                // the threshold.  A failed compaction must not fail any
+                // probe either — the probe is applied *and* journalled —
+                // so errors only surface operationally (the log keeps
+                // growing until a compaction succeeds).
+                if manager.begin_compaction() {
+                    let manager = Arc::clone(manager);
+                    thread::spawn(move || {
+                        let _ = manager.run_claimed_compaction();
+                    });
                 }
-                Err(err) => Response::error(err),
+                Response::ProbeApplied(applied)
             }
-        }
+            Err(err) => Response::error(err),
+        },
         Request::DropSession(req) => match manager.drop_session(req.session) {
             Ok(dropped) => Response::SessionDropped(dropped),
+            Err(err) => Response::error(err),
+        },
+        Request::Persist(req) => match manager.persist(req.session) {
+            Ok(persisted) => Response::Persisted(persisted),
+            Err(err) => Response::error(err),
+        },
+        Request::Restore(req) => match manager.restore(&req) {
+            Ok(created) => Response::SessionCreated(created),
             Err(err) => Response::error(err),
         },
         Request::Stats => Response::Stats(ServerStats {
@@ -265,6 +328,8 @@ fn dispatch(request: Request, ctx: &HandlerContext) -> Response {
             probes_applied: manager.probes_applied(),
             shards: manager.num_shards(),
             threads: ctx.threads,
+            durable: manager.store().is_some(),
+            sessions: manager.session_stats(),
         }),
         Request::Shutdown => {
             ctx.shutdown.store(true, Ordering::SeqCst);

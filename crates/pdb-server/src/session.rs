@@ -18,16 +18,21 @@
 //! shard, stay available.
 
 use crate::protocol::{
-    Answers, ApplyProbe, CreateSession, EvalMode, ProbeAdvice, ProbeApplied, ProbeRecommendation,
-    QualityReport, QueryRegistered, RegisterQuery, SessionCreated, SessionRef,
+    Answers, ApplyProbe, CreateSession, EvalMode, Persisted, ProbeAdvice, ProbeApplied,
+    ProbeRecommendation, QualityReport, QueryRegistered, RegisterQuery, RestoreSession,
+    SessionCreated, SessionRef, SessionStat,
 };
 use pdb_clean::{best_single_probe, CleaningContext, CleaningSetup};
 use pdb_core::{DbError, RankedDatabase, Result as DbResult};
 use pdb_engine::delta::{DeltaStats, XTupleMutation};
+use pdb_gen::spec::build_dataset;
 use pdb_quality::{BatchCollapseUpdate, BatchQuality, WeightedQuery};
+use pdb_store::store::{CompactionStats, RecoveredState, Recovery, SessionCheckpoint};
+use pdb_store::{DatasetSpec, RecoveredSession, Store, WalRecord};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// One live session: a database, its cleaning parameters and (once a query
 /// is registered) the shared batch evaluation serving every registered
@@ -38,6 +43,24 @@ pub struct Session {
     state: State,
     probe_cost: u64,
     probe_success: f64,
+    /// When the session was created (or recovered) in this process.
+    created: Instant,
+    /// Probes applied over the session's lifetime (survives recovery via
+    /// the checkpoint record's counter).
+    probes: u64,
+    /// Set (under the session's own lock) when the session is dropped,
+    /// *before* it leaves the shard map: a racing request that already
+    /// cloned the session's `Arc` out of the map must not mutate — or
+    /// journal records for — a session whose `drop_session` record is
+    /// already in the log, or the log becomes unreplayable.
+    dropped: bool,
+    /// Set when an in-memory mutation succeeded but its journal append
+    /// failed: the live state is now *ahead of* the durable log, so a
+    /// restart would silently serve different results.  The session
+    /// fail-stops (every serving verb errors) until a successful
+    /// `persist` re-checkpoints the live state — which makes log and
+    /// memory agree again — or the session is dropped.
+    journal_fault: Option<String>,
 }
 
 /// The evaluation state: until the first query is registered there is
@@ -63,7 +86,98 @@ impl Session {
                 context: "session probe success probability".to_string(),
             });
         }
-        Ok(Self { specs: Vec::new(), state: State::Idle(db), probe_cost, probe_success })
+        Ok(Self {
+            specs: Vec::new(),
+            state: State::Idle(db),
+            probe_cost,
+            probe_success,
+            created: Instant::now(),
+            probes: 0,
+            dropped: false,
+            journal_fault: None,
+        })
+    }
+
+    /// Fail if the session was dropped or its live state diverged from
+    /// the durable log.
+    fn ensure_journalled(&self) -> DbResult<()> {
+        self.ensure_not_dropped()?;
+        match &self.journal_fault {
+            None => Ok(()),
+            Some(fault) => Err(DbError::invalid_parameter(format!(
+                "session state diverged from the durable log (journalling failed: {fault}); \
+                 send persist to re-checkpoint it, or drop_session"
+            ))),
+        }
+    }
+
+    /// Fail if the session was dropped (it may still be reachable through
+    /// an `Arc` cloned out of the shard map before the removal).
+    pub(crate) fn ensure_not_dropped(&self) -> DbResult<()> {
+        if self.dropped {
+            return Err(DbError::invalid_parameter("session was dropped"));
+        }
+        Ok(())
+    }
+
+    /// Mark the session dropped (called under its lock, after the drop
+    /// record is journalled and before the shard-map removal).
+    pub(crate) fn mark_dropped(&mut self) {
+        self.dropped = true;
+    }
+
+    /// Record a journal-append failure (see `journal_fault`).
+    pub(crate) fn set_journal_fault(&mut self, fault: impl Into<String>) {
+        self.journal_fault = Some(fault.into());
+    }
+
+    /// A successful checkpoint captured the live state into the store:
+    /// log and memory agree again.
+    pub(crate) fn clear_journal_fault(&mut self) {
+        self.journal_fault = None;
+    }
+
+    /// Rebuild a session from what the store recovered: the replayed
+    /// evaluation state slots straight back in, counters included.
+    pub fn from_recovered(recovered: RecoveredSession) -> Self {
+        let RecoveredSession { probe_cost, probe_success, specs, probes, state, .. } = recovered;
+        let state = match state {
+            RecoveredState::Idle(db) => State::Idle(db),
+            RecoveredState::Live(batch) => State::Live(batch),
+        };
+        Self {
+            specs,
+            state,
+            probe_cost,
+            probe_success,
+            created: Instant::now(),
+            probes,
+            dropped: false,
+            journal_fault: None,
+        }
+    }
+
+    /// The session's per-session counters for the `stats` verb.
+    pub fn stat(&self, id: u64) -> SessionStat {
+        SessionStat {
+            session: id,
+            age_ms: self.created.elapsed().as_millis() as u64,
+            queries: self.specs.len(),
+            probes: self.probes,
+        }
+    }
+
+    /// The session's full durable state (cloned), as a checkpoint for the
+    /// store.
+    pub fn checkpoint_state(&self, id: u64) -> SessionCheckpoint {
+        SessionCheckpoint {
+            session: id,
+            db: self.database().clone(),
+            specs: self.specs.clone(),
+            probe_cost: self.probe_cost,
+            probe_success: self.probe_success,
+            probes: self.probes,
+        }
     }
 
     /// The session's current database version.
@@ -97,6 +211,7 @@ impl Session {
     /// Registration is the expensive, rare operation; probes stay on the
     /// delta path.
     pub fn register_query(&mut self, req: &RegisterQuery) -> DbResult<QueryRegistered> {
+        self.ensure_journalled()?;
         let mut specs = self.specs.clone();
         specs.push(WeightedQuery::weighted(req.query, req.weight));
         let db = self.database().clone();
@@ -113,11 +228,13 @@ impl Session {
 
     /// Answer every registered query from the shared matrix.
     pub fn evaluate(&self) -> DbResult<Answers> {
+        self.ensure_journalled()?;
         Ok(Answers { answers: self.live()?.answers()? })
     }
 
     /// Per-query and aggregate quality plus the aggregate decomposition.
     pub fn quality(&self) -> DbResult<QualityReport> {
+        self.ensure_journalled()?;
         let batch = self.live()?;
         Ok(QualityReport {
             qualities: batch.quality_vector(),
@@ -136,6 +253,7 @@ impl Session {
 
     /// The single probe maximizing the expected aggregate improvement.
     pub fn recommend_probe(&self) -> DbResult<ProbeAdvice> {
+        self.ensure_journalled()?;
         let batch = self.live()?;
         let ctx = CleaningContext::from_batch(batch);
         let setup = self.cleaning_setup()?;
@@ -146,12 +264,14 @@ impl Session {
 
     /// Fold one observed probe outcome into the session.
     pub fn apply_probe(&mut self, req: &ApplyProbe) -> DbResult<ProbeApplied> {
+        self.ensure_journalled()?;
         let update = match req.mode {
             EvalMode::Delta => {
                 self.live_mut()?.apply_collapse_in_place(req.x_tuple, &req.mutation)?
             }
             EvalMode::Rebuild => self.apply_probe_rebuild(req.x_tuple, &req.mutation)?,
         };
+        self.probes += 1;
         Ok(ProbeApplied { session: req.session, mode: req.mode, update })
     }
 
@@ -207,6 +327,18 @@ pub struct SessionManager {
     shards: Vec<RwLock<HashMap<u64, Arc<Mutex<Session>>>>>,
     next_id: AtomicU64,
     counters: Counters,
+    /// Serializes threshold-triggered compactions: a second trigger while
+    /// one is running is dropped, not queued.
+    compacting: std::sync::atomic::AtomicBool,
+    /// The durable store, when the server runs with `--store-dir`: every
+    /// session-mutating request is journalled into it (under the
+    /// session's own lock, so a session's records and its in-memory
+    /// state always agree in order).
+    store: Option<Arc<Store>>,
+    /// Auto-compaction threshold: once this many records accumulate
+    /// since the last log truncation, an `apply_probe` triggers a full
+    /// checkpoint + compaction pass (0 disables auto-compaction).
+    compact_every: u64,
 }
 
 impl SessionManager {
@@ -217,7 +349,34 @@ impl SessionManager {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             next_id: AtomicU64::new(1),
             counters: Counters::default(),
+            compacting: std::sync::atomic::AtomicBool::new(false),
+            store: None,
+            compact_every: 0,
         }
+    }
+
+    /// A manager journalling to `store`, rehydrated with everything the
+    /// store recovered.
+    pub fn with_store(
+        shards: usize,
+        store: Arc<Store>,
+        recovery: Recovery,
+        compact_every: u64,
+    ) -> Self {
+        let mut manager = Self::new(shards);
+        manager.store = Some(store);
+        manager.compact_every = compact_every;
+        manager.next_id.store(recovery.next_session_id.max(1), Ordering::Relaxed);
+        for recovered in recovery.sessions {
+            let id = recovered.id;
+            manager.publish_session(id, Session::from_recovered(recovered));
+        }
+        manager
+    }
+
+    /// The durable store backing this manager, if any.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
     }
 
     /// Number of shards the store was built with.
@@ -251,12 +410,8 @@ impl SessionManager {
         (z ^ (z >> 31)) as usize % self.shards.len()
     }
 
-    /// Create a session over the requested dataset.
-    pub fn create(&self, req: &CreateSession) -> DbResult<SessionCreated> {
-        let db = req.dataset.build()?;
-        let info = SessionCreated { session: 0, tuples: db.len(), x_tuples: db.num_x_tuples() };
-        let session = Session::new(db, req.probe_cost, req.probe_success)?;
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+    /// Make a ready session visible under the given id.
+    fn publish_session(&self, id: u64, session: Session) {
         let shard = self.shard_of(id);
         // Count before inserting: ids are predictable, so a racing
         // drop_session of this id must never decrement `live` below the
@@ -267,7 +422,213 @@ impl SessionManager {
             .write()
             .expect("shard lock poisoned")
             .insert(id, Arc::new(Mutex::new(session)));
+    }
+
+    /// Create a session over the requested dataset (journalled when a
+    /// store is attached).
+    ///
+    /// The create record is appended **before** the session becomes
+    /// visible: session ids are predictable, so a concurrent request
+    /// could otherwise journal records for this id ahead of its create
+    /// record — a log no recovery could replay.  On append failure
+    /// nothing was published and the id is simply burned.
+    pub fn create(&self, req: &CreateSession) -> DbResult<SessionCreated> {
+        let db = build_dataset(&req.dataset)?;
+        let info = SessionCreated { session: 0, tuples: db.len(), x_tuples: db.num_x_tuples() };
+        let session = Session::new(db, req.probe_cost, req.probe_success)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            match &req.dataset {
+                // A snapshot spec names a file *outside* the store; the
+                // log must never depend on it surviving, so the data is
+                // checkpointed into the store instead (exactly like the
+                // restore verb).
+                DatasetSpec::Snapshot { .. } => {
+                    store.checkpoint(&session.checkpoint_state(id)).map_err(DbError::from)?;
+                }
+                _ => store
+                    .append(&WalRecord::CreateSession {
+                        session: id,
+                        dataset: req.dataset.clone(),
+                        probe_cost: req.probe_cost,
+                        probe_success: req.probe_success,
+                    })
+                    .map_err(DbError::from)?,
+            }
+        }
+        self.publish_session(id, session);
         Ok(SessionCreated { session: id, ..info })
+    }
+
+    /// Open a new session directly over a snapshot file.  With a store
+    /// attached the snapshot's contents are immediately checkpointed into
+    /// the store directory (before the session becomes visible, for the
+    /// same record-ordering reason as [`create`](Self::create)), so the
+    /// session's durability does not depend on the external file staying
+    /// around.
+    pub fn restore(&self, req: &RestoreSession) -> DbResult<SessionCreated> {
+        self.create(&CreateSession {
+            dataset: DatasetSpec::Snapshot { path: req.snapshot.clone() },
+            probe_cost: req.probe_cost,
+            probe_success: req.probe_success,
+        })
+    }
+
+    /// Journal a record for a just-mutated session.  An append failure
+    /// leaves the live state ahead of the log, so the session is marked
+    /// faulted and fail-stops (see `Session::journal_fault`) instead of
+    /// silently serving state a restart would not reproduce.
+    fn journal_mutation(&self, s: &mut Session, record: WalRecord) -> DbResult<()> {
+        let Some(store) = &self.store else { return Ok(()) };
+        store.append(&record).map_err(|err| {
+            s.set_journal_fault(err.to_string());
+            DbError::invalid_parameter(format!(
+                "the request was applied in memory but journalling it failed ({err}); the \
+                 session is fail-stopped until a successful persist re-checkpoints it"
+            ))
+        })
+    }
+
+    /// Register a query in a session, journalling on success.  The append
+    /// happens under the session's lock, so the log's record order
+    /// matches the order the session changed in.
+    pub fn register_query(&self, req: &RegisterQuery) -> DbResult<QueryRegistered> {
+        self.with_session(req.session, |s| {
+            let registered = s.register_query(req)?;
+            let record = WalRecord::RegisterQuery {
+                session: req.session,
+                query: req.query,
+                weight: req.weight,
+            };
+            self.journal_mutation(s, record)?;
+            Ok(registered)
+        })
+    }
+
+    /// Fold one observed probe outcome into a session, journalling the
+    /// resolved mutation on success (under the session's lock, like
+    /// [`register_query`](Self::register_query)).
+    pub fn apply_probe(&self, req: &ApplyProbe) -> DbResult<ProbeApplied> {
+        self.with_session(req.session, |s| {
+            let applied = s.apply_probe(req)?;
+            let record = WalRecord::ApplyProbe {
+                session: req.session,
+                x_tuple: req.x_tuple,
+                mutation: req.mutation.clone(),
+            };
+            self.journal_mutation(s, record)?;
+            Ok(applied)
+        })
+    }
+
+    /// Checkpoint one session into the store now (`persist` verb).
+    pub fn persist(&self, id: u64) -> DbResult<Persisted> {
+        let store = self.store.as_ref().ok_or_else(|| {
+            DbError::invalid_parameter(
+                "server has no durable store; start it with --store-dir to use persist",
+            )
+        })?;
+        self.with_session(id, |s| {
+            s.ensure_not_dropped()?;
+            let state = s.checkpoint_state(id);
+            let snapshot = store.checkpoint(&state).map_err(DbError::from)?;
+            // The checkpoint captured the session's *live* state, so any
+            // earlier journal divergence is healed.
+            s.clear_journal_fault();
+            Ok(Persisted { session: id, snapshot, tuples: state.db.len(), probes: state.probes })
+        })
+    }
+
+    /// Ids of every live session (a racy snapshot; callers tolerate
+    /// sessions vanishing before they get to them).
+    fn session_ids(&self) -> Vec<u64> {
+        let mut ids = Vec::new();
+        for shard in &self.shards {
+            ids.extend(shard.read().expect("shard lock poisoned").keys().copied());
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Per-session counters for the `stats` verb, ascending by id.
+    ///
+    /// Uses `try_lock` and skips sessions busy in a long evaluation: a
+    /// monitoring poll must never hang behind one slow session (the
+    /// whole point of per-session locking), so this is a racy snapshot
+    /// and a session mid-request may be momentarily absent from it.
+    pub fn session_stats(&self) -> Vec<SessionStat> {
+        self.session_ids()
+            .into_iter()
+            .filter_map(|id| {
+                let handle = self.session(id).ok()?;
+                let stat = handle.try_lock().ok().map(|s| s.stat(id));
+                stat
+            })
+            .collect()
+    }
+
+    /// Checkpoint every live session and truncate the log.  Records that
+    /// land concurrently are never lost: each session's checkpoint is
+    /// appended under that session's lock, and the truncation filter only
+    /// drops records that precede their session's last checkpoint.
+    pub fn compact(&self) -> DbResult<CompactionStats> {
+        let store = self.store.as_ref().ok_or_else(|| {
+            DbError::invalid_parameter("server has no durable store; nothing to compact")
+        })?;
+        for id in self.session_ids() {
+            // A session dropped since the id snapshot is fine — skip it
+            // (a checkpoint record after its drop record would resurrect
+            // it on replay, so the dropped mark is checked under the
+            // session lock).
+            let _ = self.with_session(id, |s| {
+                s.ensure_not_dropped()?;
+                store.checkpoint(&s.checkpoint_state(id)).map_err(DbError::from)?;
+                // Like persist: the checkpoint captured the live state,
+                // healing any earlier journal divergence.
+                s.clear_journal_fault();
+                Ok(())
+            });
+        }
+        store.truncate_log().map_err(DbError::from)
+    }
+
+    /// Whether the log has grown past the auto-compaction threshold (a
+    /// cheap check the probe path uses before spawning the compaction).
+    pub fn should_compact(&self) -> bool {
+        self.compact_every > 0
+            && self
+                .store
+                .as_ref()
+                .is_some_and(|store| store.records_since_truncate() >= self.compact_every)
+    }
+
+    /// Claim the (single) compaction slot if the log needs compacting.
+    /// The winner must call [`run_claimed_compaction`]
+    /// (Self::run_claimed_compaction) — on any thread; the probe path
+    /// claims cheaply in the request thread and spawns only when it won,
+    /// so an in-flight compaction costs concurrent probes nothing.
+    pub fn begin_compaction(&self) -> bool {
+        self.should_compact() && !self.compacting.swap(true, Ordering::Acquire)
+    }
+
+    /// Run the compaction claimed by [`begin_compaction`]
+    /// (Self::begin_compaction) and release the slot.
+    pub fn run_claimed_compaction(&self) -> DbResult<CompactionStats> {
+        let result = self.compact();
+        self.compacting.store(false, Ordering::Release);
+        result
+    }
+
+    /// Run [`compact`](Self::compact) if the log has grown past the
+    /// configured threshold.  Returns what compaction did, if it ran;
+    /// a compaction already in flight makes this a no-op rather than a
+    /// queued second pass.
+    pub fn maybe_compact(&self) -> DbResult<Option<CompactionStats>> {
+        if self.begin_compaction() {
+            self.run_claimed_compaction().map(Some)
+        } else {
+            Ok(None)
+        }
     }
 
     /// Look up a session (the returned handle outlives the shard lock).
@@ -281,17 +642,32 @@ impl SessionManager {
             .ok_or_else(|| DbError::invalid_parameter(format!("unknown session {id}")))
     }
 
-    /// Drop a session.
+    /// Drop a session (journalled, so recovery does not resurrect it).
+    ///
+    /// The drop record is appended and the session marked dropped under
+    /// the session's own lock, *before* it leaves the shard map: a
+    /// racing request that cloned the session's `Arc` before the removal
+    /// then observes the mark and fails instead of journalling records
+    /// after the drop record (which would make the log unreplayable).
+    /// On append failure nothing is dropped — the session keeps serving
+    /// and the client may retry.
     pub fn drop_session(&self, id: u64) -> DbResult<SessionRef> {
-        let shard = self.shard_of(id);
-        let removed = self.shards[shard].write().expect("shard lock poisoned").remove(&id);
-        match removed {
-            Some(_) => {
-                self.counters.live.fetch_sub(1, Ordering::Relaxed);
-                Ok(SessionRef { session: id })
+        let handle = self.session(id)?;
+        {
+            let mut session = handle.lock().expect("session lock poisoned");
+            session
+                .ensure_not_dropped()
+                .map_err(|_| DbError::invalid_parameter(format!("unknown session {id}")))?;
+            if let Some(store) = &self.store {
+                store.append(&WalRecord::DropSession { session: id }).map_err(DbError::from)?;
             }
-            None => Err(DbError::invalid_parameter(format!("unknown session {id}"))),
+            session.mark_dropped();
         }
+        let shard = self.shard_of(id);
+        if self.shards[shard].write().expect("shard lock poisoned").remove(&id).is_some() {
+            self.counters.live.fetch_sub(1, Ordering::Relaxed);
+        }
+        Ok(SessionRef { session: id })
     }
 
     /// Run `op` on a session under its own lock.
@@ -426,6 +802,125 @@ mod tests {
         assert!(mgr.with_session(id, |s| s.register_query(&bad)).is_err());
         let quality = mgr.with_session(id, |s| s.quality()).unwrap();
         assert_eq!(quality.qualities.len(), 1);
+    }
+
+    #[test]
+    fn store_backed_sessions_survive_a_reopen() {
+        let dir = std::env::temp_dir().join("pdb-server-session-store-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let open = || Store::open(&dir, true, &build_dataset).unwrap();
+
+        let (store, recovery) = open();
+        let mgr = SessionManager::with_store(2, Arc::new(store), recovery, 0);
+        let id = mgr.create(&create_req(DatasetSpec::Udb1)).unwrap().session;
+        mgr.register_query(&register_req(id, 2)).unwrap();
+        let probe = ApplyProbe {
+            session: id,
+            x_tuple: 2,
+            mutation: XTupleMutation::CollapseToAlternative { keep_pos: 2 },
+            mode: EvalMode::Delta,
+        };
+        mgr.apply_probe(&probe).unwrap();
+        let before = mgr.with_session(id, |s| s.quality()).unwrap();
+        let answers_before = mgr.with_session(id, |s| s.evaluate()).unwrap();
+        drop(mgr);
+
+        // Reopen the directory: the session rehydrates by WAL replay.
+        let (store, recovery) = open();
+        assert_eq!(recovery.records, 3);
+        assert_eq!(recovery.sessions.len(), 1);
+        let mgr = SessionManager::with_store(2, Arc::new(store), recovery, 0);
+        assert_eq!(mgr.sessions_live(), 1);
+        let after = mgr.with_session(id, |s| s.quality()).unwrap();
+        assert!((after.aggregate - before.aggregate).abs() < 1e-12);
+        assert_eq!(mgr.with_session(id, |s| s.evaluate()).unwrap(), answers_before);
+        let stats = mgr.session_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!((stats[0].session, stats[0].queries, stats[0].probes), (id, 1, 1));
+
+        // New ids never collide with recovered ones.
+        let second = mgr.create(&create_req(DatasetSpec::Udb1)).unwrap().session;
+        assert!(second > id);
+
+        // persist + compact: the log shrinks to the two checkpoints.
+        let persisted = mgr.persist(id).unwrap();
+        assert!(persisted.snapshot.ends_with(".pdbs"));
+        assert_eq!(persisted.probes, 1);
+        let compaction = mgr.compact().unwrap();
+        assert_eq!(compaction.records_after, 2, "one checkpoint per live session");
+        drop(mgr);
+
+        // Recovery after compaction loads the checkpoint snapshots.
+        let (_, recovery) = open();
+        assert_eq!(recovery.sessions.len(), 2);
+        let recovered = &recovery.sessions[0];
+        assert_eq!(recovered.probes, 1);
+        assert_eq!(recovered.probes_replayed, 0, "checkpoint absorbed the probe");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_faulted_sessions_fail_stop_until_persisted() {
+        let dir = std::env::temp_dir().join("pdb-server-session-fault-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let (store, recovery) = Store::open(&dir, true, &build_dataset).unwrap();
+        let mgr = SessionManager::with_store(1, Arc::new(store), recovery, 0);
+        let id = mgr.create(&create_req(DatasetSpec::Udb1)).unwrap().session;
+        mgr.register_query(&register_req(id, 2)).unwrap();
+
+        // Simulate an append failure after an in-memory mutation.
+        mgr.with_session(id, |s| {
+            s.set_journal_fault("disk full");
+            Ok(())
+        })
+        .unwrap();
+        let err = mgr.with_session(id, |s| s.evaluate()).unwrap_err();
+        assert!(err.to_string().contains("diverged"), "{err}");
+        assert!(mgr.register_query(&register_req(id, 3)).is_err());
+
+        // persist re-checkpoints the live state: log and memory agree
+        // again, the session serves.
+        mgr.persist(id).unwrap();
+        mgr.with_session(id, |s| s.evaluate()).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persist_without_a_store_is_a_clean_error() {
+        let mgr = SessionManager::new(1);
+        let id = mgr.create(&create_req(DatasetSpec::Udb1)).unwrap().session;
+        let err = mgr.persist(id).unwrap_err();
+        assert!(err.to_string().contains("--store-dir"), "{err}");
+        assert!(mgr.compact().is_err());
+        assert_eq!(mgr.maybe_compact().unwrap(), None);
+    }
+
+    #[test]
+    fn restore_opens_a_session_over_a_snapshot_file() {
+        let dir = std::env::temp_dir().join("pdb-server-session-restore-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snapshot = dir.join("udb1.pdbs");
+        let db = build_dataset(&DatasetSpec::Udb1).unwrap();
+        pdb_store::Snapshot::write(&db, &snapshot).unwrap();
+
+        let mgr = SessionManager::new(1);
+        let req = RestoreSession {
+            snapshot: snapshot.display().to_string(),
+            probe_cost: 1,
+            probe_success: 0.8,
+        };
+        let created = mgr.restore(&req).unwrap();
+        assert_eq!((created.tuples, created.x_tuples), (7, 4));
+        let reg = mgr.register_query(&register_req(created.session, 2)).unwrap();
+        assert_eq!(reg.k_max, 2);
+
+        let missing = RestoreSession {
+            snapshot: dir.join("nope.pdbs").display().to_string(),
+            probe_cost: 1,
+            probe_success: 0.8,
+        };
+        assert!(mgr.restore(&missing).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

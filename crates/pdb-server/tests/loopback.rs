@@ -21,8 +21,13 @@ const TOL: f64 = 1e-12;
 
 /// Boot a server on an ephemeral loopback port.
 fn boot(threads: usize, shards: usize) -> (SocketAddr, thread::JoinHandle<std::io::Result<()>>) {
-    let server = Server::bind(&ServerConfig { addr: "127.0.0.1:0".to_string(), threads, shards })
-        .expect("bind ephemeral loopback port");
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads,
+        shards,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral loopback port");
     let addr = server.local_addr().expect("bound address");
     let handle = thread::spawn(move || server.run());
     (addr, handle)
@@ -62,7 +67,7 @@ fn exercise_session(addr: SocketAddr, worker: usize) {
     assert_eq!(created.tuples, tuples);
 
     // In-process mirror of the same session.
-    let db = spec.build().expect("mirror dataset");
+    let db = pdb_gen::spec::build_dataset(&spec).expect("mirror dataset");
     assert_eq!(db.len(), tuples);
     let specs: Vec<WeightedQuery> =
         query_specs(k_base).into_iter().map(|(q, w)| WeightedQuery::weighted(q, w)).collect();

@@ -1,0 +1,164 @@
+//! Error type of the persistence layer.
+//!
+//! Every failure mode a store can hit — I/O, a corrupt snapshot, an
+//! unsupported format version, or an engine error while replaying a log —
+//! maps onto one [`StoreError`] variant.  Corruption is always reported as
+//! a clean error with the offending path and byte offset, never as a
+//! panic: the corruption test suite flips single bytes anywhere in a
+//! snapshot and asserts exactly that.
+
+use pdb_core::DbError;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T, E = StoreError> = std::result::Result<T, E>;
+
+/// Why a store operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// What the store was doing (`"reading"`, `"writing"`, ...).
+        op: &'static str,
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The rendered `std::io::Error`.
+        message: String,
+    },
+    /// The file does not start with the expected magic bytes — it is not a
+    /// snapshot / log of this store at all.
+    BadMagic {
+        /// The offending file.
+        path: PathBuf,
+        /// Human-readable name of the expected format (`"snapshot"`,
+        /// `"write-ahead log"`).
+        expected: &'static str,
+    },
+    /// The file carries a format version this build cannot read.
+    UnsupportedVersion {
+        /// The offending file.
+        path: PathBuf,
+        /// The version found in the header.
+        version: u32,
+        /// The newest version this build understands.
+        supported: u32,
+    },
+    /// The file's bytes are inconsistent — checksum mismatch, impossible
+    /// length field, truncated body.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// Byte offset at which the inconsistency was detected.
+        offset: usize,
+        /// What exactly was inconsistent.
+        reason: String,
+    },
+    /// Replaying the log hit an engine error (e.g. a journalled mutation
+    /// no longer applies to the journalled database) — the log and the
+    /// data it references disagree.
+    Replay {
+        /// Index of the offending record within the log.
+        record: u64,
+        /// The engine error the replay hit.
+        source: DbError,
+    },
+    /// An engine error outside replay (building a dataset, validating a
+    /// decoded database).
+    Engine(DbError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, message } => {
+                write!(f, "{op} {} failed: {message}", path.display())
+            }
+            StoreError::BadMagic { path, expected } => {
+                write!(f, "{} is not a {expected} (magic bytes mismatch)", path.display())
+            }
+            StoreError::UnsupportedVersion { path, version, supported } => write!(
+                f,
+                "{} has format version {version}, but this build supports at most {supported}",
+                path.display()
+            ),
+            StoreError::Corrupt { path, offset, reason } => {
+                write!(f, "{} is corrupt at byte {offset}: {reason}", path.display())
+            }
+            StoreError::Replay { record, source } => {
+                write!(f, "replaying log record #{record} failed: {source}")
+            }
+            StoreError::Engine(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<DbError> for StoreError {
+    fn from(err: DbError) -> Self {
+        StoreError::Engine(err)
+    }
+}
+
+impl From<StoreError> for DbError {
+    fn from(err: StoreError) -> Self {
+        match err {
+            StoreError::Engine(inner) => inner,
+            other => DbError::invalid_parameter(other.to_string()),
+        }
+    }
+}
+
+impl StoreError {
+    /// Wrap an `std::io::Error` with the operation and path it hit.
+    pub fn io(op: &'static str, path: &Path, err: std::io::Error) -> Self {
+        StoreError::Io { op, path: path.to_path_buf(), message: err.to_string() }
+    }
+
+    /// Build a [`StoreError::Corrupt`] for `path` at `offset`.
+    pub fn corrupt(path: &Path, offset: usize, reason: impl Into<String>) -> Self {
+        StoreError::Corrupt { path: path.to_path_buf(), offset, reason: reason.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_facts() {
+        let p = Path::new("/tmp/x.pdbs");
+        let e = StoreError::io("reading", p, std::io::Error::other("x"));
+        assert!(e.to_string().contains("reading"));
+        assert!(e.to_string().contains("x.pdbs"));
+
+        let e = StoreError::BadMagic { path: p.to_path_buf(), expected: "snapshot" };
+        assert!(e.to_string().contains("snapshot"));
+
+        let e = StoreError::UnsupportedVersion { path: p.to_path_buf(), version: 9, supported: 1 };
+        assert!(e.to_string().contains('9'));
+
+        let e = StoreError::corrupt(p, 42, "checksum mismatch");
+        assert!(e.to_string().contains("42"));
+        assert!(e.to_string().contains("checksum"));
+
+        let e = StoreError::Replay { record: 7, source: DbError::EmptyDatabase };
+        assert!(e.to_string().contains("#7"));
+
+        let e = StoreError::Engine(DbError::EmptyDatabase);
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn converts_to_and_from_db_error() {
+        let store: StoreError = DbError::EmptyDatabase.into();
+        assert_eq!(store, StoreError::Engine(DbError::EmptyDatabase));
+        // Engine errors unwrap losslessly; store-specific errors keep their
+        // message.
+        let back: DbError = store.into();
+        assert_eq!(back, DbError::EmptyDatabase);
+        let msg: DbError = StoreError::corrupt(Path::new("f"), 0, "boom").into();
+        assert!(msg.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,117 @@
+//! A self-contained XXH64 implementation.
+//!
+//! The snapshot and log formats need a fast 64-bit integrity check; with
+//! no crates.io access the standard XXH64 algorithm is hand-rolled here
+//! (the same primes, lane mixing and avalanche steps as the reference
+//! implementation, so the emitted values match `xxhash` exactly and the
+//! on-disk format stays compatible with standard tooling).
+
+const PRIME1: u64 = 0x9E37_79B1_85EB_CA87;
+const PRIME2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const PRIME3: u64 = 0x1656_67B1_9E37_79F9;
+const PRIME4: u64 = 0x85EB_CA77_C2B2_AE63;
+const PRIME5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn read_u64(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes[..8].try_into().expect("8-byte slice"))
+}
+
+#[inline]
+fn read_u32(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(bytes[..4].try_into().expect("4-byte slice"))
+}
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(PRIME2)).rotate_left(31).wrapping_mul(PRIME1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val)).wrapping_mul(PRIME1).wrapping_add(PRIME4)
+}
+
+/// XXH64 of `data` with the given seed.
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let mut input = data;
+    let mut h = if input.len() >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME1).wrapping_add(PRIME2);
+        let mut v2 = seed.wrapping_add(PRIME2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME1);
+        while input.len() >= 32 {
+            v1 = round(v1, read_u64(&input[0..8]));
+            v2 = round(v2, read_u64(&input[8..16]));
+            v3 = round(v3, read_u64(&input[16..24]));
+            v4 = round(v4, read_u64(&input[24..32]));
+            input = &input[32..];
+        }
+        let mut h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        merge_round(h, v4)
+    } else {
+        seed.wrapping_add(PRIME5)
+    };
+    h = h.wrapping_add(data.len() as u64);
+
+    while input.len() >= 8 {
+        h ^= round(0, read_u64(input));
+        h = h.rotate_left(27).wrapping_mul(PRIME1).wrapping_add(PRIME4);
+        input = &input[8..];
+    }
+    if input.len() >= 4 {
+        h ^= u64::from(read_u32(input)).wrapping_mul(PRIME1);
+        h = h.rotate_left(23).wrapping_mul(PRIME2).wrapping_add(PRIME3);
+        input = &input[4..];
+    }
+    for &byte in input {
+        h ^= u64::from(byte).wrapping_mul(PRIME5);
+        h = h.rotate_left(11).wrapping_mul(PRIME1);
+    }
+
+    h ^= h >> 33;
+    h = h.wrapping_mul(PRIME2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(PRIME3);
+    h ^ (h >> 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vectors of the canonical XXH64 implementation.
+    #[test]
+    fn matches_reference_vectors() {
+        assert_eq!(xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
+        assert_eq!(xxh64(b"a", 0), 0xD24E_C4F1_A98C_6E5B);
+        assert_eq!(xxh64(b"abc", 0), 0x44BC_2CF5_AD77_0999);
+    }
+
+    #[test]
+    fn every_byte_position_affects_the_hash() {
+        // 100 bytes exercises the 32-byte lane loop, the 8/4-byte tail
+        // reads and the final byte loop.
+        let base: Vec<u8> = (0..100u8).collect();
+        let reference = xxh64(&base, 0);
+        assert_eq!(xxh64(&base, 0), reference, "deterministic");
+        for pos in 0..base.len() {
+            let mut flipped = base.clone();
+            flipped[pos] ^= 0x01;
+            assert_ne!(xxh64(&flipped, 0), reference, "flip at byte {pos} went undetected");
+        }
+    }
+
+    #[test]
+    fn seed_and_length_separate_hashes() {
+        assert_ne!(xxh64(b"pdb-store", 0), xxh64(b"pdb-store", 1));
+        assert_ne!(xxh64(&[0u8; 31], 0), xxh64(&[0u8; 32], 0));
+    }
+}

@@ -1,0 +1,65 @@
+//! Which database a session evaluates — the durable, buildable dataset
+//! description.
+//!
+//! [`DatasetSpec`] is pure data: it journals and serializes (it is both a
+//! wire-protocol payload in `pdb-server` and a write-ahead-log payload
+//! here), while *materializing* the database it describes is
+//! `pdb_gen::spec::build_dataset` — the generators live above this crate,
+//! so the spec type and the log that embeds it stay free of generator
+//! dependencies.
+//!
+//! Every variant is deterministic: generated datasets come from
+//! fixed-seed generators, inline databases carry their alternatives, and
+//! snapshots are immutable files.  That is what makes a `create_session`
+//! log record sufficient to rebuild a session's base database bit-for-bit
+//! during recovery.
+
+use serde::{Deserialize, Serialize};
+
+/// A durable description of a probabilistic database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DatasetSpec {
+    /// The synthetic dataset family with approximately this many tuples.
+    Synthetic {
+        /// Total tuple count (10 alternatives per x-tuple).
+        tuples: usize,
+    },
+    /// The MOV stand-in dataset with this many x-tuples.
+    Mov {
+        /// Number of (movie, viewer) x-tuples.
+        x_tuples: usize,
+    },
+    /// The paper's running example `udb1` (Table I, 7 tuples).
+    Udb1,
+    /// An inline database: per x-tuple, its `(score, probability)`
+    /// alternatives.
+    Inline {
+        /// `x_tuples[l]` lists x-tuple `l`'s alternatives.
+        x_tuples: Vec<Vec<(f64, f64)>>,
+    },
+    /// A binary snapshot file (see [`crate::Snapshot`]).
+    Snapshot {
+        /// Path of the snapshot file.
+        path: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        for spec in [
+            DatasetSpec::Udb1,
+            DatasetSpec::Synthetic { tuples: 100 },
+            DatasetSpec::Mov { x_tuples: 20 },
+            DatasetSpec::Inline { x_tuples: vec![vec![(1.0, 0.5), (2.0, 0.5)], vec![(3.0, 1.0)]] },
+            DatasetSpec::Snapshot { path: "/tmp/db.pdbs".to_string() },
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: DatasetSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec, "via {json}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property suite of the binary snapshot format.
+//!
+//! Two promises are pinned here:
+//!
+//! * **bit-exact round trips** — for randomized databases (degenerate
+//!   weights, zero-probability alternatives, single-member x-tuples,
+//!   duplicate scores, sub-unit masses), `decode(encode(db))` reproduces
+//!   every score and probability under `f64::to_bits`, every id, key and
+//!   membership list — not merely values within a tolerance;
+//! * **corruption never panics** — flipping any single byte anywhere in
+//!   an encoded snapshot (header, keys, columns, checksum trailer) and
+//!   truncating at any length yields a clean [`StoreError`], never a
+//!   panic or a silently wrong database.
+
+use pdb_core::RankedDatabase;
+use pdb_store::{Snapshot, StoreError};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::path::Path;
+
+/// A random x-tuple: 1..5 alternatives, mass scaled into (0, 1], with a
+/// chance of degenerate (zero) weights surviving the scaling.
+fn x_tuple() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    (vec((-1e6f64..1e6, 0.0f64..1.0), 1..5), 0.05f64..1.0).prop_map(|(alts, mass)| {
+        let total: f64 = alts.iter().map(|(_, w)| w).sum();
+        if total <= 0.0 {
+            // All-zero weights: a fully degenerate x-tuple (every
+            // alternative has probability 0, null mass 1) is valid and
+            // must round-trip too.
+            alts.into_iter().map(|(s, _)| (s, 0.0)).collect()
+        } else {
+            alts.into_iter().map(|(s, w)| (s, w / total * mass)).collect()
+        }
+    })
+}
+
+fn db() -> impl Strategy<Value = RankedDatabase> {
+    vec(x_tuple(), 1..10).prop_map(|x| RankedDatabase::from_scored_x_tuples(&x).unwrap())
+}
+
+/// Field-by-field bit-exact equality (PartialEq would accept `0.0 == -0.0`
+/// and reject nothing more; the format promises stronger).
+fn assert_bit_exact(a: &RankedDatabase, b: &RankedDatabase) {
+    assert_eq!(a.len(), b.len(), "tuple count");
+    assert_eq!(a.num_x_tuples(), b.num_x_tuples(), "x-tuple count");
+    for pos in 0..a.len() {
+        let (x, y) = (a.tuple(pos), b.tuple(pos));
+        assert_eq!(x.id, y.id, "id at {pos}");
+        assert_eq!(x.x_index, y.x_index, "x-index at {pos}");
+        assert_eq!(x.score.to_bits(), y.score.to_bits(), "score bits at {pos}");
+        assert_eq!(x.prob.to_bits(), y.prob.to_bits(), "prob bits at {pos}");
+    }
+    for l in 0..a.num_x_tuples() {
+        assert_eq!(a.x_tuple(l).key, b.x_tuple(l).key, "key of {l}");
+        assert_eq!(a.x_tuple(l).members, b.x_tuple(l).members, "members of {l}");
+        assert_eq!(
+            a.x_tuple(l).total_mass.to_bits(),
+            b.x_tuple(l).total_mass.to_bits(),
+            "mass bits of {l}"
+        );
+        for &pos in &a.x_tuple(l).members {
+            assert_eq!(
+                a.higher_mass_within(pos).to_bits(),
+                b.higher_mass_within(pos).to_bits(),
+                "prefix mass bits at {pos}"
+            );
+        }
+    }
+    assert_eq!(a, b);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random databases round-trip bit-exactly through encode/decode.
+    #[test]
+    fn random_databases_round_trip_bit_exactly(db in db()) {
+        let bytes = Snapshot::encode(&db);
+        prop_assert!(Snapshot::is_snapshot(&bytes));
+        let back = Snapshot::decode(&bytes, Path::new("mem")).unwrap();
+        assert_bit_exact(&db, &back);
+    }
+
+    /// Flipping one random byte (any position, any bit pattern) is a
+    /// clean error.
+    #[test]
+    fn random_byte_flips_are_clean_errors(
+        db in db(),
+        pos in any::<prop::sample::Index>(),
+        mask in 1u8..=255,
+    ) {
+        let mut bytes = Snapshot::encode(&db);
+        let at = pos.index(bytes.len());
+        bytes[at] ^= mask;
+        match Snapshot::decode(&bytes, Path::new("mem")) {
+            Err(
+                StoreError::Corrupt { .. }
+                | StoreError::BadMagic { .. }
+                | StoreError::UnsupportedVersion { .. }
+                | StoreError::Engine(_),
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+            // The one byte that may legitimately survive a flip is none:
+            // the checksum covers every byte before it, and flipping the
+            // trailer breaks the comparison itself.
+            Ok(_) => prop_assert!(false, "flip at byte {at} (mask {mask:#04x}) went undetected"),
+        }
+    }
+
+    /// Truncating the file at any random length is a clean error.
+    #[test]
+    fn random_truncations_are_clean_errors(db in db(), cut in any::<prop::sample::Index>()) {
+        let bytes = Snapshot::encode(&db);
+        let at = cut.index(bytes.len()); // strictly shorter than the file
+        prop_assert!(Snapshot::decode(&bytes[..at], Path::new("mem")).is_err());
+    }
+}
+
+/// The exhaustive version of the flip property on a fixed small database:
+/// every byte position, flipped, must fail to decode.
+#[test]
+fn every_single_byte_flip_is_detected() {
+    let db = RankedDatabase::from_scored_x_tuples(&[
+        vec![(21.0, 0.6), (32.0, 0.4)],
+        vec![(30.0, 0.7), (22.0, 0.3)],
+        vec![(25.0, 0.4), (27.0, 0.6)],
+        vec![(26.0, 1.0)],
+    ])
+    .unwrap();
+    let bytes = Snapshot::encode(&db);
+    for pos in 0..bytes.len() {
+        let mut flipped = bytes.clone();
+        flipped[pos] ^= 0x01; // the subtlest corruption: one bit
+        assert!(
+            Snapshot::decode(&flipped, Path::new("mem")).is_err(),
+            "single-bit flip at byte {pos} of {} went undetected",
+            bytes.len()
+        );
+    }
+}

@@ -16,6 +16,8 @@
 //!   Greedy, RandP and RandU algorithms ([`pdb_clean`]).
 //! * [`gen`] — the synthetic and MOV dataset generators used by the paper's
 //!   evaluation ([`pdb_gen`]).
+//! * [`store`] — durable binary snapshots, the probe-outcome write-ahead
+//!   log and crash recovery for cleaning sessions ([`pdb_store`]).
 //! * [`experiments`] — drivers that regenerate every figure of the
 //!   evaluation section ([`pdb_experiments`]).
 //!
@@ -44,6 +46,7 @@ pub use pdb_engine as engine;
 pub use pdb_experiments as experiments;
 pub use pdb_gen as gen;
 pub use pdb_quality as quality;
+pub use pdb_store as store;
 
 /// One-stop prelude re-exporting the most commonly used items of every
 /// workspace crate.
