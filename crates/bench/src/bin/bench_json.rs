@@ -16,6 +16,8 @@
 //! cargo run --release -p pdb-bench --bin bench_json < bench-out.txt > BENCH_batch.json
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::io::Read;
 

@@ -1,0 +1,62 @@
+//! Diagnostics: the unit of output every lint produces.
+
+use std::fmt;
+
+/// The named lints the analyzer ships.
+pub const LINTS: &[&str] = &[
+    "panic-path",
+    "lock-order",
+    "durability-pattern",
+    "float-eq",
+    "forbid-unsafe",
+    "protocol-drift",
+    "suppression",
+];
+
+/// Whether `name` is a lint the analyzer knows about.
+pub fn is_known_lint(name: &str) -> bool {
+    LINTS.contains(&name)
+}
+
+/// One finding, pointing at a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Lint that produced the finding.
+    pub lint: &'static str,
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic.
+    pub fn new(lint: &'static str, file: &str, line: u32, message: impl Into<String>) -> Self {
+        Self { lint, file: file.to_string(), line, message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.lint, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_file_line_lint_message() {
+        let d = Diagnostic::new("float-eq", "crates/x/src/lib.rs", 12, "comparison of f64 with ==");
+        assert_eq!(d.to_string(), "crates/x/src/lib.rs:12: [float-eq] comparison of f64 with ==");
+    }
+
+    #[test]
+    fn known_lints() {
+        assert!(is_known_lint("panic-path"));
+        assert!(!is_known_lint("spelling"));
+    }
+}

@@ -1,0 +1,517 @@
+//! A comment/string/raw-string-aware Rust lexer.
+//!
+//! The lints in this crate are token-pattern matchers; the single thing
+//! they cannot afford is mistaking the *inside* of a comment or literal
+//! for code (a doc example calling `.unwrap()` is not a panic path) or
+//! mistaking code for a literal (which would silently blind a lint).
+//! This lexer does exactly that classification and nothing more: it
+//! splits a source file into identifiers, numbers (integer and float
+//! separately), punctuation, lifetimes, and the five literal/comment
+//! shapes that can swallow arbitrary text — line comments, (nested)
+//! block comments, string literals, raw strings with any number of `#`
+//! guards, and char literals — each token carrying its byte span and
+//! 1-based line number.
+//!
+//! It is *not* a full Rust lexer: it has no keyword table (keywords are
+//! plain [`TokenKind::Ident`]s) and does not validate literals; it only
+//! promises that token *boundaries and classes* are right, which the
+//! proptest suite in `tests/lexer_proptest.rs` pins under randomized
+//! interleavings of every tricky shape (lifetimes vs chars, `"#` inside
+//! raw strings, quotes inside comments, `//` inside strings, ...).
+
+/// What one token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (also raw identifiers, `r#type`).
+    Ident,
+    /// An integer literal (any base, with suffix).
+    Int,
+    /// A float literal (`1.0`, `1.`, `1e-3`, `2.5f64`).
+    Float,
+    /// One punctuation character (`.`, `=`, `[`, ...).
+    Punct,
+    /// A lifetime or loop label (`'a`, `'static`) — no closing quote.
+    Lifetime,
+    /// A `'x'` / `b'x'` char literal, escapes included.
+    Char,
+    /// A `"..."` / `b"..."` string literal, escapes included.
+    Str,
+    /// A raw string literal (`r"..."`, `r#"..."#`, `br##"..."##`).
+    RawStr,
+    /// A `// ...` comment (doc comments included), newline excluded.
+    LineComment,
+    /// A `/* ... */` comment, nesting respected.
+    BlockComment,
+}
+
+impl TokenKind {
+    /// Whether the token is a comment (invisible to code lints).
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether the token is a literal that can contain arbitrary text.
+    pub fn is_textual_literal(self) -> bool {
+        matches!(self, TokenKind::Str | TokenKind::RawStr | TokenKind::Char)
+    }
+}
+
+/// One lexed token: class + byte span + line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// The token's class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+/// A lexed source file: the text plus its token stream.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Display path used in diagnostics (workspace-relative).
+    pub path: String,
+    /// The raw source text.
+    pub src: String,
+    /// Every token, in order, comments included.
+    pub tokens: Vec<Token>,
+}
+
+impl SourceFile {
+    /// Lex `src` into a token stream.
+    pub fn lex(path: impl Into<String>, src: impl Into<String>) -> Self {
+        let src = src.into();
+        let tokens = lex(&src);
+        Self { path: path.into(), src, tokens }
+    }
+
+    /// The text of one token.
+    pub fn text(&self, token: &Token) -> &str {
+        &self.src[token.start..token.end]
+    }
+
+    /// Indices of the non-comment tokens, in order (what the code lints
+    /// walk).
+    pub fn code_indices(&self) -> Vec<usize> {
+        (0..self.tokens.len()).filter(|&i| !self.tokens[i].kind.is_comment()).collect()
+    }
+}
+
+/// Lex a whole source text.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { src: src.as_bytes(), text: src, pos: 0, line: 1, tokens: Vec::new() }.run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    text: &'s str,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.src[self.pos];
+            let kind = match b {
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' => self.prefixed_or_ident(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if is_ident_start(b) => self.ident(),
+                _ => {
+                    self.pos += 1;
+                    TokenKind::Punct
+                }
+            };
+            self.tokens.push(Token { kind, start, end: self.pos, line });
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump_counting_lines(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump_counting_lines();
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// `r` / `b` can prefix raw strings, byte strings, byte chars and raw
+    /// identifiers; anything else falls back to a plain identifier.
+    fn prefixed_or_ident(&mut self) -> TokenKind {
+        let b = self.src[self.pos];
+        if b == b'b' {
+            match self.peek(1) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return self.string();
+                }
+                Some(b'\'') => {
+                    self.pos += 1;
+                    return self.char_literal();
+                }
+                Some(b'r') => {
+                    if let Some(kind) = self.try_raw_string(2) {
+                        return kind;
+                    }
+                }
+                _ => {}
+            }
+        } else if b == b'r' {
+            // `r#ident` is a raw identifier, `r#"` (any number of `#`)
+            // opens a raw string, `r"` opens a raw string with no guard.
+            if let Some(kind) = self.try_raw_string(1) {
+                return kind;
+            }
+            if self.peek(1) == Some(b'#')
+                && self.peek(2).is_some_and(|c| is_ident_start(c) || c.is_ascii_digit())
+            {
+                self.pos += 2; // raw identifier
+                return self.ident();
+            }
+        }
+        self.ident()
+    }
+
+    /// If the bytes at `prefix_len` hashes-then-quote open a raw string,
+    /// consume it; otherwise leave the cursor untouched.
+    fn try_raw_string(&mut self, prefix_len: usize) -> Option<TokenKind> {
+        let mut hashes = 0usize;
+        while self.peek(prefix_len + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(prefix_len + hashes) != Some(b'"') {
+            return None;
+        }
+        self.pos += prefix_len + hashes + 1;
+        // Scan for `"` followed by `hashes` hashes.
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'"' {
+                let mut got = 0usize;
+                while got < hashes && self.peek(1 + got) == Some(b'#') {
+                    got += 1;
+                }
+                if got == hashes {
+                    self.pos += 1 + hashes;
+                    return Some(TokenKind::RawStr);
+                }
+            }
+            self.bump_counting_lines();
+        }
+        Some(TokenKind::RawStr) // unterminated: classify what we have
+    }
+
+    fn string(&mut self) -> TokenKind {
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => {
+                    self.pos += 1; // the escape marker ...
+                    if self.pos < self.src.len() {
+                        self.bump_counting_lines(); // ... and the escaped byte
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return TokenKind::Str;
+                }
+                _ => self.bump_counting_lines(),
+            }
+        }
+        TokenKind::Str // unterminated
+    }
+
+    /// At a `'`: a char literal when a (possibly escaped) single char is
+    /// followed by a closing quote, a lifetime/label when identifier
+    /// characters follow without one.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        match self.peek(1) {
+            Some(b'\\') => self.char_literal(),
+            Some(c) => {
+                // One char then a quote => char literal ('x', '(', '0').
+                // The one char may be multi-byte UTF-8.
+                let rest = &self.text[self.pos + 1..];
+                let mut chars = rest.char_indices();
+                if let Some((_, first)) = chars.next() {
+                    if first != '\'' {
+                        if let Some((next_at, '\'')) = chars.next() {
+                            self.pos += 1 + next_at + 1;
+                            return TokenKind::Char;
+                        }
+                    }
+                }
+                if is_ident_start(c) {
+                    self.pos += 1;
+                    while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                        self.pos += 1;
+                    }
+                    TokenKind::Lifetime
+                } else {
+                    self.pos += 1;
+                    TokenKind::Punct // a stray quote; not valid Rust anyway
+                }
+            }
+            None => {
+                self.pos += 1;
+                TokenKind::Punct
+            }
+        }
+    }
+
+    /// A char literal starting at the opening quote (escape-aware:
+    /// `'\''`, `'\\'`, `'\u{1F600}'`).
+    fn char_literal(&mut self) -> TokenKind {
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => {
+                    self.pos += 1;
+                    if self.pos < self.src.len() {
+                        self.pos += 1;
+                    }
+                }
+                b'\'' => {
+                    self.pos += 1;
+                    return TokenKind::Char;
+                }
+                b'\n' => return TokenKind::Char, // unterminated
+                _ => self.pos += 1,
+            }
+        }
+        TokenKind::Char
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        TokenKind::Ident
+    }
+
+    /// An integer or float literal.  The subtle cases: `1..2` is an int
+    /// and a range (not `1.` then `.2`), `x.0` is field access, `1.max()`
+    /// does not exist but `1.` does, and `1e5` / `1.5e-3` carry
+    /// exponents.
+    fn number(&mut self) -> TokenKind {
+        let mut float = false;
+        if self.src[self.pos] == b'0'
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.pos += 2;
+            while self.pos < self.src.len()
+                && (self.src[self.pos].is_ascii_hexdigit() || self.src[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+            return TokenKind::Int;
+        }
+        self.digits();
+        if self.peek(0) == Some(b'.') {
+            match self.peek(1) {
+                Some(c) if c.is_ascii_digit() => {
+                    float = true;
+                    self.pos += 1;
+                    self.digits();
+                }
+                // `1.` is a float unless it opens a range (`1..`) or a
+                // field/method access (`x.0` handled by the caller;
+                // `1.to_string()` style: ident follows the dot).
+                Some(b'.') => {}
+                Some(c) if is_ident_start(c) => {}
+                _ => {
+                    float = true;
+                    self.pos += 1;
+                }
+            }
+        }
+        if matches!(self.peek(0), Some(b'e' | b'E'))
+            && (self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                || (matches!(self.peek(1), Some(b'+' | b'-'))
+                    && self.peek(2).is_some_and(|c| c.is_ascii_digit())))
+        {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(0), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits();
+        }
+        // Type suffix (`f64`, `u32`, `_f32`).  A float suffix on digits
+        // without dot/exponent (`1f64`) still makes a float.
+        let suffix_start = self.pos;
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        let suffix = &self.text[suffix_start..self.pos];
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            float = true;
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+
+    fn digits(&mut self) {
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_digit() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, &src[t.start..t.end])).collect()
+    }
+
+    #[test]
+    fn comments_strings_and_code_separate() {
+        let src = "let x = \"// not a comment\"; // real comment\n/* block \"quote\" */ y";
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokenKind::Ident, "let"));
+        assert_eq!(toks[3], (TokenKind::Str, "\"// not a comment\""));
+        assert_eq!(toks[5], (TokenKind::LineComment, "// real comment"));
+        assert_eq!(toks[6], (TokenKind::BlockComment, "/* block \"quote\" */"));
+        assert_eq!(toks[7], (TokenKind::Ident, "y"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ after");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "after"));
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = r###"r#"has " quote"# r"plain" br##"x"# y"## tail"###;
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokenKind::RawStr, r##"r#"has " quote"#"##));
+        assert_eq!(toks[1], (TokenKind::RawStr, r#"r"plain""#));
+        assert_eq!(toks[2].0, TokenKind::RawStr);
+        assert_eq!(toks[3], (TokenKind::Ident, "tail"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("&'a str 'x' '\\'' 'static b'z' '\u{e9}'");
+        let got: Vec<TokenKind> = toks.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            got,
+            vec![
+                TokenKind::Punct,    // &
+                TokenKind::Lifetime, // 'a
+                TokenKind::Ident,    // str
+                TokenKind::Char,     // 'x'
+                TokenKind::Char,     // '\''
+                TokenKind::Lifetime, // 'static
+                TokenKind::Char,     // b'z'
+                TokenKind::Char,     // 'é'
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let toks = kinds("r#type r#\"raw\"#");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#type"));
+        assert_eq!(toks[1].0, TokenKind::RawStr);
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        let toks = kinds("1 1.0 1. 1..2 0xFF 1e5 1.5e-3 2f64 x.0 3usize");
+        let nums: Vec<(TokenKind, &str)> = toks
+            .into_iter()
+            .filter(|(k, _)| matches!(k, TokenKind::Int | TokenKind::Float))
+            .collect();
+        assert_eq!(
+            nums,
+            vec![
+                (TokenKind::Int, "1"),
+                (TokenKind::Float, "1.0"),
+                (TokenKind::Float, "1."),
+                (TokenKind::Int, "1"),
+                (TokenKind::Int, "2"),
+                (TokenKind::Int, "0xFF"),
+                (TokenKind::Float, "1e5"),
+                (TokenKind::Float, "1.5e-3"),
+                (TokenKind::Float, "2f64"),
+                (TokenKind::Int, "0"),
+                (TokenKind::Int, "3usize"),
+            ]
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let src = "a\n/* x\ny */\nb \"s\ntr\" c";
+        let toks = lex(src);
+        let by_text: Vec<(String, u32)> =
+            toks.iter().map(|t| (src[t.start..t.end].to_string(), t.line)).collect();
+        assert_eq!(by_text[0], ("a".to_string(), 1));
+        assert_eq!(by_text[1].1, 2); // block comment starts line 2
+        assert_eq!(by_text[2], ("b".to_string(), 4));
+        assert_eq!(by_text[3].1, 4); // string starts line 4
+        assert_eq!(by_text[4], ("c".to_string(), 5));
+    }
+}

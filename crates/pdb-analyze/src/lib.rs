@@ -1,0 +1,45 @@
+//! Workspace invariant checker for the probabilistic-database serving
+//! stack.
+//!
+//! The repo's hardest-won invariants — "errors become replies, not
+//! panics", "shard lock drops before session lock", "every published
+//! file is tmp+fsync+rename'd", "the wire verb set is consistent
+//! everywhere it is written down" — are enforced here as named lints
+//! over a hand-rolled lexer, so they are machine-checked on every PR
+//! instead of living in prose.  See the README's *Static analysis*
+//! section for the lint catalog and suppression syntax.
+//!
+//! The crate is deliberately dependency-free (same vendoring philosophy
+//! as `vendor/`): [`lexer`] classifies tokens, [`scanner`] recovers just
+//! enough structure (items, test regions, suppressions), and each
+//! module in [`lints`] is a small token-pattern pass.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bench_drift;
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod scanner;
+pub mod workspace;
+
+pub use diag::Diagnostic;
+
+use std::path::{Path, PathBuf};
+
+/// Find the workspace root: the nearest ancestor of `start` containing a
+/// `Cargo.toml` with a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

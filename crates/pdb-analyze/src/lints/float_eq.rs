@@ -1,0 +1,99 @@
+//! **float-eq**: no `==`/`!=` against float literals outside approved
+//! tolerance helpers.
+//!
+//! Probability math runs on `f64` everywhere in this workspace; exact
+//! equality against a computed probability is almost always a bug (the
+//! quality tests learned this the hard way — they compare through
+//! `approx_*` helpers with an explicit tolerance).  The lint is
+//! literal-based: it flags a comparison when either operand is a float
+//! literal (`x == 0.0`, `1.5 != y`).  Comparisons of two float-typed
+//! *variables* are invisible to a lexer-level pass — the lint documents
+//! exactly what it can see, rather than pretending to be a type checker.
+//!
+//! Deliberate exact comparisons (sparsity gates against a value that was
+//! *assigned*, not computed — `if prob == 0.0 { skip }`) carry a
+//! suppression with a reason.  Functions whose name starts with `approx`
+//! are exempt wholesale: they are the tolerance helpers themselves.
+
+use super::adjacent_puncts;
+use crate::diag::Diagnostic;
+use crate::lexer::{SourceFile, TokenKind};
+use crate::scanner::{functions, FileContext};
+
+/// Run the lint on one file.
+pub fn check(file: &SourceFile, ctx: &FileContext) -> Vec<Diagnostic> {
+    let code = file.code_indices();
+    let approx_bodies: Vec<std::ops::Range<usize>> = functions(file)
+        .into_iter()
+        .filter(|f| f.name.starts_with("approx"))
+        .map(|f| f.body)
+        .collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < code.len() {
+        let is_eq = adjacent_puncts(file, &code, i, "=", "=");
+        let is_ne = adjacent_puncts(file, &code, i, "!", "=");
+        if !(is_eq || is_ne) {
+            i += 1;
+            continue;
+        }
+        // `a === b` / `<==` cannot occur in valid Rust; `x !=` is only a
+        // comparison when something other than `=` precedes (rules out
+        // matching the tail of `==` as a fresh pair).
+        let op_tok = &file.tokens[code[i]];
+        let prev_float = i > 0 && file.tokens[code[i - 1]].kind == TokenKind::Float;
+        // Right operand: allow a unary minus (`x == -0.5`).
+        let mut rhs = i + 2;
+        if code.get(rhs).is_some_and(|&ti| {
+            file.tokens[ti].kind == TokenKind::Punct && file.text(&file.tokens[ti]) == "-"
+        }) {
+            rhs += 1;
+        }
+        let next_float = code.get(rhs).is_some_and(|&ti| file.tokens[ti].kind == TokenKind::Float);
+        if (prev_float || next_float)
+            && !ctx.in_test(op_tok)
+            && !approx_bodies.iter().any(|r| r.contains(&code[i]))
+        {
+            let op = if is_eq { "==" } else { "!=" };
+            out.push(Diagnostic::new(
+                "float-eq",
+                &file.path,
+                op_tok.line,
+                format!("`{op}` against a float literal; compare with a tolerance helper"),
+            ));
+        }
+        i += 2; // skip past the operator pair
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::FileContext;
+
+    fn run(src: &str) -> Vec<u32> {
+        let file = SourceFile::lex("t.rs", src);
+        let ctx = FileContext::new(&file);
+        check(&file, &ctx).into_iter().map(|d| d.line).collect()
+    }
+
+    #[test]
+    fn float_literal_comparisons_flagged() {
+        let src = "fn f(x: f64) {\n  if x == 0.0 {}\n  if 1.5 != x {}\n  if x == y {}\n  if n == 3 {}\n}\n";
+        assert_eq!(run(src), vec![2, 3]);
+    }
+
+    #[test]
+    fn approx_helpers_and_tests_exempt() {
+        let src = "fn approx_eq(a: f64, b: f64) -> bool { (a - b).abs() < 1e-9 || a == 0.0 }\n\
+                   #[test]\nfn t() { assert!(x == 0.5); }\n";
+        assert_eq!(run(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn assignment_and_arrows_not_confused() {
+        let src = "fn f() {\n  let x = 0.0;\n  let c = |v| v >= 1.0;\n  match x { v => v }\n}\n";
+        assert_eq!(run(src), Vec::<u32>::new());
+    }
+}

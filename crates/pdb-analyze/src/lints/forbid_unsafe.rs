@@ -1,0 +1,56 @@
+//! **forbid-unsafe**: every workspace crate root carries
+//! `#![forbid(unsafe_code)]`.
+//!
+//! `deny` can be overridden further down the tree; `forbid` cannot.  The
+//! lint checks crate roots (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`)
+//! for the inner attribute so the guarantee is structural, not habitual.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{SourceFile, TokenKind};
+
+/// Run the lint on one crate-root file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let code = file.code_indices();
+    for (i, &ti) in code.iter().enumerate() {
+        let t = &file.tokens[ti];
+        if t.kind == TokenKind::Ident && file.text(t) == "forbid" {
+            let next_is_paren = code.get(i + 1).is_some_and(|&n| file.text(&file.tokens[n]) == "(");
+            let arg_is_unsafe_code = code.get(i + 2).is_some_and(|&n| {
+                file.tokens[n].kind == TokenKind::Ident
+                    && file.text(&file.tokens[n]) == "unsafe_code"
+            });
+            if next_is_paren && arg_is_unsafe_code {
+                return Vec::new();
+            }
+        }
+    }
+    vec![Diagnostic::new(
+        "forbid-unsafe",
+        &file.path,
+        1,
+        "crate root is missing #![forbid(unsafe_code)]",
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn present_attribute_passes() {
+        let file = SourceFile::lex(
+            "crates/x/src/lib.rs",
+            "//! Docs.\n#![warn(missing_docs)]\n#![forbid(unsafe_code)]\nfn a() {}\n",
+        );
+        assert!(check(&file).is_empty());
+    }
+
+    #[test]
+    fn missing_attribute_fails_at_line_one() {
+        let file = SourceFile::lex("crates/x/src/main.rs", "fn main() {}\n");
+        let got = check(&file);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].line, 1);
+        assert!(got[0].message.contains("forbid(unsafe_code)"));
+    }
+}

@@ -1,0 +1,116 @@
+//! The lint passes.
+//!
+//! Every code lint has the same shape: walk the non-comment token stream
+//! of one file (via [`crate::lexer::SourceFile::code_indices`]), match a
+//! token pattern, and emit [`crate::diag::Diagnostic`]s.  Test regions
+//! (see [`crate::scanner`]) are skipped by the lints where test code is
+//! *supposed* to do the flagged thing (`unwrap()` in a test is fine).
+//!
+//! [`protocol_drift`] is the odd one out: it is a cross-file consistency
+//! check, not a per-file pattern.
+
+pub mod durability;
+pub mod float_eq;
+pub mod forbid_unsafe;
+pub mod lock_order;
+pub mod panic_path;
+pub mod protocol_drift;
+
+use crate::lexer::{SourceFile, TokenKind};
+
+/// Whether the code tokens at positions `code[i]` and `code[i + 1]` are
+/// the two punctuation characters `a` then `b` with no gap between them
+/// (so `!` `=` matches `!=` but not `! =`, and `=` `=` matches `==`).
+pub(crate) fn adjacent_puncts(
+    file: &SourceFile,
+    code: &[usize],
+    i: usize,
+    a: &str,
+    b: &str,
+) -> bool {
+    let (Some(&t1), Some(&t2)) = (code.get(i), code.get(i + 1)) else { return false };
+    let (t1, t2) = (&file.tokens[t1], &file.tokens[t2]);
+    t1.kind == TokenKind::Punct
+        && t2.kind == TokenKind::Punct
+        && t1.end == t2.start
+        && file.text(t1) == a
+        && file.text(t2) == b
+}
+
+/// Whether the ident at `code[i]` is a method call: preceded by `.` and
+/// followed by `(`.
+pub(crate) fn is_method_call(file: &SourceFile, code: &[usize], i: usize) -> bool {
+    let prev_is_dot = i > 0 && {
+        let t = &file.tokens[code[i - 1]];
+        t.kind == TokenKind::Punct && file.text(t) == "."
+    };
+    let next_is_paren = code.get(i + 1).is_some_and(|&ti| {
+        let t = &file.tokens[ti];
+        t.kind == TokenKind::Punct && file.text(t) == "("
+    });
+    prev_is_dot && next_is_paren
+}
+
+/// From the opening delimiter at `code[open]`, return the position of the
+/// matching closer in `code` (tracks all three bracket kinds together).
+pub(crate) fn matching_close(file: &SourceFile, code: &[usize], open: usize) -> Option<usize> {
+    let mut depth = 0isize;
+    for (off, &ti) in code[open..].iter().enumerate() {
+        let t = &file.tokens[ti];
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match file.text(t) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Keywords that can directly precede a `[` without the bracket being an
+/// index expression (`let [a, b] = ...`, `return [x]`, `in [..]`, ...).
+pub(crate) fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "as" | "async"
+            | "await"
+            | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "static"
+            | "struct"
+            | "trait"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "yield"
+    )
+}

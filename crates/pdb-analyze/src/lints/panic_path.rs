@@ -1,0 +1,155 @@
+//! **panic-path**: request-handling, WAL-replay and CLI command code must
+//! surface failures as `Result`s, never as panics.
+//!
+//! Flags, outside test regions:
+//!
+//! - `.unwrap(` / `.expect(` method calls,
+//! - the panicking macros `panic!`, `unreachable!`, `todo!`,
+//!   `unimplemented!`,
+//! - explicit index expressions `expr[i]` (a panic on out-of-range).
+//!
+//! Range slicing (`&buf[a..b]`) is deliberately *not* flagged: the
+//! workspace style uses checked `get()` helpers where a short slice is
+//! reachable, and flagging every range would bury the real findings.
+//! `assert!`/`debug_assert!` are likewise allowed — they document
+//! invariants, and the repo's fail-stop paths use explicit errors.
+
+use super::{is_keyword, is_method_call, matching_close};
+use crate::diag::Diagnostic;
+use crate::lexer::{SourceFile, TokenKind};
+use crate::scanner::FileContext;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Run the lint on one file.
+pub fn check(file: &SourceFile, ctx: &FileContext) -> Vec<Diagnostic> {
+    let code = file.code_indices();
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        let t = &file.tokens[code[i]];
+        if ctx.in_test(t) {
+            continue;
+        }
+        match t.kind {
+            TokenKind::Ident => {
+                let text = file.text(t);
+                if (text == "unwrap" || text == "expect") && is_method_call(file, &code, i) {
+                    out.push(Diagnostic::new(
+                        "panic-path",
+                        &file.path,
+                        t.line,
+                        format!(".{text}() panics on failure; return an error instead"),
+                    ));
+                } else if PANIC_MACROS.contains(&text) && bang_follows(file, &code, i) {
+                    out.push(Diagnostic::new(
+                        "panic-path",
+                        &file.path,
+                        t.line,
+                        format!("{text}! aborts the request path; return an error instead"),
+                    ));
+                }
+            }
+            TokenKind::Punct if file.text(t) == "[" && is_index_expr(file, &code, i) => {
+                out.push(Diagnostic::new(
+                    "panic-path",
+                    &file.path,
+                    t.line,
+                    "explicit indexing panics when out of range; use get()",
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `name !` with the bang directly attached (macro invocation).
+fn bang_follows(file: &SourceFile, code: &[usize], i: usize) -> bool {
+    code.get(i + 1).is_some_and(|&ti| {
+        let t = &file.tokens[ti];
+        t.kind == TokenKind::Punct && file.text(t) == "!" && t.start == file.tokens[code[i]].end
+    })
+}
+
+/// A `[` is an index expression when the token before it can end an
+/// expression (identifier, `]`, `)`), and the bracket group is not a
+/// range slice (`[a..b]`, `[..n]`).
+fn is_index_expr(file: &SourceFile, code: &[usize], open: usize) -> bool {
+    if open == 0 {
+        return false;
+    }
+    let prev = &file.tokens[code[open - 1]];
+    let prev_ok = match prev.kind {
+        TokenKind::Ident => !is_keyword(file.text(prev)),
+        TokenKind::Punct => matches!(file.text(prev), "]" | ")"),
+        _ => false,
+    };
+    if !prev_ok {
+        // `vec![...]` / `#[...]` / `&[u8]` / `= [1, 2]` all land here: the
+        // token before the bracket is `!`, `#`, `&`, `=`, ... — not an
+        // expression end.
+        return false;
+    }
+    let Some(close) = matching_close(file, code, open) else { return false };
+    // Top-level `..` inside the brackets => range slice, skipped.
+    let mut depth = 0isize;
+    let mut j = open;
+    while j < close {
+        let t = &file.tokens[code[j]];
+        if t.kind == TokenKind::Punct {
+            match file.text(t) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "." if depth == 1 && super::adjacent_puncts(file, code, j, ".", ".") => {
+                    return false;
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::FileContext;
+
+    fn run(src: &str) -> Vec<(u32, String)> {
+        let file = SourceFile::lex("t.rs", src);
+        let ctx = FileContext::new(&file);
+        check(&file, &ctx).into_iter().map(|d| (d.line, d.message)).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let got = run("fn f() {\n  x.unwrap();\n  y.expect(\"msg\");\n  panic!(\"no\");\n}\n");
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].0, 2);
+        assert_eq!(got[1].0, 3);
+        assert_eq!(got[2].0, 4);
+    }
+
+    #[test]
+    fn unwrap_or_else_and_tests_are_fine() {
+        let got = run("fn f() { x.unwrap_or_else(|e| e.into_inner()); }\n\
+             #[test]\nfn t() { y.unwrap(); panic!(); }\n");
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn indexing_flagged_ranges_and_macros_not() {
+        let got = run(
+            "fn f(v: &[u8]) {\n  let a = v[0];\n  let b = &v[1..3];\n  let c = vec![0; 4];\n  let d = m[k][j];\n}\n",
+        );
+        let lines: Vec<u32> = got.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lines, vec![2, 5, 5], "{got:?}");
+    }
+
+    #[test]
+    fn attributes_and_slice_types_not_flagged() {
+        let got = run("#[derive(Debug)]\nstruct S;\nfn f(x: &[u8], y: [u8; 4]) {}\n");
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

@@ -1,0 +1,128 @@
+//! `pdb-analyze`: run the workspace invariant lints.
+//!
+//! ```text
+//! pdb-analyze [--check] [--root <dir>]     run every lint, print findings
+//! pdb-analyze bench-drift <file>...        compare bench ids vs HEAD
+//! pdb-analyze --list                       print the lint catalog
+//! ```
+//!
+//! Without `--check` the exit code is always 0 (exploratory runs);
+//! with it, any finding exits 1 — that is the CI gate.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "bench-drift") {
+        return bench_drift(&args[1..]);
+    }
+
+    let mut check = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--list" => {
+                for lint in pdb_analyze::diag::LINTS {
+                    println!("{lint}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                print!("{}", USAGE);
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root
+        .or_else(|| std::env::current_dir().ok().and_then(|d| pdb_analyze::find_workspace_root(&d)))
+    {
+        Some(r) => r,
+        None => return usage_error("could not find the workspace root; pass --root"),
+    };
+
+    let findings = match pdb_analyze::workspace::run(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("pdb-analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &findings {
+        println!("{d}");
+    }
+    if findings.is_empty() {
+        eprintln!("pdb-analyze: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("pdb-analyze: {} finding(s)", findings.len());
+        if check {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn bench_drift(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        return usage_error("bench-drift needs at least one BENCH_*.json path");
+    }
+    let root = match std::env::current_dir().ok().and_then(|d| pdb_analyze::find_workspace_root(&d))
+    {
+        Some(r) => r,
+        None => return usage_error("could not find the workspace root"),
+    };
+    let mut drifted = false;
+    for file in files {
+        match pdb_analyze::bench_drift::check(&root, file) {
+            Ok(d) if d.is_clean() => eprintln!("{file}: bench ids match HEAD"),
+            Ok(d) => {
+                drifted = true;
+                for id in &d.added {
+                    println!("{file}: id added (not in HEAD): {id}");
+                }
+                for id in &d.removed {
+                    println!("{file}: id removed (still in HEAD): {id}");
+                }
+            }
+            Err(e) => {
+                eprintln!("pdb-analyze: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if drifted {
+        eprintln!("pdb-analyze: bench id drift detected; update the committed BENCH_*.json");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("pdb-analyze: {msg}");
+    eprint!("{}", USAGE);
+    ExitCode::FAILURE
+}
+
+const USAGE: &str = "\
+Usage:
+  pdb-analyze [--check] [--root <dir>]   run the workspace lints
+  pdb-analyze bench-drift <file>...      compare bench ids against HEAD
+  pdb-analyze --list                     print the lint catalog
+
+Findings print as `file:line: [lint] message`.  With --check any finding
+exits nonzero.  Suppress one finding with a reasoned comment:
+  // pdb-analyze: allow(<lint>): <reason>
+";

@@ -1,0 +1,342 @@
+//! A lightweight item/block scanner on top of the lexer.
+//!
+//! The lints need three structural facts the flat token stream does not
+//! give them directly:
+//!
+//! 1. **Test regions** — byte ranges covered by `#[cfg(test)]` modules
+//!    and `#[test]` functions.  Panic/float lints deliberately skip test
+//!    code: a test *should* `unwrap()` and may pin exact floats.
+//! 2. **Function spans** — `fn` name + body token range, for the lints
+//!    that reason per function body (lock order, durability pattern).
+//! 3. **Suppressions** — `// pdb-analyze: allow(<lint>): <reason>`
+//!    comments, with the line of code they cover.
+//!
+//! The scanner is brace-matching only — it never parses expressions —
+//! which is exactly the sweet spot for repo-invariant lints: robust to
+//! new syntax inside bodies, cheap to maintain, and easy to reason
+//! about.
+
+use crate::lexer::{SourceFile, Token, TokenKind};
+use std::ops::Range;
+
+/// A function found in a file.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body, *excluding* the outer braces.
+    pub body: Range<usize>,
+}
+
+/// One `// pdb-analyze: allow(<lint>): <reason>` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The lint name inside `allow(...)`.
+    pub lint: String,
+    /// The reason after the closing paren (mandatory; an empty reason is
+    /// itself a diagnostic).
+    pub reason: String,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// The line of code the suppression covers (same line for a trailing
+    /// comment, the next code-bearing line for a standalone one).
+    pub covers_line: u32,
+}
+
+/// Byte ranges of test-only code (`#[cfg(test)]` items, `#[test]` fns).
+pub fn test_regions(file: &SourceFile) -> Vec<Range<usize>> {
+    let toks = &file.tokens;
+    let code = file.code_indices();
+    let mut regions = Vec::new();
+    let mut pending_test_attr: Option<usize> = None; // token index of the `#`
+    let mut i = 0usize;
+    while i < code.len() {
+        let ti = code[i];
+        let t = &toks[ti];
+        if t.kind == TokenKind::Punct && file.text(t) == "#" {
+            // Attribute: `#[...]` or `#![...]` — scan the bracket group.
+            let mut j = i + 1;
+            if j < code.len() && file.text(&toks[code[j]]) == "!" {
+                j += 1;
+            }
+            if j < code.len() && file.text(&toks[code[j]]) == "[" {
+                let (end, mentions_test) = scan_attr(file, &code, j);
+                if mentions_test && pending_test_attr.is_none() {
+                    pending_test_attr = Some(ti);
+                }
+                i = end;
+                continue;
+            }
+        }
+        if t.kind == TokenKind::Ident {
+            let text = file.text(t);
+            if matches!(text, "fn" | "mod" | "impl" | "struct" | "enum" | "trait" | "const") {
+                if let Some(attr_tok) = pending_test_attr.take() {
+                    // The item the test attribute annotates: its region
+                    // runs from the attribute to the end of the item's
+                    // brace block (or its `;`).
+                    let (end_byte, next_i) = item_end(file, &code, i);
+                    regions.push(toks[attr_tok].start..end_byte);
+                    i = next_i;
+                    continue;
+                }
+            } else if matches!(text, "pub" | "async" | "unsafe" | "extern") {
+                // Visibility/qualifiers between attribute and item keyword:
+                // keep any pending attribute alive.
+                i += 1;
+                continue;
+            }
+        }
+        // Any other code token between an attribute and an item keyword
+        // (e.g. a statement) means the attribute annotated an expression;
+        // drop the pending state so unrelated items are not swallowed.
+        if !matches!(t.kind, TokenKind::Punct if matches!(file.text(t), "#" | "[" | "]" | "!")) {
+            if let Some(attr_tok) = pending_test_attr {
+                // Only reset when we've moved past the attribute itself.
+                if t.start > toks[attr_tok].end {
+                    pending_test_attr = None;
+                }
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Scan the attribute bracket group starting at `code[open_idx]` (the
+/// `[`).  Returns (index one past the closing `]`, whether the attribute
+/// mentions the identifier `test`).
+fn scan_attr(file: &SourceFile, code: &[usize], open_idx: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut mentions = false;
+    let mut i = open_idx;
+    while i < code.len() {
+        let t = &file.tokens[code[i]];
+        match (t.kind, file.text(t)) {
+            (TokenKind::Punct, "[") => depth += 1,
+            (TokenKind::Punct, "]") => {
+                depth -= 1;
+                if depth == 0 {
+                    return (i + 1, mentions);
+                }
+            }
+            (TokenKind::Ident, "test") => mentions = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    (i, mentions)
+}
+
+/// From the item keyword at `code[kw_idx]`, find the end of the item:
+/// the matching `}` of its first brace block, or its terminating `;`.
+/// Returns (byte offset one past the end, code index one past the end).
+fn item_end(file: &SourceFile, code: &[usize], kw_idx: usize) -> (usize, usize) {
+    let mut i = kw_idx;
+    let mut depth = 0usize;
+    while i < code.len() {
+        let t = &file.tokens[code[i]];
+        match (t.kind, file.text(t)) {
+            (TokenKind::Punct, "{") => depth += 1,
+            (TokenKind::Punct, "}") => {
+                depth -= 1;
+                if depth == 0 {
+                    return (t.end, i + 1);
+                }
+            }
+            (TokenKind::Punct, ";") if depth == 0 => return (t.end, i + 1),
+            _ => {}
+        }
+        i += 1;
+    }
+    let end = file.tokens.last().map_or(0, |t| t.end);
+    (end, i)
+}
+
+/// Every function in the file (test functions included — callers filter
+/// by region if they need to).  Nested functions are reported separately
+/// *and* included in their parent's span.
+pub fn functions(file: &SourceFile) -> Vec<FnSpan> {
+    let toks = &file.tokens;
+    let code = file.code_indices();
+    let mut fns = Vec::new();
+    for (i, &ti) in code.iter().enumerate() {
+        let t = &toks[ti];
+        if t.kind != TokenKind::Ident || file.text(t) != "fn" {
+            continue;
+        }
+        let Some(&name_ti) = code.get(i + 1) else { continue };
+        let name_tok = &toks[name_ti];
+        if name_tok.kind != TokenKind::Ident {
+            continue;
+        }
+        // Find the body's `{`, unless a `;` ends the item first (trait
+        // method declarations, extern fns).
+        let mut j = i + 2;
+        let mut angle = 0isize;
+        let mut open = None;
+        while let Some(&tj) = code.get(j) {
+            let tok = &toks[tj];
+            match (tok.kind, file.text(tok)) {
+                (TokenKind::Punct, "<") => angle += 1,
+                (TokenKind::Punct, ">") => angle -= 1,
+                (TokenKind::Punct, "{") if angle <= 0 => {
+                    open = Some(j);
+                    break;
+                }
+                (TokenKind::Punct, ";") if angle <= 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        // Match the braces.
+        let mut depth = 0usize;
+        let mut k = open;
+        let mut close = None;
+        while let Some(&tk) = code.get(k) {
+            match (toks[tk].kind, file.text(&toks[tk])) {
+                (TokenKind::Punct, "{") => depth += 1,
+                (TokenKind::Punct, "}") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let close = close.unwrap_or(code.len());
+        fns.push(FnSpan {
+            name: file.text(name_tok).to_string(),
+            line: t.line,
+            // Token-index range over `code_indices()` positions mapped
+            // back to raw token indices: store raw indices.
+            body: code[open]..code.get(close).copied().unwrap_or(toks.len()),
+        });
+    }
+    fns
+}
+
+/// Parse every suppression comment in the file.
+pub fn suppressions(file: &SourceFile) -> Vec<Suppression> {
+    const MARKER: &str = "pdb-analyze:";
+    let mut line_has_code = std::collections::BTreeMap::<u32, bool>::new();
+    let mut last_line = 1u32;
+    for t in &file.tokens {
+        if !t.kind.is_comment() {
+            let entry = line_has_code.entry(t.line).or_insert(false);
+            *entry = true;
+        }
+        last_line = last_line.max(t.line);
+    }
+    let mut out = Vec::new();
+    for t in &file.tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let text = file.text(t);
+        // Doc comments (`///`, `//!`) describe the syntax; only plain
+        // `//` comments *are* suppressions.
+        if text.starts_with("///") || text.starts_with("//!") {
+            continue;
+        }
+        let Some(at) = text.find(MARKER) else { continue };
+        let rest = text[at + MARKER.len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else { continue };
+        let Some(close) = rest.find(')') else { continue };
+        let lint = rest[..close].trim().to_string();
+        let mut reason = rest[close + 1..].trim();
+        reason = reason.strip_prefix(':').unwrap_or(reason).trim();
+        // A trailing comment covers its own line; a standalone comment
+        // covers the next line that carries code.
+        let covers_line = if line_has_code.get(&t.line).copied().unwrap_or(false) {
+            t.line
+        } else {
+            (t.line + 1..=last_line)
+                .find(|l| line_has_code.get(l).copied().unwrap_or(false))
+                .unwrap_or(t.line + 1)
+        };
+        out.push(Suppression { lint, reason: reason.to_string(), line: t.line, covers_line });
+    }
+    out
+}
+
+/// Precomputed per-file context shared by the code lints.
+#[derive(Debug)]
+pub struct FileContext {
+    test_regions: Vec<Range<usize>>,
+}
+
+impl FileContext {
+    /// Build the context for one lexed file.
+    pub fn new(file: &SourceFile) -> Self {
+        Self { test_regions: test_regions(file) }
+    }
+
+    /// Whether a token sits inside test-only code.
+    pub fn in_test(&self, token: &Token) -> bool {
+        self.test_regions.iter().any(|r| r.contains(&token.start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_regions() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n\
+                   #[test]\nfn unit() { y.unwrap(); }\n\
+                   fn also_live() {}\n";
+        let file = SourceFile::lex("t.rs", src);
+        let ctx = FileContext::new(&file);
+        let tok_at = |needle: &str| {
+            let at = src.find(needle).unwrap();
+            *file.tokens.iter().find(|t| t.start == at).unwrap()
+        };
+        assert!(!ctx.in_test(&tok_at("live")));
+        assert!(ctx.in_test(&tok_at("helper")));
+        assert!(ctx.in_test(&tok_at("unit")));
+        assert!(!ctx.in_test(&tok_at("also_live")));
+    }
+
+    #[test]
+    fn functions_have_names_and_bodies() {
+        let src = "impl Foo {\n  pub fn bar<T: Clone>(&self) -> u32 { baz(); 1 }\n}\n\
+                   fn top() { inner(); fn nested() {} }\n";
+        let file = SourceFile::lex("t.rs", src);
+        let fns = functions(&file);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["bar", "top", "nested"]);
+        let bar = &fns[0];
+        let body_text: String = file.tokens[bar.body.clone()]
+            .iter()
+            .map(|t| file.text(t))
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert!(body_text.contains("baz"), "{body_text}");
+    }
+
+    #[test]
+    fn suppressions_parse_with_cover_lines() {
+        let src = "let a = 1; // pdb-analyze: allow(float-eq): exact sentinel\n\
+                   // pdb-analyze: allow(panic-path): guarded above\n\
+                   let b = v[0];\n\
+                   // pdb-analyze: allow(lock-order)\n\
+                   let c = 2;\n";
+        let file = SourceFile::lex("t.rs", src);
+        let sups = suppressions(&file);
+        assert_eq!(sups.len(), 3);
+        assert_eq!((sups[0].lint.as_str(), sups[0].covers_line), ("float-eq", 1));
+        assert_eq!(sups[0].reason, "exact sentinel");
+        assert_eq!((sups[1].lint.as_str(), sups[1].covers_line), ("panic-path", 3));
+        assert_eq!((sups[2].lint.as_str(), sups[2].covers_line), ("lock-order", 5));
+        assert!(sups[2].reason.is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Workspace walking, lint dispatch, and suppression handling.
+//!
+//! The analyzer walks the `src/` trees of the first-party crates
+//! (`crates/*` plus the root facade crate).  `vendor/` is deliberately
+//! excluded: those crates are stand-ins for external dependencies and
+//! follow their upstreams' idioms, not this repo's invariants.  Test
+//! directories (`tests/`, `benches/`) are also excluded — integration
+//! tests unwrap freely, and the fixture corpus under
+//! `crates/pdb-analyze/tests/fixtures/` exists precisely to violate
+//! every lint.
+//!
+//! ## Suppressions
+//!
+//! A finding on line `N` of a file is suppressed by a comment
+//!
+//! ```text
+//! // pdb-analyze: allow(<lint>): <reason>
+//! ```
+//!
+//! either trailing on line `N` or standing alone on the line above.  The
+//! reason is mandatory: a suppression without one is itself reported
+//! (lint `suppression`), as are suppressions naming unknown lints and
+//! suppressions that no longer match any finding (so stale allows rot
+//! away instead of accumulating).
+
+use crate::diag::{is_known_lint, Diagnostic};
+use crate::lexer::SourceFile;
+use crate::lints;
+use crate::scanner::{suppressions, FileContext};
+use std::path::{Path, PathBuf};
+
+/// Run every lint over the workspace rooted at `root`; returns the
+/// surviving diagnostics (suppressions already applied) sorted by file
+/// and line.
+pub fn run(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let files = source_files(root)?;
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let mut sups: Vec<(String, crate::scanner::Suppression)> = Vec::new();
+
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let file = SourceFile::lex(rel_str.clone(), src);
+        let ctx = FileContext::new(&file);
+
+        if panic_path_applies(&rel_str) {
+            raw.extend(lints::panic_path::check(&file, &ctx));
+        }
+        raw.extend(lints::lock_order::check(&file, &ctx));
+        if rel_str.starts_with("crates/pdb-store/src/") {
+            raw.extend(lints::durability::check(&file, &ctx));
+        }
+        raw.extend(lints::float_eq::check(&file, &ctx));
+        if is_crate_root(&rel_str) {
+            raw.extend(lints::forbid_unsafe::check(&file));
+        }
+        for s in suppressions(&file) {
+            sups.push((rel_str.clone(), s));
+        }
+    }
+
+    raw.extend(lints::protocol_drift::check(root));
+
+    Ok(apply_suppressions(raw, sups))
+}
+
+/// Which files the panic-path lint covers: the server's request path,
+/// the store's WAL/replay path, and the CLI's command path.
+fn panic_path_applies(rel: &str) -> bool {
+    rel.starts_with("crates/pdb-server/src/")
+        || rel.starts_with("crates/pdb-store/src/")
+        || rel.starts_with("crates/pdb-cli/src/")
+}
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`.
+fn is_crate_root(rel: &str) -> bool {
+    rel == "src/lib.rs"
+        || rel == "src/main.rs"
+        || (rel.starts_with("crates/")
+            && (rel.ends_with("/src/lib.rs")
+                || rel.ends_with("/src/main.rs")
+                || (rel.contains("/src/bin/") && rel.ends_with(".rs"))))
+}
+
+/// Enforce the suppression rules and drop suppressed findings.
+fn apply_suppressions(
+    raw: Vec<Diagnostic>,
+    sups: Vec<(String, crate::scanner::Suppression)>,
+) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = Vec::new();
+    let mut used = vec![false; sups.len()];
+
+    for d in raw {
+        // One comment may suppress several findings on its line; `used`
+        // only feeds the stale-suppression check.
+        let matching = sups.iter().position(|(file, s)| {
+            !s.reason.is_empty() && *file == d.file && s.lint == d.lint && s.covers_line == d.line
+        });
+        match matching {
+            Some(k) => used[k] = true,
+            None => out.push(d),
+        }
+    }
+
+    for (k, (file, s)) in sups.iter().enumerate() {
+        if !is_known_lint(&s.lint) {
+            out.push(Diagnostic::new(
+                "suppression",
+                file,
+                s.line,
+                format!("unknown lint `{}` in allow(...)", s.lint),
+            ));
+            continue;
+        }
+        if s.reason.is_empty() {
+            out.push(Diagnostic::new(
+                "suppression",
+                file,
+                s.line,
+                format!(
+                    "allow({}) needs a reason: `// pdb-analyze: allow({}): <why>`",
+                    s.lint, s.lint
+                ),
+            ));
+            continue;
+        }
+        if !used[k] {
+            out.push(Diagnostic::new(
+                "suppression",
+                file,
+                s.line,
+                format!("allow({}) matches no finding; remove the stale suppression", s.lint),
+            ));
+        }
+    }
+
+    out.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    out
+}
+
+/// Workspace-relative paths of every first-party source file.
+pub fn source_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut out)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let src = dir.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut out)?;
+            }
+        }
+    }
+    let mut rels: Vec<PathBuf> =
+        out.into_iter().filter_map(|p| p.strip_prefix(root).ok().map(PathBuf::from)).collect();
+    rels.sort();
+    Ok(rels)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

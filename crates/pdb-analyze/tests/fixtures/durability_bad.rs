@@ -1,0 +1,18 @@
+// Bad fixture for the durability-pattern lint.  Never compiled.
+
+fn save_unsynced(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(bytes)?;
+    Ok(())
+}
+
+fn save_convenient(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    fs::write(path, bytes)
+}
+
+fn save_synced_in_place(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    Ok(())
+}

@@ -1,0 +1,15 @@
+// Good fixture for the durability-pattern lint: the tmp+fsync+rename
+// publish sequence the store uses.  Never compiled.
+
+fn save(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_data()?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+fn append_only(wal: &mut OpenOptions) -> io::Result<File> {
+    wal.append(true).open("log")
+}

@@ -1,0 +1,11 @@
+// Bad fixture for the float-eq lint.  Never compiled — lexed only.
+
+fn gates(x: f64, y: f64) -> bool {
+    if x == 0.0 {
+        return true;
+    }
+    if 1.5 != y {
+        return false;
+    }
+    x == -0.25
+}

@@ -1,0 +1,19 @@
+// Good fixture for the float-eq lint: tolerance helpers, integer
+// comparisons, and test code.  Never compiled — lexed only.
+
+fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9 || a == 0.0 && b == 0.0
+}
+
+fn compare(a: f64, b: f64, n: u32) -> bool {
+    approx_eq(a, b) && n == 3 && a == b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_is_fine_in_tests() {
+        assert!(0.5 == 0.5);
+        assert!(super::compare(0.0, 0.0, 3));
+    }
+}

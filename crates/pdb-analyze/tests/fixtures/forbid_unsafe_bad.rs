@@ -1,0 +1,3 @@
+//! A crate root missing `#![forbid(unsafe_code)]`.  Never compiled.
+
+pub fn noop() {}

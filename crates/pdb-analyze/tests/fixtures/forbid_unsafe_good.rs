@@ -1,0 +1,5 @@
+//! A compliant crate root.  Never compiled — lexed only.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,19 @@
+// Bad fixture for the lock-order lint: per-session mutexes taken while
+// a shard-map guard is live.  Never compiled — lexed only.
+
+fn named_guard_live(&self, id: u64) {
+    let shard = self.shard(id).read().unwrap();
+    let handle = shard.get(&id).cloned();
+    let session = handle.lock().unwrap();
+}
+
+fn same_statement(&self, id: u64) {
+    let q = self.shard(id).read().unwrap().get(&id).lock().unwrap();
+}
+
+fn if_let_guard(&self, id: u64) {
+    if let Ok(shard) = self.shard(id).read() {
+        let handle = shard.get(&id).cloned();
+        let session = handle.lock().unwrap();
+    }
+}

@@ -1,0 +1,29 @@
+// Good fixture for the lock-order lint: every way the workspace safely
+// combines shard guards with session mutexes.  Never compiled.
+
+fn drop_before_lock(&self, id: u64) {
+    let shard = self.shard(id).read().unwrap();
+    let handle = shard.get(&id).cloned();
+    drop(shard);
+    let session = handle.lock().unwrap();
+}
+
+fn scope_before_lock(&self, id: u64) {
+    let handle = {
+        let shard = self.shard(id).read().unwrap();
+        shard.get(&id).cloned()
+    };
+    let session = handle.lock().unwrap();
+}
+
+fn derived_value_not_a_guard(&self, id: u64) {
+    let n = self.shard(id).read().unwrap().len();
+    let session = self.handle(id).lock().unwrap();
+}
+
+fn try_lock_cannot_deadlock(&self, id: u64) {
+    let shard = self.shard(id).read().unwrap();
+    if let Ok(session) = self.handle(id).try_lock() {
+        session.touch();
+    }
+}

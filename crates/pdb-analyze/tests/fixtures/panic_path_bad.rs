@@ -1,0 +1,29 @@
+// Bad fixture for the panic-path lint: every flagged construct, plus
+// the near-misses that must stay clean.  Never compiled — lexed only.
+
+fn handle(v: &[u8], m: &std::collections::HashMap<u32, u32>) -> u32 {
+    let a = v.first().unwrap();
+    let b = v.iter().next().expect("nonempty");
+    if v.is_empty() {
+        panic!("empty request");
+    }
+    let c = v[0];
+    let window = &v[1..3];
+    let e = m[&0];
+    u32::from(*a) + u32::from(*b) + u32::from(c) + window.len() as u32 + e
+}
+
+fn exhaustive(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn test_code_is_exempt() {
+    let v = [1u8];
+    let _ = v[0];
+    v.first().unwrap();
+    panic!("fine in a test");
+}

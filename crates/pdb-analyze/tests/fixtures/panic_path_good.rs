@@ -1,0 +1,19 @@
+// Good fixture for the panic-path lint: the checked alternatives the
+// workspace actually uses.  Never compiled — lexed only.
+
+fn handle(v: &[u8]) -> Option<u32> {
+    let first = v.first()?;
+    let window = v.get(1..3)?;
+    let arr = [1u8, 2, 3];
+    let all = &arr[..];
+    let tail = &v[1..];
+    let recovered = shared.lock().unwrap_or_else(|e| e.into_inner());
+    Some(u32::from(*first) + window.len() as u32 + all.len() as u32 + tail.len() as u32)
+}
+
+#[derive(Debug)]
+struct Attrs;
+
+fn macros_and_types(x: &[u8; 4]) -> Vec<u8> {
+    vec![0; x.len()]
+}

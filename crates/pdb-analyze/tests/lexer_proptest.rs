@@ -1,0 +1,100 @@
+//! Property test for the hand-rolled lexer: random interleavings of the
+//! constructs that make Rust lexing hairy — comments, strings, chars,
+//! raw strings, lifetimes — must come back as exactly one token per
+//! fragment, with the right kind, the right byte span, and the right
+//! line number.  This is the guarantee every lint leans on: a `.unwrap`
+//! inside a string or comment must never look like code.
+
+use pdb_analyze::lexer::{lex, TokenKind};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::sample::Index;
+
+/// Each fragment lexes to exactly one token of the paired kind.  The
+/// corpus deliberately packs each fragment with the *other* fragments'
+/// delimiters: quotes in comments, comment openers in strings, and so
+/// on — the cases a naive scanner gets wrong.
+const FRAGMENTS: &[(&str, TokenKind)] = &[
+    // Comments hiding string/char delimiters.
+    ("// line with \"quotes\" and 'ticks' and r\"raw\"", TokenKind::LineComment),
+    ("//", TokenKind::LineComment),
+    ("/* block */", TokenKind::BlockComment),
+    ("/* outer /* nested */ still outer */", TokenKind::BlockComment),
+    ("/* has \"string\" and 'c' and // inside */", TokenKind::BlockComment),
+    // Strings hiding comment/char delimiters and escapes.
+    ("\"plain\"", TokenKind::Str),
+    ("\"escaped \\\" quote\"", TokenKind::Str),
+    ("\"trailing backslash \\\\\"", TokenKind::Str),
+    ("\"\\n\\t\\0\"", TokenKind::Str),
+    ("\"// not a comment /* nor this */\"", TokenKind::Str),
+    ("b\"bytes\"", TokenKind::Str),
+    // Raw strings: no escapes, hash-guarded quotes.
+    ("r\"raw\"", TokenKind::RawStr),
+    ("r\"ends in backslash \\\"", TokenKind::RawStr),
+    ("r#\"has \" a quote\"#", TokenKind::RawStr),
+    ("r##\"has \"# inside\"##", TokenKind::RawStr),
+    ("br#\"raw \" bytes\"#", TokenKind::RawStr),
+    ("r\"/* not a comment */\"", TokenKind::RawStr),
+    // Chars vs lifetimes: the same leading `'`.
+    ("'a'", TokenKind::Char),
+    ("'\\''", TokenKind::Char),
+    ("'\\\\'", TokenKind::Char),
+    ("'\"'", TokenKind::Char),
+    ("b'x'", TokenKind::Char),
+    ("'static", TokenKind::Lifetime),
+    ("'a", TokenKind::Lifetime),
+    ("'_", TokenKind::Lifetime),
+    // Idents (including raw) and numbers (int/float split).
+    ("ident", TokenKind::Ident),
+    ("r#match", TokenKind::Ident),
+    ("_underscore", TokenKind::Ident),
+    ("42", TokenKind::Int),
+    ("1.5", TokenKind::Float),
+    ("2.5e3", TokenKind::Float),
+    ("1.0f64", TokenKind::Float),
+];
+
+/// Whitespace joiners; a line comment is always followed by `\n` first,
+/// since it would otherwise swallow the rest of the line.
+const SEPARATORS: &[&str] = &[" ", "  ", "\n", "\t", " \n\t "];
+
+#[test]
+fn every_fragment_lexes_alone() {
+    for (text, kind) in FRAGMENTS {
+        let tokens = lex(text);
+        assert_eq!(tokens.len(), 1, "fragment {text:?} lexed to {tokens:?}");
+        assert_eq!(tokens[0].kind, *kind, "fragment {text:?}");
+        assert_eq!((tokens[0].start, tokens[0].end), (0, text.len()), "fragment {text:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_interleavings_round_trip(
+        picks in vec((any::<Index>(), any::<Index>()), 1..48)
+    ) {
+        let mut src = String::new();
+        let mut expected: Vec<(usize, &str, TokenKind)> = Vec::new();
+        for (frag_ix, sep_ix) in &picks {
+            let (text, kind) = FRAGMENTS[frag_ix.index(FRAGMENTS.len())];
+            expected.push((src.len(), text, kind));
+            src.push_str(text);
+            if kind == TokenKind::LineComment {
+                src.push('\n');
+            }
+            src.push_str(SEPARATORS[sep_ix.index(SEPARATORS.len())]);
+        }
+
+        let tokens = lex(&src);
+        prop_assert_eq!(tokens.len(), expected.len(), "source: {:?}", src);
+        for (tok, (start, text, kind)) in tokens.iter().zip(&expected) {
+            prop_assert_eq!(tok.kind, *kind, "source: {:?}", src);
+            prop_assert_eq!(tok.start, *start, "source: {:?}", src);
+            prop_assert_eq!(&src[tok.start..tok.end], *text, "source: {:?}", src);
+            let line = 1 + src[..tok.start].bytes().filter(|&b| b == b'\n').count() as u32;
+            prop_assert_eq!(tok.line, line, "source: {:?}", src);
+        }
+    }
+}

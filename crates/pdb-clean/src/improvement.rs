@@ -361,6 +361,7 @@ fn enumerate_outcomes(
     outcomes: &mut Vec<CleanOutcome>,
     total: &mut f64,
 ) -> Result<()> {
+    // pdb-analyze: allow(float-eq): exact-zero branch probabilities are assigned, not computed; the gate prunes impossible outcome branches
     if prob == 0.0 {
         return Ok(());
     }

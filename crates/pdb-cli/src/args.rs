@@ -19,7 +19,11 @@ pub const USAGE: &str = "usage:
   pdb export [--dataset synthetic|mov|udb1] [--tuples <n>] --out <file.pdbs>
   pdb import <file> [--out <file>]
   pdb recover --store-dir <dir>
-  pdb help";
+  pdb help
+
+call verbs (one JSON object per request, e.g. {\"evaluate\":{\"session\":0}}):
+  create_session register_query evaluate quality recommend_probe apply_probe
+  drop_session persist restore stats shutdown";
 
 /// Which dataset a `quality` / `clean` invocation runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

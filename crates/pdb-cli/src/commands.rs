@@ -462,17 +462,16 @@ fn batch(
     budget: u64,
 ) -> Result<String> {
     let db = load_dataset(choice)?;
-    let specs: Vec<WeightedQuery> = ks
-        .iter()
-        .enumerate()
-        .map(|(i, &k)| {
-            let query = TopKQuery::PTk { k, threshold };
-            match weights {
-                Some(w) => WeightedQuery::weighted(query, w[i]),
-                None => WeightedQuery::new(query),
-            }
-        })
-        .collect();
+    // Weight-list length is validated at parse time; zipping (rather than
+    // indexing) keeps this panic-free even if that ever regresses.
+    let specs: Vec<WeightedQuery> = match weights {
+        Some(w) => ks
+            .iter()
+            .zip(w)
+            .map(|(&k, &weight)| WeightedQuery::weighted(TopKQuery::PTk { k, threshold }, weight))
+            .collect(),
+        None => ks.iter().map(|&k| WeightedQuery::new(TopKQuery::PTk { k, threshold })).collect(),
+    };
 
     // Batched: one PSR run at k_max serves every query.
     let (shared, batch_ms) = time_ms(|| -> Result<(BatchQuality<'_>, Vec<f64>, Vec<usize>)> {
@@ -503,14 +502,14 @@ fn batch(
         specs.len(),
         batch_eval.evaluation().k_max()
     );
-    for (i, spec) in specs.iter().enumerate() {
+    for (i, ((spec, size), quality)) in specs.iter().zip(&sizes).zip(&qualities).enumerate() {
         let _ = writeln!(
             out,
             "  query {i:>2}       : k = {:>4}, weight {:.2}, answer {:>4} tuples, quality {:+.6}",
             spec.query.k(),
             spec.weight,
-            sizes[i],
-            qualities[i],
+            size,
+            quality,
         );
     }
     let _ = writeln!(out, "aggregate quality: {:+.6}", batch_eval.aggregate_quality());

@@ -10,6 +10,8 @@
 //! pdb call '<request-json>' [--addr 127.0.0.1:7878]
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

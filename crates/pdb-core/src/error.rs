@@ -57,6 +57,12 @@ pub enum DbError {
         /// Description of the offending access.
         message: String,
     },
+    /// An internal invariant failed (poisoned lock, torn state).  Carried
+    /// as an error so servers reply instead of panicking mid-request.
+    Internal {
+        /// Description of the failed invariant.
+        message: String,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -80,6 +86,7 @@ impl fmt::Display for DbError {
             }
             DbError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
             DbError::IndexOutOfRange { message } => write!(f, "index out of range: {message}"),
+            DbError::Internal { message } => write!(f, "internal error: {message}"),
         }
     }
 }
@@ -95,6 +102,11 @@ impl DbError {
     /// Helper for constructing an [`DbError::IndexOutOfRange`] error.
     pub fn index_out_of_range(message: impl Into<String>) -> Self {
         DbError::IndexOutOfRange { message: message.into() }
+    }
+
+    /// Helper for constructing an [`DbError::Internal`] error.
+    pub fn internal(message: impl Into<String>) -> Self {
+        DbError::Internal { message: message.into() }
     }
 }
 
@@ -128,6 +140,9 @@ mod tests {
 
         let e = DbError::NonFiniteScore { tuple_index: 3 };
         assert!(e.to_string().contains('3'));
+
+        let e = DbError::internal("session lock poisoned");
+        assert!(e.to_string().contains("session lock poisoned"));
     }
 
     #[test]

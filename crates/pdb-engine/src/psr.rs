@@ -361,6 +361,7 @@ pub(crate) fn scan_rows_filtered(
             q[pl] = new_q;
             if !is_saturated[pl] {
                 let becomes_saturated = new_q >= SATURATION_THRESHOLD;
+                // pdb-analyze: allow(float-eq): q starts at exactly 0.0 and only this pass writes it, so the first-activation test is exact by construction
                 if old_q == 0.0 && new_q > 0.0 && !becomes_saturated {
                     active.push(pl);
                 }

@@ -142,6 +142,7 @@ impl ExperimentResult {
 }
 
 fn format_num(v: f64) -> String {
+    // pdb-analyze: allow(float-eq): display-only shortcut for literal zero; a near-zero falls through to scientific notation, which is what we want
     if v == 0.0 {
         "0".to_string()
     } else if v.abs() >= 1e6 || v.abs() < 1e-3 {

@@ -42,6 +42,7 @@ impl ScPdf {
     /// `uniform[0.7,1]`, …).
     pub fn label(&self) -> String {
         match self {
+            // pdb-analyze: allow(float-eq): labels the canonical [0,1] config, which is constructed from these exact literals
             ScPdf::Uniform { lo, hi } if *lo == 0.0 && *hi == 1.0 => "uniform".to_string(),
             ScPdf::Uniform { lo, hi } => format!("uniform[{lo},{hi}]"),
             ScPdf::Normal { sigma, .. } => format!("normal({sigma})"),

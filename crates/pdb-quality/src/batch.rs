@@ -199,6 +199,7 @@ impl<'a> BatchQuality<'a> {
             let mut quality = 0.0;
             for ((wi, &p), c) in w.iter().zip(probs).zip(combined.iter_mut()) {
                 quality += wi * p;
+                // pdb-analyze: allow(float-eq): sparsity gate against an exact literal weight; a near-zero weight must still contribute
                 if wq != 0.0 {
                     *c += wq * p;
                 }
@@ -215,6 +216,7 @@ impl<'a> BatchQuality<'a> {
         let mut g = vec![0.0; db.num_x_tuples()];
         for pos in 0..db.len() {
             let term = self.tuple_w[pos] * combined[pos];
+            // pdb-analyze: allow(float-eq): sparsity gate — skips exactly-zero terms so untouched x-tuples stay untouched; near-zero terms must accumulate
             if term != 0.0 {
                 g[db.tuple(pos).x_index] += term;
             }

@@ -138,6 +138,7 @@ impl Dfs<'_> {
         // Branch 2: the tuple does not exist.  Prune once the x-tuple's
         // whole mass has been skipped — no later tuple can rescue it, so
         // every completion has probability zero (step 10 in contrapositive).
+        // pdb-analyze: allow(float-eq): excluded_mass is reset to exactly 0.0 between scans, so first-touch detection is exact by construction
         let first_touch = self.excluded_mass[l] == 0.0;
         self.excluded_mass[l] += t.prob;
         if first_touch && t.prob > 0.0 {

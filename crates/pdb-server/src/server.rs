@@ -26,7 +26,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
 
 /// How a [`Server`] is configured
@@ -146,8 +146,11 @@ impl Server {
                 };
                 thread::spawn(move || loop {
                     // Take the queue lock only long enough to pop one
-                    // connection; handling happens outside it.
-                    let conn = queue_rx.lock().expect("queue lock poisoned").recv();
+                    // connection; handling happens outside it.  Poisoning
+                    // recovery: the lock only ever guards `recv()`, which
+                    // cannot leave the channel torn, so one worker's panic
+                    // must not idle the rest of the pool.
+                    let conn = queue_rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
                     match conn {
                         Ok(stream) => handle_connection(stream, &ctx),
                         Err(_) => break, // queue closed: drain complete

@@ -31,7 +31,7 @@ use pdb_store::store::{CompactionStats, RecoveredState, Recovery, SessionCheckpo
 use pdb_store::{DatasetSpec, RecoveredSession, Store, WalRecord};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 /// One live session: a database, its cleaning parameters and (once a query
@@ -410,18 +410,36 @@ impl SessionManager {
         (z ^ (z >> 31)) as usize % self.shards.len()
     }
 
+    /// The shard holding `id`.
+    fn shard(&self, id: u64) -> &RwLock<HashMap<u64, Arc<Mutex<Session>>>> {
+        // pdb-analyze: allow(panic-path): shard_of reduces modulo shards.len(), so the index is always in range
+        &self.shards[self.shard_of(id)]
+    }
+
+    /// Lock the shard holding `id` for reading, recovering from
+    /// poisoning.  The only code that ever runs under a shard lock is a
+    /// `HashMap` get/insert/remove — none of which can leave the map
+    /// observably torn when a panic unwinds through them — so a poisoned
+    /// shard recovers its guard instead of condemning every future
+    /// request that hashes to the same shard.
+    fn read_shard(&self, id: u64) -> RwLockReadGuard<'_, HashMap<u64, Arc<Mutex<Session>>>> {
+        self.shard(id).read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Lock the shard holding `id` for writing (same poisoning argument
+    /// as [`read_shard`](Self::read_shard)).
+    fn write_shard(&self, id: u64) -> RwLockWriteGuard<'_, HashMap<u64, Arc<Mutex<Session>>>> {
+        self.shard(id).write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Make a ready session visible under the given id.
     fn publish_session(&self, id: u64, session: Session) {
-        let shard = self.shard_of(id);
         // Count before inserting: ids are predictable, so a racing
         // drop_session of this id must never decrement `live` below the
         // increment that funded it (underflow to u64::MAX).
         self.counters.live.fetch_add(1, Ordering::Relaxed);
         self.counters.created.fetch_add(1, Ordering::Relaxed);
-        self.shards[shard]
-            .write()
-            .expect("shard lock poisoned")
-            .insert(id, Arc::new(Mutex::new(session)));
+        self.write_shard(id).insert(id, Arc::new(Mutex::new(session)));
     }
 
     /// Create a session over the requested dataset (journalled when a
@@ -544,7 +562,9 @@ impl SessionManager {
     fn session_ids(&self) -> Vec<u64> {
         let mut ids = Vec::new();
         for shard in &self.shards {
-            ids.extend(shard.read().expect("shard lock poisoned").keys().copied());
+            // Poisoning recovery as in `read_shard`: map reads can't
+            // observe torn state.
+            ids.extend(shard.read().unwrap_or_else(PoisonError::into_inner).keys().copied());
         }
         ids.sort_unstable();
         ids
@@ -633,10 +653,7 @@ impl SessionManager {
 
     /// Look up a session (the returned handle outlives the shard lock).
     pub fn session(&self, id: u64) -> DbResult<Arc<Mutex<Session>>> {
-        let shard = self.shard_of(id);
-        self.shards[shard]
-            .read()
-            .expect("shard lock poisoned")
+        self.read_shard(id)
             .get(&id)
             .cloned()
             .ok_or_else(|| DbError::invalid_parameter(format!("unknown session {id}")))
@@ -654,7 +671,11 @@ impl SessionManager {
     pub fn drop_session(&self, id: u64) -> DbResult<SessionRef> {
         let handle = self.session(id)?;
         {
-            let mut session = handle.lock().expect("session lock poisoned");
+            // Poisoning recovery is safe here even though the session
+            // state may be torn: the drop path only reads/writes the
+            // `dropped` flag and journals a record that does not depend
+            // on session state — and the session is being discarded.
+            let mut session = handle.lock().unwrap_or_else(PoisonError::into_inner);
             session
                 .ensure_not_dropped()
                 .map_err(|_| DbError::invalid_parameter(format!("unknown session {id}")))?;
@@ -663,8 +684,7 @@ impl SessionManager {
             }
             session.mark_dropped();
         }
-        let shard = self.shard_of(id);
-        if self.shards[shard].write().expect("shard lock poisoned").remove(&id).is_some() {
+        if self.write_shard(id).remove(&id).is_some() {
             self.counters.live.fetch_sub(1, Ordering::Relaxed);
         }
         Ok(SessionRef { session: id })
@@ -677,7 +697,16 @@ impl SessionManager {
         op: impl FnOnce(&mut Session) -> DbResult<T>,
     ) -> DbResult<T> {
         let handle = self.session(id)?;
-        let mut session = handle.lock().expect("session lock poisoned");
+        // A poisoned session lock means a previous request panicked
+        // mid-mutation; its evaluation state may be torn, so the session
+        // fail-stops (every request errors) until it is dropped — unlike
+        // the shard locks, whose map state can never tear.
+        let mut session = handle.lock().map_err(|_| {
+            DbError::internal(format!(
+                "session {id} is unavailable: a previous request panicked while mutating it; \
+                 drop the session and restore it from its last snapshot"
+            ))
+        })?;
         op(&mut session)
     }
 

@@ -1,0 +1,31 @@
+//! Checked little-endian readers shared by the WAL and snapshot
+//! decoders.
+//!
+//! Both formats parse length-prefixed binary data that may be torn or
+//! corrupt; these helpers return `None` on a short slice instead of
+//! panicking, so every decode path stays a clean `StoreError` (the
+//! crate's contract: corruption is an error with a path and offset,
+//! never a panic).
+
+/// The first four bytes of `bytes` as a little-endian `u32`.
+pub(crate) fn le_u32(bytes: &[u8]) -> Option<u32> {
+    Some(u32::from_le_bytes(bytes.get(..4)?.try_into().ok()?))
+}
+
+/// The first eight bytes of `bytes` as a little-endian `u64`.
+pub(crate) fn le_u64(bytes: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_prefixes_and_rejects_short_slices() {
+        assert_eq!(le_u32(&[1, 0, 0, 0, 99]), Some(1));
+        assert_eq!(le_u64(&[2, 0, 0, 0, 0, 0, 0, 0]), Some(2));
+        assert_eq!(le_u32(&[1, 0, 0]), None);
+        assert_eq!(le_u64(&[1, 2, 3, 4, 5, 6, 7]), None);
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod error;
 pub mod hash;
+mod le;
 pub mod snapshot;
 pub mod spec;
 pub mod store;

@@ -86,11 +86,15 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self, what: &str) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+        let raw = self.take(4, what)?;
+        crate::le::le_u32(raw)
+            .ok_or_else(|| StoreError::corrupt(self.path, self.offset, format!("{what} is torn")))
     }
 
     fn u64(&mut self, what: &str) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+        let raw = self.take(8, what)?;
+        crate::le::le_u64(raw)
+            .ok_or_else(|| StoreError::corrupt(self.path, self.offset, format!("{what} is torn")))
     }
 }
 
@@ -151,7 +155,11 @@ impl Snapshot {
         // hash collisions), and the cursor's bounds checks below are a
         // second line of defence, not the primary one.
         let (body, trailer) = bytes.split_at(bytes.len() - 8);
-        let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+        let stored = crate::le::le_u64(trailer).ok_or_else(|| {
+            // Unreachable (split_at gives exactly 8 bytes), but kept as a
+            // clean error: the decode path never panics on input bytes.
+            StoreError::corrupt(origin, body.len(), "checksum trailer is torn")
+        })?;
         let computed = xxh64(body, CHECKSUM_SEED);
         if stored != computed {
             return Err(StoreError::corrupt(
@@ -201,19 +209,21 @@ impl Snapshot {
         let x_indices = cur.take(8 * n, "x-index column")?;
         let scores = cur.take(8 * n, "score column")?;
         let probs = cur.take(8 * n, "probability column")?;
-        let column = |col: &[u8], i: usize| {
-            u64::from_le_bytes(col[8 * i..8 * i + 8].try_into().expect("8 bytes"))
+        let column = |col: &[u8], i: usize| -> Result<u64> {
+            col.get(8 * i..).and_then(crate::le::le_u64).ok_or_else(|| {
+                StoreError::corrupt(origin, cur.offset, format!("column of tuple {i} is torn"))
+            })
         };
         let mut entries = Vec::with_capacity(n);
         for i in 0..n {
-            let x_index = usize::try_from(column(x_indices, i)).map_err(|_| {
+            let x_index = usize::try_from(column(x_indices, i)?).map_err(|_| {
                 StoreError::corrupt(origin, cur.offset, format!("x-index of tuple {i} overflows"))
             })?;
             entries.push((
-                TupleId(column(ids, i) as usize),
+                TupleId(column(ids, i)? as usize),
                 x_index,
-                f64::from_bits(column(scores, i)),
-                f64::from_bits(column(probs, i)),
+                f64::from_bits(column(scores, i)?),
+                f64::from_bits(column(probs, i)?),
             ));
         }
         // from_entries re-validates scores/probabilities/masses, so a

@@ -53,7 +53,7 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// File name of the write-ahead log inside a store directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -176,8 +176,9 @@ impl Store {
     pub fn open(dir: &Path, sync: bool, build: &DatasetBuilder<'_>) -> Result<(Self, Recovery)> {
         fs::create_dir_all(dir).map_err(|e| StoreError::io("creating", dir, e))?;
         let lock_path = dir.join(LOCK_FILE);
-        let lock =
-            fs::File::create(&lock_path).map_err(|e| StoreError::io("creating", &lock_path, e))?;
+        let lock_err = |e| StoreError::io("creating", &lock_path, e);
+        // pdb-analyze: allow(durability-pattern): the lock file carries no data, it exists only to be flock'd; losing it on crash is correct
+        let lock = fs::File::create(&lock_path).map_err(lock_err)?;
         lock.try_lock().map_err(|e| {
             StoreError::io(
                 "locking",
@@ -223,10 +224,26 @@ impl Store {
         &self.dir
     }
 
+    /// Lock the log, failing — not panicking — when a previous writer
+    /// panicked while holding it.  `Wal::append` already rolls back or
+    /// fail-stops on its own errors; a *poisoned lock* additionally means
+    /// even that bookkeeping may have been interrupted mid-update, so
+    /// every later log operation reports a clean error instead of
+    /// guessing at the log's state.
+    fn wal(&self) -> Result<MutexGuard<'_, Wal>> {
+        self.wal.lock().map_err(|_| {
+            StoreError::io(
+                "locking",
+                &self.dir,
+                std::io::Error::other("log lock poisoned: a writer panicked mid-operation"),
+            )
+        })
+    }
+
     /// Append one record to the log (fsync'd when the store was opened
     /// with `sync`).
     pub fn append(&self, record: &WalRecord) -> Result<()> {
-        self.wal.lock().expect("wal lock poisoned").append(record)?;
+        self.wal()?.append(record)?;
         self.records_since_truncate.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -239,7 +256,9 @@ impl Store {
 
     /// Total records currently in the log.
     pub fn records(&self) -> u64 {
-        self.wal.lock().expect("wal lock poisoned").records()
+        // Reads a plain counter; recovering a poisoned guard cannot
+        // observe torn state, and a stats read should not fail.
+        self.wal.lock().unwrap_or_else(PoisonError::into_inner).records()
     }
 
     /// Write `state` as a checkpoint: its database becomes a snapshot
@@ -275,7 +294,7 @@ impl Store {
     /// lock is released post-dates every checkpoint the filter saw, so it
     /// is never dropped.
     pub fn truncate_log(&self) -> Result<CompactionStats> {
-        let mut wal = self.wal.lock().expect("wal lock poisoned");
+        let mut wal = self.wal()?;
         let records = crate::wal::scan_file(wal.path())?;
         let kept = filter_compacted(&records);
         let stats = CompactionStats {
@@ -503,7 +522,11 @@ impl SessionBuild {
         let pending = std::mem::take(&mut self.pending);
         match &mut self.state {
             RecoveredState::Live(batch) => {
-                let first = pending.first().expect("non-empty").0;
+                // Non-empty: the is_empty early return above just ran.
+                let first = match pending.first() {
+                    Some(p) => p.0,
+                    None => return Ok(()),
+                };
                 let update = batch
                     .replay_in_place(pending.into_iter().map(|(_, l, m)| (l, m)))
                     .map_err(|source| StoreError::Replay { record: first, source })?;

@@ -212,7 +212,12 @@ pub(crate) fn scan(bytes: &[u8], path: &Path) -> Result<(Vec<WalRecord>, usize)>
         // creation of a brand-new log.  Treat the whole file as tail.
         return Ok((Vec::new(), 0));
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let Some(version) = crate::le::le_u32(&bytes[4..]) else {
+        // Statically unreachable (the header-length check above ran), but
+        // a torn header degrades to "whole file is tail" rather than a
+        // panic if the constants ever drift.
+        return Ok((Vec::new(), 0));
+    };
     if version != WAL_VERSION {
         return Err(StoreError::UnsupportedVersion {
             path: path.to_path_buf(),
@@ -228,8 +233,12 @@ pub(crate) fn scan(bytes: &[u8], path: &Path) -> Result<(Vec<WalRecord>, usize)>
         if remaining.len() < RECORD_HEADER_LEN {
             break; // torn record header (or clean EOF)
         }
-        let len = u32::from_le_bytes(remaining[..4].try_into().expect("4 bytes")) as usize;
-        let stored = u64::from_le_bytes(remaining[4..12].try_into().expect("8 bytes"));
+        let (Some(len), Some(stored)) =
+            (crate::le::le_u32(remaining), crate::le::le_u64(&remaining[4..]))
+        else {
+            break; // torn record header (guarded by the length check above)
+        };
+        let len = len as usize;
         if len == 0 || len > MAX_RECORD_LEN || remaining.len() - RECORD_HEADER_LEN < len {
             break; // impossible length or torn payload
         }
