@@ -31,6 +31,7 @@ pub fn mov(x_tuples: usize) -> RankedDatabase {
 /// x-tuples (cost uniform in [1, 10], sc-probability uniform in [0, 1]).
 pub fn cleaning_setup(m: usize) -> CleaningSetup {
     let params = gen_params(m, &CleaningParamsConfig::default());
+    // pdb-analyze: allow(panic-path): bench harness helper; generated parameters are valid by construction
     CleaningSetup::new(params.costs, params.sc_probs).expect("generated parameters are valid")
 }
 

@@ -1,0 +1,302 @@
+//! A whole-workspace call graph over the lexer/scanner, resolved by name.
+//!
+//! The graph is the substrate of the interprocedural lints: every `fn`
+//! in the scanned first-party files becomes a node, and every call site
+//! `name(...)` / `recv.name(...)` / `Path::name(...)` inside a body adds
+//! edges to **every** workspace function of that name.  Name-based
+//! resolution is deliberately conservative:
+//!
+//! - a method call resolves to every `fn` sharing the method's name,
+//!   whatever type it is implemented on (shadowed names fan out);
+//! - calls whose name no workspace `fn` defines (std, vendored crates)
+//!   resolve to nothing and contribute no edges;
+//! - macros (`name!(...)`) are never call edges;
+//! - nested functions are separate nodes, but their tokens also sit
+//!   inside the parent's body span, so the parent inherits their call
+//!   sites — an over-approximation in the safe direction.
+//!
+//! That makes every derived "reachable" set an over-approximation, which
+//! is the right polarity for the lints built on top (a handler flagged
+//! for a panic it cannot actually reach is a suppressible false
+//! positive; a panic missed because resolution was too clever would be a
+//! silent soundness hole).
+
+use crate::lexer::{SourceFile, TokenKind};
+use crate::scanner::{functions, FileContext, FnSpan};
+use std::collections::HashMap;
+
+/// One function node in the graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Index of the defining file in the slice the graph was built from.
+    pub file: usize,
+    /// The function's span (name, line, signature/body token ranges).
+    pub span: FnSpan,
+    /// Whether the function sits in test-only code (`#[cfg(test)]` /
+    /// `#[test]`): kept in the graph but skipped by every lint.
+    pub in_test: bool,
+}
+
+/// One unresolved call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The callee name as written (last path segment).
+    pub name: String,
+    /// Line of the callee identifier.
+    pub line: u32,
+    /// Resolved workspace callees (indices into [`CallGraph::fns`]);
+    /// empty for std/vendored calls.
+    pub targets: Vec<usize>,
+}
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Every function node, in file order.
+    pub fns: Vec<FnNode>,
+    /// Function ids per name (several ids when names shadow each other).
+    pub by_name: HashMap<String, Vec<usize>>,
+    /// Per-function call sites, aligned with [`CallGraph::fns`].
+    pub calls: Vec<Vec<CallSite>>,
+}
+
+impl CallGraph {
+    /// Build the graph over `files`; `include[i]` gates whether file `i`
+    /// contributes nodes and edges (examples and integration tests are
+    /// walked by the workspace but kept out of the graph).
+    pub fn build(files: &[SourceFile], ctxs: &[FileContext], include: &[bool]) -> CallGraph {
+        let mut fns = Vec::new();
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            if !include[fi] {
+                continue;
+            }
+            for span in functions(file) {
+                let in_test = ctxs[fi].in_test(&file.tokens[span.body.start]);
+                by_name.entry(span.name.clone()).or_default().push(fns.len());
+                fns.push(FnNode { file: fi, span, in_test });
+            }
+        }
+        let calls = fns
+            .iter()
+            .map(|f| {
+                let file = &files[f.file];
+                call_sites(file, &f.span)
+                    .into_iter()
+                    .map(|(name, line)| {
+                        let targets = by_name.get(&name).cloned().unwrap_or_default();
+                        CallSite { name, line, targets }
+                    })
+                    .collect()
+            })
+            .collect();
+        CallGraph { fns, by_name, calls }
+    }
+
+    /// Whether any workspace function named `name` satisfies `pred`.
+    pub fn any_named(&self, name: &str, pred: impl Fn(usize) -> bool) -> bool {
+        self.by_name.get(name).is_some_and(|ids| ids.iter().any(|&id| pred(id)))
+    }
+
+    /// Whether `name` resolves to at least one workspace function.
+    pub fn defines(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// Breadth-first reachability from `roots` over resolved call edges.
+    /// Returns per-function "reached" flags and BFS parents (for
+    /// reconstructing one call chain per reached function).
+    pub fn reachable_from(&self, roots: &[usize]) -> (Vec<bool>, Vec<Option<usize>>) {
+        let mut reached = vec![false; self.fns.len()];
+        let mut parent = vec![None; self.fns.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &r in roots {
+            if !reached[r] {
+                reached[r] = true;
+                queue.push_back(r);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for site in &self.calls[f] {
+                for &t in &site.targets {
+                    if !reached[t] {
+                        reached[t] = true;
+                        parent[t] = Some(f);
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        (reached, parent)
+    }
+
+    /// The BFS call chain `root → ... → f` as function names, using the
+    /// parents returned by [`CallGraph::reachable_from`].
+    pub fn chain_to(&self, parent: &[Option<usize>], f: usize) -> Vec<String> {
+        let mut chain = vec![self.fns[f].span.name.clone()];
+        let mut cur = f;
+        while let Some(p) = parent[cur] {
+            chain.push(self.fns[p].span.name.clone());
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+/// Extract `(callee name, line)` for every call inside `span`'s body.
+fn call_sites(file: &SourceFile, span: &FnSpan) -> Vec<(String, u32)> {
+    let code: Vec<usize> = file
+        .code_indices()
+        .into_iter()
+        .filter(|&ti| ti >= span.body.start && ti < span.body.end)
+        .collect();
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        let t = &file.tokens[code[i]];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = file.text(t);
+        if crate::lints::is_keyword(name) {
+            continue;
+        }
+        // A call is `name (` — possibly through a turbofish `name::<T>(`.
+        // Puncts lex one char at a time, so `::<` is `:` `:` `<`.
+        let mut j = i + 1;
+        if crate::lints::adjacent_puncts(file, &code, j, ":", ":")
+            && code.get(j + 2).is_some_and(|&ti| {
+                let t = &file.tokens[ti];
+                t.kind == TokenKind::Punct && file.text(t) == "<"
+            })
+        {
+            let Some(close) = matching_angle(file, &code, j + 2) else { continue };
+            j = close + 1;
+        }
+        let Some(&nti) = code.get(j) else { continue };
+        let next = &file.tokens[nti];
+        if next.kind != TokenKind::Punct || file.text(next) != "(" {
+            continue;
+        }
+        // `fn name(` is a definition; `name!(` is a macro; `|name(` in a
+        // pattern position cannot happen for parens.  Definitions are the
+        // one shape that must not become a self-edge.
+        if i > 0 {
+            let prev = &file.tokens[code[i - 1]];
+            if prev.kind == TokenKind::Ident && file.text(prev) == "fn" {
+                continue;
+            }
+        }
+        out.push((name.to_string(), t.line));
+    }
+    out
+}
+
+/// From the `<` at `code[open]`, the matching `>` (angle depth only).
+fn matching_angle(file: &SourceFile, code: &[usize], open: usize) -> Option<usize> {
+    let mut depth = 0isize;
+    for (off, &ti) in code[open..].iter().enumerate() {
+        let t = &file.tokens[ti];
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match file.text(t) {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(sources: &[(&str, &str)]) -> (Vec<SourceFile>, CallGraph) {
+        let files: Vec<SourceFile> = sources.iter().map(|(p, s)| SourceFile::lex(*p, *s)).collect();
+        let ctxs: Vec<FileContext> = files.iter().map(FileContext::new).collect();
+        let include = vec![true; files.len()];
+        let graph = CallGraph::build(&files, &ctxs, &include);
+        (files, graph)
+    }
+
+    fn callees(graph: &CallGraph, name: &str) -> Vec<String> {
+        let &id = &graph.by_name[name][0];
+        let mut out: Vec<String> = graph.calls[id]
+            .iter()
+            .filter(|s| !s.targets.is_empty())
+            .map(|s| s.name.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn cross_file_calls_resolve() {
+        let (_, g) = graph_of(&[
+            ("crates/a/src/lib.rs", "pub fn entry() { helper(1); std_only(); }\n"),
+            ("crates/b/src/lib.rs", "pub fn helper(x: u32) -> u32 { x }\n"),
+        ]);
+        assert_eq!(callees(&g, "entry"), vec!["helper"]);
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name() {
+        let (_, g) = graph_of(&[
+            ("a.rs", "fn caller(s: &S) { s.evaluate(); v.push(1); }\n"),
+            ("b.rs", "impl S { pub fn evaluate(&self) {} }\n"),
+        ]);
+        assert_eq!(callees(&g, "caller"), vec!["evaluate"]);
+    }
+
+    #[test]
+    fn shadowed_names_fan_out_to_every_definition() {
+        let (_, g) = graph_of(&[
+            ("a.rs", "fn go() { helper(); }\n"),
+            ("b.rs", "fn helper() {}\n"),
+            ("c.rs", "fn helper() {}\n"),
+        ]);
+        let id = g.by_name["go"][0];
+        let site = &g.calls[id][0];
+        assert_eq!(site.targets.len(), 2, "{site:?}");
+    }
+
+    #[test]
+    fn definitions_macros_and_turbofish_are_classified() {
+        let (_, g) = graph_of(&[(
+            "a.rs",
+            "fn target<T>(x: T) {}\n\
+             fn go() { target::<u8>(1); println!(\"target\"); }\n",
+        )]);
+        // The definition is not a self-edge; the turbofish call resolves;
+        // the macro contributes nothing.
+        assert!(g.calls[g.by_name["target"][0]].is_empty());
+        assert_eq!(callees(&g, "go"), vec!["target"]);
+    }
+
+    #[test]
+    fn reachability_and_chains() {
+        let (_, g) = graph_of(&[(
+            "a.rs",
+            "fn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\nfn island() {}\n",
+        )]);
+        let root = g.by_name["root"][0];
+        let (reached, parent) = g.reachable_from(&[root]);
+        assert!(reached[g.by_name["leaf"][0]]);
+        assert!(!reached[g.by_name["island"][0]]);
+        assert_eq!(g.chain_to(&parent, g.by_name["leaf"][0]), vec!["root", "mid", "leaf"]);
+    }
+
+    #[test]
+    fn test_functions_are_marked() {
+        let (_, g) = graph_of(&[("a.rs", "#[test]\nfn unit() {}\nfn live() {}\n")]);
+        assert!(g.fns[g.by_name["unit"][0]].in_test);
+        assert!(!g.fns[g.by_name["live"][0]].in_test);
+    }
+}

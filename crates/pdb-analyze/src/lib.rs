@@ -12,16 +12,25 @@
 //! The crate is deliberately dependency-free (same vendoring philosophy
 //! as `vendor/`): [`lexer`] classifies tokens, [`scanner`] recovers just
 //! enough structure (items, test regions, suppressions), and each
-//! module in [`lints`] is a small token-pattern pass.
+//! module in [`lints`] is a small token-pattern pass.  On top of the
+//! per-file view, [`callgraph`] resolves call edges across the whole
+//! workspace and [`summaries`] computes per-function facts that a
+//! fixpoint propagates along those edges — which is what lets
+//! `panic-path` and `lock-order` see through function calls and powers
+//! the whole-program lints (`cast-truncation`, `error-swallow`,
+//! `div-guard`, `dead-verb`).  See `DESIGN.md` for the pipeline and each
+//! lint's soundness caveats.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod bench_drift;
+pub mod callgraph;
 pub mod diag;
 pub mod lexer;
 pub mod lints;
 pub mod scanner;
+pub mod summaries;
 pub mod workspace;
 
 pub use diag::Diagnostic;

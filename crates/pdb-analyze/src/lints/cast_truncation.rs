@@ -1,0 +1,55 @@
+//! **cast-truncation**: narrowing `as` casts on the wire/durability
+//! paths (`pdb-store`, `pdb-server`) silently wrap — a length that does
+//! not fit the target type corrupts the frame it describes.  Such casts
+//! must go through `try_from` (making the failure a typed error) or be
+//! dominated by an explicit `::MAX` bound check in the same function.
+//!
+//! Domain constants (`MAX_RECORD_LEN` and friends) deliberately do
+//! **not** count as guards: the analyzer cannot evaluate whether
+//! `256 << 20` fits a `u32`, and a constant edited out from under the
+//! cast would silently re-open the truncation.  `as usize`/`as u64` are
+//! treated as widening — the workspace only targets 64-bit hosts (a
+//! caveat DESIGN.md records).
+
+use crate::callgraph::CallGraph;
+use crate::diag::Diagnostic;
+use crate::lexer::SourceFile;
+use crate::summaries::FnSummary;
+
+/// Files the lint covers: the store's formats and the server's wire
+/// handling.
+pub fn in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/pdb-store/src/") || rel.starts_with("crates/pdb-server/src/")
+}
+
+/// Run the lint over every in-scope function in the graph.
+pub fn check(graph: &CallGraph, sums: &[FnSummary], files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (id, f) in graph.fns.iter().enumerate() {
+        if f.in_test || !in_scope(&files[f.file].path) {
+            continue;
+        }
+        out.extend(check_fn(&files[f.file].path, &sums[id]));
+    }
+    out
+}
+
+/// The per-function core, scope-free (fixture tests call this).
+pub fn check_fn(path: &str, sum: &FnSummary) -> Vec<Diagnostic> {
+    sum.casts
+        .iter()
+        .filter(|c| !c.guarded)
+        .map(|c| {
+            Diagnostic::new(
+                "cast-truncation",
+                path,
+                c.line,
+                format!(
+                    "`as {}` silently wraps out-of-range values; use {}::try_from \
+                     (or a dominating ::MAX bound check) so the failure is typed",
+                    c.target, c.target
+                ),
+            )
+        })
+        .collect()
+}

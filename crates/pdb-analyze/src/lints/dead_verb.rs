@@ -1,0 +1,174 @@
+//! **dead-verb**: every wire verb must have a handler the server can
+//! actually reach.
+//!
+//! `protocol-drift` keeps the verb *spelling* consistent across its echo
+//! sites; this lint checks the *plumbing*: for each `Request::Variant =>
+//! "verb"` arm in `fn verb()`, some function outside `protocol.rs` must
+//! mention `Request::Variant` (the dispatch arm) **and** be reachable in
+//! the call graph from a server entry point (a function named `run` in
+//! the protocol file's crate).  A verb whose handler exists but is never
+//! called from the serving loop is as dead as one with no handler at
+//! all — Rust's match exhaustiveness cannot see that.
+//!
+//! Soundness caveat: reachability is name-resolved and therefore
+//! over-approximate, so a *finding* here is reliable only in the
+//! direction this lint needs — if even the over-approximation cannot
+//! reach a handler, nothing can.
+
+use crate::callgraph::CallGraph;
+use crate::diag::Diagnostic;
+use crate::lexer::{SourceFile, TokenKind};
+use crate::lints::adjacent_puncts;
+use crate::scanner::functions;
+
+/// Run the lint.  Quietly does nothing when the tree has no
+/// `protocol.rs` (mini-workspace fixtures without a server;
+/// `protocol-drift` reports the missing file on the real layout).
+pub fn check(graph: &CallGraph, files: &[SourceFile]) -> Vec<Diagnostic> {
+    let Some(proto_idx) = files.iter().position(|f| f.path.ends_with("pdb-server/src/protocol.rs"))
+    else {
+        return Vec::new();
+    };
+    let proto = &files[proto_idx];
+    let verbs = verb_arms(proto);
+    if verbs.is_empty() {
+        return Vec::new();
+    }
+
+    // Entry points: `fn run` in the protocol file's crate.
+    let crate_dir = proto.path.trim_end_matches("protocol.rs").to_string();
+    let roots: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            f.span.name == "run" && !f.in_test && files[f.file].path.starts_with(&crate_dir)
+        })
+        .map(|(id, _)| id)
+        .collect();
+    let (reached, _) = graph.reachable_from(&roots);
+
+    let mut out = Vec::new();
+    for (variant, verb, line) in &verbs {
+        let mut has_handler = false;
+        let mut handler_reached = false;
+        for (id, f) in graph.fns.iter().enumerate() {
+            if f.in_test || f.file == proto_idx {
+                continue;
+            }
+            if mentions_variant(&files[f.file], f.span.body.clone(), variant) {
+                has_handler = true;
+                if reached[id] {
+                    handler_reached = true;
+                    break;
+                }
+            }
+        }
+        if !has_handler {
+            out.push(Diagnostic::new(
+                "dead-verb",
+                &proto.path,
+                *line,
+                format!(
+                    "verb `{verb}`: no function outside protocol.rs handles Request::{variant}"
+                ),
+            ));
+        } else if !handler_reached {
+            out.push(Diagnostic::new(
+                "dead-verb",
+                &proto.path,
+                *line,
+                format!(
+                    "verb `{verb}`: Request::{variant} has a handler, but no call chain from a \
+                     server `run` entry point reaches it"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// `(variant, verb, line)` triples from `fn verb()`'s match arms
+/// (`Request::Variant... => "verb"`).
+pub(crate) fn verb_arms(file: &SourceFile) -> Vec<(String, String, u32)> {
+    let mut out = Vec::new();
+    for f in functions(file) {
+        if f.name != "verb" {
+            continue;
+        }
+        let code: Vec<usize> = file
+            .code_indices()
+            .into_iter()
+            .filter(|&ti| ti >= f.body.start && ti < f.body.end)
+            .collect();
+        let mut last_variant: Option<String> = None;
+        for i in 0..code.len() {
+            let t = &file.tokens[code[i]];
+            if t.kind == TokenKind::Ident && file.text(t) == "Request" {
+                if let Some(v) = variant_after(file, &code, i) {
+                    last_variant = Some(v);
+                }
+            } else if t.kind == TokenKind::Str
+                && i >= 2
+                && adjacent_puncts(file, &code, i - 2, "=", ">")
+            {
+                if let Some(variant) = last_variant.take() {
+                    out.push((variant, file.text(t).trim_matches('"').to_string(), t.line));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The `Ident` after `Request::` at `code[i]`, if present.
+fn variant_after(file: &SourceFile, code: &[usize], i: usize) -> Option<String> {
+    if !adjacent_puncts(file, code, i + 1, ":", ":") {
+        return None;
+    }
+    let t = &file.tokens[*code.get(i + 3)?];
+    (t.kind == TokenKind::Ident).then(|| file.text(t).to_string())
+}
+
+/// Whether the body range mentions `Request::<variant>`.
+fn mentions_variant(file: &SourceFile, body: std::ops::Range<usize>, variant: &str) -> bool {
+    let code: Vec<usize> =
+        file.code_indices().into_iter().filter(|&ti| ti >= body.start && ti < body.end).collect();
+    for i in 0..code.len() {
+        let t = &file.tokens[code[i]];
+        if t.kind == TokenKind::Ident && file.text(t) == "Request" {
+            if let Some(v) = variant_after(file, &code, i) {
+                if v == variant {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verb_arms_pair_variants_with_strings() {
+        let src = r#"
+impl Request {
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::CreateSession(_) => "create_session",
+            Request::Stats => "stats",
+        }
+    }
+}
+"#;
+        let file = SourceFile::lex("protocol.rs", src);
+        let arms = verb_arms(&file);
+        assert_eq!(arms.len(), 2);
+        assert_eq!(arms[0].0, "CreateSession");
+        assert_eq!(arms[0].1, "create_session");
+        assert_eq!(arms[1].0, "Stats");
+        assert_eq!(arms[1].1, "stats");
+    }
+}

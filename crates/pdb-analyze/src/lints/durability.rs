@@ -52,23 +52,21 @@ pub fn check(file: &SourceFile, ctx: &FileContext) -> Vec<Diagnostic> {
             }
         }
         for line in creates {
-            if !(has_sync && has_rename) {
-                let missing = match (has_sync, has_rename) {
-                    (false, false) => "sync_all/sync_data and rename",
-                    (false, true) => "sync_all/sync_data",
-                    (true, false) => "rename",
-                    _ => unreachable!(),
-                };
-                out.push(Diagnostic::new(
-                    "durability-pattern",
-                    &file.path,
-                    line,
-                    format!(
-                        "File::create without {missing} in the same function; \
-                         publish files via tmp+fsync+rename"
-                    ),
-                ));
-            }
+            let missing = match (has_sync, has_rename) {
+                (false, false) => "sync_all/sync_data and rename",
+                (false, true) => "sync_all/sync_data",
+                (true, false) => "rename",
+                (true, true) => continue,
+            };
+            out.push(Diagnostic::new(
+                "durability-pattern",
+                &file.path,
+                line,
+                format!(
+                    "File::create without {missing} in the same function; \
+                     publish files via tmp+fsync+rename"
+                ),
+            ));
         }
     }
     out.sort_by_key(|d| d.line);

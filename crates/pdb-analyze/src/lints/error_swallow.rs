@@ -1,0 +1,75 @@
+//! **error-swallow**: `let _ = ...` and statement-terminated `.ok();`
+//! silently discard failures on exactly the paths whose job is to
+//! surface them — recovery, replay, and request serving.  A swallowed
+//! `sync_all` error is a durability hole; a swallowed `set_read_timeout`
+//! error breaks the shutdown drain.
+//!
+//! The lint flags a discard when the discarded expression contains a
+//! call that is fallible as far as the analyzer can tell: either the
+//! callee is a workspace function whose summary says it returns a
+//! `Result`, or the callee is unknown (std / vendored — assumed fallible,
+//! the safe polarity).  A discarded call to a workspace function that
+//! returns no `Result` is left alone.
+//!
+//! Scope: `pdb-store` and `pdb-server` sources.  The CLI is exempt —
+//! `let _ = writeln!(...)` on a closing pipe is idiomatic there, and
+//! macros are invisible to the call extractor anyway.
+
+use crate::callgraph::CallGraph;
+use crate::diag::Diagnostic;
+use crate::lexer::SourceFile;
+use crate::summaries::FnSummary;
+
+/// Files the lint covers.
+pub fn in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/pdb-store/src/") || rel.starts_with("crates/pdb-server/src/")
+}
+
+/// Run the lint over every in-scope function in the graph.
+pub fn check(graph: &CallGraph, sums: &[FnSummary], files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (id, f) in graph.fns.iter().enumerate() {
+        if f.in_test || !in_scope(&files[f.file].path) {
+            continue;
+        }
+        out.extend(check_fn(&files[f.file].path, &sums[id], &|name| {
+            infallible_workspace_fn(graph, sums, name)
+        }));
+    }
+    out
+}
+
+/// Whether `name` resolves to workspace functions that are all
+/// `Result`-free (the one case a discard is clearly harmless).
+fn infallible_workspace_fn(graph: &CallGraph, sums: &[FnSummary], name: &str) -> bool {
+    graph.defines(name) && !graph.any_named(name, |id| sums[id].returns_result)
+}
+
+/// The per-function core.  `infallible(name)` returns `true` when the
+/// callee is known not to return a `Result` (fixture tests pass a
+/// closure; the workspace pass consults the call graph).
+pub fn check_fn(path: &str, sum: &FnSummary, infallible: &dyn Fn(&str) -> bool) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for d in &sum.discards {
+        match &d.callee {
+            None if d.form == "let _ =" => continue, // no call: a pure value discard
+            Some(callee) if infallible(callee) => continue,
+            _ => {}
+        }
+        let what = d
+            .callee
+            .as_ref()
+            .map_or_else(|| "a fallible result".to_string(), |c| format!("`{c}(...)`'s result"));
+        out.push(Diagnostic::new(
+            "error-swallow",
+            path,
+            d.line,
+            format!(
+                "`{}` discards {what}; handle or propagate the error \
+                 (recovery/replay/server paths must not swallow failures)",
+                d.form
+            ),
+        ));
+    }
+    out
+}

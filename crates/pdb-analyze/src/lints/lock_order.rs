@@ -35,8 +35,22 @@ struct Guard {
     line: u32,
 }
 
-/// Run the lint on one file.
+/// Run the lint on one file, intraprocedurally (fixtures and files
+/// analyzed without a call graph).
 pub fn check(file: &SourceFile, ctx: &FileContext) -> Vec<Diagnostic> {
+    check_with(file, ctx, &|_| false)
+}
+
+/// The interprocedural form: `takes_lock(name)` answers whether a callee
+/// named `name` *transitively* ends up in `.lock()` (the workspace pass
+/// feeds the fixpoint summaries in here).  A call to such a function
+/// while a shard guard is live deadlocks exactly like an inline
+/// `.lock()` — the lock is merely one stack frame further down.
+pub fn check_with(
+    file: &SourceFile,
+    ctx: &FileContext,
+    takes_lock: &dyn Fn(&str) -> bool,
+) -> Vec<Diagnostic> {
     let code = file.code_indices();
     let mut out = Vec::new();
     for f in functions(file) {
@@ -46,12 +60,17 @@ pub fn check(file: &SourceFile, ctx: &FileContext) -> Vec<Diagnostic> {
         if body.is_empty() || ctx.in_test(&file.tokens[f.body.start]) {
             continue;
         }
-        check_body(file, &body, &mut out);
+        check_body(file, &body, takes_lock, &mut out);
     }
     out
 }
 
-fn check_body(file: &SourceFile, body: &[usize], out: &mut Vec<Diagnostic>) {
+fn check_body(
+    file: &SourceFile,
+    body: &[usize],
+    takes_lock: &dyn Fn(&str) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
     let mut depth = 0isize;
     let mut guards: Vec<Guard> = Vec::new();
     // Statement-local state.
@@ -157,6 +176,31 @@ fn check_body(file: &SourceFile, body: &[usize], out: &mut Vec<Diagnostic>) {
                 name if in_let_pattern => {
                     let_names.push(name.to_string());
                 }
+                name if is_call_at(file, body, i) && takes_lock(name) => {
+                    if let Some(g) = guards.last() {
+                        out.push(Diagnostic::new(
+                            "lock-order",
+                            &file.path,
+                            t.line,
+                            format!(
+                                "`{name}(...)` takes a session lock transitively while shard \
+                                 guard `{}` (line {}) is live; drop the shard guard first",
+                                g.name, g.line
+                            ),
+                        ));
+                    } else if stmt_guard_live {
+                        out.push(Diagnostic::new(
+                            "lock-order",
+                            &file.path,
+                            t.line,
+                            format!(
+                                "`{name}(...)` takes a session lock transitively in the same \
+                                 statement as a shard read()/write() guard; split the statement \
+                                 so the guard drops first"
+                            ),
+                        ));
+                    }
+                }
                 _ => {}
             },
             _ => {}
@@ -177,6 +221,11 @@ fn is_method_call_at(file: &SourceFile, body: &[usize], i: usize) -> bool {
     let prev_is_dot = i > 0 && file.text(&file.tokens[body[i - 1]]) == ".";
     let next_is_paren = body.get(i + 1).is_some_and(|&ti| file.text(&file.tokens[ti]) == "(");
     prev_is_dot && next_is_paren
+}
+
+/// `body[i]` is an ident; is it a call (free or method), `name(...)`?
+fn is_call_at(file: &SourceFile, body: &[usize], i: usize) -> bool {
+    body.get(i + 1).is_some_and(|&ti| file.text(&file.tokens[ti]) == "(")
 }
 
 /// From the `read`/`write` ident at `body[i]`, walk the trailing method
@@ -298,6 +347,25 @@ mod tests {
                    let s = handle.lock().unwrap();\n\
                    }\n";
         assert_eq!(run(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn transitive_lock_via_callee_is_flagged() {
+        let src = "fn f(&self) {\n\
+                   let shard = map.read().unwrap();\n\
+                   compact_session(id);\n\
+                   }\n\
+                   fn g(&self) {\n\
+                   compact_session(id);\n\
+                   }\n";
+        let file = SourceFile::lex("t.rs", src);
+        let ctx = FileContext::new(&file);
+        let got: Vec<u32> = check_with(&file, &ctx, &|n| n == "compact_session")
+            .into_iter()
+            .map(|d| d.line)
+            .collect();
+        // Flagged under the live guard in `f`; fine with no guard in `g`.
+        assert_eq!(got, vec![3]);
     }
 
     #[test]

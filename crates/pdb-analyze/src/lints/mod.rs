@@ -9,7 +9,11 @@
 //! [`protocol_drift`] is the odd one out: it is a cross-file consistency
 //! check, not a per-file pattern.
 
+pub mod cast_truncation;
+pub mod dead_verb;
+pub mod div_guard;
 pub mod durability;
+pub mod error_swallow;
 pub mod float_eq;
 pub mod forbid_unsafe;
 pub mod lock_order;

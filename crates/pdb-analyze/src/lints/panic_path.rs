@@ -15,11 +15,11 @@
 //! invariants, and the repo's fail-stop paths use explicit errors.
 
 use super::{is_keyword, is_method_call, matching_close};
+use crate::callgraph::CallGraph;
 use crate::diag::Diagnostic;
 use crate::lexer::{SourceFile, TokenKind};
 use crate::scanner::FileContext;
-
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+use crate::summaries::{FnSummary, PANIC_MACROS};
 
 /// Run the lint on one file.
 pub fn check(file: &SourceFile, ctx: &FileContext) -> Vec<Diagnostic> {
@@ -58,6 +58,59 @@ pub fn check(file: &SourceFile, ctx: &FileContext) -> Vec<Diagnostic> {
                 ));
             }
             _ => {}
+        }
+    }
+    out
+}
+
+/// The interprocedural extension: a panic site anywhere in the workspace
+/// that a request/replay/CLI path (`applies(path)` files) can *reach*
+/// through the call graph is as fatal as one written inline.  Only
+/// `.unwrap()`/`.expect()` and the panicking macros travel — indexing is
+/// deliberately not a transitive fact (the engine kernels index
+/// everywhere, and callers cannot do anything about a callee's slice
+/// arithmetic short of rewriting it).
+///
+/// Findings are reported **at the panic site** (so per-line suppressions
+/// keep working) and carry one witness call chain from an entry function.
+/// Sites inside `applies` files are skipped: the intraprocedural pass
+/// above already reports those.
+pub fn check_interprocedural(
+    graph: &CallGraph,
+    sums: &[FnSummary],
+    files: &[SourceFile],
+    applies: &dyn Fn(&str) -> bool,
+) -> Vec<Diagnostic> {
+    let roots: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.in_test && applies(&files[f.file].path))
+        .map(|(id, _)| id)
+        .collect();
+    let (reached, parent) = graph.reachable_from(&roots);
+    let mut out = Vec::new();
+    let mut seen: std::collections::HashSet<(usize, u32, String)> =
+        std::collections::HashSet::new();
+    for (id, f) in graph.fns.iter().enumerate() {
+        if !reached[id] || f.in_test || applies(&files[f.file].path) {
+            continue;
+        }
+        for site in &sums[id].panics {
+            if !seen.insert((f.file, site.line, site.what.clone())) {
+                continue;
+            }
+            let chain = graph.chain_to(&parent, id).join(" -> ");
+            out.push(Diagnostic::new(
+                "panic-path",
+                &files[f.file].path,
+                site.line,
+                format!(
+                    "`{}` is reachable from the request path (via {chain}); \
+                     return an error instead",
+                    site.what
+                ),
+            ));
         }
     }
     out

@@ -1,18 +1,28 @@
 //! `pdb-analyze`: run the workspace invariant lints.
 //!
 //! ```text
-//! pdb-analyze [--check] [--root <dir>]     run every lint, print findings
+//! pdb-analyze [--check] [--root <dir>] [--format <mode>]
+//!                                          run every lint, print findings
 //! pdb-analyze bench-drift <file>...        compare bench ids vs HEAD
-//! pdb-analyze --list                       print the lint catalog
+//! pdb-analyze --list-lints                 lint catalog with descriptions
+//! pdb-analyze --list                       lint names only
 //! ```
 //!
-//! Without `--check` the exit code is always 0 (exploratory runs);
-//! with it, any finding exits 1 — that is the CI gate.
+//! Exit codes: `0` — clean, or findings without `--check` (exploratory
+//! runs); `1` — findings under `--check` (the CI gate) or bench-id
+//! drift; `2` — usage or I/O errors (bad flag, unreadable workspace).
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +32,7 @@ fn main() -> ExitCode {
 
     let mut check = false;
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -32,9 +43,26 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            "--list-lints" => {
+                for (lint, doc) in pdb_analyze::diag::LINT_DOCS {
+                    println!("{lint:<20} {doc}");
+                }
+                return ExitCode::SUCCESS;
+            }
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage_error("--root needs a directory"),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("github") => format = Format::Github,
+                Some(other) => {
+                    return usage_error(&format!(
+                        "unknown format `{other}` (expected text, json, or github)"
+                    ))
+                }
+                None => return usage_error("--format needs a mode (text, json, or github)"),
             },
             "--help" | "-h" => {
                 print!("{}", USAGE);
@@ -55,11 +83,21 @@ fn main() -> ExitCode {
         Ok(f) => f,
         Err(e) => {
             eprintln!("pdb-analyze: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
-    for d in &findings {
-        println!("{d}");
+    match format {
+        Format::Text => {
+            for d in &findings {
+                println!("{d}");
+            }
+        }
+        Format::Json => println!("{}", pdb_analyze::diag::to_json(&findings)),
+        Format::Github => {
+            for d in &findings {
+                println!("{}", pdb_analyze::diag::to_github(d));
+            }
+        }
     }
     if findings.is_empty() {
         eprintln!("pdb-analyze: clean");
@@ -98,7 +136,7 @@ fn bench_drift(files: &[String]) -> ExitCode {
             }
             Err(e) => {
                 eprintln!("pdb-analyze: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
         }
     }
@@ -113,16 +151,23 @@ fn bench_drift(files: &[String]) -> ExitCode {
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("pdb-analyze: {msg}");
     eprint!("{}", USAGE);
-    ExitCode::FAILURE
+    ExitCode::from(2)
 }
 
 const USAGE: &str = "\
 Usage:
-  pdb-analyze [--check] [--root <dir>]   run the workspace lints
+  pdb-analyze [--check] [--root <dir>] [--format <mode>]
+                                         run the workspace lints
   pdb-analyze bench-drift <file>...      compare bench ids against HEAD
-  pdb-analyze --list                     print the lint catalog
+  pdb-analyze --list-lints               lint catalog with descriptions
+  pdb-analyze --list                     lint names only
 
-Findings print as `file:line: [lint] message`.  With --check any finding
-exits nonzero.  Suppress one finding with a reasoned comment:
+Formats: text (default, `file:line: [lint] message`), json (one document
+with a findings array), github (workflow-command annotations).
+
+Exit codes: 0 clean or findings without --check; 1 findings with --check
+or bench-id drift; 2 usage or I/O errors.
+
+Suppress one finding with a reasoned comment:
   // pdb-analyze: allow(<lint>): <reason>
 ";

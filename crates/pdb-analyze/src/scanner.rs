@@ -26,6 +26,9 @@ pub struct FnSpan {
     pub name: String,
     /// Line of the `fn` keyword.
     pub line: u32,
+    /// Token-index range of the signature: from the `fn` keyword up to
+    /// (excluding) the body's opening brace.
+    pub sig: Range<usize>,
     /// Token-index range of the body, *excluding* the outer braces.
     pub body: Range<usize>,
 }
@@ -214,6 +217,7 @@ pub fn functions(file: &SourceFile) -> Vec<FnSpan> {
         fns.push(FnSpan {
             name: file.text(name_tok).to_string(),
             line: t.line,
+            sig: ti..code[open],
             // Token-index range over `code_indices()` positions mapped
             // back to raw token indices: store raw indices.
             body: code[open]..code.get(close).copied().unwrap_or(toks.len()),

@@ -1,13 +1,28 @@
 //! Workspace walking, lint dispatch, and suppression handling.
 //!
 //! The analyzer walks the `src/` trees of the first-party crates
-//! (`crates/*` plus the root facade crate).  `vendor/` is deliberately
-//! excluded: those crates are stand-ins for external dependencies and
-//! follow their upstreams' idioms, not this repo's invariants.  Test
-//! directories (`tests/`, `benches/`) are also excluded — integration
-//! tests unwrap freely, and the fixture corpus under
-//! `crates/pdb-analyze/tests/fixtures/` exists precisely to violate
-//! every lint.
+//! (`crates/*` plus the root facade crate), and additionally the root
+//! `examples/` and `tests/` directories as *auxiliary* roots: those get
+//! the style lints (`float-eq`) and suppression hygiene, but stay out of
+//! the call graph — examples unwrap freely by design, and linking their
+//! `main`s into the reachability analysis would drown the request-path
+//! signal.  `vendor/` is deliberately excluded: those crates are
+//! stand-ins for external dependencies and follow their upstreams'
+//! idioms, not this repo's invariants.  Crate-local `tests/` and
+//! `benches/` are also excluded — integration tests unwrap freely, and
+//! the fixture corpus under `crates/pdb-analyze/tests/fixtures/` exists
+//! precisely to violate every lint.
+//!
+//! ## Pipeline
+//!
+//! [`run`] is two-phase.  Phase 1 lexes every main-root file, builds the
+//! whole-workspace [`crate::callgraph::CallGraph`], computes per-function
+//! [`crate::summaries`] facts, and propagates the transitive ones
+//! (may-panic, takes-lock) to a fixpoint.  Phase 2 dispatches the
+//! per-file lints (now parameterized by the propagated facts where it
+//! matters) plus the whole-program lints that only make sense with the
+//! graph in hand (`cast-truncation`, `error-swallow`, `div-guard`,
+//! `dead-verb`, interprocedural `panic-path`).
 //!
 //! ## Suppressions
 //!
@@ -23,42 +38,71 @@
 //! suppressions that no longer match any finding (so stale allows rot
 //! away instead of accumulating).
 
+use crate::callgraph::CallGraph;
 use crate::diag::{is_known_lint, Diagnostic};
 use crate::lexer::SourceFile;
 use crate::lints;
 use crate::scanner::{suppressions, FileContext};
+use crate::summaries;
 use std::path::{Path, PathBuf};
 
 /// Run every lint over the workspace rooted at `root`; returns the
 /// surviving diagnostics (suppressions already applied) sorted by file
 /// and line.
 pub fn run(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
-    let files = source_files(root)?;
+    let mains = source_files(root)?;
+    let auxes = aux_source_files(root)?;
+    let n_main = mains.len();
+
+    let mut files: Vec<SourceFile> = Vec::with_capacity(n_main + auxes.len());
+    for rel in mains.iter().chain(auxes.iter()) {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        files.push(SourceFile::lex(rel_str, src));
+    }
+    let ctxs: Vec<FileContext> = files.iter().map(FileContext::new).collect();
+    let include: Vec<bool> = (0..files.len()).map(|i| i < n_main).collect();
+
+    // Phase 1: whole-workspace dataflow.
+    let graph = CallGraph::build(&files, &ctxs, &include);
+    let sums = summaries::compute(&graph, &files);
+    let prop = summaries::propagate(&graph, &sums);
+    let takes_lock = |name: &str| graph.any_named(name, |id| prop.takes_lock[id]);
+
+    // Phase 2: lint dispatch.
     let mut raw: Vec<Diagnostic> = Vec::new();
     let mut sups: Vec<(String, crate::scanner::Suppression)> = Vec::new();
 
-    for rel in &files {
-        let src = std::fs::read_to_string(root.join(rel))?;
-        let rel_str = rel.to_string_lossy().replace('\\', "/");
-        let file = SourceFile::lex(rel_str.clone(), src);
-        let ctx = FileContext::new(&file);
-
-        if panic_path_applies(&rel_str) {
-            raw.extend(lints::panic_path::check(&file, &ctx));
+    for (fi, file) in files.iter().enumerate() {
+        let rel_str = &file.path;
+        let ctx = &ctxs[fi];
+        if fi < n_main {
+            if panic_path_applies(rel_str) {
+                raw.extend(lints::panic_path::check(file, ctx));
+            }
+            raw.extend(lints::lock_order::check_with(file, ctx, &takes_lock));
+            if rel_str.starts_with("crates/pdb-store/src/") {
+                raw.extend(lints::durability::check(file, ctx));
+            }
+            raw.extend(lints::float_eq::check(file, ctx));
+            if is_crate_root(rel_str) {
+                raw.extend(lints::forbid_unsafe::check(file));
+            }
+        } else {
+            raw.extend(lints::float_eq::check(file, ctx));
         }
-        raw.extend(lints::lock_order::check(&file, &ctx));
-        if rel_str.starts_with("crates/pdb-store/src/") {
-            raw.extend(lints::durability::check(&file, &ctx));
-        }
-        raw.extend(lints::float_eq::check(&file, &ctx));
-        if is_crate_root(&rel_str) {
-            raw.extend(lints::forbid_unsafe::check(&file));
-        }
-        for s in suppressions(&file) {
+        for s in suppressions(file) {
             sups.push((rel_str.clone(), s));
         }
     }
 
+    raw.extend(lints::cast_truncation::check(&graph, &sums, &files));
+    raw.extend(lints::error_swallow::check(&graph, &sums, &files));
+    raw.extend(lints::div_guard::check(&graph, &sums, &files));
+    raw.extend(lints::panic_path::check_interprocedural(&graph, &sums, &files, &|p| {
+        panic_path_applies(p)
+    }));
+    raw.extend(lints::dead_verb::check(&graph, &files));
     raw.extend(lints::protocol_drift::check(root));
 
     Ok(apply_suppressions(raw, sups))
@@ -138,7 +182,9 @@ fn apply_suppressions(
     out
 }
 
-/// Workspace-relative paths of every first-party source file.
+/// Workspace-relative paths of every first-party source file (the main
+/// roots: root `src/` plus every `crates/*/src/`).  These feed the call
+/// graph.
 pub fn source_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     let root_src = root.join("src");
@@ -160,8 +206,26 @@ pub fn source_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
             }
         }
     }
+    rel_sorted(root, out)
+}
+
+/// Auxiliary roots: root `examples/` and root `tests/`.  Style lints and
+/// suppression hygiene only — excluded from the call graph (see the
+/// module docs for why).
+pub fn aux_source_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for sub in ["examples", "tests"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut out)?;
+        }
+    }
+    rel_sorted(root, out)
+}
+
+fn rel_sorted(root: &Path, abs: Vec<PathBuf>) -> std::io::Result<Vec<PathBuf>> {
     let mut rels: Vec<PathBuf> =
-        out.into_iter().filter_map(|p| p.strip_prefix(root).ok().map(PathBuf::from)).collect();
+        abs.into_iter().filter_map(|p| p.strip_prefix(root).ok().map(PathBuf::from)).collect();
     rels.sort();
     Ok(rels)
 }

@@ -1,0 +1,10 @@
+// Narrowing casts with no guard: every one silently wraps.
+fn frame_len(payload: &[u8]) -> u32 {
+    payload.len() as u32
+}
+
+fn header(n: usize, flags: usize) -> (u16, u8) {
+    let a = n as u16;
+    let b = flags as u8;
+    (a, b)
+}

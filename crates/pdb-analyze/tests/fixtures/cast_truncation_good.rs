@@ -1,0 +1,16 @@
+// Narrowing handled properly: typed conversion, a dominating MAX
+// check, or a genuinely widening cast.
+fn frame_len(payload: &[u8]) -> Result<u32, Error> {
+    u32::try_from(payload.len()).map_err(|_| Error::TooLong)
+}
+
+fn bounded(n: usize) -> u32 {
+    if n > u32::MAX as usize {
+        return 0;
+    }
+    n as u32
+}
+
+fn widening(x: u32) -> u64 {
+    x as u64
+}

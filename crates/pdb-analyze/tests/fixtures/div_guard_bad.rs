@@ -1,0 +1,8 @@
+// Non-literal divisors with no stability gate in sight.
+fn rescale(e_new: f64, e_old: f64) -> f64 {
+    e_new / e_old
+}
+
+fn in_place(x: &mut f64, q: f64) {
+    *x /= q;
+}

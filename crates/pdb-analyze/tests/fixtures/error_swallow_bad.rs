@@ -1,0 +1,5 @@
+// Discarded fallible results on a recovery path.
+fn recover(dir: &Dir, path: &Path) {
+    let _ = dir.sync_all();
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,19 @@
+// Discards that are fine: a workspace callee with no Result, a pure
+// value discard, and test code.
+fn tick() -> u64 {
+    7
+}
+
+fn fine(x: u64) {
+    let _ = tick();
+    let _ = x;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn discards_freely() {
+        let _ = std::fs::remove_file("x");
+        maybe().ok();
+    }
+}

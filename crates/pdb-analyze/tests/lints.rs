@@ -4,9 +4,11 @@
 //! `tests/fixtures/` and are lexed, never compiled — several of them
 //! would not type-check on purpose.
 
+use pdb_analyze::callgraph::CallGraph;
 use pdb_analyze::lexer::SourceFile;
 use pdb_analyze::lints;
 use pdb_analyze::scanner::FileContext;
+use pdb_analyze::summaries::{self, FnSummary};
 use pdb_analyze::Diagnostic;
 use std::path::{Path, PathBuf};
 
@@ -103,6 +105,102 @@ fn forbid_unsafe_bad_fixture_pins_line_one() {
 #[test]
 fn forbid_unsafe_good_fixture_is_clean() {
     let diags = lints::forbid_unsafe::check(&fixture("forbid_unsafe_good.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+/// Lex a fixture under an in-scope pseudo-path, build the one-file call
+/// graph and summaries, and run a graph-level lint on it.
+fn run_graph_lint(
+    name: &str,
+    pseudo_path: &str,
+    check: fn(&CallGraph, &[FnSummary], &[SourceFile]) -> Vec<Diagnostic>,
+) -> Vec<Diagnostic> {
+    let src = fixture(name);
+    let file = SourceFile::lex(pseudo_path, src.src.clone());
+    let ctx = FileContext::new(&file);
+    let files = vec![file];
+    let ctxs = vec![ctx];
+    let graph = CallGraph::build(&files, &ctxs, &[true]);
+    let sums = summaries::compute(&graph, &files);
+    check(&graph, &sums, &files)
+}
+
+#[test]
+fn cast_truncation_bad_fixture_pins_lines() {
+    let diags = run_graph_lint(
+        "cast_truncation_bad.rs",
+        "crates/pdb-store/src/wal.rs",
+        lints::cast_truncation::check,
+    );
+    assert_eq!(lines(&diags), vec![3, 7, 8], "{diags:?}");
+    assert!(diags.iter().all(|d| d.lint == "cast-truncation"));
+    assert!(diags[0].message.contains("u32::try_from"), "{}", diags[0].message);
+    assert!(diags[1].message.contains("`as u16`"), "{}", diags[1].message);
+}
+
+#[test]
+fn cast_truncation_good_fixture_is_clean() {
+    let diags = run_graph_lint(
+        "cast_truncation_good.rs",
+        "crates/pdb-store/src/wal.rs",
+        lints::cast_truncation::check,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn error_swallow_bad_fixture_pins_lines() {
+    let diags = run_graph_lint(
+        "error_swallow_bad.rs",
+        "crates/pdb-store/src/recovery.rs",
+        lints::error_swallow::check,
+    );
+    assert_eq!(lines(&diags), vec![3, 4], "{diags:?}");
+    assert!(diags.iter().all(|d| d.lint == "error-swallow"));
+    assert!(diags[0].message.contains("`sync_all(...)`"), "{}", diags[0].message);
+    assert!(diags[1].message.contains(".ok()"), "{}", diags[1].message);
+}
+
+#[test]
+fn error_swallow_good_fixture_is_clean() {
+    let diags = run_graph_lint(
+        "error_swallow_good.rs",
+        "crates/pdb-store/src/recovery.rs",
+        lints::error_swallow::check,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn div_guard_bad_fixture_pins_lines() {
+    let diags = run_graph_lint(
+        "div_guard_bad.rs",
+        "crates/pdb-engine/src/delta.rs",
+        lints::div_guard::check,
+    );
+    assert_eq!(lines(&diags), vec![3, 7], "{diags:?}");
+    assert!(diags.iter().all(|d| d.lint == "div-guard"));
+    assert!(diags[0].message.contains("stability gate"), "{}", diags[0].message);
+}
+
+#[test]
+fn div_guard_good_fixture_is_clean() {
+    let diags = run_graph_lint(
+        "div_guard_good.rs",
+        "crates/pdb-engine/src/delta.rs",
+        lints::div_guard::check,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn div_guard_only_covers_the_kernels() {
+    // The same divisions outside delta/psr/poly are out of scope.
+    let diags = run_graph_lint(
+        "div_guard_bad.rs",
+        "crates/pdb-engine/src/batch.rs",
+        lints::div_guard::check,
+    );
     assert!(diags.is_empty(), "{diags:?}");
 }
 
@@ -272,6 +370,141 @@ fn protocol_drift_clean_when_all_sites_agree() {
     );
     let diags = lints::protocol_drift::check(&ws.root);
     assert!(diags.is_empty(), "{diags:?}");
+}
+
+/// Strip the protocol-drift noise a synthetic tree always produces
+/// (missing server files) so mini-workspace tests can assert exactly.
+fn without_drift(diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    diags.into_iter().filter(|d| d.lint != "protocol-drift").collect()
+}
+
+#[test]
+fn interprocedural_panic_path_sees_through_calls() {
+    // The server entry calls into an "engine" file that panic-path does
+    // not cover intraprocedurally; the reachable unwrap is still
+    // reported (with a witness chain), the unreachable one is not.
+    let server = "#![forbid(unsafe_code)]\npub fn run() { kernel_step(); }\n";
+    let engine = "#![forbid(unsafe_code)]\n\
+                  pub fn kernel_step(x: Option<u32>) {\n\
+                  helper(x);\n\
+                  }\n\
+                  fn helper(x: Option<u32>) {\n\
+                  x.unwrap();\n\
+                  }\n\
+                  fn island(x: Option<u32>) {\n\
+                  x.unwrap();\n\
+                  }\n";
+    let ws = TempWorkspace::new(
+        "interproc-panic",
+        &[
+            ("Cargo.toml", "[workspace]\n"),
+            ("crates/pdb-server/src/lib.rs", server),
+            ("crates/pdb-engine/src/lib.rs", engine),
+        ],
+    );
+    let diags = without_drift(pdb_analyze::workspace::run(&ws.root).unwrap());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(
+        (d.lint, d.file.as_str(), d.line),
+        ("panic-path", "crates/pdb-engine/src/lib.rs", 6)
+    );
+    assert!(d.message.contains("run -> kernel_step -> helper"), "{}", d.message);
+}
+
+#[test]
+fn interprocedural_lock_order_flags_locking_callees() {
+    // `compact` holds a shard guard while calling `purge`, which takes a
+    // session lock one frame down.
+    let session = "#![forbid(unsafe_code)]\n\
+                   pub fn compact(&self) {\n\
+                   let shard = self.map.read().unwrap_or_else(|e| e.into_inner());\n\
+                   purge(shard.id());\n\
+                   }\n\
+                   fn purge(id: u64) {\n\
+                   let s = handle.lock();\n\
+                   drop(s);\n\
+                   }\n";
+    let ws = TempWorkspace::new(
+        "interproc-lock",
+        &[("Cargo.toml", "[workspace]\n"), ("crates/pdb-server/src/session.rs", session)],
+    );
+    let diags = without_drift(pdb_analyze::workspace::run(&ws.root).unwrap());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!((d.lint, d.line), ("lock-order", 4));
+    assert!(d.message.contains("`purge(...)` takes a session lock transitively"), "{}", d.message);
+}
+
+#[test]
+fn dead_verb_requires_a_reachable_handler() {
+    let protocol = "\
+impl Request {
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Evaluate => \"evaluate\",
+            Request::Orphan => \"orphan\",
+            Request::Unreached => \"unreached\",
+        }
+    }
+}
+";
+    let server = "\
+pub fn run() {
+    dispatch();
+}
+fn dispatch(req: Request) -> Response {
+    match req {
+        Request::Evaluate => respond(),
+    }
+}
+fn cold(req: Request) -> Response {
+    match req {
+        Request::Unreached => respond(),
+    }
+}
+";
+    let files = vec![
+        SourceFile::lex("crates/pdb-server/src/protocol.rs", protocol.to_string()),
+        SourceFile::lex("crates/pdb-server/src/server.rs", server.to_string()),
+    ];
+    let ctxs: Vec<FileContext> = files.iter().map(FileContext::new).collect();
+    let graph = CallGraph::build(&files, &ctxs, &[true, true]);
+    let diags = lints::dead_verb::check(&graph, &files);
+    assert_eq!(lines(&diags), vec![5, 6], "{diags:?}");
+    assert!(diags[0].message.contains("`orphan`") && diags[0].message.contains("no function"));
+    assert!(diags[1].message.contains("`unreached`") && diags[1].message.contains("no call chain"));
+    // `evaluate` has a handler reachable from run(): not reported.
+    assert!(!diags.iter().any(|d| d.message.contains("`evaluate`")), "{diags:?}");
+}
+
+#[test]
+fn scan_roots_cover_examples_and_root_tests() {
+    // The walker must reach root src/, examples/ and root tests/ — a
+    // float-eq violation in each shows up with the right path.  The
+    // unwrap in the example must NOT feed the call graph (examples are
+    // aux roots), so no interprocedural panic-path appears.
+    let ws = TempWorkspace::new(
+        "scan-roots",
+        &[
+            ("Cargo.toml", "[workspace]\n"),
+            ("src/lib.rs", "#![forbid(unsafe_code)]\nfn a(x: f64) -> bool { x == 0.0 }\n"),
+            ("examples/demo.rs", "fn main() { let p: f64 = 0.1; if p == 0.3 { opt().unwrap(); } }\n"),
+            ("tests/integration.rs", "fn close(x: f64) -> bool { x == 0.25 }\n#[test]\nfn t() { assert!(close(0.25)); }\n"),
+        ],
+    );
+    let diags = without_drift(pdb_analyze::workspace::run(&ws.root).unwrap());
+    let got: Vec<(&str, &str, u32)> =
+        diags.iter().map(|d| (d.lint, d.file.as_str(), d.line)).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("float-eq", "examples/demo.rs", 1),
+            ("float-eq", "src/lib.rs", 2),
+            ("float-eq", "tests/integration.rs", 1),
+        ],
+        "{diags:?}"
+    );
 }
 
 /// The real workspace must stay clean — this is the in-process twin of

@@ -1,0 +1,165 @@
+//! Property test for function summaries: the facts extracted from a
+//! body — panic sites, lock acquisition, narrowing casts, discarded
+//! results, division guards, fixpoint propagation — must be invariant
+//! under comment and whitespace insertion.  The inserted comments are
+//! deliberately poisoned with the exact tokens each fact detector keys
+//! on (`.unwrap()`, `panic!`, `as u32`, `MAX`, `try_from`, `.lock()`),
+//! so a detector that ever reads raw text instead of code tokens fails
+//! here immediately.
+
+use pdb_analyze::callgraph::CallGraph;
+use pdb_analyze::lexer::SourceFile;
+use pdb_analyze::scanner::FileContext;
+use pdb_analyze::summaries;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::sample::Index;
+
+/// A base file exercising every fact kind: an unguarded cast and
+/// division, a guarded division, a lock, both discard forms, both
+/// panic shapes, a `Result` return, and a call edge (`risky` →
+/// `persist`) for the propagation facts.
+const BASE: &str = "\
+fn kernel(e_new: f64, e_old: f64) -> f64 {
+    let wide: u64 = 70_000;
+    let narrow = wide as u32;
+    let q = e_old + f64::from(narrow);
+    e_new / q
+}
+
+fn guarded_kernel(p: f64, q: f64) -> f64 {
+    if q > MAX_DIVISOR_Q {
+        return 0.0;
+    }
+    p / (1.0 - q)
+}
+
+fn risky(xs: &[u64]) -> u64 {
+    let guard = shard.lock();
+    let _ = persist(xs);
+    probe(xs).ok();
+    first(xs).expect(\"non-empty\") + guard.len() as u64
+}
+
+fn persist(xs: &[u64]) -> Result<(), Error> {
+    if xs.is_empty() {
+        panic!(\"empty batch\");
+    }
+    Ok(())
+}
+";
+
+/// Full lines inserted between existing lines.  Each one carries decoy
+/// tokens for a different detector.
+const LINE_INSERTS: &[&str] = &[
+    "",
+    "    // decoy: xs[0].unwrap() and panic!(\"boom\") in prose",
+    "    /* decoy: let _ = persist(xs); probe(xs).ok(); shard.lock() */",
+    "    // decoy: wide as u32, u64::MAX, u32::try_from(wide)",
+    "    /* decoy: e_new / e_old with MAX_DIVISOR_Q nearby; -> Result */",
+];
+
+/// Fragments appended at the end of existing lines.
+const TRAILERS: &[&str] = &[
+    "   ",
+    "\t",
+    " // trailing decoy .expect(\"x\") unreachable!()",
+    " /* trailing decoy: q / p as i16, MAX, try_from */",
+];
+
+/// Canonical, line-number-free rendering of every function's facts,
+/// including the propagated bits.
+fn shapes(src: &str) -> Vec<String> {
+    let file = SourceFile::lex("crates/pdb-core/src/lib.rs", src.to_string());
+    let ctx = FileContext::new(&file);
+    let files = vec![file];
+    let ctxs = vec![ctx];
+    let graph = CallGraph::build(&files, &ctxs, &[true]);
+    let sums = summaries::compute(&graph, &files);
+    let prop = summaries::propagate(&graph, &sums);
+    graph
+        .fns
+        .iter()
+        .zip(&sums)
+        .enumerate()
+        .map(|(i, (f, s))| {
+            format!(
+                "{} panics={:?} lock={} result={} casts={:?} discards={:?} divs={:?} prop=({},{})",
+                f.span.name,
+                s.panics.iter().map(|p| p.what.as_str()).collect::<Vec<_>>(),
+                s.takes_lock,
+                s.returns_result,
+                s.casts.iter().map(|c| (c.target.as_str(), c.guarded)).collect::<Vec<_>>(),
+                s.discards.iter().map(|d| (d.callee.clone(), d.form)).collect::<Vec<_>>(),
+                s.divisions.iter().map(|d| d.guarded).collect::<Vec<_>>(),
+                prop.may_panic[i],
+                prop.takes_lock[i],
+            )
+        })
+        .collect()
+}
+
+fn mutate(base: &str, inserts: &[(Index, Index)], trailers: &[(Index, Index)]) -> String {
+    let lines: Vec<&str> = base.lines().collect();
+    let mut before: Vec<Vec<&str>> = vec![Vec::new(); lines.len() + 1];
+    for (pos, frag) in inserts {
+        before[pos.index(lines.len() + 1)].push(LINE_INSERTS[frag.index(LINE_INSERTS.len())]);
+    }
+    let mut trail: Vec<Vec<&str>> = vec![Vec::new(); lines.len()];
+    for (pos, frag) in trailers {
+        trail[pos.index(lines.len())].push(TRAILERS[frag.index(TRAILERS.len())]);
+    }
+    let mut out = String::new();
+    for (i, line) in lines.iter().enumerate() {
+        for extra in &before[i] {
+            out.push_str(extra);
+            out.push('\n');
+        }
+        out.push_str(line);
+        for t in &trail[i] {
+            out.push_str(t);
+        }
+        out.push('\n');
+    }
+    for extra in &before[lines.len()] {
+        out.push_str(extra);
+        out.push('\n');
+    }
+    out
+}
+
+/// The property is only worth anything if the base actually trips every
+/// detector; pin the exact shape once so a regression in the corpus
+/// (not the detectors) is caught by name.
+#[test]
+fn base_shapes_cover_every_fact_kind() {
+    let got = shapes(BASE);
+    assert_eq!(
+        got,
+        vec![
+            "kernel panics=[] lock=false result=false casts=[(\"u32\", false)] \
+             discards=[] divs=[false] prop=(false,false)",
+            "guarded_kernel panics=[] lock=false result=false casts=[] \
+             discards=[] divs=[true] prop=(false,false)",
+            "risky panics=[\".expect()\"] lock=true result=false casts=[] \
+             discards=[(Some(\"persist\"), \"let _ =\"), (Some(\"probe\"), \".ok()\")] \
+             divs=[] prop=(true,true)",
+            "persist panics=[\"panic!\"] lock=false result=true casts=[] \
+             discards=[] divs=[] prop=(true,false)",
+        ],
+        "{got:#?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn summaries_are_invariant_under_comment_and_whitespace_insertion(
+        inserts in vec((any::<Index>(), any::<Index>()), 0..16),
+        trailers in vec((any::<Index>(), any::<Index>()), 0..16),
+    ) {
+        let mutated = mutate(BASE, &inserts, &trailers);
+        prop_assert_eq!(shapes(&mutated), shapes(BASE), "mutated source:\n{}", mutated);
+    }
+}

@@ -263,6 +263,7 @@ pub fn run_adaptive_session_with<R: Rng + ?Sized>(
                     current.collapse_x_tuple_in_place(l, *keep_pos)
                 }
                 XTupleMutation::CollapseToNull => current.collapse_x_tuple_to_null_in_place(l),
+                // pdb-analyze: allow(panic-path): probe planners emit only collapse mutations; Reweight here is a programming error
                 XTupleMutation::Reweight { .. } => unreachable!("probes only collapse"),
             },
             EvalState::Incremental { eval, g } => {

@@ -146,10 +146,7 @@ impl PartialOrd for GreedyItem {
 impl Ord for GreedyItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap by score; ties broken by x-tuple index for determinism.
-        self.score
-            .partial_cmp(&other.score)
-            .expect("scores are finite")
-            .then_with(|| other.l.cmp(&self.l))
+        self.score.total_cmp(&other.score).then_with(|| other.l.cmp(&self.l))
     }
 }
 

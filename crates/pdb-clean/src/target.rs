@@ -107,7 +107,7 @@ pub fn min_cost_greedy(
     }
     impl Ord for Item {
         fn cmp(&self, other: &Self) -> Ordering {
-            self.ratio.partial_cmp(&other.ratio).expect("finite").then_with(|| other.l.cmp(&self.l))
+            self.ratio.total_cmp(&other.ratio).then_with(|| other.l.cmp(&self.l))
         }
     }
 

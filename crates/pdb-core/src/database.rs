@@ -93,6 +93,7 @@ impl<V> Database<V> {
     /// Panics if the ranking function produces a non-finite score.  Use
     /// [`Database::try_rank_by`] to handle that case gracefully.
     pub fn rank_by<R: Ranking<V>>(&self, ranking: &R) -> RankedDatabase {
+        // pdb-analyze: allow(panic-path): documented panicking API; try_rank_by is the fallible twin
         self.try_rank_by(ranking).expect("ranking produced a non-finite score")
     }
 
@@ -180,6 +181,7 @@ impl<V> XTupleBuilder<'_, V> {
         let b = self.builder;
         let id = TupleId(b.next_tuple_id);
         b.next_tuple_id += 1;
+        // pdb-analyze: allow(panic-path): builder invariant — tuple() is only reachable after x_tuple() pushed the entry
         let xt = b.x_tuples.last_mut().expect("x_tuple() created an entry");
         xt.tuples.push(Tuple { id, x_tuple: xt.id, payload, prob });
         Self { builder: b }

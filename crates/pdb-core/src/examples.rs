@@ -27,6 +27,7 @@ pub fn udb1() -> Database<f64> {
     b.x_tuple("S2").tuple(30.0, 0.7).tuple(22.0, 0.3);
     b.x_tuple("S3").tuple(25.0, 0.4).tuple(27.0, 0.6);
     b.x_tuple("S4").tuple(26.0, 1.0);
+    // pdb-analyze: allow(panic-path): static paper dataset; the literals above are valid by construction
     b.build().expect("udb1 is a valid database")
 }
 
@@ -38,6 +39,7 @@ pub fn udb2() -> Database<f64> {
     b.x_tuple("S2").tuple(30.0, 0.7).tuple(22.0, 0.3);
     b.x_tuple("S3").tuple(27.0, 1.0);
     b.x_tuple("S4").tuple(26.0, 1.0);
+    // pdb-analyze: allow(panic-path): static paper dataset; the literals above are valid by construction
     b.build().expect("udb2 is a valid database")
 }
 

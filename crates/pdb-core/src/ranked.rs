@@ -92,9 +92,7 @@ impl RankedDatabase {
                 )));
             }
         }
-        entries.sort_by(|a, b| {
-            b.2.partial_cmp(&a.2).expect("scores are finite").then_with(|| a.0.cmp(&b.0))
-        });
+        entries.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
 
         let tuples: Vec<RankedTuple> = entries
             .into_iter()

@@ -80,7 +80,9 @@ impl BatchPlan {
                 )));
             }
         }
-        let k_max = queries.iter().map(|q| q.k()).max().expect("non-empty");
+        // Emptiness already errored above, so the fold's 0 identity is
+        // never the final answer; it just keeps this expression total.
+        let k_max = queries.iter().map(|q| q.k()).fold(0, usize::max);
         let mut snapshot_ks: Vec<usize> =
             queries.iter().map(|q| q.k()).filter(|&k| k < k_max).collect();
         snapshot_ks.sort_unstable();
@@ -91,6 +93,7 @@ impl BatchPlan {
                 if q.k() == k_max {
                     None
                 } else {
+                    // pdb-analyze: allow(panic-path): snapshot_ks was built from these exact k values two lines up
                     Some(snapshot_ks.binary_search(&q.k()).expect("k was collected above"))
                 }
             })

@@ -314,9 +314,8 @@ pub fn apply_mutation_in_place(
     }
     debug_assert_eq!(rp.num_tuples(), db.len());
 
-    if !ill.is_empty() {
+    if let Some(&last) = ill.last() {
         stats.rows_rebuilt = ill.len();
-        let last = *ill.last().expect("non-empty");
         // Per-row exact rebuilds cost O(m·k) each; one windowed planning
         // scan costs O(last·k).  Pick the cheaper total.
         let windowed = ill.len() * db.num_x_tuples() > last + 1;

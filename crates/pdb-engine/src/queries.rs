@@ -150,12 +150,10 @@ pub fn global_topk<R: RankAccess + ?Sized>(db: &RankedDatabase, rp: &R) -> Tuple
     // Sort by descending top-k probability; ties by ascending position
     // (higher rank first). The sort is stable but the explicit tiebreak makes
     // the intent explicit.
-    order.sort_by(|&a, &b| {
-        rp.top_k_prob(b)
-            .partial_cmp(&rp.top_k_prob(a))
-            .expect("probabilities are finite")
-            .then(a.cmp(&b))
-    });
+    // total_cmp rather than partial_cmp: probabilities are finite and
+    // non-negative here, so the orders agree — but total_cmp cannot panic
+    // if a NaN ever slips through, it just sorts it deterministically.
+    order.sort_by(|&a, &b| rp.top_k_prob(b).total_cmp(&rp.top_k_prob(a)).then(a.cmp(&b)));
     order.truncate(k);
     order.sort_unstable();
     let tuples = order

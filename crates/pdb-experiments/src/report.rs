@@ -89,7 +89,7 @@ impl ExperimentResult {
     pub fn x_values(&self) -> Vec<f64> {
         let mut xs: Vec<f64> =
             self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("x values are finite"));
+        xs.sort_by(|a, b| a.total_cmp(b));
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         xs
     }

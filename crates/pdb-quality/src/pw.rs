@@ -44,6 +44,7 @@ pub fn pw_result_distribution_with_limit(
                 if pos < n_real {
                     PwEntry::Tuple(pos)
                 } else {
+                    // pdb-analyze: allow(panic-path): augmentation invariant — every position >= n_real maps to a null
                     PwEntry::Null(aug.null_of[pos].expect("tail positions are nulls"))
                 }
             })

@@ -59,9 +59,7 @@ impl PwResultSet {
         let mut results: Vec<PwResult> =
             map.into_iter().map(|(entries, prob)| PwResult { entries, prob }).collect();
         // Deterministic order: by descending probability, then entries.
-        results.sort_by(|a, b| {
-            b.prob.partial_cmp(&a.prob).expect("finite").then_with(|| a.entries.cmp(&b.entries))
-        });
+        results.sort_by(|a, b| b.prob.total_cmp(&a.prob).then_with(|| a.entries.cmp(&b.entries)));
         Self { results }
     }
 

@@ -96,6 +96,7 @@ impl Dfs<'_> {
                         if pos < self.n_real {
                             PwEntry::Tuple(pos)
                         } else {
+                            // pdb-analyze: allow(panic-path): augmentation invariant — every position >= n_real maps to a null
                             PwEntry::Null(self.null_of[pos].expect("tail positions are nulls"))
                         }
                     })
@@ -184,8 +185,10 @@ fn run_dfs(db: &RankedDatabase, k: usize, limit: Option<u64>, sink: Sink<'_>) ->
             .name("pwr-dfs".into())
             .stack_size(DFS_STACK_BYTES)
             .spawn_scoped(scope, || dfs.dfs(0))
+            // pdb-analyze: allow(panic-path): thread-spawn failure is unrecoverable resource exhaustion; fail-stop is intended
             .expect("spawning the PWR worker thread succeeds")
             .join()
+            // pdb-analyze: allow(panic-path): the worker runs the same DFS this thread would; a panic there is a bug, not input
             .expect("the PWR worker thread does not panic");
     });
     Ok(!dfs.aborted)

@@ -57,6 +57,7 @@ impl Client {
     /// Connect to a running server.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        // pdb-analyze: allow(error-swallow): latency knob only; correctness does not depend on it
         let _ = stream.set_nodelay(true);
         let read_half = stream.try_clone()?;
         Ok(Self { reader: BufReader::new(read_half), writer: BufWriter::new(stream) })

@@ -185,6 +185,7 @@ impl Server {
         // (draining their in-flight requests) and then exit.
         drop(queue_tx);
         for worker in workers {
+            // pdb-analyze: allow(error-swallow): join only errs if the worker panicked; shutdown must still reap the rest
             let _ = worker.join();
         }
         Ok(())
@@ -210,8 +211,17 @@ const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(100);
 /// client disconnects or the server begins shutting down.
 fn handle_connection(stream: TcpStream, ctx: &HandlerContext) {
     // Nagle off: request/response lines are tiny and latency-bound.
+    // Best-effort — a socket that cannot disable Nagle still serves
+    // correctly, just with worse latency.
+    // pdb-analyze: allow(error-swallow): latency knob only; correctness does not depend on it
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    // The read timeout is NOT best-effort: the shutdown drain relies on
+    // idle workers waking from blocked reads (see IDLE_POLL).  A
+    // connection whose socket cannot take a timeout would park a worker
+    // forever, so drop it instead of serving it.
+    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return;
+    }
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -348,6 +358,7 @@ fn dispatch(request: Request, ctx: &HandlerContext) -> Response {
             } else {
                 ctx.addr.ip()
             };
+            // pdb-analyze: allow(error-swallow): best-effort self-wake; the accept loop also polls the flag on its own timer
             let _ = TcpStream::connect(SocketAddr::new(wake_ip, ctx.addr.port()));
             Response::ShuttingDown
         }

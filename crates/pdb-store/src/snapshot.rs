@@ -42,7 +42,7 @@ use crate::hash::xxh64;
 use pdb_core::{RankedDatabase, TupleId};
 use std::fs;
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"PDBS";
@@ -100,8 +100,11 @@ impl<'a> Cursor<'a> {
 
 impl Snapshot {
     /// Encode a database into the binary snapshot format (including
-    /// header and trailing checksum).
-    pub fn encode(db: &RankedDatabase) -> Vec<u8> {
+    /// header and trailing checksum).  Fails (rather than silently
+    /// wrapping the length field) on an x-tuple key longer than
+    /// `u32::MAX` bytes — such a snapshot would decode to a different
+    /// database than the one written.
+    pub fn encode(db: &RankedDatabase) -> Result<Vec<u8>> {
         let n = db.len();
         let m = db.num_x_tuples();
         let keys_len: usize = db.x_tuples().map(|info| 4 + info.key.len()).sum();
@@ -111,7 +114,15 @@ impl Snapshot {
         out.extend_from_slice(&(n as u64).to_le_bytes());
         out.extend_from_slice(&(m as u64).to_le_bytes());
         for info in db.x_tuples() {
-            out.extend_from_slice(&(info.key.len() as u32).to_le_bytes());
+            let key_len = u32::try_from(info.key.len()).map_err(|_| StoreError::Corrupt {
+                path: PathBuf::new(),
+                offset: out.len(),
+                reason: format!(
+                    "x-tuple key is {} bytes, not representable in the u32 length field",
+                    info.key.len()
+                ),
+            })?;
+            out.extend_from_slice(&key_len.to_le_bytes());
             out.extend_from_slice(info.key.as_bytes());
         }
         for t in db.tuples() {
@@ -128,7 +139,7 @@ impl Snapshot {
         }
         let checksum = xxh64(&out, CHECKSUM_SEED);
         out.extend_from_slice(&checksum.to_le_bytes());
-        out
+        Ok(out)
     }
 
     /// Whether `bytes` begin with the snapshot magic (used by format
@@ -242,7 +253,7 @@ impl Snapshot {
     /// same-directory temporary file, fsync, rename into place.  A crash
     /// mid-write leaves the previous file (or no file), never a torn one.
     pub fn write(db: &RankedDatabase, path: &Path) -> Result<()> {
-        let bytes = Self::encode(db);
+        let bytes = Self::encode(db)?;
         write_atomic(path, &bytes)
     }
 }
@@ -272,11 +283,13 @@ pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
 
 /// Fsync the directory containing `path`, making a just-created or
 /// just-renamed entry durable.  Platforms where directories cannot be
-/// opened for sync (e.g. Windows) skip this silently.
+/// opened for sync (e.g. Windows) skip this silently — but once the
+/// directory *is* open, a failing `sync_all` is a real durability hole
+/// (the rename may not survive a crash) and is propagated.
 pub(crate) fn sync_parent_dir(path: &Path) -> Result<()> {
     if let Some(parent) = path.parent() {
         if let Ok(dir) = fs::File::open(parent) {
-            let _ = dir.sync_all();
+            dir.sync_all().map_err(|e| StoreError::io("syncing", parent, e))?;
         }
     }
     Ok(())
@@ -317,7 +330,7 @@ mod tests {
     #[test]
     fn encode_decode_round_trips_bit_exactly() {
         let db = udb1();
-        let bytes = Snapshot::encode(&db);
+        let bytes = Snapshot::encode(&db).expect("encoding fits the format");
         assert!(Snapshot::is_snapshot(&bytes));
         let back = Snapshot::decode(&bytes, Path::new("mem")).unwrap();
         assert_bit_exact(&db, &back);
@@ -344,7 +357,7 @@ mod tests {
 
     #[test]
     fn unsupported_version_is_reported() {
-        let mut bytes = Snapshot::encode(&udb1());
+        let mut bytes = Snapshot::encode(&udb1()).expect("encoding fits the format");
         bytes[4] = 99; // bump the version field...
         let len = bytes.len();
         let checksum = xxh64(&bytes[..len - 8], CHECKSUM_SEED);
@@ -355,7 +368,7 @@ mod tests {
 
     #[test]
     fn truncation_and_byte_flips_are_clean_errors() {
-        let bytes = Snapshot::encode(&udb1());
+        let bytes = Snapshot::encode(&udb1()).expect("encoding fits the format");
         for cut in 0..bytes.len() {
             let err = Snapshot::decode(&bytes[..cut], Path::new("mem")).unwrap_err();
             assert!(

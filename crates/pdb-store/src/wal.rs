@@ -179,22 +179,34 @@ fn frame(record: &WalRecord) -> Result<Vec<u8>> {
         reason: format!("encoding a WAL record failed: {e}"),
     })?;
     let payload = payload.as_bytes();
-    if payload.len() > MAX_RECORD_LEN {
+    let len = record_len_u32(payload.len())?;
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&xxh64(payload, RECORD_SEED).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Validate a payload length for the frame header's `u32` length field.
+/// The [`MAX_RECORD_LEN`] policy bound and the representability bound
+/// are checked separately so the framing stays safe even if the policy
+/// constant is ever raised past `u32::MAX`.
+fn record_len_u32(len: usize) -> Result<u32> {
+    if len > MAX_RECORD_LEN {
         return Err(StoreError::Corrupt {
             path: PathBuf::new(),
             offset: 0,
             reason: format!(
-                "record payload is {} bytes, above the {MAX_RECORD_LEN}-byte limit \
-                 (use a snapshot instead of an inline dataset of this size)",
-                payload.len()
+                "record payload is {len} bytes, above the {MAX_RECORD_LEN}-byte limit \
+                 (use a snapshot instead of an inline dataset of this size)"
             ),
         });
     }
-    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&xxh64(payload, RECORD_SEED).to_le_bytes());
-    out.extend_from_slice(payload);
-    Ok(out)
+    u32::try_from(len).map_err(|_| StoreError::Corrupt {
+        path: PathBuf::new(),
+        offset: 0,
+        reason: format!("record payload is {len} bytes, not representable in the u32 length field"),
+    })
 }
 
 /// Scan `bytes` (a full WAL file) into records.  Returns the records and
@@ -442,6 +454,20 @@ mod tests {
             },
             WalRecord::DropSession { session: 1 },
         ]
+    }
+
+    #[test]
+    fn record_len_boundaries() {
+        // At the policy bound: representable and accepted.
+        assert_eq!(record_len_u32(MAX_RECORD_LEN).unwrap(), MAX_RECORD_LEN as u32);
+        // One past the policy bound: rejected with the snapshot hint.
+        let err = record_len_u32(MAX_RECORD_LEN + 1).unwrap_err();
+        assert!(err.to_string().contains("use a snapshot"), "{err}");
+        // Past u32::MAX: rejected even though the policy check would have
+        // caught it first today — the representability bound is its own
+        // guard, not a consequence of the policy constant.
+        let err = record_len_u32((u32::MAX as usize) + 1).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
     }
 
     #[test]

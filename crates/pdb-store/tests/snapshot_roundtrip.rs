@@ -75,7 +75,7 @@ proptest! {
     /// Random databases round-trip bit-exactly through encode/decode.
     #[test]
     fn random_databases_round_trip_bit_exactly(db in db()) {
-        let bytes = Snapshot::encode(&db);
+        let bytes = Snapshot::encode(&db).expect("encoding fits the format");
         prop_assert!(Snapshot::is_snapshot(&bytes));
         let back = Snapshot::decode(&bytes, Path::new("mem")).unwrap();
         assert_bit_exact(&db, &back);
@@ -89,7 +89,7 @@ proptest! {
         pos in any::<prop::sample::Index>(),
         mask in 1u8..=255,
     ) {
-        let mut bytes = Snapshot::encode(&db);
+        let mut bytes = Snapshot::encode(&db).expect("encoding fits the format");
         let at = pos.index(bytes.len());
         bytes[at] ^= mask;
         match Snapshot::decode(&bytes, Path::new("mem")) {
@@ -110,7 +110,7 @@ proptest! {
     /// Truncating the file at any random length is a clean error.
     #[test]
     fn random_truncations_are_clean_errors(db in db(), cut in any::<prop::sample::Index>()) {
-        let bytes = Snapshot::encode(&db);
+        let bytes = Snapshot::encode(&db).expect("encoding fits the format");
         let at = cut.index(bytes.len()); // strictly shorter than the file
         prop_assert!(Snapshot::decode(&bytes[..at], Path::new("mem")).is_err());
     }
@@ -127,7 +127,7 @@ fn every_single_byte_flip_is_detected() {
         vec![(26.0, 1.0)],
     ])
     .unwrap();
-    let bytes = Snapshot::encode(&db);
+    let bytes = Snapshot::encode(&db).expect("encoding fits the format");
     for pos in 0..bytes.len() {
         let mut flipped = bytes.clone();
         flipped[pos] ^= 0x01; // the subtlest corruption: one bit
