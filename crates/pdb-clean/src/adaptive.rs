@@ -263,8 +263,14 @@ pub fn run_adaptive_session_with<R: Rng + ?Sized>(
                     current.collapse_x_tuple_in_place(l, *keep_pos)
                 }
                 XTupleMutation::CollapseToNull => current.collapse_x_tuple_to_null_in_place(l),
-                // pdb-analyze: allow(panic-path): probe planners emit only collapse mutations; Reweight here is a programming error
-                XTupleMutation::Reweight { .. } => unreachable!("probes only collapse"),
+                // The probe planner only emits collapse mutations; anything
+                // else reaching this arm is a logic error, reported rather
+                // than panicking on the session path.
+                XTupleMutation::Reweight { .. }
+                | XTupleMutation::Insert { .. }
+                | XTupleMutation::Remove => {
+                    Err(DbError::invalid_parameter("probe outcomes only collapse x-tuples"))
+                }
             },
             EvalState::Incremental { eval, g } => {
                 eval.apply_collapse_in_place(l, &mutation).map(|update| {

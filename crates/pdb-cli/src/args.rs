@@ -16,14 +16,16 @@ pub const USAGE: &str = "usage:
   pdb batch [--dataset synthetic|mov|udb1] [--ks <k1,k2,...>] [--weights <w1,w2,...>] [--threshold <T>] [--budget <C>]
   pdb serve [--addr <host:port>] [--threads <n>] [--shards <n>] [--store-dir <dir>] [--compact-every <n>]
   pdb call <request-json | -> [--addr <host:port>]   (- streams stdin lines over one connection)
+  pdb mutate <session> insert --key <key> --alts <score:prob,...> [--mode delta|rebuild] [--addr <host:port>]
+  pdb mutate <session> remove --x-tuple <l> [--mode delta|rebuild] [--addr <host:port>]
   pdb export [--dataset synthetic|mov|udb1] [--tuples <n>] --out <file.pdbs>
   pdb import <file> [--out <file>]
   pdb recover --store-dir <dir>
   pdb help
 
 call verbs (one JSON object per request, e.g. {\"evaluate\":{\"session\":0}}):
-  create_session register_query evaluate quality recommend_probe apply_probe
-  drop_session persist restore stats shutdown";
+  create_session register_query evaluate quality recommend_probe apply_mutation
+  apply_probe drop_session persist restore stats shutdown";
 
 /// Which dataset a `quality` / `clean` invocation runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +132,17 @@ pub enum Command {
         /// stdin over one persistent connection.
         request: String,
     },
+    /// `pdb mutate`
+    Mutate {
+        /// Server address to connect to.
+        addr: String,
+        /// Session id to mutate.
+        session: u64,
+        /// The streaming operation (insert or remove).
+        op: MutateOp,
+        /// Evaluation mode (`delta` or `rebuild`).
+        mode: String,
+    },
     /// `pdb export`
     Export {
         /// Dataset to generate and export.
@@ -163,6 +176,23 @@ pub enum Command {
         trials: u64,
         /// Re-planning mode (`incremental`, `rebuild` or `both`).
         mode: String,
+    },
+}
+
+/// Which streaming mutation `pdb mutate` sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutateOp {
+    /// Append a brand-new x-tuple to the session's database.
+    Insert {
+        /// Entity key for the new x-tuple.
+        key: String,
+        /// `(score, probability)` alternatives of the new x-tuple.
+        alternatives: Vec<(f64, f64)>,
+    },
+    /// Remove x-tuple `x_tuple` entirely.
+    Remove {
+        /// X-index of the departing entity.
+        x_tuple: usize,
     },
 }
 
@@ -305,6 +335,64 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Call { addr, request: request.clone() })
         }
+        "mutate" => {
+            let (session, rest) = rest
+                .split_first()
+                .ok_or_else(|| "mutate requires a session id argument".to_string())?;
+            let session = session
+                .parse::<u64>()
+                .map_err(|_| format!("mutate expects a numeric session id, got {session:?}"))?;
+            let (op_name, rest) = rest
+                .split_first()
+                .ok_or_else(|| "mutate requires an operation (insert or remove)".to_string())?;
+            let mut addr = "127.0.0.1:7878".to_string();
+            let mut mode = "delta".to_string();
+            let mut key = None;
+            let mut alts = None;
+            let mut x_tuple = None;
+            let mut flags = Flags::new(rest);
+            while let Some(flag) = flags.next_flag() {
+                match flag {
+                    "--addr" => addr = flags.value_for("--addr")?.to_string(),
+                    "--mode" => mode = flags.value_for("--mode")?.to_ascii_lowercase(),
+                    "--key" => key = Some(flags.value_for("--key")?.to_string()),
+                    "--alts" => alts = Some(parse_alternatives(flags.value_for("--alts")?)?),
+                    "--x-tuple" => {
+                        x_tuple = Some(parse_usize(flags.value_for("--x-tuple")?, "--x-tuple")?)
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            if mode != "delta" && mode != "rebuild" {
+                return Err(format!("unknown mode {mode:?} (expected delta or rebuild)"));
+            }
+            let op = match op_name.as_str() {
+                "insert" => {
+                    if x_tuple.is_some() {
+                        return Err("--x-tuple only applies to mutate remove".to_string());
+                    }
+                    let key = key.ok_or_else(|| "mutate insert requires --key".to_string())?;
+                    let alternatives = alts.ok_or_else(|| {
+                        "mutate insert requires --alts <score:prob,...>".to_string()
+                    })?;
+                    MutateOp::Insert { key, alternatives }
+                }
+                "remove" => {
+                    if key.is_some() || alts.is_some() {
+                        return Err("--key/--alts only apply to mutate insert".to_string());
+                    }
+                    let x_tuple =
+                        x_tuple.ok_or_else(|| "mutate remove requires --x-tuple".to_string())?;
+                    MutateOp::Remove { x_tuple }
+                }
+                other => {
+                    return Err(format!(
+                        "unknown mutate operation {other:?} (expected insert or remove)"
+                    ))
+                }
+            };
+            Ok(Command::Mutate { addr, session, op, mode })
+        }
         "export" => {
             let mut dataset = DatasetChoice::Synthetic;
             let mut tuples = 10_000;
@@ -441,6 +529,18 @@ fn parse_usize_list(s: &str, flag: &str) -> Result<Vec<usize>, String> {
 
 fn parse_f64_list(s: &str, flag: &str) -> Result<Vec<f64>, String> {
     s.split(',').map(|part| parse_f64(part.trim(), flag)).collect()
+}
+
+/// Parse `score:prob,score:prob,...` into `(score, probability)` pairs.
+fn parse_alternatives(s: &str) -> Result<Vec<(f64, f64)>, String> {
+    s.split(',')
+        .map(|pair| {
+            let (score, prob) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("--alts expects score:prob pairs, got {pair:?}"))?;
+            Ok((parse_f64(score.trim(), "--alts")?, parse_f64(prob.trim(), "--alts")?))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -592,6 +692,64 @@ mod tests {
         assert_eq!(c, Command::Recover { store_dir: "/tmp/store".into() });
         assert!(parse(&argv(&["recover"])).is_err(), "--store-dir is mandatory");
         assert!(parse(&argv(&["recover", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_mutate_insert_and_remove() {
+        let c =
+            parse(&argv(&["mutate", "3", "insert", "--key", "s9", "--alts", "28.5:0.5,23:0.25"]))
+                .unwrap();
+        assert_eq!(
+            c,
+            Command::Mutate {
+                addr: "127.0.0.1:7878".into(),
+                session: 3,
+                op: MutateOp::Insert {
+                    key: "s9".into(),
+                    alternatives: vec![(28.5, 0.5), (23.0, 0.25)],
+                },
+                mode: "delta".into(),
+            }
+        );
+        let c = parse(&argv(&[
+            "mutate",
+            "0",
+            "remove",
+            "--x-tuple",
+            "2",
+            "--mode",
+            "rebuild",
+            "--addr",
+            "127.0.0.1:9",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Mutate {
+                addr: "127.0.0.1:9".into(),
+                session: 0,
+                op: MutateOp::Remove { x_tuple: 2 },
+                mode: "rebuild".into(),
+            }
+        );
+        assert!(parse(&argv(&["mutate"])).is_err(), "session id is mandatory");
+        assert!(parse(&argv(&["mutate", "zero", "remove"])).is_err(), "session must be numeric");
+        assert!(parse(&argv(&["mutate", "0"])).is_err(), "operation is mandatory");
+        assert!(parse(&argv(&["mutate", "0", "reweight"])).is_err(), "unknown operation");
+        assert!(parse(&argv(&["mutate", "0", "insert", "--key", "x"])).is_err(), "--alts needed");
+        assert!(
+            parse(&argv(&["mutate", "0", "insert", "--key", "x", "--alts", "1"])).is_err(),
+            "alternatives must be score:prob pairs"
+        );
+        assert!(parse(&argv(&["mutate", "0", "remove"])).is_err(), "--x-tuple needed");
+        assert!(
+            parse(&argv(&["mutate", "0", "remove", "--x-tuple", "1", "--key", "x"])).is_err(),
+            "--key only applies to insert"
+        );
+        assert!(
+            parse(&argv(&["mutate", "0", "remove", "--x-tuple", "1", "--mode", "nope"])).is_err(),
+            "mode must be delta or rebuild"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Execution of parsed CLI commands.
 
-use crate::args::{Command, DatasetChoice, USAGE};
+use crate::args::{Command, DatasetChoice, MutateOp, USAGE};
 use pdb_clean::CleaningPlan;
 use pdb_clean::{
     best_single_probe, expected_improvement, plan_greedy, run_adaptive_session_with,
@@ -32,6 +32,7 @@ pub fn run(command: Command) -> Result<String> {
             serve(&addr, threads, shards, store_dir, compact_every)
         }
         Command::Call { addr, request } => call(&addr, &request),
+        Command::Mutate { addr, session, op, mode } => mutate(&addr, session, op, &mode),
         Command::Export { dataset, tuples, out } => export(dataset, tuples, &out),
         Command::Import { file, out } => import(&file, out.as_deref()),
         Command::Recover { store_dir } => recover(&store_dir),
@@ -303,6 +304,28 @@ fn call_lines(client: &mut pdb_server::Client, input: impl std::io::BufRead) -> 
         served += 1;
     }
     Ok(format!("{served} request(s) served over one connection"))
+}
+
+/// `pdb mutate`: send one streaming insert/remove (the `apply_mutation`
+/// verb) to a running server through the typed client and print the
+/// `probe_applied` response line — the same JSON a scripted `pdb call`
+/// would see, so both entry points compose.
+fn mutate(addr: &str, session: u64, op: MutateOp, mode: &str) -> Result<String> {
+    let mode = match mode {
+        "rebuild" => pdb_server::protocol::EvalMode::Rebuild,
+        _ => pdb_server::protocol::EvalMode::Delta,
+    };
+    let mut client = pdb_server::Client::connect(addr)
+        .map_err(|e| DbError::invalid_parameter(format!("connecting to {addr} failed: {e}")))?;
+    let applied = match op {
+        MutateOp::Insert { key, alternatives } => {
+            client.insert_x_tuple(session, key, alternatives, mode)
+        }
+        MutateOp::Remove { x_tuple } => client.remove_x_tuple(session, x_tuple, mode),
+    }
+    .map_err(|e| DbError::invalid_parameter(e.to_string()))?;
+    pdb_server::protocol::encode(&pdb_server::Response::ProbeApplied(applied))
+        .map_err(|e| DbError::invalid_parameter(format!("encoding response failed: {e}")))
 }
 
 /// The spec `pdb export` materializes for each dataset choice.
@@ -642,6 +665,45 @@ mod tests {
 
         let reply = call(&addr, "\"shutdown\"").unwrap();
         assert!(reply.contains("shutting_down"), "{reply}");
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn mutate_command_inserts_and_removes_against_a_served_instance() {
+        let server = pdb_server::Server::bind(&pdb_server::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            shards: 1,
+            ..pdb_server::ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.run());
+
+        let reply = call(
+            &addr,
+            "{\"create_session\": {\"dataset\": \"Udb1\", \"probe_cost\": 1, \
+             \"probe_success\": 0.8}}",
+        )
+        .unwrap();
+        assert!(reply.contains("session_created"), "{reply}");
+        call(&addr, "{\"register_query\": {\"session\": 1, \"query\": {\"PTk\": {\"k\": 2, \"threshold\": 0.4}}, \"weight\": 1}}")
+            .unwrap();
+
+        // A new entity arrives: the response reports the grown database.
+        let op =
+            MutateOp::Insert { key: "s9".into(), alternatives: vec![(28.5, 0.5), (23.0, 0.25)] };
+        let reply = mutate(&addr, 1, op, "delta").unwrap();
+        assert!(reply.contains("probe_applied"), "{reply}");
+
+        // And departs again, through the rebuild oracle this time.
+        let reply = mutate(&addr, 1, MutateOp::Remove { x_tuple: 4 }, "rebuild").unwrap();
+        assert!(reply.contains("probe_applied"), "{reply}");
+
+        // Out-of-range removal surfaces as a server error, not a hang.
+        assert!(mutate(&addr, 1, MutateOp::Remove { x_tuple: 99 }, "delta").is_err());
+
+        call(&addr, "\"shutdown\"").unwrap();
         handle.join().unwrap().unwrap();
     }
 

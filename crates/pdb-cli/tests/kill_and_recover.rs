@@ -1,14 +1,15 @@
 //! Kill-and-recover: a store-backed `pdb serve` process is killed
 //! (SIGKILL — no drain, no graceful shutdown) mid-session after several
-//! applied probes, restarted on the same `--store-dir`, and must serve
-//! the recovered session with answers and qualities matching an
-//! uninterrupted in-process mirror at 1e-12.
+//! applied probes plus a streaming insert and remove, restarted on the
+//! same `--store-dir`, and must serve the recovered session with answers
+//! and qualities matching an uninterrupted in-process mirror at 1e-12.
 //!
 //! This is the end-to-end proof of the durability chain: every
-//! `apply_probe` was fsync'd into the write-ahead log before it was
-//! acknowledged, so none of the acknowledged probes may be lost, and
-//! recovery replays them through the delta engine onto the journalled
-//! base dataset.
+//! `apply_probe` / `apply_mutation` was fsync'd into the write-ahead log
+//! before it was acknowledged, so none of the acknowledged mutations may
+//! be lost, and recovery replays them through the delta engine onto the
+//! journalled base dataset — including the re-allocation of tuple ids for
+//! inserted x-tuples, which must come out byte-identical on replay.
 
 use pdb_quality::{BatchQuality, TopKQuery, WeightedQuery, XTupleMutation};
 use pdb_server::protocol::EvalMode;
@@ -125,6 +126,25 @@ fn killed_server_recovers_sessions_from_its_store() {
         assert_close(served.update.aggregate, direct.aggregate, "live aggregate");
     }
 
+    // Two streaming mutations ride the same WAL before the kill: a new
+    // entity arrives, an existing one departs.  Both are acknowledged, so
+    // both must survive — including the fresh tuple ids the insert
+    // allocates, which replay re-derives rather than reads.
+    let alternatives = vec![(875.5, 0.5), (431.25, 0.3)];
+    let arrival =
+        XTupleMutation::Insert { key: "arrival".into(), alternatives: alternatives.clone() };
+    let appended_at = mirror.database().num_x_tuples();
+    let served = client
+        .insert_x_tuple(created.session, "arrival", alternatives, EvalMode::Delta)
+        .expect("streaming insert");
+    let direct = mirror.apply_collapse_in_place(appended_at, &arrival).expect("mirror insert");
+    assert_close(served.update.aggregate, direct.aggregate, "insert aggregate");
+
+    let served =
+        client.remove_x_tuple(created.session, 3, EvalMode::Delta).expect("streaming remove");
+    let direct = mirror.apply_collapse_in_place(3, &XTupleMutation::Remove).expect("mirror remove");
+    assert_close(served.update.aggregate, direct.aggregate, "remove aggregate");
+
     // ---- phase 2: kill the process, no drain, mid-session ------------
     first.kill();
     drop(client);
@@ -138,7 +158,7 @@ fn killed_server_recovers_sessions_from_its_store() {
     assert_eq!(stats.sessions_live, 1, "the killed session recovered");
     assert_eq!(stats.sessions[0].session, created.session);
     assert_eq!(stats.sessions[0].queries, 3);
-    assert_eq!(stats.sessions[0].probes, 4, "all acknowledged probes survived the kill");
+    assert_eq!(stats.sessions[0].probes, 6, "all acknowledged mutations survived the kill");
 
     let answers = client.evaluate(created.session).expect("evaluate recovered session");
     assert_eq!(answers.answers, mirror.answers().expect("mirror answers"), "recovered answers");
@@ -163,7 +183,7 @@ fn killed_server_recovers_sessions_from_its_store() {
     // persist: the session checkpoints into the store on demand.
     let persisted = client.persist(created.session).expect("persist verb");
     assert!(persisted.snapshot.ends_with(".pdbs"), "{}", persisted.snapshot);
-    assert_eq!(persisted.probes, 5);
+    assert_eq!(persisted.probes, 7);
     assert!(store_dir.join(&persisted.snapshot).exists(), "snapshot file written");
 
     client.shutdown().expect("graceful shutdown of the restarted server");

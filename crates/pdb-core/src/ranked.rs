@@ -363,6 +363,96 @@ impl RankedDatabase {
                 "x-tuple {l} has no null alternative to collapse to"
             )));
         }
+        self.remove_x_tuple_in_place(l)
+    }
+
+    /// Produce the database extended with a brand-new x-tuple built from
+    /// `(score, prob)` alternatives, returning `(database, x_index)`.
+    pub fn insert_x_tuple(
+        &self,
+        key: String,
+        alternatives: &[(f64, f64)],
+    ) -> Result<(Self, usize)> {
+        let mut next = self.clone();
+        let l = next.insert_x_tuple_in_place(key, alternatives)?;
+        Ok((next, l))
+    }
+
+    /// Insert a brand-new x-tuple (the streaming-arrival mutation),
+    /// returning its x-index, which is always `self.num_x_tuples()` before
+    /// the call — inserts append to the x-tuple table, so existing
+    /// x-indices stay stable.
+    ///
+    /// The new alternatives receive fresh [`TupleId`]s larger than every
+    /// id already in the database (allocated in the order given), which
+    /// keeps the rank order deterministic: a new tuple that ties an
+    /// existing score ranks *below* it, exactly as
+    /// [`from_entries`](Self::from_entries) would place it.  The usual
+    /// construction invariants are validated up front (finite scores,
+    /// probabilities in `[0, 1]`, total mass ≤ 1, at least one
+    /// alternative); on error the database is unchanged.
+    pub fn insert_x_tuple_in_place(
+        &mut self,
+        key: String,
+        alternatives: &[(f64, f64)],
+    ) -> Result<usize> {
+        let l = self.x_tuples.len();
+        if alternatives.is_empty() {
+            return Err(DbError::EmptyXTuple { x_tuple: format!("#{l} ({key})") });
+        }
+        let next_id = self.tuples.iter().map(|t| t.id.0 + 1).max().unwrap_or(0);
+        let mut total = 0.0;
+        for (i, &(score, prob)) in alternatives.iter().enumerate() {
+            if !score.is_finite() {
+                return Err(DbError::NonFiniteScore { tuple_index: next_id + i });
+            }
+            if !prob.is_finite() || !(0.0..=1.0 + crate::PROB_EPSILON).contains(&prob) {
+                return Err(DbError::InvalidProbability {
+                    prob,
+                    context: format!("x-tuple #{l} ({key})"),
+                });
+            }
+            total += prob;
+        }
+        if total > 1.0 + 1e-6 {
+            return Err(DbError::XTupleMassExceedsOne { x_tuple: key, total });
+        }
+        for (i, &(score, prob)) in alternatives.iter().enumerate() {
+            self.tuples.push(RankedTuple { id: TupleId(next_id + i), x_index: l, score, prob });
+        }
+        // Existing tuples are already in this order (scores and ids never
+        // change after construction), so the stable sort only threads the
+        // new alternatives into place.
+        self.tuples.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id)));
+        self.x_tuples.push(XTupleInfo { key, members: Vec::new(), total_mass: 0.0 });
+        self.rebuild_index();
+        Ok(l)
+    }
+
+    /// Produce the database with x-tuple `l` removed entirely (the
+    /// streaming-departure mutation).
+    pub fn remove_x_tuple(&self, l: usize) -> Result<Self> {
+        let mut next = self.clone();
+        next.remove_x_tuple_in_place(l)?;
+        Ok(next)
+    }
+
+    /// Remove x-tuple `l` and every one of its alternatives, regardless of
+    /// null mass — unlike
+    /// [`collapse_x_tuple_to_null_in_place`](Self::collapse_x_tuple_to_null_in_place),
+    /// which models an *observation* and therefore requires the null
+    /// alternative to have been possible.  Later x-tuples are re-indexed
+    /// densely (index `l+1` becomes `l`, and so on); one O(n) pass, no
+    /// re-sort.  Removing the last x-tuple is an error (a
+    /// [`RankedDatabase`] is never empty); on error the database is
+    /// unchanged.
+    pub fn remove_x_tuple_in_place(&mut self, l: usize) -> Result<()> {
+        if l >= self.x_tuples.len() {
+            return Err(DbError::index_out_of_range(format!(
+                "x-tuple {l} of {}",
+                self.x_tuples.len()
+            )));
+        }
         if self.x_tuples[l].members.len() == self.tuples.len() {
             return Err(DbError::EmptyDatabase);
         }
@@ -525,6 +615,95 @@ mod tests {
         assert!(db.reweight_x_tuple(2, &[0.5]).is_err(), "arity mismatch");
         assert!(db.reweight_x_tuple(2, &[0.7, 0.7]).is_err(), "mass above 1");
         assert!(db.reweight_x_tuple(2, &[-0.1, 0.5]).is_err(), "negative probability");
+    }
+
+    #[test]
+    fn insert_x_tuple_threads_new_alternatives_into_rank_order() {
+        let mut db = udb1();
+        let l = db.insert_x_tuple_in_place("S5".into(), &[(28.0, 0.5), (23.0, 0.5)]).unwrap();
+        assert_eq!(l, 4);
+        assert_eq!(db.num_x_tuples(), 5);
+        assert_eq!(db.len(), 9);
+        assert_eq!(db.x_tuple(4).key, "S5");
+        let scores: Vec<f64> = db.tuples().map(|t| t.score).collect();
+        assert_eq!(scores, vec![32.0, 30.0, 28.0, 27.0, 26.0, 25.0, 23.0, 22.0, 21.0]);
+        // Fresh ids, larger than every pre-existing one, in argument order.
+        let inserted = db.x_tuple(4).members.clone();
+        assert_eq!(inserted, vec![2, 6]);
+        assert_eq!(db.tuple(2).id.0, 7);
+        assert_eq!(db.tuple(6).id.0, 8);
+        // Existing x-tuples keep their indices and membership.
+        assert_eq!(db.x_tuple(0).key, "x0");
+        assert!((db.higher_mass_within(6) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insert_breaks_score_ties_below_existing_tuples() {
+        let mut db = RankedDatabase::from_scored_x_tuples(&[vec![(10.0, 0.5)]]).unwrap();
+        db.insert_x_tuple_in_place("x1".into(), &[(10.0, 0.5)]).unwrap();
+        // Same score: the older tuple (smaller id) keeps rank 0, matching
+        // what from_entries would produce for the combined entry set.
+        assert_eq!(db.tuple(0).id.0, 0);
+        assert_eq!(db.tuple(1).id.0, 1);
+        let rebuilt =
+            RankedDatabase::from_scored_x_tuples(&[vec![(10.0, 0.5)], vec![(10.0, 0.5)]]).unwrap();
+        assert_eq!(db, rebuilt);
+    }
+
+    #[test]
+    fn insert_x_tuple_validates_input() {
+        let mut db = udb1();
+        let before = db.clone();
+        assert!(matches!(
+            db.insert_x_tuple_in_place("e".into(), &[]),
+            Err(DbError::EmptyXTuple { .. })
+        ));
+        assert!(matches!(
+            db.insert_x_tuple_in_place("e".into(), &[(f64::NAN, 0.5)]),
+            Err(DbError::NonFiniteScore { .. })
+        ));
+        assert!(matches!(
+            db.insert_x_tuple_in_place("e".into(), &[(1.0, 1.5)]),
+            Err(DbError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            db.insert_x_tuple_in_place("e".into(), &[(1.0, 0.7), (2.0, 0.7)]),
+            Err(DbError::XTupleMassExceedsOne { .. })
+        ));
+        assert_eq!(db, before, "failed inserts must leave the database unchanged");
+    }
+
+    #[test]
+    fn remove_x_tuple_drops_the_entity_and_reindexes() {
+        let db = udb1();
+        // Unlike collapse-to-null, removal works even with zero null mass.
+        assert!(db.x_tuple(1).null_prob() <= 1e-12);
+        let smaller = db.remove_x_tuple(1).unwrap();
+        assert_eq!(smaller.num_x_tuples(), 3);
+        assert_eq!(smaller.len(), 5);
+        assert_eq!(smaller.x_tuple(1).key, "x2");
+        let scores: Vec<f64> = smaller.tuples().map(|t| t.score).collect();
+        assert_eq!(scores, vec![32.0, 27.0, 26.0, 25.0, 21.0]);
+        assert!(smaller.tuples().all(|t| t.x_index < 3));
+    }
+
+    #[test]
+    fn remove_x_tuple_rejects_out_of_range_and_last_entity() {
+        let mut db = RankedDatabase::from_scored_x_tuples(&[vec![(1.0, 1.0)]]).unwrap();
+        assert!(matches!(db.remove_x_tuple_in_place(1), Err(DbError::IndexOutOfRange { .. })));
+        assert!(matches!(db.remove_x_tuple_in_place(0), Err(DbError::EmptyDatabase)));
+    }
+
+    #[test]
+    fn remove_then_reinsert_round_trips_through_fresh_ids() {
+        let db = udb1();
+        let removed = db.remove_x_tuple(3).unwrap();
+        let (back, l) = removed.insert_x_tuple("x3".into(), &[(26.0, 1.0)]).unwrap();
+        assert_eq!(l, 3);
+        assert_eq!(back.num_x_tuples(), db.num_x_tuples());
+        let scores: Vec<f64> = back.tuples().map(|t| t.score).collect();
+        let original: Vec<f64> = db.tuples().map(|t| t.score).collect();
+        assert_eq!(scores, original);
     }
 
     #[test]

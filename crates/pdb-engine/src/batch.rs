@@ -537,6 +537,28 @@ mod tests {
     }
 
     #[test]
+    fn streaming_insert_and_remove_patch_every_registered_query() {
+        let db = udb1();
+        let mut batch = BatchEvaluation::from_owned(db, mixed_queries()).unwrap();
+        // A new sensor arrives (append-only target index = current count),
+        // then an old full-mass one departs.
+        let arrival = XTupleMutation::Insert {
+            key: "S5".into(),
+            alternatives: vec![(28.0, 0.5), (23.0, 0.3)],
+        };
+        batch.apply_collapse_in_place(4, &arrival).unwrap();
+        assert_eq!(batch.database().num_x_tuples(), 5);
+        assert_eq!(batch.database().len(), 9);
+        batch.apply_collapse_in_place(1, &XTupleMutation::Remove).unwrap();
+        assert_eq!(batch.database().num_x_tuples(), 4);
+        assert_eq!(batch.database().len(), 7);
+        for q in 0..batch.num_queries() {
+            let independent = rank_probabilities(batch.database(), batch.queries()[q].k()).unwrap();
+            assert_view_matches(&batch.ranks(q), &independent, 1e-8, &format!("query {q}"));
+        }
+    }
+
+    #[test]
     fn failed_collapse_leaves_the_batch_unchanged() {
         let db = udb1();
         let mut batch = BatchEvaluation::new(&db, mixed_queries()).unwrap();

@@ -39,6 +39,15 @@
 //!   are **rescaled** by `eᵢ′ / eᵢ`;
 //! * zero-probability rows stay identically zero.
 //!
+//! The same identity covers **streaming membership**
+//! ([`XTupleMutation::Insert`] / [`XTupleMutation::Remove`]): removing an
+//! x-tuple is the `q_L′ = 0` case (divide only, every alternative
+//! dropped), and inserting one is the `q_L = 0` case — the stored rows
+//! never contained the arriving factor, so each affected row takes one
+//! *multiply* (always well-conditioned; no divide can go ill) while the
+//! matrix grows by the new row-group, whose own rows are rebuilt exactly
+//! from the post-insert database.
+//!
 //! ## When the oracle rebuild kicks in
 //!
 //! Dividing out a factor is only well-conditioned while
@@ -82,8 +91,15 @@ const MIN_SCALE_PROB: f64 = 1e-3;
 /// `q_new = 1`) into the expensive rebuild path for no accuracy gain.
 const Q_EQUAL_EPSILON: f64 = 1e-12;
 
-/// A mutation of a single x-tuple — exactly what one observed probe
-/// outcome does to the database.
+/// A mutation of a single x-tuple — the unified mutation surface shared by
+/// the engine, the `apply_mutation`/`apply_probe` wire verbs, the WAL and
+/// the CLI.
+///
+/// The first three variants are probe outcomes (they mutate an *existing*
+/// x-tuple); [`Insert`](XTupleMutation::Insert) and
+/// [`Remove`](XTupleMutation::Remove) are the streaming-membership
+/// mutations that let a long-lived session's database grow and shrink
+/// under arriving and departing entities.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum XTupleMutation {
     /// A successful probe revealed the alternative at rank position
@@ -104,6 +120,21 @@ pub enum XTupleMutation {
         /// New probabilities, in the x-tuple's rank (member) order.
         probs: Vec<f64>,
     },
+    /// A brand-new x-tuple arrives (e.g. a sensor comes online).  Inserts
+    /// are append-only: the target x-index must equal the current x-tuple
+    /// count, so existing x-indices stay stable.
+    Insert {
+        /// Human-readable key of the new entity.
+        key: String,
+        /// `(score, prob)` alternatives of the new x-tuple.
+        alternatives: Vec<(f64, f64)>,
+    },
+    /// An existing x-tuple departs entirely (e.g. a sensor is
+    /// decommissioned).  Unlike
+    /// [`CollapseToNull`](XTupleMutation::CollapseToNull) this is not an
+    /// observation — it needs no null mass; all alternatives are dropped
+    /// unconditionally and later x-tuples are re-indexed densely.
+    Remove,
 }
 
 /// How the rows of one (or several accumulated) incremental updates were
@@ -113,12 +144,14 @@ pub struct DeltaStats {
     /// Rows whose mutated factor was unchanged (`q_L = q_L′`) or whose
     /// existential probability is zero: copied verbatim.
     pub rows_copied: usize,
-    /// Rows updated by the O(k) divide + multiply factor swap.
+    /// Rows updated by the O(k) divide + multiply factor swap (for an
+    /// insert, the always-well-conditioned multiply-only half of it).
     pub rows_swapped: usize,
     /// Rows of the mutated x-tuple itself, rescaled by `eᵢ′ / eᵢ`.
     pub rows_rescaled: usize,
-    /// Ill-conditioned rows rebuilt from the mutated database (exact
-    /// per-row rebuild or windowed scan).
+    /// Rows rebuilt from the mutated database (exact per-row rebuild or
+    /// windowed scan): ill-conditioned divides, plus an inserted
+    /// x-tuple's own brand-new rows.
     pub rows_rebuilt: usize,
     /// Rows removed together with the mutated x-tuple's dropped
     /// alternatives.
@@ -187,6 +220,12 @@ pub fn apply_mutation_in_place(
             db.len()
         )));
     }
+    // An insert grows the matrix instead of patching surviving rows, and
+    // targets the *appended* x-index, so it takes its own path before the
+    // existing-x-tuple bounds check.
+    if let XTupleMutation::Insert { key, alternatives } = mutation {
+        return insert_in_place(db, rp, l, key, alternatives);
+    }
     if l >= db.num_x_tuples() {
         return Err(DbError::index_out_of_range(format!("x-tuple {l} of {}", db.num_x_tuples())));
     }
@@ -197,8 +236,14 @@ pub fn apply_mutation_in_place(
     let members = db.x_tuple(l).members.clone();
     let old_probs: Vec<f64> = members.iter().map(|&p| db.tuple(p).prob).collect();
 
-    // Per-member probability and survival after the mutation.
+    // Per-member probability and survival after the mutation, computed
+    // (and validated) before the matching in-place database mutator runs;
+    // each mutator itself validates before touching anything, so on `Err`
+    // both inputs are unchanged.
     let (new_probs, kept): (Vec<f64>, Vec<bool>) = match mutation {
+        XTupleMutation::Insert { key, alternatives } => {
+            return insert_in_place(db, rp, l, key, alternatives)
+        }
         XTupleMutation::CollapseToAlternative { keep_pos } => {
             if *keep_pos >= db.len() || db.tuple(*keep_pos).x_index != l {
                 return Err(DbError::index_out_of_range(format!(
@@ -206,9 +251,19 @@ pub fn apply_mutation_in_place(
                 )));
             }
             let keep = members.iter().map(|&p| p == *keep_pos);
-            (keep.clone().map(|k| if k { 1.0 } else { 0.0 }).collect(), keep.collect())
+            let outcome =
+                (keep.clone().map(|k| if k { 1.0 } else { 0.0 }).collect(), keep.collect());
+            db.collapse_x_tuple_in_place(l, *keep_pos)?;
+            outcome
         }
-        XTupleMutation::CollapseToNull => (vec![0.0; members.len()], vec![false; members.len()]),
+        XTupleMutation::CollapseToNull => {
+            db.collapse_x_tuple_to_null_in_place(l)?;
+            (vec![0.0; members.len()], vec![false; members.len()])
+        }
+        XTupleMutation::Remove => {
+            db.remove_x_tuple_in_place(l)?;
+            (vec![0.0; members.len()], vec![false; members.len()])
+        }
         XTupleMutation::Reweight { probs } => {
             if probs.len() != members.len() {
                 return Err(DbError::invalid_parameter(format!(
@@ -217,19 +272,10 @@ pub fn apply_mutation_in_place(
                     probs.len()
                 )));
             }
+            db.reweight_x_tuple_in_place(l, probs)?;
             (probs.clone(), vec![true; members.len()])
         }
     };
-
-    // Mutate the database first; each in-place mutator validates before
-    // touching anything, so an error here leaves both inputs intact.
-    match mutation {
-        XTupleMutation::CollapseToAlternative { keep_pos } => {
-            db.collapse_x_tuple_in_place(l, *keep_pos)?
-        }
-        XTupleMutation::CollapseToNull => db.collapse_x_tuple_to_null_in_place(l)?,
-        XTupleMutation::Reweight { probs } => db.reweight_x_tuple_in_place(l, probs)?,
-    }
 
     let mut stats = DeltaStats::default();
     // New positions whose update is ill-conditioned; ascending by
@@ -314,39 +360,139 @@ pub fn apply_mutation_in_place(
     }
     debug_assert_eq!(rp.num_tuples(), db.len());
 
-    if let Some(&last) = ill.last() {
-        stats.rows_rebuilt = ill.len();
-        // Per-row exact rebuilds cost O(m·k) each; one windowed planning
-        // scan costs O(last·k).  Pick the cheaper total.
-        let windowed = ill.len() * db.num_x_tuples() > last + 1;
-        let (rho, top_k) = rp.parts_mut();
-        if windowed {
-            stats.windowed_scans = 1;
-            let mut want = vec![false; last + 1];
-            for &p in &ill {
-                want[p] = true;
-            }
-            psr::scan_rows_filtered(
-                db,
-                k,
-                last,
-                |pos| want[pos],
-                |task| {
-                    let pos = task.pos;
-                    psr::compute_row_into(task, k, &mut rho[pos * k..(pos + 1) * k]);
-                },
-            )?;
-        } else {
-            for &p in &ill {
-                let row = psr::exact_row(db, k, p);
-                rho[p * k..(p + 1) * k].copy_from_slice(&row);
-            }
+    rebuild_ill_rows(db, rp, &mut stats, &ill)?;
+    Ok(stats)
+}
+
+/// Rebuild the rows at the given (post-mutation, ascending) positions from
+/// the mutated database: per-row exact rebuilds cost O(m·k) each, one
+/// windowed planning scan costs O(last·k) — pick the cheaper total.
+fn rebuild_ill_rows(
+    db: &RankedDatabase,
+    rp: &mut RankProbabilities,
+    stats: &mut DeltaStats,
+    ill: &[usize],
+) -> Result<()> {
+    let Some(&last) = ill.last() else { return Ok(()) };
+    let k = rp.k();
+    stats.rows_rebuilt += ill.len();
+    let windowed = ill.len() * db.num_x_tuples() > last + 1;
+    let (rho, top_k) = rp.parts_mut();
+    if windowed {
+        stats.windowed_scans += 1;
+        let mut want = vec![false; last + 1];
+        for &p in ill {
+            want[p] = true;
         }
-        for &p in &ill {
-            top_k[p] = rho[p * k..(p + 1) * k].iter().sum();
+        psr::scan_rows_filtered(
+            db,
+            k,
+            last,
+            |pos| want[pos],
+            |task| {
+                let pos = task.pos;
+                psr::compute_row_into(task, k, &mut rho[pos * k..(pos + 1) * k]);
+            },
+        )?;
+    } else {
+        for &p in ill {
+            let row = psr::exact_row(db, k, p);
+            rho[p * k..(p + 1) * k].copy_from_slice(&row);
         }
     }
+    for &p in ill {
+        top_k[p] = rho[p * k..(p + 1) * k].iter().sum();
+    }
+    Ok(())
+}
 
+/// The [`XTupleMutation::Insert`] patch: append a brand-new x-tuple and
+/// grow the ρ matrix by its row-group.
+///
+/// The arriving factor was never part of any stored row, so every
+/// surviving row below the new x-tuple's first alternative takes a single
+/// binomial *multiply* — the always-well-conditioned half of the factor
+/// swap; no divide can go ill here.  The backward pass shifts existing
+/// rows to their post-insert positions (back to front, so the move is
+/// alias-free), the forward pass multiplies the arriving factor in, and
+/// the new x-tuple's own rows — the only ones whose eᵢ-weighted product
+/// the matrix never contained — are rebuilt exactly from the post-insert
+/// database via the shared ill-row machinery.
+fn insert_in_place(
+    db: &mut RankedDatabase,
+    rp: &mut RankProbabilities,
+    l: usize,
+    key: &str,
+    alternatives: &[(f64, f64)],
+) -> Result<DeltaStats> {
+    if l != db.num_x_tuples() {
+        return Err(DbError::invalid_parameter(format!(
+            "inserts are append-only: target x-index {l} must equal the x-tuple count {}",
+            db.num_x_tuples()
+        )));
+    }
+    let k = rp.k();
+    // Validates everything (and allocates fresh ids) before mutating, so
+    // on `Err` both inputs are unchanged.
+    db.insert_x_tuple_in_place(key.to_string(), alternatives)?;
+    let new_n = db.len();
+    // Positions of the new alternatives in the *post-insert* database,
+    // ascending.
+    let members = db.x_tuple(l).members.clone();
+
+    let mut stats = DeltaStats::default();
+    {
+        let (rho, top_k) = rp.parts_mut();
+        rho.resize(new_n * k, 0.0);
+        top_k.resize(new_n, 0.0);
+        // Backward pass: move each surviving row from its pre-insert
+        // position `pos - pending` to `pos`, zero-filling the slots where
+        // the new alternatives land.
+        let mut pending = members.len();
+        for pos in (0..new_n).rev() {
+            if pending == 0 {
+                // Rows above the first new alternative keep their
+                // positions.
+                break;
+            }
+            if members[pending - 1] == pos {
+                pending -= 1;
+                rho[pos * k..(pos + 1) * k].fill(0.0);
+                top_k[pos] = 0.0;
+            } else {
+                let src = (pos - pending) * k;
+                rho.copy_within(src..src + k, pos * k);
+                top_k[pos] = top_k[pos - pending];
+            }
+        }
+        // Forward pass: multiply the arriving factor (the new x-tuple's
+        // clamped higher-ranked mass) into every surviving row below it.
+        let mut member_idx = 0usize;
+        let mut q_new = 0.0f64;
+        for pos in 0..new_n {
+            while member_idx < members.len() && members[member_idx] < pos {
+                q_new = (q_new + db.tuple(members[member_idx]).prob).min(1.0);
+                member_idx += 1;
+            }
+            if member_idx < members.len() && members[member_idx] == pos {
+                // The new x-tuple's own row: rebuilt exactly below.
+                continue;
+            }
+            if q_new <= 0.0 || db.tuple(pos).prob <= 0.0 {
+                // Above the first alternative (or a mass-less one), or an
+                // identically-zero row: nothing to multiply.
+                stats.rows_copied += 1;
+            } else {
+                let row = &mut rho[pos * k..(pos + 1) * k];
+                poly::multiply_binomial_in(row, q_new);
+                top_k[pos] = row.iter().sum();
+                stats.rows_swapped += 1;
+            }
+        }
+    }
+    debug_assert_eq!(rp.num_tuples(), db.len());
+
+    rebuild_ill_rows(db, rp, &mut stats, &members)?;
     Ok(stats)
 }
 
@@ -450,6 +596,11 @@ mod tests {
             XTupleMutation::CollapseToAlternative { keep_pos: 3 },
             XTupleMutation::CollapseToNull,
             XTupleMutation::Reweight { probs: vec![0.25, 0.5] },
+            XTupleMutation::Insert {
+                key: "s9".into(),
+                alternatives: vec![(4.0, 0.5), (3.0, 0.25)],
+            },
+            XTupleMutation::Remove,
         ] {
             let json = serde_json::to_string(&mutation).unwrap();
             let back: XTupleMutation = serde_json::from_str(&json).unwrap();
@@ -528,6 +679,67 @@ mod tests {
             apply_mutation(&db, &rp, 0, &XTupleMutation::Reweight { probs: vec![0.1, 0.8] })
                 .unwrap();
         assert_matches_oracle(&db2, &rp2, 1e-9);
+    }
+
+    #[test]
+    fn insert_matches_full_rebuild() {
+        let db = udb1();
+        let rp = rank_probabilities(&db, 3).unwrap();
+        // A new sensor arrives mid-ranking: one alternative lands above
+        // existing tuples, one below, and mass is withheld (null prob).
+        let mutation = XTupleMutation::Insert {
+            key: "S5".into(),
+            alternatives: vec![(28.0, 0.5), (23.0, 0.3)],
+        };
+        let (db2, rp2, stats) = apply_mutation(&db, &rp, db.num_x_tuples(), &mutation).unwrap();
+        assert_eq!(db2.num_x_tuples(), 5);
+        assert_eq!(db2.len(), 9);
+        assert_eq!(stats.rows_rebuilt, 2, "the new x-tuple's own rows: {stats:?}");
+        assert_eq!(stats.rows_dropped, 0);
+        assert_eq!(stats.rows_total(), 9);
+        assert_matches_oracle(&db2, &rp2, 1e-9);
+    }
+
+    #[test]
+    fn insert_below_everything_copies_all_rows() {
+        // An arrival ranked below the whole database affects no stored
+        // row: only its own row is built.
+        let db = udb1();
+        let rp = rank_probabilities(&db, 2).unwrap();
+        let mutation = XTupleMutation::Insert { key: "low".into(), alternatives: vec![(1.0, 0.4)] };
+        let (db2, rp2, stats) = apply_mutation(&db, &rp, 4, &mutation).unwrap();
+        assert_eq!(stats.rows_copied, 7, "{stats:?}");
+        assert_eq!(stats.rows_swapped, 0);
+        assert_matches_oracle(&db2, &rp2, 1e-9);
+    }
+
+    #[test]
+    fn remove_matches_full_rebuild() {
+        let db = udb1();
+        let rp = rank_probabilities(&db, 2).unwrap();
+        // Remove S2 (x-index 1), a full-mass x-tuple — collapse-to-null
+        // would reject it, removal must not.
+        let (db2, rp2, stats) = apply_mutation(&db, &rp, 1, &XTupleMutation::Remove).unwrap();
+        assert_eq!(db2.num_x_tuples(), 3);
+        assert_eq!(db2.len(), 5);
+        assert_eq!(stats.rows_dropped, 2);
+        assert_matches_oracle(&db2, &rp2, 1e-9);
+    }
+
+    #[test]
+    fn insert_rejects_non_appended_target_index() {
+        let db = udb1();
+        let rp = rank_probabilities(&db, 2).unwrap();
+        let mutation = XTupleMutation::Insert { key: "S5".into(), alternatives: vec![(28.0, 0.5)] };
+        // Anything other than the current x-tuple count is rejected, and
+        // invalid alternatives leave both inputs unchanged.
+        assert!(apply_mutation(&db, &rp, 0, &mutation).is_err());
+        assert!(apply_mutation(&db, &rp, 99, &mutation).is_err());
+        let bad = XTupleMutation::Insert { key: "S5".into(), alternatives: vec![(28.0, 1.5)] };
+        let mut db2 = db.clone();
+        let mut rp2 = rp.clone();
+        assert!(apply_mutation_in_place(&mut db2, &mut rp2, 4, &bad).is_err());
+        assert_eq!(db2, db);
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! `{"error": ...}` replies as [`ClientError::Server`].
 
 use crate::protocol::{
-    self, Answers, ApplyProbe, CreateSession, DatasetSpec, EvalMode, Persisted, ProbeAdvice,
-    ProbeApplied, QualityReport, QueryRegistered, RegisterQuery, Request, Response, RestoreSession,
-    ServerStats, SessionCreated, SessionRef,
+    self, Answers, ApplyMutation, ApplyProbe, CreateSession, DatasetSpec, EvalMode, Persisted,
+    ProbeAdvice, ProbeApplied, QualityReport, QueryRegistered, RegisterQuery, Request, Response,
+    RestoreSession, ServerStats, SessionCreated, SessionRef,
 };
 use pdb_engine::delta::XTupleMutation;
 use pdb_engine::queries::TopKQuery;
@@ -135,7 +135,56 @@ impl Client {
         }
     }
 
-    /// `apply_probe`: fold one observed probe outcome into the session.
+    /// `apply_mutation`: fold one mutation — a probe outcome or a
+    /// streaming insert/remove — into the session.  `x_tuple` is ignored
+    /// for [`XTupleMutation::Insert`] (the server resolves the append-only
+    /// target itself).
+    pub fn apply_mutation(
+        &mut self,
+        session: u64,
+        x_tuple: usize,
+        mutation: XTupleMutation,
+        mode: EvalMode,
+    ) -> Result<ProbeApplied, ClientError> {
+        match self.call(&Request::ApplyMutation(ApplyMutation {
+            session,
+            x_tuple,
+            mutation,
+            mode,
+        }))? {
+            Response::ProbeApplied(applied) => Ok(applied),
+            other => Err(unexpected("probe_applied", &other)),
+        }
+    }
+
+    /// `apply_mutation` with [`XTupleMutation::Insert`]: a brand-new
+    /// x-tuple arrives (append-only; the server picks the new x-index and
+    /// reports the grown database in the update).
+    pub fn insert_x_tuple(
+        &mut self,
+        session: u64,
+        key: impl Into<String>,
+        alternatives: Vec<(f64, f64)>,
+        mode: EvalMode,
+    ) -> Result<ProbeApplied, ClientError> {
+        let mutation = XTupleMutation::Insert { key: key.into(), alternatives };
+        self.apply_mutation(session, 0, mutation, mode)
+    }
+
+    /// `apply_mutation` with [`XTupleMutation::Remove`]: x-tuple `x_tuple`
+    /// departs entirely (no null mass required, unlike a null collapse).
+    pub fn remove_x_tuple(
+        &mut self,
+        session: u64,
+        x_tuple: usize,
+        mode: EvalMode,
+    ) -> Result<ProbeApplied, ClientError> {
+        self.apply_mutation(session, x_tuple, XTupleMutation::Remove, mode)
+    }
+
+    /// `apply_probe`: fold one observed probe outcome into the session
+    /// (the historical alias verb of `apply_mutation`; same payload and
+    /// response).
     pub fn apply_probe(
         &mut self,
         session: u64,

@@ -25,12 +25,20 @@
 //! | `evaluate` | [`SessionRef`] | `answers` ([`Answers`]) |
 //! | `quality` | [`SessionRef`] | `quality_report` ([`QualityReport`]) |
 //! | `recommend_probe` | [`SessionRef`] | `probe_recommendation` ([`ProbeAdvice`]) |
+//! | `apply_mutation` | [`ApplyMutation`] | `probe_applied` ([`ProbeApplied`]) |
 //! | `apply_probe` | [`ApplyProbe`] | `probe_applied` ([`ProbeApplied`]) |
 //! | `drop_session` | [`SessionRef`] | `session_dropped` ([`SessionRef`]) |
 //! | `persist` | [`SessionRef`] | `persisted` ([`Persisted`]) |
 //! | `restore` | [`RestoreSession`] | `session_created` ([`SessionCreated`]) |
 //! | `stats` | — | `stats` ([`ServerStats`]) |
 //! | `shutdown` | — | `shutting_down` |
+//!
+//! `apply_mutation` is the canonical mutation verb: it accepts every
+//! [`XTupleMutation`] variant, including the streaming `Insert`/`Remove`
+//! membership mutations.  `apply_probe` is its historical alias — same
+//! payload shape ([`ApplyProbe`] is a type alias of [`ApplyMutation`]),
+//! same response, same WAL record — kept so probe-driven clients read
+//! naturally; a probe outcome *is* a mutation.
 //!
 //! See the README section *Serving & sessions* for one request/response
 //! example per verb.
@@ -123,18 +131,28 @@ impl Deserialize for EvalMode {
     }
 }
 
-/// Payload of `apply_probe`: one observed probe outcome.
+/// Payload of `apply_mutation` (and of its historical alias
+/// `apply_probe`): one mutation of a single x-tuple — a probe outcome or
+/// a streaming insert/remove.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ApplyProbe {
+pub struct ApplyMutation {
     /// Target session.
     pub session: u64,
-    /// The probed x-tuple (index into the session's current database).
+    /// The mutated x-tuple (index into the session's current database).
+    /// Ignored for [`XTupleMutation::Insert`], whose target is always the
+    /// appended index (the server resolves it to the current x-tuple
+    /// count — clients cannot know it).
     pub x_tuple: usize,
-    /// What the probe revealed.
+    /// The mutation to fold in.
     pub mutation: XTupleMutation,
     /// Delta patch (the session path) or naive full rebuild.
     pub mode: EvalMode,
 }
+
+/// Payload of `apply_probe`: one observed probe outcome.  A probe outcome
+/// *is* a mutation, so this is an alias of [`ApplyMutation`] — the verbs
+/// differ in name only.
+pub type ApplyProbe = ApplyMutation;
 
 /// Payload of `restore`: open a session directly over a snapshot file on
 /// the server's filesystem (e.g. one produced by `pdb export` or a
@@ -170,7 +188,12 @@ pub enum Request {
     /// `recommend_probe`: the single probe maximizing the expected
     /// aggregate improvement (Theorem 2 on the aggregate context).
     RecommendProbe(SessionRef),
-    /// `apply_probe`: fold one observed probe outcome into the session.
+    /// `apply_mutation`: fold one mutation — a probe outcome or a
+    /// streaming insert/remove — into the session.
+    ApplyMutation(ApplyMutation),
+    /// `apply_probe`: fold one observed probe outcome into the session
+    /// (historical alias of `apply_mutation`; same payload, response and
+    /// WAL record).
     ApplyProbe(ApplyProbe),
     /// `drop_session`: discard a session.
     DropSession(SessionRef),
@@ -194,6 +217,7 @@ impl Request {
             Request::Evaluate(_) => "evaluate",
             Request::Quality(_) => "quality",
             Request::RecommendProbe(_) => "recommend_probe",
+            Request::ApplyMutation(_) => "apply_mutation",
             Request::ApplyProbe(_) => "apply_probe",
             Request::DropSession(_) => "drop_session",
             Request::Persist(_) => "persist",
@@ -214,7 +238,7 @@ impl Serialize for Request {
             | Request::RecommendProbe(p)
             | Request::DropSession(p)
             | Request::Persist(p) => p.to_value(),
-            Request::ApplyProbe(p) => p.to_value(),
+            Request::ApplyMutation(p) | Request::ApplyProbe(p) => p.to_value(),
             Request::Restore(p) => p.to_value(),
             Request::Stats | Request::Shutdown => Value::Map(Vec::new()),
         };
@@ -240,6 +264,7 @@ impl Deserialize for Request {
             "evaluate" => Ok(Request::Evaluate(Deserialize::from_value(payload)?)),
             "quality" => Ok(Request::Quality(Deserialize::from_value(payload)?)),
             "recommend_probe" => Ok(Request::RecommendProbe(Deserialize::from_value(payload)?)),
+            "apply_mutation" => Ok(Request::ApplyMutation(Deserialize::from_value(payload)?)),
             "apply_probe" => Ok(Request::ApplyProbe(Deserialize::from_value(payload)?)),
             "drop_session" => Ok(Request::DropSession(Deserialize::from_value(payload)?)),
             "persist" => Ok(Request::Persist(Deserialize::from_value(payload)?)),
@@ -554,6 +579,21 @@ mod tests {
             x_tuple: 3,
             mutation: XTupleMutation::CollapseToAlternative { keep_pos: 12 },
             mode: EvalMode::Delta,
+        }));
+        round_trip_request(&Request::ApplyMutation(ApplyMutation {
+            session: 7,
+            x_tuple: 4,
+            mutation: XTupleMutation::Insert {
+                key: "s9".to_string(),
+                alternatives: vec![(4.5, 0.5), (3.0, 0.25)],
+            },
+            mode: EvalMode::Delta,
+        }));
+        round_trip_request(&Request::ApplyMutation(ApplyMutation {
+            session: 7,
+            x_tuple: 2,
+            mutation: XTupleMutation::Remove,
+            mode: EvalMode::Rebuild,
         }));
         round_trip_request(&Request::DropSession(SessionRef { session: 7 }));
         round_trip_request(&Request::Persist(SessionRef { session: 7 }));

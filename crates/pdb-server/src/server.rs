@@ -301,27 +301,32 @@ fn dispatch(request: Request, ctx: &HandlerContext) -> Response {
                 Err(err) => Response::error(err),
             }
         }
-        Request::ApplyProbe(req) => match manager.apply_probe(&req) {
-            Ok(applied) => {
-                manager.record_probe();
-                // Compaction is triggered by the probe path (the only
-                // verb that grows the log proportionally to work done)
-                // but runs on its own thread: checkpointing every live
-                // session must not stall the probe that happened to trip
-                // the threshold.  A failed compaction must not fail any
-                // probe either — the probe is applied *and* journalled —
-                // so errors only surface operationally (the log keeps
-                // growing until a compaction succeeds).
-                if manager.begin_compaction() {
-                    let manager = Arc::clone(manager);
-                    thread::spawn(move || {
-                        let _ = manager.run_claimed_compaction();
-                    });
+        // `apply_probe` is the historical alias of `apply_mutation`: same
+        // payload, same handler, same response kind.
+        Request::ApplyMutation(req) | Request::ApplyProbe(req) => {
+            match manager.apply_mutation(&req) {
+                Ok(applied) => {
+                    manager.record_probe();
+                    // Compaction is triggered by the mutation path (the
+                    // only verbs that grow the log proportionally to work
+                    // done) but runs on its own thread: checkpointing
+                    // every live session must not stall the mutation that
+                    // happened to trip the threshold.  A failed compaction
+                    // must not fail any mutation either — it is applied
+                    // *and* journalled — so errors only surface
+                    // operationally (the log keeps growing until a
+                    // compaction succeeds).
+                    if manager.begin_compaction() {
+                        let manager = Arc::clone(manager);
+                        thread::spawn(move || {
+                            let _ = manager.run_claimed_compaction();
+                        });
+                    }
+                    Response::ProbeApplied(applied)
                 }
-                Response::ProbeApplied(applied)
+                Err(err) => Response::error(err),
             }
-            Err(err) => Response::error(err),
-        },
+        }
         Request::DropSession(req) => match manager.drop_session(req.session) {
             Ok(dropped) => Response::SessionDropped(dropped),
             Err(err) => Response::error(err),

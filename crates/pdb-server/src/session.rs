@@ -18,9 +18,9 @@
 //! shard, stay available.
 
 use crate::protocol::{
-    Answers, ApplyProbe, CreateSession, EvalMode, Persisted, ProbeAdvice, ProbeApplied,
-    ProbeRecommendation, QualityReport, QueryRegistered, RegisterQuery, RestoreSession,
-    SessionCreated, SessionRef, SessionStat,
+    Answers, ApplyMutation, ApplyProbe, CreateSession, EvalMode, Persisted, ProbeAdvice,
+    ProbeApplied, ProbeRecommendation, QualityReport, QueryRegistered, RegisterQuery,
+    RestoreSession, SessionCreated, SessionRef, SessionStat,
 };
 use pdb_clean::{best_single_probe, CleaningContext, CleaningSetup};
 use pdb_core::{DbError, RankedDatabase, Result as DbResult};
@@ -262,24 +262,44 @@ impl Session {
         Ok(ProbeAdvice { recommendation })
     }
 
-    /// Fold one observed probe outcome into the session.
-    pub fn apply_probe(&mut self, req: &ApplyProbe) -> DbResult<ProbeApplied> {
+    /// The x-tuple index a mutation actually targets: an
+    /// [`XTupleMutation::Insert`] is append-only, so its target is always
+    /// the *current* x-tuple count (clients cannot know it; the wire
+    /// `x_tuple` field is ignored for inserts); every other mutation
+    /// targets the index named on the wire.  The manager journals this
+    /// resolved index, which keeps WAL replay deterministic.
+    pub fn mutation_target(&self, mutation: &XTupleMutation, x_tuple: usize) -> usize {
+        match mutation {
+            XTupleMutation::Insert { .. } => self.database().num_x_tuples(),
+            _ => x_tuple,
+        }
+    }
+
+    /// Fold one mutation — a probe outcome or a streaming insert/remove —
+    /// into the session.
+    pub fn apply_mutation(&mut self, req: &ApplyMutation) -> DbResult<ProbeApplied> {
         self.ensure_journalled()?;
+        let l = self.mutation_target(&req.mutation, req.x_tuple);
         let update = match req.mode {
-            EvalMode::Delta => {
-                self.live_mut()?.apply_collapse_in_place(req.x_tuple, &req.mutation)?
-            }
-            EvalMode::Rebuild => self.apply_probe_rebuild(req.x_tuple, &req.mutation)?,
+            EvalMode::Delta => self.live_mut()?.apply_collapse_in_place(l, &req.mutation)?,
+            EvalMode::Rebuild => self.apply_mutation_rebuild(l, &req.mutation)?,
         };
         self.probes += 1;
         Ok(ProbeApplied { session: req.session, mode: req.mode, update })
+    }
+
+    /// Fold one observed probe outcome into the session: the historical
+    /// alias of [`apply_mutation`](Self::apply_mutation) (a probe outcome
+    /// *is* a mutation; [`ApplyProbe`] aliases [`ApplyMutation`]).
+    pub fn apply_probe(&mut self, req: &ApplyProbe) -> DbResult<ProbeApplied> {
+        self.apply_mutation(req)
     }
 
     /// The naive baseline: mutate the database and re-run the full
     /// PSR + TP pipeline from scratch.  Equivalent to the delta path up to
     /// floating-point round-off; `stats` is all zeros because no row was
     /// patched incrementally.
-    fn apply_probe_rebuild(
+    fn apply_mutation_rebuild(
         &mut self,
         l: usize,
         mutation: &XTupleMutation,
@@ -292,6 +312,10 @@ impl Session {
             }
             XTupleMutation::CollapseToNull => db.collapse_x_tuple_to_null_in_place(l)?,
             XTupleMutation::Reweight { probs } => db.reweight_x_tuple_in_place(l, probs)?,
+            XTupleMutation::Insert { key, alternatives } => {
+                db.insert_x_tuple_in_place(key.clone(), alternatives)?;
+            }
+            XTupleMutation::Remove => db.remove_x_tuple_in_place(l)?,
         }
         let batch = BatchQuality::from_owned(db, self.specs.clone())?;
         let update = BatchCollapseUpdate {
@@ -523,20 +547,35 @@ impl SessionManager {
         })
     }
 
-    /// Fold one observed probe outcome into a session, journalling the
-    /// resolved mutation on success (under the session's lock, like
+    /// Fold one mutation — a probe outcome or a streaming insert/remove —
+    /// into a session, journalling the resolved mutation on success
+    /// (under the session's lock, like
     /// [`register_query`](Self::register_query)).
-    pub fn apply_probe(&self, req: &ApplyProbe) -> DbResult<ProbeApplied> {
+    ///
+    /// The journalled `x_tuple` is the *resolved* target index (for an
+    /// insert, the pre-insert x-tuple count), captured before the
+    /// mutation runs so replay re-applies it to the identical database
+    /// version.
+    pub fn apply_mutation(&self, req: &ApplyMutation) -> DbResult<ProbeApplied> {
         self.with_session(req.session, |s| {
-            let applied = s.apply_probe(req)?;
-            let record = WalRecord::ApplyProbe {
+            let x_tuple = s.mutation_target(&req.mutation, req.x_tuple);
+            let applied = s.apply_mutation(req)?;
+            let record = WalRecord::ApplyMutation {
                 session: req.session,
-                x_tuple: req.x_tuple,
+                x_tuple,
                 mutation: req.mutation.clone(),
             };
             self.journal_mutation(s, record)?;
             Ok(applied)
         })
+    }
+
+    /// Fold one observed probe outcome into a session: the historical
+    /// alias of [`apply_mutation`](Self::apply_mutation) ([`ApplyProbe`]
+    /// aliases [`ApplyMutation`]; both verbs journal the same record
+    /// kind).
+    pub fn apply_probe(&self, req: &ApplyProbe) -> DbResult<ProbeApplied> {
+        self.apply_mutation(req)
     }
 
     /// Checkpoint one session into the store now (`persist` verb).
@@ -623,16 +662,18 @@ impl SessionManager {
     }
 
     /// Claim the (single) compaction slot if the log needs compacting.
-    /// The winner must call [`run_claimed_compaction`]
-    /// (Self::run_claimed_compaction) — on any thread; the probe path
+    /// The winner must call
+    /// [`run_claimed_compaction`](Self::run_claimed_compaction) — on
+    /// any thread; the probe path
     /// claims cheaply in the request thread and spawns only when it won,
     /// so an in-flight compaction costs concurrent probes nothing.
     pub fn begin_compaction(&self) -> bool {
         self.should_compact() && !self.compacting.swap(true, Ordering::Acquire)
     }
 
-    /// Run the compaction claimed by [`begin_compaction`]
-    /// (Self::begin_compaction) and release the slot.
+    /// Run the compaction claimed by
+    /// [`begin_compaction`](Self::begin_compaction) and release the
+    /// slot.
     pub fn run_claimed_compaction(&self) -> DbResult<CompactionStats> {
         let result = self.compact();
         self.compacting.store(false, Ordering::Release);

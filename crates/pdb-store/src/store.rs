@@ -355,7 +355,8 @@ fn replay_records(
                 s.specs.push(WeightedQuery::weighted(query, weight));
                 s.replan(index)?;
             }
-            WalRecord::ApplyProbe { session, x_tuple, mutation } => {
+            WalRecord::ApplyProbe { session, x_tuple, mutation }
+            | WalRecord::ApplyMutation { session, x_tuple, mutation } => {
                 let s = lookup(&mut sessions, session, index)?;
                 s.pending.push((index, x_tuple, mutation));
                 s.probes += 1;
@@ -579,6 +580,10 @@ fn apply_to_db(db: &mut RankedDatabase, l: usize, mutation: &XTupleMutation) -> 
         }
         XTupleMutation::CollapseToNull => db.collapse_x_tuple_to_null_in_place(l),
         XTupleMutation::Reweight { probs } => db.reweight_x_tuple_in_place(l, probs),
+        XTupleMutation::Insert { key, alternatives } => {
+            db.insert_x_tuple_in_place(key.clone(), alternatives).map(|_| ())
+        }
+        XTupleMutation::Remove => db.remove_x_tuple_in_place(l),
     }
 }
 

@@ -102,6 +102,22 @@ pub enum WalRecord {
         /// What the probe revealed.
         mutation: XTupleMutation,
     },
+    /// One mutation — a probe outcome or a streaming insert/remove — was
+    /// folded into the session via the `apply_mutation` verb (or its
+    /// `apply_probe` alias; both journal this record kind).  As with
+    /// [`ApplyProbe`](WalRecord::ApplyProbe), the mutation is journalled
+    /// in its *resolved* form: for an [`XTupleMutation::Insert`],
+    /// `x_tuple` is the pre-insert x-tuple count the server resolved the
+    /// append-only target to, so replay re-applies it to the identical
+    /// database version.
+    ApplyMutation {
+        /// Target session.
+        session: u64,
+        /// The resolved target x-tuple index.
+        x_tuple: usize,
+        /// The mutation that was applied.
+        mutation: XTupleMutation,
+    },
     /// The session was discarded.
     DropSession {
         /// The dropped session.
@@ -134,6 +150,7 @@ impl WalRecord {
             WalRecord::CreateSession { session, .. }
             | WalRecord::RegisterQuery { session, .. }
             | WalRecord::ApplyProbe { session, .. }
+            | WalRecord::ApplyMutation { session, .. }
             | WalRecord::DropSession { session }
             | WalRecord::Checkpoint { session, .. } => session,
         }
@@ -444,6 +461,15 @@ mod tests {
                 x_tuple: 2,
                 mutation: XTupleMutation::CollapseToAlternative { keep_pos: 2 },
             },
+            WalRecord::ApplyMutation {
+                session: 1,
+                x_tuple: 4,
+                mutation: XTupleMutation::Insert {
+                    key: "s4".to_string(),
+                    alternatives: vec![(28.5, 0.5), (23.0, 0.25)],
+                },
+            },
+            WalRecord::ApplyMutation { session: 1, x_tuple: 0, mutation: XTupleMutation::Remove },
             WalRecord::Checkpoint {
                 session: 1,
                 snapshot: "snapshot-1-3.pdbs".to_string(),
@@ -478,13 +504,13 @@ mod tests {
         for record in sample_records() {
             wal.append(&record).unwrap();
         }
-        assert_eq!(wal.records(), 5);
+        assert_eq!(wal.records(), 7);
         drop(wal);
 
         let (wal, replay) = Wal::open(&path, false).unwrap();
         assert_eq!(replay.records, sample_records());
         assert_eq!(replay.truncated_bytes, 0);
-        assert_eq!(wal.records(), 5);
+        assert_eq!(wal.records(), 7);
         assert!(replay.records.iter().all(|r| r.session() == 1));
         fs::remove_file(&path).ok();
     }
@@ -516,7 +542,7 @@ mod tests {
         wal.append(&WalRecord::DropSession { session: 9 }).unwrap();
         drop(wal);
         let (_, replay) = Wal::open(&path, false).unwrap();
-        assert_eq!(replay.records.len(), 6);
+        assert_eq!(replay.records.len(), 8);
         fs::remove_file(&path).ok();
     }
 

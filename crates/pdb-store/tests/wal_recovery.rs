@@ -3,9 +3,11 @@
 //!
 //! The property suite drives randomized sessions (random inline
 //! databases, query sets whose `k` routinely exceeds `n`, random
-//! collapse / null / reweight probe sequences) twice: once directly on a
-//! [`BatchQuality`] mirror, and once as journalled records in a store
-//! that is then dropped and reopened.  The recovered evaluation must
+//! collapse / null / reweight / insert / remove sequences) twice: once
+//! directly on a [`BatchQuality`] mirror, and once as journalled records
+//! — collapses as the historical `ApplyProbe` kind, streaming membership
+//! changes as the newer `ApplyMutation` kind, so both record kinds replay
+//! in one log — in a store that is then dropped and reopened.  The recovered evaluation must
 //! agree with the mirror — answers exactly, qualities at 1e-12 — even
 //! when random garbage is appended to the log first (the torn tail a
 //! crash mid-append leaves behind).
@@ -51,7 +53,7 @@ struct Step {
 }
 
 fn step() -> impl Strategy<Value = Step> {
-    (any::<usize>(), 0u8..3, any::<usize>(), vec(0.05f64..1.0, 6))
+    (any::<usize>(), 0u8..5, any::<usize>(), vec(0.05f64..1.0, 6))
         .prop_map(|(x_sel, kind, alt_sel, weights)| Step { x_sel, kind, alt_sel, weights })
 }
 
@@ -66,7 +68,7 @@ fn resolve(db: &RankedDatabase, s: &Step) -> Option<(usize, XTupleMutation)> {
         }
         1 if info.null_prob() > 1e-9 && m > 1 => Some((l, XTupleMutation::CollapseToNull)),
         1 => None,
-        _ => {
+        2 => {
             let raw: Vec<f64> = info
                 .members
                 .iter()
@@ -82,6 +84,19 @@ fn resolve(db: &RankedDatabase, s: &Step) -> Option<(usize, XTupleMutation)> {
                 },
             ))
         }
+        3 => {
+            // Insert: a fresh entity appended at x-index m.
+            let count = 1 + s.alt_sel % 3;
+            let raw: Vec<(f64, f64)> =
+                (0..count).map(|i| (s.weights[i] * 100.0, s.weights[i + 3])).collect();
+            let total: f64 = raw.iter().map(|&(_, p)| p).sum();
+            let target = 0.2 + 0.75 * s.weights[0];
+            let alternatives = raw.iter().map(|&(sc, p)| (sc, p / total * target)).collect();
+            let key = format!("ins{}", s.x_sel % 89);
+            Some((m, XTupleMutation::Insert { key, alternatives }))
+        }
+        4 if m > 1 => Some((l, XTupleMutation::Remove)),
+        _ => None,
     }
 }
 
@@ -143,7 +158,17 @@ proptest! {
             for s in &steps {
                 let Some((l, mutation)) = resolve(mirror.database(), s) else { continue };
                 mirror.apply_collapse_in_place(l, &mutation).unwrap();
-                store.append(&WalRecord::ApplyProbe { session: 1, x_tuple: l, mutation }).unwrap();
+                // Streaming membership changes journal as the newer
+                // `ApplyMutation` record kind; collapses and reweights stay
+                // on the historical `ApplyProbe` kind so one log carries
+                // both and replay must treat them identically.
+                let record = match &mutation {
+                    XTupleMutation::Insert { .. } | XTupleMutation::Remove => {
+                        WalRecord::ApplyMutation { session: 1, x_tuple: l, mutation }
+                    }
+                    _ => WalRecord::ApplyProbe { session: 1, x_tuple: l, mutation },
+                };
+                store.append(&record).unwrap();
             }
         }
 
@@ -200,6 +225,13 @@ fn interleaved_registrations_replay_exactly() {
     let mut mirror = BatchQuality::from_owned(mirror.database().clone(), vec![q1, q2]).unwrap();
     let second = XTupleMutation::Reweight { probs: vec![0.3, 0.2] };
     mirror.apply_collapse_in_place(0, &second).unwrap();
+    // A streaming arrival and departure ride the same log as the newer
+    // `ApplyMutation` record kind.
+    let arrival =
+        XTupleMutation::Insert { key: "s9".into(), alternatives: vec![(28.5, 0.5), (23.0, 0.25)] };
+    let appended_at = mirror.database().num_x_tuples();
+    mirror.apply_collapse_in_place(appended_at, &arrival).unwrap();
+    mirror.apply_collapse_in_place(1, &XTupleMutation::Remove).unwrap();
 
     let (store, _) = Store::open(&dir, true, &build).unwrap();
     for record in [
@@ -208,6 +240,8 @@ fn interleaved_registrations_replay_exactly() {
         WalRecord::ApplyProbe { session: 1, x_tuple: 2, mutation: probe },
         WalRecord::RegisterQuery { session: 1, query: q2.query, weight: q2.weight },
         WalRecord::ApplyProbe { session: 1, x_tuple: 0, mutation: second },
+        WalRecord::ApplyMutation { session: 1, x_tuple: appended_at, mutation: arrival },
+        WalRecord::ApplyMutation { session: 1, x_tuple: 1, mutation: XTupleMutation::Remove },
     ] {
         store.append(&record).unwrap();
     }
@@ -215,7 +249,7 @@ fn interleaved_registrations_replay_exactly() {
 
     let (_, recovery) = Store::open(&dir, true, &build).unwrap();
     let session = &recovery.sessions[0];
-    assert_eq!(session.probes_replayed, 2);
+    assert_eq!(session.probes_replayed, 4);
     let RecoveredState::Live(recovered) = &session.state else { panic!("live session") };
     assert_eq!(recovered.database(), mirror.database());
     assert!((recovered.aggregate_quality() - mirror.aggregate_quality()).abs() <= TOL);
