@@ -11,9 +11,12 @@
 //! the safe polarity).  A discarded call to a workspace function that
 //! returns no `Result` is left alone.
 //!
-//! Scope: `pdb-store` and `pdb-server` sources.  The CLI is exempt —
-//! `let _ = writeln!(...)` on a closing pipe is idiomatic there, and
-//! macros are invisible to the call extractor anyway.
+//! Scope: `pdb-store`, `pdb-server`, and `pdb-fleet` sources — the
+//! fleet supervisor and router sit on the same serving path, and a
+//! swallowed respawn or forward error there strands a whole shard.  The
+//! CLI is exempt — `let _ = writeln!(...)` on a closing pipe is
+//! idiomatic there, and macros are invisible to the call extractor
+//! anyway.
 
 use crate::callgraph::CallGraph;
 use crate::diag::Diagnostic;
@@ -22,7 +25,9 @@ use crate::summaries::FnSummary;
 
 /// Files the lint covers.
 pub fn in_scope(rel: &str) -> bool {
-    rel.starts_with("crates/pdb-store/src/") || rel.starts_with("crates/pdb-server/src/")
+    rel.starts_with("crates/pdb-store/src/")
+        || rel.starts_with("crates/pdb-server/src/")
+        || rel.starts_with("crates/pdb-fleet/src/")
 }
 
 /// Run the lint over every in-scope function in the graph.

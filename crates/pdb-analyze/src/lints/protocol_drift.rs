@@ -11,7 +11,10 @@
 //! 3. the public client methods in `crates/pdb-server/src/client.rs`
 //!    (every verb needs a typed method),
 //! 4. the `pdb call` usage text in `crates/pdb-cli/src/args.rs`,
-//! 5. the README's verb table (both directions).
+//! 5. the README's verb table (both directions),
+//! 6. the fleet router's routing table in
+//!    `crates/pdb-fleet/src/router.rs` (a verb the router cannot route
+//!    dead-ends every fleet deployment).
 
 use crate::diag::Diagnostic;
 use crate::lexer::{SourceFile, TokenKind};
@@ -23,6 +26,7 @@ const PROTOCOL: &str = "crates/pdb-server/src/protocol.rs";
 const CLIENT: &str = "crates/pdb-server/src/client.rs";
 const ARGS: &str = "crates/pdb-cli/src/args.rs";
 const README: &str = "README.md";
+const ROUTER: &str = "crates/pdb-fleet/src/router.rs";
 
 /// Run the cross-file check from the workspace root.
 pub fn check(root: &Path) -> Vec<Diagnostic> {
@@ -93,6 +97,24 @@ pub fn check(root: &Path) -> Vec<Diagnostic> {
         ));
     } else {
         diff_sets(&verbs, &readme_rows, README, "the README verb table", &mut out);
+    }
+
+    // 6. Fleet router routing table, both directions.  The router exists
+    // only when the fleet crate does; if the file is missing the whole
+    // check is skipped rather than reported (the crate layout lint owns
+    // that).
+    if let Ok(router) = std::fs::read_to_string(root.join(ROUTER)) {
+        let router_rows = table_rows(&router, "//! | Verb", "//! |");
+        if router_rows.is_empty() {
+            out.push(Diagnostic::new(
+                "protocol-drift",
+                ROUTER,
+                1,
+                "router has no routing doc table (header row starting `//! | Verb`)",
+            ));
+        } else {
+            diff_sets(&verbs, &router_rows, ROUTER, "the router routing table", &mut out);
+        }
     }
     out
 }

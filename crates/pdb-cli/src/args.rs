@@ -15,6 +15,10 @@ pub const USAGE: &str = "usage:
   pdb adaptive [--dataset synthetic|mov|udb1] [--k <k>] [--budget <C>] [--trials <t>] [--mode incremental|rebuild|both]
   pdb batch [--dataset synthetic|mov|udb1] [--ks <k1,k2,...>] [--weights <w1,w2,...>] [--threshold <T>] [--budget <C>]
   pdb serve [--addr <host:port>] [--threads <n>] [--shards <n>] [--store-dir <dir>] [--compact-every <n>]
+            [--flush per-record|group-commit] [--flush-batch <n>] [--flush-wait-ms <ms>]
+  pdb fleet serve [--addr <host:port>] [--shards <n>] [--threads <n per shard>] [--store-dir <dir>]
+                  [--compact-every <n>] [--flush per-record|group-commit] [--flush-batch <n>] [--flush-wait-ms <ms>]
+  pdb fleet status [--addr <host:port>]
   pdb call <request-json | -> [--addr <host:port>]   (- streams stdin lines over one connection)
   pdb mutate <session> insert --key <key> --alts <score:prob,...> [--mode delta|rebuild] [--addr <host:port>]
   pdb mutate <session> remove --x-tuple <l> [--mode delta|rebuild] [--addr <host:port>]
@@ -25,7 +29,7 @@ pub const USAGE: &str = "usage:
 
 call verbs (one JSON object per request, e.g. {\"evaluate\":{\"session\":0}}):
   create_session register_query evaluate quality recommend_probe apply_mutation
-  apply_probe drop_session persist restore stats shutdown";
+  apply_probe drop_session persist restore fetch_chunk stats shutdown";
 
 /// Which dataset a `quality` / `clean` invocation runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +126,13 @@ pub enum Command {
         store_dir: Option<String>,
         /// Auto-compaction threshold in WAL records (0 disables).
         compact_every: u64,
+        /// How journal appends reach disk.
+        flush: FlushChoice,
+    },
+    /// `pdb fleet ...`
+    Fleet {
+        /// Which fleet operation to run.
+        op: FleetOp,
     },
     /// `pdb call`
     Call {
@@ -176,6 +187,51 @@ pub enum Command {
         trials: u64,
         /// Re-planning mode (`incremental`, `rebuild` or `both`).
         mode: String,
+    },
+}
+
+/// How `pdb serve` / `pdb fleet serve` flush journal appends (the CLI
+/// face of `pdb_store::FlushPolicy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushChoice {
+    /// fsync every record before acknowledging it (the default, and the
+    /// durability oracle).
+    PerRecord,
+    /// Batch concurrent appends into one fsync per window.
+    GroupCommit {
+        /// Largest batch one fsync may cover.
+        max_batch: usize,
+        /// Optional linger for a fuller batch, in ms.  Zero (the
+        /// default) fsyncs as soon as the device is free — batches
+        /// still form from the appends that land during the previous
+        /// fsync.
+        max_wait_ms: u64,
+    },
+}
+
+/// Which fleet operation `pdb fleet` runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetOp {
+    /// `pdb fleet serve`: spawn N shard processes and route to them.
+    Serve {
+        /// Address the *router* binds (port 0 picks an ephemeral port).
+        addr: String,
+        /// Shard processes to spawn.
+        shards: usize,
+        /// Worker threads per shard process.
+        threads: usize,
+        /// Base store directory; shard `i` journals into
+        /// `<dir>/shard-<i>` (omit for in-memory shards).
+        store_dir: Option<String>,
+        /// Per-shard auto-compaction threshold (0 disables).
+        compact_every: u64,
+        /// Per-shard journal flush policy.
+        flush: FlushChoice,
+    },
+    /// `pdb fleet status`: aggregated `stats` from a running router.
+    Status {
+        /// Router address to connect to.
+        addr: String,
     },
 }
 
@@ -299,6 +355,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut shards = 8;
             let mut store_dir = None;
             let mut compact_every = 1024;
+            let mut flush = FlushFlags::default();
             let mut flags = Flags::new(rest);
             while let Some(flag) = flags.next_flag() {
                 match flag {
@@ -313,13 +370,81 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                             parse_usize(flags.value_for("--compact-every")?, "--compact-every")?
                                 as u64
                     }
+                    other if flush.try_flag(other, &mut flags)? => {}
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
             if threads == 0 || shards == 0 {
                 return Err("--threads and --shards must be at least 1".to_string());
             }
-            Ok(Command::Serve { addr, threads, shards, store_dir, compact_every })
+            let flush = flush.resolve()?;
+            Ok(Command::Serve { addr, threads, shards, store_dir, compact_every, flush })
+        }
+        "fleet" => {
+            let (op_name, rest) = rest
+                .split_first()
+                .ok_or_else(|| "fleet requires an operation (serve or status)".to_string())?;
+            match op_name.as_str() {
+                "serve" => {
+                    let mut addr = "127.0.0.1:7900".to_string();
+                    let mut shards = 3;
+                    let mut threads = 4;
+                    let mut store_dir = None;
+                    let mut compact_every = 1024;
+                    let mut flush = FlushFlags::default();
+                    let mut flags = Flags::new(rest);
+                    while let Some(flag) = flags.next_flag() {
+                        match flag {
+                            "--addr" => addr = flags.value_for("--addr")?.to_string(),
+                            "--shards" => {
+                                shards = parse_usize(flags.value_for("--shards")?, "--shards")?
+                            }
+                            "--threads" => {
+                                threads = parse_usize(flags.value_for("--threads")?, "--threads")?
+                            }
+                            "--store-dir" => {
+                                store_dir = Some(flags.value_for("--store-dir")?.to_string())
+                            }
+                            "--compact-every" => {
+                                compact_every = parse_usize(
+                                    flags.value_for("--compact-every")?,
+                                    "--compact-every",
+                                )? as u64
+                            }
+                            other if flush.try_flag(other, &mut flags)? => {}
+                            other => return Err(format!("unknown flag {other:?}")),
+                        }
+                    }
+                    if threads == 0 || shards == 0 {
+                        return Err("--threads and --shards must be at least 1".to_string());
+                    }
+                    let flush = flush.resolve()?;
+                    Ok(Command::Fleet {
+                        op: FleetOp::Serve {
+                            addr,
+                            shards,
+                            threads,
+                            store_dir,
+                            compact_every,
+                            flush,
+                        },
+                    })
+                }
+                "status" => {
+                    let mut addr = "127.0.0.1:7900".to_string();
+                    let mut flags = Flags::new(rest);
+                    while let Some(flag) = flags.next_flag() {
+                        match flag {
+                            "--addr" => addr = flags.value_for("--addr")?.to_string(),
+                            other => return Err(format!("unknown flag {other:?}")),
+                        }
+                    }
+                    Ok(Command::Fleet { op: FleetOp::Status { addr } })
+                }
+                other => {
+                    Err(format!("unknown fleet operation {other:?} (expected serve or status)"))
+                }
+            }
         }
         "call" => {
             let (request, rest) = rest
@@ -503,6 +628,61 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     }
 }
 
+/// The three `--flush*` flags shared by `serve` and `fleet serve`,
+/// collected while scanning and validated together afterwards (the batch
+/// and wait knobs only make sense for group commit).
+#[derive(Default)]
+struct FlushFlags {
+    policy: Option<String>,
+    batch: Option<usize>,
+    wait_ms: Option<u64>,
+}
+
+impl FlushFlags {
+    /// Consume `flag` if it is one of ours; `Ok(false)` hands it back to
+    /// the caller's own match.
+    fn try_flag(&mut self, flag: &str, flags: &mut Flags<'_>) -> Result<bool, String> {
+        match flag {
+            "--flush" => self.policy = Some(flags.value_for("--flush")?.to_ascii_lowercase()),
+            "--flush-batch" => {
+                self.batch = Some(parse_usize(flags.value_for("--flush-batch")?, "--flush-batch")?)
+            }
+            "--flush-wait-ms" => {
+                self.wait_ms = Some(parse_usize(
+                    flags.value_for("--flush-wait-ms")?,
+                    "--flush-wait-ms",
+                )? as u64)
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn resolve(self) -> Result<FlushChoice, String> {
+        match self.policy.as_deref() {
+            None | Some("per-record") => {
+                if self.batch.is_some() || self.wait_ms.is_some() {
+                    return Err(
+                        "--flush-batch/--flush-wait-ms only apply with --flush group-commit"
+                            .to_string(),
+                    );
+                }
+                Ok(FlushChoice::PerRecord)
+            }
+            Some("group-commit") => {
+                let max_batch = self.batch.unwrap_or(64);
+                if max_batch == 0 {
+                    return Err("--flush-batch must be at least 1".to_string());
+                }
+                Ok(FlushChoice::GroupCommit { max_batch, max_wait_ms: self.wait_ms.unwrap_or(0) })
+            }
+            Some(other) => {
+                Err(format!("unknown flush policy {other:?} (expected per-record or group-commit)"))
+            }
+        }
+    }
+}
+
 fn expect_no_flags(rest: &[String]) -> Result<(), String> {
     if rest.is_empty() {
         Ok(())
@@ -623,6 +803,7 @@ mod tests {
                 shards: 8,
                 store_dir: None,
                 compact_every: 1024,
+                flush: FlushChoice::PerRecord,
             }
         );
         let c = parse(&argv(&[
@@ -637,6 +818,12 @@ mod tests {
             "/var/lib/pdb",
             "--compact-every",
             "64",
+            "--flush",
+            "group-commit",
+            "--flush-batch",
+            "32",
+            "--flush-wait-ms",
+            "5",
         ]))
         .unwrap();
         assert_eq!(
@@ -647,10 +834,17 @@ mod tests {
                 shards: 16,
                 store_dir: Some("/var/lib/pdb".into()),
                 compact_every: 64,
+                flush: FlushChoice::GroupCommit { max_batch: 32, max_wait_ms: 5 },
             }
         );
         assert!(parse(&argv(&["serve", "--threads", "0"])).is_err());
         assert!(parse(&argv(&["serve", "--bogus"])).is_err());
+        assert!(parse(&argv(&["serve", "--flush", "sometimes"])).is_err());
+        assert!(
+            parse(&argv(&["serve", "--flush-batch", "8"])).is_err(),
+            "batch knob needs --flush group-commit"
+        );
+        assert!(parse(&argv(&["serve", "--flush", "group-commit", "--flush-batch", "0"])).is_err());
 
         let c = parse(&argv(&["call", "\"stats\"", "--addr", "127.0.0.1:9"])).unwrap();
         assert_eq!(c, Command::Call { addr: "127.0.0.1:9".into(), request: "\"stats\"".into() });
@@ -659,6 +853,58 @@ mod tests {
         assert_eq!(c, Command::Call { addr: "127.0.0.1:7878".into(), request: "-".into() });
         assert!(parse(&argv(&["call"])).is_err());
         assert!(parse(&argv(&["call", "\"stats\"", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_fleet_serve_and_status() {
+        let c = parse(&argv(&["fleet", "serve"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Fleet {
+                op: FleetOp::Serve {
+                    addr: "127.0.0.1:7900".into(),
+                    shards: 3,
+                    threads: 4,
+                    store_dir: None,
+                    compact_every: 1024,
+                    flush: FlushChoice::PerRecord,
+                }
+            }
+        );
+        let c = parse(&argv(&[
+            "fleet",
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            "5",
+            "--threads",
+            "2",
+            "--store-dir",
+            "/tmp/fleet",
+            "--flush",
+            "group-commit",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Fleet {
+                op: FleetOp::Serve {
+                    addr: "127.0.0.1:0".into(),
+                    shards: 5,
+                    threads: 2,
+                    store_dir: Some("/tmp/fleet".into()),
+                    compact_every: 1024,
+                    flush: FlushChoice::GroupCommit { max_batch: 64, max_wait_ms: 0 },
+                }
+            }
+        );
+        let c = parse(&argv(&["fleet", "status", "--addr", "127.0.0.1:9"])).unwrap();
+        assert_eq!(c, Command::Fleet { op: FleetOp::Status { addr: "127.0.0.1:9".into() } });
+        assert!(parse(&argv(&["fleet"])).is_err(), "operation is mandatory");
+        assert!(parse(&argv(&["fleet", "scale"])).is_err(), "unknown operation");
+        assert!(parse(&argv(&["fleet", "serve", "--shards", "0"])).is_err());
+        assert!(parse(&argv(&["fleet", "status", "--shards", "2"])).is_err());
     }
 
     #[test]

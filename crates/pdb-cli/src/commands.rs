@@ -1,6 +1,6 @@
 //! Execution of parsed CLI commands.
 
-use crate::args::{Command, DatasetChoice, MutateOp, USAGE};
+use crate::args::{Command, DatasetChoice, FleetOp, FlushChoice, MutateOp, USAGE};
 use pdb_clean::CleaningPlan;
 use pdb_clean::{
     best_single_probe, expected_improvement, plan_greedy, run_adaptive_session_with,
@@ -28,9 +28,10 @@ pub fn run(command: Command) -> Result<String> {
         Command::All { scale, csv_dir } => run_all(scale, csv_dir.as_deref()),
         Command::Quality { dataset, k, algo, json } => quality(dataset, k, &algo, json),
         Command::Clean { dataset, k, budget, algo, json } => clean(dataset, k, budget, &algo, json),
-        Command::Serve { addr, threads, shards, store_dir, compact_every } => {
-            serve(&addr, threads, shards, store_dir, compact_every)
+        Command::Serve { addr, threads, shards, store_dir, compact_every, flush } => {
+            serve(&addr, threads, shards, store_dir, compact_every, flush)
         }
+        Command::Fleet { op } => fleet(op),
         Command::Call { addr, request } => call(&addr, &request),
         Command::Mutate { addr, session, op, mode } => mutate(&addr, session, op, &mode),
         Command::Export { dataset, tuples, out } => export(dataset, tuples, &out),
@@ -223,12 +224,26 @@ fn clean(choice: DatasetChoice, k: usize, budget: u64, algo: &str, json: bool) -
 
 /// `pdb serve`: bind the cleaning service and block until a `shutdown`
 /// request drains it.
+/// Translate the CLI flush flags into the store's policy.
+fn flush_policy(flush: FlushChoice) -> pdb_store::FlushPolicy {
+    match flush {
+        FlushChoice::PerRecord => pdb_store::FlushPolicy::PerRecord,
+        FlushChoice::GroupCommit { max_batch, max_wait_ms } => {
+            pdb_store::FlushPolicy::GroupCommit {
+                max_batch,
+                max_wait: std::time::Duration::from_millis(max_wait_ms),
+            }
+        }
+    }
+}
+
 fn serve(
     addr: &str,
     threads: usize,
     shards: usize,
     store_dir: Option<String>,
     compact_every: u64,
+    flush: FlushChoice,
 ) -> Result<String> {
     let durable = store_dir.clone();
     let config = pdb_server::ServerConfig {
@@ -237,6 +252,7 @@ fn serve(
         shards,
         store_dir,
         compact_every,
+        flush: flush_policy(flush),
     };
     let server = pdb_server::Server::bind(&config)
         .map_err(|e| DbError::invalid_parameter(format!("binding {addr} failed: {e}")))?;
@@ -253,6 +269,85 @@ fn serve(
     println!("pdb-server listening on {bound} ({threads} threads, {shards} shards)");
     server.run().map_err(|e| DbError::invalid_parameter(format!("server failed: {e}")))?;
     Ok(format!("pdb-server on {bound} drained in-flight requests and shut down"))
+}
+
+/// `pdb fleet ...`: multi-process scale-out (see `pdb-fleet`).
+fn fleet(op: FleetOp) -> Result<String> {
+    match op {
+        FleetOp::Serve { addr, shards, threads, store_dir, compact_every, flush } => {
+            fleet_serve(&addr, shards, threads, store_dir, compact_every, flush)
+        }
+        FleetOp::Status { addr } => fleet_status(&addr),
+    }
+}
+
+/// `pdb fleet serve`: spawn the shard processes, bind the router over
+/// them, and block until a `shutdown` request drains everything.
+fn fleet_serve(
+    addr: &str,
+    shards: usize,
+    threads: usize,
+    store_dir: Option<String>,
+    compact_every: u64,
+    flush: FlushChoice,
+) -> Result<String> {
+    let program = std::env::current_exe()
+        .map_err(|e| DbError::invalid_parameter(format!("resolving the pdb binary failed: {e}")))?;
+    let config = pdb_fleet::FleetConfig {
+        program,
+        shards,
+        threads,
+        store_dir: store_dir.map(std::path::PathBuf::from),
+        compact_every,
+        flush: flush_policy(flush),
+    };
+    let fleet = std::sync::Arc::new(
+        pdb_fleet::Fleet::spawn(config)
+            .map_err(|e| DbError::invalid_parameter(format!("spawning the fleet failed: {e}")))?,
+    );
+    for status in fleet.statuses() {
+        // One line per shard before the router line: scripts (and the
+        // kill-and-recover test) parse these for pids and addresses.
+        println!(
+            "pdb-fleet shard {} pid {} listening on {}",
+            status.index, status.pid, status.addr
+        );
+    }
+    let router = pdb_fleet::Router::bind(addr, fleet)
+        .map_err(|e| DbError::invalid_parameter(format!("binding the router failed: {e}")))?;
+    let bound = router
+        .local_addr()
+        .map_err(|e| DbError::invalid_parameter(format!("resolving bound address failed: {e}")))?;
+    // Announce readiness last, like `pdb serve`: once this line prints,
+    // the whole fleet serves.
+    println!("pdb-fleet router listening on {bound} ({shards} shards)");
+    router.run().map_err(|e| DbError::invalid_parameter(format!("router failed: {e}")))?;
+    Ok(format!("pdb-fleet router on {bound} drained in-flight requests and shut down"))
+}
+
+/// `pdb fleet status`: the router's merged `stats`, formatted.
+fn fleet_status(addr: &str) -> Result<String> {
+    let mut client = pdb_server::Client::connect_with(addr, &pdb_server::RetryPolicy::default())
+        .map_err(|e| DbError::invalid_parameter(format!("connecting to {addr} failed: {e}")))?;
+    let stats =
+        client.stats().map_err(|e| DbError::invalid_parameter(format!("stats failed: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "shards            : {}", stats.shards);
+    let _ = writeln!(out, "threads (total)   : {}", stats.threads);
+    let _ = writeln!(out, "durable           : {}", stats.durable);
+    let _ = writeln!(out, "sessions live     : {}", stats.sessions_live);
+    let _ = writeln!(out, "sessions created  : {}", stats.sessions_created);
+    let _ = writeln!(out, "probes applied    : {}", stats.probes_applied);
+    let _ = writeln!(out, "requests served   : {}", stats.requests_served);
+    let _ = writeln!(out, "connect retries   : {}", stats.connect_retries);
+    for session in &stats.sessions {
+        let _ = writeln!(
+            out,
+            "session {:>6} : {} queries, {} probes, {} ms old",
+            session.session, session.queries, session.probes, session.age_ms
+        );
+    }
+    Ok(out)
 }
 
 /// `pdb call`: send one JSON request line to a running server and print

@@ -1,0 +1,358 @@
+//! The shard-process supervisor.
+//!
+//! A [`Fleet`] spawns N `pdb serve` shard processes (each a full
+//! [`pdb_server::Server`] with its own store directory and WAL), parses
+//! their readiness lines to learn the ephemeral addresses they bound, and
+//! can respawn a shard that died — the respawn reuses the shard's store
+//! directory, so WAL replay rehydrates every journalled session before
+//! the shard accepts its first forwarded request.  That recovery path is
+//! what makes the router's failover lossless for acknowledged probes.
+//!
+//! The supervisor deliberately runs *processes*, not threads: the point
+//! of the fleet is that one shard can be SIGKILLed (or OOM-killed, or
+//! segfault) without taking the others down, which no amount of
+//! in-process sharding provides.
+
+use pdb_server::protocol::SessionCreated;
+use pdb_server::{Client, RetryPolicy};
+use pdb_store::FlushPolicy;
+use std::io::{BufRead, BufReader, Read};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Mutex;
+
+/// The readiness line prefix every shard (a plain `pdb serve`) prints
+/// once its listener is bound.
+pub const SHARD_READY_PREFIX: &str = "pdb-server listening on ";
+
+/// How a [`Fleet`] spawns its shard processes.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The `pdb` binary to spawn shards with (the CLI passes its own
+    /// `current_exe`; tests pass `CARGO_BIN_EXE_pdb`).
+    pub program: PathBuf,
+    /// Shard processes to run.
+    pub shards: usize,
+    /// Worker threads per shard process.
+    pub threads: usize,
+    /// Base store directory; shard `i` journals into `<dir>/shard-<i>`.
+    /// `None` runs shards in memory — a killed shard then loses its
+    /// sessions on respawn, so durability-sensitive fleets set this.
+    pub store_dir: Option<PathBuf>,
+    /// Per-shard auto-compaction threshold (0 disables).
+    pub compact_every: u64,
+    /// Per-shard journal flush policy.
+    pub flush: FlushPolicy,
+}
+
+impl FleetConfig {
+    /// The `pdb serve` argument vector for shard `index`.
+    fn shard_args(&self, index: usize) -> Vec<String> {
+        let mut args = vec![
+            "serve".to_string(),
+            "--addr".to_string(),
+            "127.0.0.1:0".to_string(),
+            "--threads".to_string(),
+            self.threads.max(1).to_string(),
+            "--compact-every".to_string(),
+            self.compact_every.to_string(),
+        ];
+        if let Some(base) = &self.store_dir {
+            args.push("--store-dir".to_string());
+            args.push(base.join(format!("shard-{index}")).display().to_string());
+        }
+        match self.flush {
+            FlushPolicy::PerRecord => {}
+            FlushPolicy::GroupCommit { max_batch, max_wait } => {
+                args.extend([
+                    "--flush".to_string(),
+                    "group-commit".to_string(),
+                    "--flush-batch".to_string(),
+                    max_batch.to_string(),
+                    "--flush-wait-ms".to_string(),
+                    max_wait.as_millis().to_string(),
+                ]);
+            }
+        }
+        args
+    }
+}
+
+/// One live (or recently dead) shard process.
+#[derive(Debug)]
+struct ShardHandle {
+    child: Child,
+    addr: SocketAddr,
+    /// Respawns this slot has seen (0 for the original process).
+    respawns: u64,
+}
+
+/// A snapshot of one shard's state for `fleet status` and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Shard index (also the ring identity).
+    pub index: usize,
+    /// OS pid of the current process serving this shard.
+    pub pid: u32,
+    /// Address the shard bound.
+    pub addr: SocketAddr,
+    /// Respawns this slot has seen.
+    pub respawns: u64,
+}
+
+/// A supervised set of shard processes.
+#[derive(Debug)]
+pub struct Fleet {
+    config: FleetConfig,
+    shards: Vec<Mutex<ShardHandle>>,
+}
+
+impl Fleet {
+    /// Spawn every shard and wait for each to announce readiness.  Any
+    /// shard failing to come up kills the ones already running.
+    pub fn spawn(config: FleetConfig) -> std::io::Result<Self> {
+        if config.shards == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a fleet needs at least 1 shard",
+            ));
+        }
+        let mut shards = Vec::with_capacity(config.shards);
+        for index in 0..config.shards {
+            match spawn_shard(&config, index) {
+                Ok((child, addr)) => {
+                    shards.push(Mutex::new(ShardHandle { child, addr, respawns: 0 }))
+                }
+                Err(err) => {
+                    for handle in &shards {
+                        kill_handle(&mut lock(handle));
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        Ok(Self { config, shards })
+    }
+
+    /// Number of shard slots.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the fleet has no shards (never true after `spawn`).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The address currently serving `shard`.
+    pub fn addr(&self, shard: usize) -> std::io::Result<SocketAddr> {
+        Ok(lock(self.slot(shard)?).addr)
+    }
+
+    /// Every shard's current pid/address/respawn count, by index.
+    pub fn statuses(&self) -> Vec<ShardStatus> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(index, slot)| {
+                let handle = lock(slot);
+                ShardStatus {
+                    index,
+                    pid: handle.child.id(),
+                    addr: handle.addr,
+                    respawns: handle.respawns,
+                }
+            })
+            .collect()
+    }
+
+    /// Make sure `shard` is being served, respawning its process if it
+    /// died.  The respawn reuses the shard's store directory, so every
+    /// journalled session is recovered (WAL replay) before the new
+    /// process accepts a connection.  Returns the (possibly new) address.
+    pub fn ensure(&self, shard: usize) -> std::io::Result<SocketAddr> {
+        let mut handle = lock(self.slot(shard)?);
+        match handle.child.try_wait() {
+            Ok(None) => Ok(handle.addr), // still running
+            // Exited (or unknowable): respawn into the same slot.
+            Ok(Some(_)) | Err(_) => {
+                let (child, addr) = spawn_shard(&self.config, shard)?;
+                handle.child = child;
+                handle.addr = addr;
+                handle.respawns += 1;
+                Ok(addr)
+            }
+        }
+    }
+
+    /// Ask every shard to drain and stop, then reap the processes.  A
+    /// shard that cannot be reached (already dead, or refusing) is
+    /// killed instead — shutdown must terminate the fleet either way.
+    pub fn shutdown(&self) {
+        for slot in &self.shards {
+            let mut handle = lock(slot);
+            let polite = Client::connect_with(
+                handle.addr,
+                &RetryPolicy {
+                    connect_timeout: std::time::Duration::from_millis(500),
+                    attempts: 1,
+                    base_backoff: std::time::Duration::from_millis(1),
+                },
+            )
+            .map_err(|_| ())
+            .and_then(|mut client| client.shutdown().map_err(|_| ()));
+            if polite.is_err() {
+                kill_handle(&mut handle);
+            }
+            // pdb-analyze: allow(error-swallow): reaping a shard that already exited errs harmlessly
+            let _ = handle.child.wait();
+        }
+    }
+
+    fn slot(&self, shard: usize) -> std::io::Result<&Mutex<ShardHandle>> {
+        self.shards.get(shard).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("no shard {shard} in a fleet of {}", self.shards.len()),
+            )
+        })
+    }
+}
+
+impl Drop for Fleet {
+    /// Last-resort cleanup: never leak shard processes.  A graceful
+    /// [`shutdown`](Self::shutdown) beforehand makes this a no-op (the
+    /// children are already reaped).
+    fn drop(&mut self) {
+        for slot in &self.shards {
+            kill_handle(&mut lock(slot));
+        }
+    }
+}
+
+/// Lock a shard slot, recovering from poisoning: the slot only guards a
+/// `Child` + address pair, which a panicking thread cannot leave torn in
+/// any way that matters more than losing the whole shard would.
+fn lock(slot: &Mutex<ShardHandle>) -> std::sync::MutexGuard<'_, ShardHandle> {
+    slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn kill_handle(handle: &mut ShardHandle) {
+    // pdb-analyze: allow(error-swallow): the process may already be dead, which is the goal
+    let _ = handle.child.kill();
+    // pdb-analyze: allow(error-swallow): reap only; the exit status of a killed shard carries no signal
+    let _ = handle.child.wait();
+}
+
+/// Spawn one shard process and wait for its readiness line.
+fn spawn_shard(config: &FleetConfig, index: usize) -> std::io::Result<(Child, SocketAddr)> {
+    let mut child = Command::new(&config.program)
+        .args(config.shard_args(index))
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()?;
+    let stdout = child.stdout.take().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::BrokenPipe, "shard stdout was not captured")
+    })?;
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            kill_handle(&mut ShardHandle { child, addr: ([127, 0, 0, 1], 0).into(), respawns: 0 });
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!("shard {index} exited before announcing readiness"),
+            ));
+        }
+        if let Some(rest) = line.trim().strip_prefix(SHARD_READY_PREFIX) {
+            let addr = rest.split_whitespace().next().unwrap_or("").parse().map_err(|_| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("shard {index} announced an unparsable address: {}", line.trim()),
+                )
+            })?;
+            // Keep draining the pipe so the shard never blocks on a full
+            // stdout buffer; the drain thread dies with the process.
+            std::thread::spawn(move || {
+                let mut sink = Vec::new();
+                // pdb-analyze: allow(error-swallow): a broken pipe here just means the shard exited
+                let _ = reader.read_to_end(&mut sink);
+            });
+            return Ok((child, addr));
+        }
+        // Anything before the readiness line (e.g. the recovery summary)
+        // is informational; keep reading.
+    }
+}
+
+/// Why a peer-streaming rehydrate failed.
+#[derive(Debug)]
+pub enum StreamError {
+    /// A protocol call against the source or destination shard failed
+    /// (includes chunk checksum mismatches — the client verifies every
+    /// chunk before handing bytes up).
+    Client(pdb_server::ClientError),
+    /// Writing the downloaded snapshot into the scratch directory failed.
+    Scratch(std::io::Error),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Client(err) => write!(f, "streaming snapshot: {err}"),
+            StreamError::Scratch(err) => write!(f, "writing streamed snapshot: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<pdb_server::ClientError> for StreamError {
+    fn from(err: pdb_server::ClientError) -> Self {
+        StreamError::Client(err)
+    }
+}
+
+/// Rehydrate one session from a live peer over the wire: `persist` on
+/// the source shard, stream the snapshot down in verified chunks, write
+/// it into `scratch_dir`, and `restore` it on the destination shard
+/// under the *same* session id.  No shared disk between the two stores
+/// is required — the snapshot bytes travel through the protocol.
+///
+/// `probe_cost` / `probe_success` re-parameterize the restored session
+/// (snapshots persist the database, not the cleaning parameters).
+pub fn stream_session(
+    src: &mut Client,
+    dst: &mut Client,
+    session: u64,
+    scratch_dir: &std::path::Path,
+    probe_cost: u64,
+    probe_success: f64,
+) -> Result<SessionCreated, StreamError> {
+    use pdb_server::protocol::{Request, RestoreSession};
+    use pdb_server::Response;
+
+    let persisted = src.persist(session)?;
+    let bytes = src.download_snapshot(&persisted.snapshot, 1 << 20)?;
+    std::fs::create_dir_all(scratch_dir).map_err(StreamError::Scratch)?;
+    let local = scratch_dir.join(&persisted.snapshot);
+    std::fs::write(&local, &bytes).map_err(StreamError::Scratch)?;
+    let request = Request::Restore(RestoreSession {
+        snapshot: local.display().to_string(),
+        probe_cost,
+        probe_success,
+        session: Some(session),
+    });
+    match dst.call(&request)? {
+        Response::SessionCreated(created) => Ok(created),
+        Response::Error(reply) => Err(pdb_server::ClientError::Server(reply.message).into()),
+        other => Err(pdb_server::ClientError::Protocol(format!(
+            "expected session_created, got {:?}",
+            other.kind()
+        ))
+        .into()),
+    }
+}

@@ -1,0 +1,36 @@
+//! # pdb-fleet — multi-process scale-out for the cleaning service
+//!
+//! The paper's cleaning sessions are embarrassingly partitionable by
+//! session id, and `pdb-server` already shards them across in-process
+//! locks.  This crate adds the missing *fleet* layer: many shard
+//! **processes**, one thin router, and nothing shared between shards but
+//! the wire protocol.
+//!
+//! * [`ring`] — a consistent-hash ring with virtual nodes over the same
+//!   SplitMix64 mixer the in-process shard map uses: adding or removing
+//!   a shard remaps only ~`1/N` of session ids;
+//! * [`fleet`] — the shard-process supervisor: spawns N `pdb serve`
+//!   processes (each with its own store directory and WAL), respawns a
+//!   dead shard (WAL replay rehydrates its sessions), and streams
+//!   snapshots between live peers ([`fleet::stream_session`]) so a fresh
+//!   replica needs no shared disk;
+//! * [`router`] — the router: accepts the *existing* wire protocol,
+//!   pins fleet-wide session ids into `create_session` / `restore`,
+//!   forwards each request to the ring-owning shard, merges `stats`
+//!   across shards, and fails over (respawn + bounded retry) when a
+//!   shard dies mid-traffic — never panicking on a malformed reply.
+//!
+//! `pdb fleet serve --shards N` wires all three together; the
+//! `fleet_kill_and_recover` test SIGKILLs a shard of a live fleet under
+//! concurrent traffic and asserts zero acknowledged probes are lost.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fleet;
+pub mod ring;
+pub mod router;
+
+pub use fleet::{stream_session, Fleet, FleetConfig, ShardStatus, StreamError, SHARD_READY_PREFIX};
+pub use ring::{HashRing, DEFAULT_REPLICAS};
+pub use router::Router;

@@ -1,0 +1,404 @@
+//! The consistent-hash router: one listener speaking the existing wire
+//! protocol, forwarding every request to the shard process that owns it.
+//!
+//! Every protocol verb has an explicit routing decision (pdb-analyze's
+//! `protocol-drift` lint checks this table against the protocol's verb
+//! set, so a new verb cannot silently fall through):
+//!
+//! | Verb | Routing |
+//! |------|---------|
+//! | `create_session` | router assigns a fleet-wide id, pins it into the request, routes by ring |
+//! | `register_query` | by session id over the ring |
+//! | `evaluate` | by session id over the ring |
+//! | `quality` | by session id over the ring |
+//! | `recommend_probe` | by session id over the ring |
+//! | `apply_mutation` | by session id over the ring |
+//! | `apply_probe` | by session id over the ring |
+//! | `drop_session` | by session id over the ring |
+//! | `persist` | by session id over the ring |
+//! | `restore` | router assigns a fleet-wide id (like `create_session`) |
+//! | `fetch_chunk` | by the session id embedded in the snapshot name |
+//! | `stats` | broadcast to every shard, replies merged |
+//! | `shutdown` | broadcast to every shard, then the router stops |
+//!
+//! The router holds no session state of its own — only the id allocator
+//! and the ring — so it never becomes a second consistency domain: a
+//! session lives exactly where the ring says, and the shard's WAL is the
+//! only durability story.  Forwarding **never panics on a malformed
+//! shard reply**: every decode failure becomes an `{"error": ...}` line
+//! for the client, and the poisoned connection is dropped.
+
+use crate::fleet::Fleet;
+use crate::ring::HashRing;
+use pdb_server::protocol::{self, ServerStats};
+use pdb_server::{Client, ClientError, Request, Response, RetryPolicy};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How often an idle router connection wakes from a blocked read to
+/// re-check the shutdown flag (same rationale as pdb-server's drain).
+const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(100);
+
+/// Forward attempts per request: the first try plus one retry after the
+/// shard was respawned.  More would stall the client behind a shard that
+/// is genuinely gone.
+const FORWARD_ATTEMPTS: usize = 2;
+
+/// State shared by every router connection thread.
+struct RouterShared {
+    fleet: Arc<Fleet>,
+    ring: HashRing,
+    /// Fleet-wide session id allocator: the router pins an id into every
+    /// `create_session` / `restore` it forwards, so ids are unique across
+    /// shards and the ring can route by them.
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    /// Connect attempts beyond the first across every shard connection
+    /// the router ever made (surfaced as `connect_retries` in merged
+    /// stats).
+    connect_retries: AtomicU64,
+    /// Per-shard connect policy.
+    retry: RetryPolicy,
+}
+
+/// A bound (but not yet running) fleet router.
+pub struct Router {
+    listener: TcpListener,
+    shared: Arc<RouterShared>,
+}
+
+impl Router {
+    /// Bind the router over a spawned fleet.  The session-id allocator
+    /// is seeded past every session the shards recovered from their
+    /// stores, so new ids never collide with rehydrated ones.
+    pub fn bind(addr: &str, fleet: Arc<Fleet>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let retry = RetryPolicy::default();
+        let shared = RouterShared {
+            ring: HashRing::with_default_replicas(fleet.len()),
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            connect_retries: AtomicU64::new(0),
+            retry,
+            fleet,
+        };
+        shared.seed_next_id();
+        Ok(Self { listener, shared: Arc::new(shared) })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept and route connections until a `shutdown` request arrives,
+    /// then drain and return.  One thread per connection: the router
+    /// does no evaluation work of its own, so a connection's thread is
+    /// almost always parked on I/O and a pool would only add queueing.
+    pub fn run(self) -> std::io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        let mut handles = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break; // the self-wake (or a raced client) is dropped
+            }
+            match conn {
+                Ok(stream) => {
+                    let shared = Arc::clone(&self.shared);
+                    handles
+                        .push(std::thread::spawn(move || handle_connection(stream, &shared, addr)));
+                }
+                Err(_) => {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+            }
+        }
+        for handle in handles {
+            // pdb-analyze: allow(error-swallow): join only errs if the connection thread panicked; drain the rest regardless
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+impl RouterShared {
+    /// Seed the id allocator from the shards' recovered sessions.
+    fn seed_next_id(&self) {
+        let mut clients = HashMap::new();
+        let mut max_seen = 0;
+        for shard in self.ring.shards() {
+            if let Response::Stats(stats) = self.forward(&mut clients, shard, &Request::Stats) {
+                max_seen = stats.sessions.iter().map(|s| s.session).fold(max_seen, u64::max);
+            }
+        }
+        self.next_id.store(max_seen + 1, Ordering::Relaxed);
+    }
+
+    /// The shard owning `session` (the ring is never empty: a fleet has
+    /// at least one shard).
+    fn shard_of(&self, session: u64) -> usize {
+        self.ring.shard_for(session).unwrap_or(0)
+    }
+
+    /// A connected client for `shard`, creating (and caching) one if the
+    /// connection map has none.  `ensure` first: a dead shard is
+    /// respawned — and recovers its WAL — before the connect.
+    fn client_for<'a>(
+        &self,
+        clients: &'a mut HashMap<usize, Client>,
+        shard: usize,
+    ) -> Result<&'a mut Client, std::io::Error> {
+        match clients.entry(shard) {
+            Entry::Occupied(entry) => Ok(entry.into_mut()),
+            Entry::Vacant(entry) => {
+                let addr = self.fleet.ensure(shard)?;
+                let client = Client::connect_with(addr, &self.retry)?;
+                self.connect_retries.fetch_add(client.connect_retries(), Ordering::Relaxed);
+                Ok(entry.insert(client))
+            }
+        }
+    }
+
+    /// Forward one request to `shard`, retrying once through a respawn
+    /// when the connection died.  A retry can re-send a request the dead
+    /// shard already applied *and journalled*, so callers needing
+    /// exactly-once during a crash window send idempotent mutations
+    /// (e.g. `reweight`) — the router guarantees no *loss*, not
+    /// de-duplication.
+    fn forward(
+        &self,
+        clients: &mut HashMap<usize, Client>,
+        shard: usize,
+        request: &Request,
+    ) -> Response {
+        let mut last_io = None;
+        for _ in 0..FORWARD_ATTEMPTS {
+            let client = match self.client_for(clients, shard) {
+                Ok(client) => client,
+                Err(err) => {
+                    last_io = Some(err.to_string());
+                    continue;
+                }
+            };
+            match client.call(request) {
+                Ok(response) => return response,
+                Err(ClientError::Io(err)) => {
+                    // The connection died mid-call; the shard may be
+                    // gone.  Drop the cached connection and let the next
+                    // attempt respawn + reconnect.
+                    clients.remove(&shard);
+                    last_io = Some(err.to_string());
+                }
+                Err(ClientError::Protocol(msg)) => {
+                    // The shard replied bytes that do not parse: the
+                    // stream position is unknowable, so the connection
+                    // is poisoned.  Surface a clean error — never panic.
+                    clients.remove(&shard);
+                    return Response::error(format!("shard {shard} replied malformed: {msg}"));
+                }
+                Err(ClientError::Server(msg)) => {
+                    return Response::error(format!("shard {shard}: {msg}"))
+                }
+            }
+        }
+        Response::error(format!(
+            "shard {shard} is unavailable: {}",
+            last_io.unwrap_or_else(|| "no forward attempts".to_string())
+        ))
+    }
+
+    /// Broadcast `stats` and merge the replies: counters sum, session
+    /// lists concatenate (sorted by id), `durable` holds only if every
+    /// shard journals, and `shards` reports the *fleet's* shard count.
+    fn merged_stats(&self, clients: &mut HashMap<usize, Client>) -> Response {
+        let mut merged = ServerStats {
+            sessions_live: 0,
+            sessions_created: 0,
+            requests_served: 0,
+            probes_applied: 0,
+            shards: self.ring.len(),
+            threads: 0,
+            durable: true,
+            connect_retries: self.connect_retries.load(Ordering::Relaxed),
+            sessions: Vec::new(),
+        };
+        for shard in self.ring.shards() {
+            match self.forward(clients, shard, &Request::Stats) {
+                Response::Stats(stats) => {
+                    merged.sessions_live += stats.sessions_live;
+                    merged.sessions_created += stats.sessions_created;
+                    merged.requests_served += stats.requests_served;
+                    merged.probes_applied += stats.probes_applied;
+                    merged.threads += stats.threads;
+                    merged.durable &= stats.durable;
+                    merged.connect_retries += stats.connect_retries;
+                    merged.sessions.extend(stats.sessions);
+                }
+                Response::Error(reply) => {
+                    return Response::error(format!(
+                        "stats from shard {shard} failed: {}",
+                        reply.message
+                    ))
+                }
+                other => {
+                    return Response::error(format!(
+                        "stats from shard {shard} returned {:?}",
+                        other.kind()
+                    ))
+                }
+            }
+        }
+        merged.sessions.sort_by_key(|s| s.session);
+        Response::Stats(merged)
+    }
+
+    /// Route one request (see the module-level table).
+    fn dispatch(
+        &self,
+        mut request: Request,
+        clients: &mut HashMap<usize, Client>,
+        router_addr: SocketAddr,
+    ) -> Response {
+        let target = match &mut request {
+            Request::CreateSession(req) => {
+                let id = self.pin_id(&mut req.session);
+                self.shard_of(id)
+            }
+            Request::Restore(req) => {
+                let id = self.pin_id(&mut req.session);
+                self.shard_of(id)
+            }
+            Request::RegisterQuery(req) => self.shard_of(req.session),
+            Request::Evaluate(req)
+            | Request::Quality(req)
+            | Request::RecommendProbe(req)
+            | Request::DropSession(req)
+            | Request::Persist(req) => self.shard_of(req.session),
+            Request::ApplyMutation(req) | Request::ApplyProbe(req) => self.shard_of(req.session),
+            Request::FetchChunk(req) => match snapshot_session(&req.snapshot) {
+                Some(session) => self.shard_of(session),
+                None => {
+                    return Response::error(format!(
+                        "cannot route fetch_chunk: {:?} is not a persist-produced snapshot name",
+                        req.snapshot
+                    ))
+                }
+            },
+            Request::Stats => return self.merged_stats(clients),
+            Request::Shutdown => {
+                self.fleet.shutdown();
+                self.shutdown.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it observes the flag (same
+                // self-wake pattern as pdb-server).
+                // pdb-analyze: allow(error-swallow): best-effort self-wake; raced clients also break the loop
+                let _ = TcpStream::connect(router_addr);
+                return Response::ShuttingDown;
+            }
+        };
+        self.forward(clients, target, &request)
+    }
+
+    /// Assign a fleet-wide session id if the request has none, and pin
+    /// it into the request so the shard honors it.
+    fn pin_id(&self, session: &mut Option<u64>) -> u64 {
+        match *session {
+            Some(id) => {
+                // A client-pinned id still bumps the allocator past it.
+                self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+                id
+            }
+            None => {
+                let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                *session = Some(id);
+                id
+            }
+        }
+    }
+}
+
+/// The session id a persist-produced snapshot name embeds
+/// (`snapshot-<sid>-<seq>.pdbs`), used to route `fetch_chunk`.
+fn snapshot_session(name: &str) -> Option<u64> {
+    name.strip_prefix("snapshot-")?.strip_suffix(".pdbs")?.split_once('-')?.0.parse().ok()
+}
+
+/// Serve one router connection: one response line per request line.
+/// Mirrors pdb-server's read loop (timeout polling, partial-line
+/// reassembly) so persistent clients behave identically against a
+/// router and a single server.
+fn handle_connection(stream: TcpStream, shared: &RouterShared, router_addr: SocketAddr) {
+    // pdb-analyze: allow(error-swallow): latency knob only; correctness does not depend on it
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    // Shard connections are per-router-connection: one client's requests
+    // flow down one TCP stream per shard, so replies can never interleave
+    // across router connections.
+    let mut clients: HashMap<usize, Client> = HashMap::new();
+
+    loop {
+        line.clear();
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return,
+                Ok(_) => break,
+                Err(err)
+                    if matches!(
+                        err.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match protocol::decode_request(line.trim_end()) {
+            Ok(request) => shared.dispatch(request, &mut clients, router_addr),
+            Err(err) => Response::error(format!("malformed request: {err}")),
+        };
+        let payload = protocol::encode(&response).unwrap_or_else(|err| {
+            format!("{{\"error\":{{\"message\":\"encoding failed: {err}\"}}}}")
+        });
+        if writeln!(writer, "{payload}").and_then(|()| writer.flush()).is_err() {
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_names_route_by_embedded_session_id() {
+        assert_eq!(snapshot_session("snapshot-7-12.pdbs"), Some(7));
+        assert_eq!(snapshot_session("snapshot-123-4.pdbs"), Some(123));
+        assert_eq!(snapshot_session("snapshot-x-4.pdbs"), None);
+        assert_eq!(snapshot_session("snapshot-7.pdbs"), None);
+        assert_eq!(snapshot_session("../../etc/passwd"), None);
+        assert_eq!(snapshot_session(""), None);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property suite for the consistent-hash ring: the two guarantees the
+//! fleet leans on are *balance* (no shard owns a grossly oversized share
+//! of the key space) and *minimal remapping* (growing or shrinking the
+//! fleet by one shard moves only about `1/N` of the keys).  Both are
+//! checked over randomized shard counts, replica counts and key sets —
+//! a plain `hash % shards` scheme passes the balance property and fails
+//! remapping catastrophically, which is exactly why the ring exists.
+
+use pdb_fleet::HashRing;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Route every key, returning per-shard ownership counts indexed by
+/// shard id.
+fn ownership(ring: &HashRing, shards: usize, keys: &[u64]) -> Vec<usize> {
+    let mut counts = vec![0usize; shards];
+    for &key in keys {
+        counts[ring.shard_for(key).expect("non-empty ring routes every key")] += 1;
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every key routes, deterministically, to a shard that is actually
+    /// on the ring — across arbitrary replica counts (including the
+    /// degenerate `replicas = 0`, which the ring clamps to 1).
+    #[test]
+    fn routing_is_total_deterministic_and_live(
+        shards in 1usize..9,
+        replicas in 0usize..96,
+        keys in vec(any::<u64>(), 1..200),
+    ) {
+        let ring = HashRing::new(shards, replicas);
+        for &key in &keys {
+            let owner = ring.shard_for(key);
+            prop_assert!(matches!(owner, Some(s) if s < shards), "key {key} routed to {owner:?}");
+            prop_assert_eq!(ring.shard_for(key), owner, "routing must be deterministic");
+        }
+    }
+
+    /// Balance: with the default virtual-node count, no shard's share of
+    /// a large uniform key set strays too far from the fair `1/N`.  The
+    /// bound is loose — consistent hashing trades perfect balance for
+    /// cheap resharding — but it rules out the failure mode that matters
+    /// (one shard owning a constant fraction regardless of N).
+    #[test]
+    fn default_replicas_keep_ownership_balanced(
+        shards in 2usize..9,
+        seed in any::<u64>(),
+    ) {
+        const KEYS: u64 = 20_000;
+        let ring = HashRing::with_default_replicas(shards);
+        let keys: Vec<u64> = (0..KEYS).map(|i| seed.wrapping_add(i)).collect();
+        let counts = ownership(&ring, shards, &keys);
+        let fair = KEYS as f64 / shards as f64;
+        for (shard, &count) in counts.iter().enumerate() {
+            prop_assert!(
+                (count as f64) < 2.5 * fair,
+                "shard {shard} owns {count} of {KEYS} keys (fair share {fair:.0})"
+            );
+            prop_assert!(count > 0, "shard {shard} owns nothing");
+        }
+    }
+
+    /// Minimal remapping, join direction: adding shard N to an N-shard
+    /// ring may only move keys *onto* the new shard — a key that stays on
+    /// an old shard stays on the *same* old shard — and the moved
+    /// fraction is about `1/(N+1)`, not the `N/(N+1)` a modulo scheme
+    /// would pay.
+    #[test]
+    fn adding_a_shard_remaps_only_its_own_arc(
+        shards in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        const KEYS: u64 = 20_000;
+        let before = HashRing::with_default_replicas(shards);
+        let mut after = before.clone();
+        after.add_shard(shards);
+
+        let mut moved = 0u64;
+        for i in 0..KEYS {
+            let key = seed.wrapping_add(i);
+            let old = before.shard_for(key).expect("non-empty");
+            let new = after.shard_for(key).expect("non-empty");
+            if new != old {
+                prop_assert_eq!(new, shards, "key {} moved between two old shards", key);
+                moved += 1;
+            }
+        }
+        // Expected share is 1/(N+1); allow generous slack for virtual-node
+        // variance while staying far below the 2/(N+1) that would signal
+        // arcs being stolen from more than one shard's fair share.
+        let expected = KEYS as f64 / (shards + 1) as f64;
+        prop_assert!(
+            (moved as f64) < 2.0 * expected,
+            "{moved} of {KEYS} keys moved; fair share {expected:.0}"
+        );
+    }
+
+    /// Minimal remapping, leave direction: removing a shard moves
+    /// exactly the keys it owned — every survivor keeps its owner, and
+    /// the orphaned keys scatter across the remaining shards rather than
+    /// piling onto one successor.
+    #[test]
+    fn removing_a_shard_strands_no_survivor(
+        shards in 2usize..9,
+        victim_seed in any::<usize>(),
+        seed in any::<u64>(),
+    ) {
+        const KEYS: u64 = 20_000;
+        let victim = victim_seed % shards;
+        let before = HashRing::with_default_replicas(shards);
+        let mut after = before.clone();
+        after.remove_shard(victim);
+
+        let mut orphans = 0u64;
+        for i in 0..KEYS {
+            let key = seed.wrapping_add(i);
+            let old = before.shard_for(key).expect("non-empty");
+            let new = after.shard_for(key).expect("still non-empty");
+            if old == victim {
+                prop_assert!(new != victim, "key {} still routes to the removed shard", key);
+                orphans += 1;
+            } else {
+                prop_assert_eq!(new, old, "surviving key {} changed owner", key);
+            }
+        }
+        let expected = KEYS as f64 / shards as f64;
+        prop_assert!(
+            (orphans as f64) < 2.5 * expected,
+            "removed shard owned {orphans} of {KEYS} keys (fair share {expected:.0})"
+        );
+    }
+
+    /// Join/leave round trip: removing the shard that was just added
+    /// restores the exact original routing for every key.
+    #[test]
+    fn join_then_leave_is_identity(
+        shards in 1usize..8,
+        keys in vec(any::<u64>(), 1..200),
+    ) {
+        let reference = HashRing::with_default_replicas(shards);
+        let mut ring = reference.clone();
+        ring.add_shard(shards);
+        ring.remove_shard(shards);
+        for &key in &keys {
+            prop_assert_eq!(ring.shard_for(key), reference.shard_for(key));
+        }
+    }
+}

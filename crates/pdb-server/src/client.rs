@@ -6,15 +6,17 @@
 //! `{"error": ...}` replies as [`ClientError::Server`].
 
 use crate::protocol::{
-    self, Answers, ApplyMutation, ApplyProbe, CreateSession, DatasetSpec, EvalMode, Persisted,
-    ProbeAdvice, ProbeApplied, QualityReport, QueryRegistered, RegisterQuery, Request, Response,
-    RestoreSession, ServerStats, SessionCreated, SessionRef,
+    self, decode_chunk_data, Answers, ApplyMutation, ApplyProbe, CreateSession, DatasetSpec,
+    EvalMode, FetchChunk, Persisted, ProbeAdvice, ProbeApplied, QualityReport, QueryRegistered,
+    RegisterQuery, Request, Response, RestoreSession, ServerStats, SessionCreated, SessionRef,
+    SnapshotChunk, CHUNK_SEED,
 };
 use pdb_engine::delta::XTupleMutation;
 use pdb_engine::queries::TopKQuery;
 use std::fmt;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -46,21 +48,99 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// How [`Client::connect_with`] treats a server that is slow to accept:
+/// a per-attempt connect timeout, a bounded number of attempts, and a
+/// jittered exponential backoff between them.  A dead shard then costs a
+/// caller at most `attempts × connect_timeout` plus the backoffs —
+/// bounded — instead of hanging in the kernel's default connect timeout
+/// or erroring on the first refused SYN while the shard is mid-restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Per-attempt connect timeout.
+    pub connect_timeout: Duration,
+    /// Total connect attempts (clamped to at least 1).
+    pub attempts: u32,
+    /// Backoff before the second attempt; later attempts double it
+    /// (capped at 64×) and jitter keeps retrying clients from
+    /// stampeding a restarting shard in lockstep.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(2),
+            attempts: 5,
+            base_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
 /// A connected protocol client.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Connect attempts beyond the first that this connection needed
+    /// (see [`connect_with`](Self::connect_with)); a fleet router sums
+    /// these into the `connect_retries` stats counter.
+    retries: u64,
 }
 
 impl Client {
-    /// Connect to a running server.
+    /// Connect to a running server (single attempt, OS default timeout).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Connect with a per-attempt timeout and bounded, jittered retry on
+    /// transient connect failures (refused while a shard restarts,
+    /// unreachable, timed out).  Returns the last error once the attempt
+    /// budget is spent.
+    pub fn connect_with(addr: impl ToSocketAddrs, policy: &RetryPolicy) -> std::io::Result<Self> {
+        let attempts = policy.attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(jittered_backoff(policy.base_backoff, attempt));
+            }
+            match Self::connect_once(&addr, policy.connect_timeout) {
+                Ok(mut client) => {
+                    client.retries = u64::from(attempt);
+                    return Ok(client);
+                }
+                Err(err) => last_err = Some(err),
+            }
+        }
+        // pdb-analyze: allow(panic-path): attempts >= 1, so the loop ran and set last_err
+        Err(last_err.unwrap())
+    }
+
+    /// One connect attempt across every resolved address.
+    fn connect_once(addr: &impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Client> {
+        let mut last_err = None;
+        for sock_addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sock_addr, timeout) {
+                Ok(stream) => return Self::from_stream(stream),
+                Err(err) => last_err = Some(err),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
         // pdb-analyze: allow(error-swallow): latency knob only; correctness does not depend on it
         let _ = stream.set_nodelay(true);
         let read_half = stream.try_clone()?;
-        Ok(Self { reader: BufReader::new(read_half), writer: BufWriter::new(stream) })
+        Ok(Self { reader: BufReader::new(read_half), writer: BufWriter::new(stream), retries: 0 })
+    }
+
+    /// Connect attempts beyond the first this connection needed.
+    pub fn connect_retries(&self) -> u64 {
+        self.retries
     }
 
     /// Send one request and read its response.
@@ -92,6 +172,7 @@ impl Client {
             dataset,
             probe_cost,
             probe_success,
+            session: None,
         }))? {
             Response::SessionCreated(created) => Ok(created),
             other => Err(unexpected("session_created", &other)),
@@ -225,9 +306,84 @@ impl Client {
             snapshot: snapshot.into(),
             probe_cost,
             probe_success,
+            session: None,
         }))? {
             Response::SessionCreated(created) => Ok(created),
             other => Err(unexpected("session_created", &other)),
+        }
+    }
+
+    /// `fetch_chunk`: one verified chunk of a snapshot file in the
+    /// server's store directory.  The chunk's XXH64 and length are
+    /// checked here, so a caller that loops to
+    /// [`download_snapshot`](Self::download_snapshot) semantics never
+    /// assembles corrupt bytes.
+    pub fn fetch_chunk(
+        &mut self,
+        snapshot: impl Into<String>,
+        offset: u64,
+        max_len: u64,
+    ) -> Result<(SnapshotChunk, Vec<u8>), ClientError> {
+        let snapshot = snapshot.into();
+        let chunk =
+            match self.call(&Request::FetchChunk(FetchChunk { snapshot, offset, max_len }))? {
+                Response::Chunk(chunk) => chunk,
+                other => return Err(unexpected("chunk", &other)),
+            };
+        let bytes = decode_chunk_data(&chunk.data)
+            .map_err(|err| ClientError::Protocol(format!("chunk data: {err}")))?;
+        if bytes.len() as u64 != chunk.len {
+            return Err(ClientError::Protocol(format!(
+                "chunk length mismatch: header says {}, payload has {}",
+                chunk.len,
+                bytes.len()
+            )));
+        }
+        if pdb_store::hash::xxh64(&bytes, CHUNK_SEED) != chunk.xxh64 {
+            return Err(ClientError::Protocol(format!(
+                "chunk at offset {} of {} failed its checksum",
+                chunk.offset, chunk.snapshot
+            )));
+        }
+        Ok((chunk, bytes))
+    }
+
+    /// Download a whole snapshot file from the server's store directory
+    /// by looping `fetch_chunk` until `eof`, verifying every chunk.
+    /// This is how a fresh replica rehydrates from a live peer without
+    /// shared disk: `persist` on the peer, download, write locally,
+    /// `restore` against the local copy.
+    pub fn download_snapshot(
+        &mut self,
+        snapshot: &str,
+        chunk_len: u64,
+    ) -> Result<Vec<u8>, ClientError> {
+        let mut bytes = Vec::new();
+        loop {
+            let (chunk, data) = self.fetch_chunk(snapshot, bytes.len() as u64, chunk_len.max(1))?;
+            if chunk.offset != bytes.len() as u64 {
+                return Err(ClientError::Protocol(format!(
+                    "server answered offset {} for a request at offset {}",
+                    chunk.offset,
+                    bytes.len()
+                )));
+            }
+            bytes.extend_from_slice(&data);
+            if chunk.eof {
+                if bytes.len() as u64 != chunk.total {
+                    return Err(ClientError::Protocol(format!(
+                        "snapshot download ended at {} of {} bytes",
+                        bytes.len(),
+                        chunk.total
+                    )));
+                }
+                return Ok(bytes);
+            }
+            if data.is_empty() {
+                return Err(ClientError::Protocol(
+                    "server sent an empty non-final chunk; download cannot progress".to_string(),
+                ));
+            }
         }
     }
 
@@ -246,6 +402,26 @@ impl Client {
             other => Err(unexpected("shutting_down", &other)),
         }
     }
+}
+
+/// Exponential backoff with full jitter: `base × 2^attempt` (growth
+/// capped at 64×), scaled by a random factor in `[0.5, 1.0]` so a fleet
+/// of clients retrying a restarting shard spreads out instead of
+/// stampeding in lockstep.  The jitter source is SplitMix64 over the
+/// clock's sub-second nanos — cheap, dependency-free, and plenty for
+/// de-synchronizing sleeps.
+fn jittered_backoff(base: Duration, attempt: u32) -> Duration {
+    let capped = base.saturating_mul(1u32 << attempt.min(6));
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::from(d.subsec_nanos()))
+        .unwrap_or(0);
+    let mut z = nanos.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let frac = (z >> 11) as f64 / (1u64 << 53) as f64;
+    capped.mul_f64(0.5 + 0.5 * frac)
 }
 
 /// Map a mismatched (or error) response to the matching [`ClientError`].

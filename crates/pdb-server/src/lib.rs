@@ -50,7 +50,7 @@ pub mod protocol;
 pub mod server;
 pub mod session;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use protocol::{DatasetSpec, EvalMode, Request, Response};
 pub use server::{Server, ServerConfig};
 pub use session::{Session, SessionManager};

@@ -30,6 +30,7 @@
 //! | `drop_session` | [`SessionRef`] | `session_dropped` ([`SessionRef`]) |
 //! | `persist` | [`SessionRef`] | `persisted` ([`Persisted`]) |
 //! | `restore` | [`RestoreSession`] | `session_created` ([`SessionCreated`]) |
+//! | `fetch_chunk` | [`FetchChunk`] | `chunk` ([`SnapshotChunk`]) |
 //! | `stats` | — | `stats` ([`ServerStats`]) |
 //! | `shutdown` | — | `shutting_down` |
 //!
@@ -63,7 +64,12 @@ use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 pub use pdb_store::DatasetSpec;
 
 /// Payload of `create_session`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `session` is optional on the wire (omitted when `None`, and absent in
+/// every pre-fleet request): a plain client lets the server assign the
+/// next id, while the fleet router pre-assigns fleet-wide unique ids so
+/// two shards never hand out the same one.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CreateSession {
     /// Database the session evaluates.
     pub dataset: DatasetSpec,
@@ -71,6 +77,35 @@ pub struct CreateSession {
     pub probe_cost: u64,
     /// Probability that one probe succeeds (uniform across x-tuples).
     pub probe_success: f64,
+    /// Requested session id (`None`: the server assigns the next free
+    /// one).  Creating an id that already exists is an error.
+    pub session: Option<u64>,
+}
+
+impl Serialize for CreateSession {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("dataset".to_string(), self.dataset.to_value()),
+            ("probe_cost".to_string(), self.probe_cost.to_value()),
+            ("probe_success".to_string(), self.probe_success.to_value()),
+        ];
+        if let Some(session) = self.session {
+            entries.push(("session".to_string(), session.to_value()));
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for CreateSession {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let entries = object_entries(value, "create_session")?;
+        Ok(CreateSession {
+            dataset: required_field(entries, "dataset", "create_session")?,
+            probe_cost: required_field(entries, "probe_cost", "create_session")?,
+            probe_success: required_field(entries, "probe_success", "create_session")?,
+            session: optional_field(entries, "session")?,
+        })
+    }
 }
 
 /// Payload of `register_query`.
@@ -159,7 +194,7 @@ pub type ApplyProbe = ApplyMutation;
 /// previous `persist`).  On a store-backed server the snapshot is copied
 /// into the store via an immediate checkpoint, so the new session
 /// survives restarts without the external file.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RestoreSession {
     /// Path of the snapshot file to load.
     pub snapshot: String,
@@ -167,6 +202,113 @@ pub struct RestoreSession {
     pub probe_cost: u64,
     /// Probability that one probe succeeds (uniform across x-tuples).
     pub probe_success: f64,
+    /// Requested session id (`None`: the server assigns the next free
+    /// one; the fleet router pre-assigns ids, and a peer rehydrate keeps
+    /// the original id).  Optional on the wire, omitted when `None`.
+    pub session: Option<u64>,
+}
+
+impl Serialize for RestoreSession {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("snapshot".to_string(), self.snapshot.to_value()),
+            ("probe_cost".to_string(), self.probe_cost.to_value()),
+            ("probe_success".to_string(), self.probe_success.to_value()),
+        ];
+        if let Some(session) = self.session {
+            entries.push(("session".to_string(), session.to_value()));
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for RestoreSession {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let entries = object_entries(value, "restore")?;
+        Ok(RestoreSession {
+            snapshot: required_field(entries, "snapshot", "restore")?,
+            probe_cost: required_field(entries, "probe_cost", "restore")?,
+            probe_success: required_field(entries, "probe_success", "restore")?,
+            session: optional_field(entries, "session")?,
+        })
+    }
+}
+
+/// Payload of `fetch_chunk`: stream one byte range of a snapshot file
+/// out of the server's store directory, so a peer can rehydrate a
+/// session over the wire instead of over shared disk.  `snapshot` must
+/// be a bare file name inside the store directory (no path separators) —
+/// exactly what `persist` returns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FetchChunk {
+    /// File name of the snapshot inside the store directory.
+    pub snapshot: String,
+    /// Byte offset the chunk starts at.
+    pub offset: u64,
+    /// Upper bound on the chunk's length in bytes (the server may send
+    /// less at end of file; it never sends more).
+    pub max_len: u64,
+}
+
+/// Seed of the per-chunk XXH64 integrity check ("pdbc"), mirroring the
+/// WAL's per-record checksum framing.
+pub const CHUNK_SEED: u64 = 0x7064_6263;
+
+/// Response to `fetch_chunk`: one length- and checksum-framed byte range
+/// of a snapshot file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotChunk {
+    /// The snapshot file the bytes come from.
+    pub snapshot: String,
+    /// Byte offset the chunk starts at.
+    pub offset: u64,
+    /// Bytes in this chunk (`data` decodes to exactly this many).
+    pub len: u64,
+    /// Total size of the snapshot file, so the receiver can preallocate
+    /// and detect truncation.
+    pub total: u64,
+    /// XXH64 (seed [`CHUNK_SEED`]) of this chunk's raw bytes.
+    pub xxh64: u64,
+    /// The chunk's bytes, hex-encoded (JSON-safe framing of binary data).
+    pub data: String,
+    /// Whether this chunk ends the file (`offset + len == total`).
+    pub eof: bool,
+}
+
+/// Hex-encode a chunk's raw bytes for the wire.
+pub fn encode_chunk_data(bytes: &[u8]) -> String {
+    bytes
+        .iter()
+        .flat_map(|byte| [byte >> 4, byte & 0xF])
+        // Both nibbles are < 16, so `from_digit` always succeeds; the
+        // fallback only keeps this expression panic-free.
+        .map(|nibble| char::from_digit(u32::from(nibble), 16).unwrap_or('0'))
+        .collect()
+}
+
+/// Decode a chunk's hex payload back into raw bytes.
+pub fn decode_chunk_data(data: &str) -> Result<Vec<u8>, SerdeError> {
+    let data = data.as_bytes();
+    if !data.len().is_multiple_of(2) {
+        return Err(SerdeError::custom("chunk data has an odd hex length"));
+    }
+    let nibble = |c: u8| -> Result<u8, SerdeError> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            other => {
+                Err(SerdeError::custom(format!("invalid hex byte {other:#04x} in chunk data")))
+            }
+        }
+    };
+    data.chunks_exact(2)
+        .map(|pair| match pair {
+            [hi, lo] => Ok((nibble(*hi)? << 4) | nibble(*lo)?),
+            // `chunks_exact(2)` only ever yields two-byte windows.
+            _ => Err(SerdeError::custom("chunk data framing error")),
+        })
+        .collect()
 }
 
 /// One request of the wire protocol.
@@ -202,6 +344,9 @@ pub enum Request {
     Persist(SessionRef),
     /// `restore`: open a new session over a snapshot file.
     Restore(RestoreSession),
+    /// `fetch_chunk`: stream one byte range of a store snapshot, so a
+    /// peer can rehydrate over the wire.
+    FetchChunk(FetchChunk),
     /// `stats`: server-wide counters.
     Stats,
     /// `shutdown`: stop accepting connections and drain in-flight requests.
@@ -222,6 +367,7 @@ impl Request {
             Request::DropSession(_) => "drop_session",
             Request::Persist(_) => "persist",
             Request::Restore(_) => "restore",
+            Request::FetchChunk(_) => "fetch_chunk",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
         }
@@ -240,6 +386,7 @@ impl Serialize for Request {
             | Request::Persist(p) => p.to_value(),
             Request::ApplyMutation(p) | Request::ApplyProbe(p) => p.to_value(),
             Request::Restore(p) => p.to_value(),
+            Request::FetchChunk(p) => p.to_value(),
             Request::Stats | Request::Shutdown => Value::Map(Vec::new()),
         };
         Value::Map(vec![(self.verb().to_string(), payload)])
@@ -269,6 +416,7 @@ impl Deserialize for Request {
             "drop_session" => Ok(Request::DropSession(Deserialize::from_value(payload)?)),
             "persist" => Ok(Request::Persist(Deserialize::from_value(payload)?)),
             "restore" => Ok(Request::Restore(Deserialize::from_value(payload)?)),
+            "fetch_chunk" => Ok(Request::FetchChunk(Deserialize::from_value(payload)?)),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(SerdeError::custom(format!("unknown request verb {other:?}"))),
@@ -401,6 +549,11 @@ pub struct ServerStats {
     /// Whether sessions are journalled to a durable store
     /// (`--store-dir`).
     pub durable: bool,
+    /// Transient connect/read failures retried away by this process's
+    /// outbound [`Client`](crate::Client)s (always 0 on a plain shard
+    /// server; the fleet router reports its shard-connection retries
+    /// here, summed into the merged fleet stats).
+    pub connect_retries: u64,
     /// Per-session age / query / probe counters, ascending by id.
     pub sessions: Vec<SessionStat>,
 }
@@ -432,6 +585,8 @@ pub enum Response {
     SessionDropped(SessionRef),
     /// `persisted`
     Persisted(Persisted),
+    /// `chunk`
+    Chunk(SnapshotChunk),
     /// `stats`
     Stats(ServerStats),
     /// `shutting_down`
@@ -452,6 +607,7 @@ impl Response {
             Response::ProbeApplied(_) => "probe_applied",
             Response::SessionDropped(_) => "session_dropped",
             Response::Persisted(_) => "persisted",
+            Response::Chunk(_) => "chunk",
             Response::Stats(_) => "stats",
             Response::ShuttingDown => "shutting_down",
             Response::Error(_) => "error",
@@ -475,6 +631,7 @@ impl Serialize for Response {
             Response::ProbeApplied(p) => p.to_value(),
             Response::SessionDropped(p) => p.to_value(),
             Response::Persisted(p) => p.to_value(),
+            Response::Chunk(p) => p.to_value(),
             Response::Stats(p) => p.to_value(),
             Response::ShuttingDown => Value::Map(Vec::new()),
             Response::Error(p) => p.to_value(),
@@ -500,6 +657,7 @@ impl Deserialize for Response {
             "probe_applied" => Ok(Response::ProbeApplied(Deserialize::from_value(payload)?)),
             "session_dropped" => Ok(Response::SessionDropped(Deserialize::from_value(payload)?)),
             "persisted" => Ok(Response::Persisted(Deserialize::from_value(payload)?)),
+            "chunk" => Ok(Response::Chunk(Deserialize::from_value(payload)?)),
             "stats" => Ok(Response::Stats(Deserialize::from_value(payload)?)),
             "shutting_down" => Ok(Response::ShuttingDown),
             "error" => Ok(Response::Error(Deserialize::from_value(payload)?)),
@@ -526,6 +684,34 @@ pub fn decode_request(line: &str) -> Result<Request, SerdeError> {
 /// Parse one response line.
 pub fn decode_response(line: &str) -> Result<Response, SerdeError> {
     serde_json::from_str(line)
+}
+
+/// The entries of a JSON object payload (manual-impl helper).
+fn object_entries<'v>(value: &'v Value, what: &str) -> Result<&'v [(String, Value)], SerdeError> {
+    value.as_map().ok_or_else(|| SerdeError::custom(format!("expected an object for {what}")))
+}
+
+/// A mandatory field of a manually deserialized payload.
+fn required_field<T: Deserialize>(
+    entries: &[(String, Value)],
+    key: &str,
+    what: &str,
+) -> Result<T, SerdeError> {
+    let value = Value::map_get(entries, key)
+        .ok_or_else(|| SerdeError::custom(format!("missing field {key:?} in {what}")))?;
+    T::from_value(value)
+}
+
+/// An optional field: absent and `null` both mean `None`, so pre-fleet
+/// requests (which never sent the field) keep parsing unchanged.
+fn optional_field<T: Deserialize>(
+    entries: &[(String, Value)],
+    key: &str,
+) -> Result<Option<T>, SerdeError> {
+    match Value::map_get(entries, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(value) => T::from_value(value).map(Some),
+    }
 }
 
 /// The single `(key, value)` entry of a protocol envelope.
@@ -565,6 +751,13 @@ mod tests {
             dataset: DatasetSpec::Synthetic { tuples: 1000 },
             probe_cost: 2,
             probe_success: 0.8,
+            session: None,
+        }));
+        round_trip_request(&Request::CreateSession(CreateSession {
+            dataset: DatasetSpec::Udb1,
+            probe_cost: 1,
+            probe_success: 0.8,
+            session: Some(41),
         }));
         round_trip_request(&Request::RegisterQuery(RegisterQuery {
             session: 7,
@@ -601,9 +794,66 @@ mod tests {
             snapshot: "/tmp/db.pdbs".to_string(),
             probe_cost: 1,
             probe_success: 0.8,
+            session: None,
+        }));
+        round_trip_request(&Request::Restore(RestoreSession {
+            snapshot: "snapshot-41-2.pdbs".to_string(),
+            probe_cost: 1,
+            probe_success: 0.8,
+            session: Some(41),
+        }));
+        round_trip_request(&Request::FetchChunk(FetchChunk {
+            snapshot: "snapshot-41-2.pdbs".to_string(),
+            offset: 65536,
+            max_len: 65536,
         }));
         round_trip_request(&Request::Stats);
         round_trip_request(&Request::Shutdown);
+    }
+
+    #[test]
+    fn optional_session_ids_stay_off_the_wire_when_unset() {
+        // Pre-fleet JSON (no `session` key) keeps parsing, and `None`
+        // round-trips *without* emitting the key — old servers would
+        // reject an always-present null.
+        let req = Request::CreateSession(CreateSession {
+            dataset: DatasetSpec::Udb1,
+            probe_cost: 1,
+            probe_success: 0.8,
+            session: None,
+        });
+        let json = encode(&req).unwrap();
+        assert!(!json.contains("\"session\""), "{json}");
+        let parsed = decode_request(
+            "{\"create_session\": {\"dataset\": \"Udb1\", \"probe_cost\": 1, \
+             \"probe_success\": 0.8}}",
+        )
+        .unwrap();
+        assert_eq!(parsed, req);
+        // An explicit null is also `None`.
+        let parsed = decode_request(
+            "{\"create_session\": {\"dataset\": \"Udb1\", \"probe_cost\": 1, \
+             \"probe_success\": 0.8, \"session\": null}}",
+        )
+        .unwrap();
+        assert_eq!(parsed, req);
+        // Missing mandatory fields still error with context.
+        let err = decode_request("{\"create_session\": {\"dataset\": \"Udb1\"}}").unwrap_err();
+        assert!(err.to_string().contains("probe_cost"), "{err}");
+        let err = decode_request("{\"restore\": {\"probe_cost\": 1}}").unwrap_err();
+        assert!(err.to_string().contains("snapshot"), "{err}");
+    }
+
+    #[test]
+    fn chunk_data_hex_framing_round_trips() {
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        let hex = encode_chunk_data(&bytes);
+        assert_eq!(hex.len(), 512);
+        assert_eq!(decode_chunk_data(&hex).unwrap(), bytes);
+        assert_eq!(decode_chunk_data("00FFa5").unwrap(), vec![0, 255, 165]);
+        assert!(decode_chunk_data("abc").is_err(), "odd length");
+        assert!(decode_chunk_data("zz").is_err(), "non-hex byte");
+        assert!(decode_chunk_data("").unwrap().is_empty());
     }
 
     #[test]
@@ -647,6 +897,15 @@ mod tests {
             tuples: 7,
             probes: 2,
         }));
+        round_trip_response(&Response::Chunk(SnapshotChunk {
+            snapshot: "snapshot-41-2.pdbs".to_string(),
+            offset: 0,
+            len: 3,
+            total: 3,
+            xxh64: pdb_store::hash::xxh64(&[0xab, 0xcd, 0xef], CHUNK_SEED),
+            data: "abcdef".to_string(),
+            eof: true,
+        }));
         round_trip_response(&Response::Stats(ServerStats {
             sessions_live: 1,
             sessions_created: 2,
@@ -655,6 +914,7 @@ mod tests {
             shards: 8,
             threads: 4,
             durable: true,
+            connect_retries: 5,
             sessions: vec![SessionStat { session: 1, age_ms: 1234, queries: 2, probes: 3 }],
         }));
         round_trip_response(&Response::ShuttingDown);

@@ -22,6 +22,7 @@
 
 use crate::protocol::{self, Request, Response, ServerStats};
 use crate::session::SessionManager;
+use pdb_store::FlushPolicy;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -50,6 +51,12 @@ pub struct ServerConfig {
     /// Auto-compaction threshold: checkpoint all sessions and truncate
     /// the log once this many records accumulate (0 disables).
     pub compact_every: u64,
+    /// How journal appends reach disk (only meaningful with a
+    /// `store_dir`): [`FlushPolicy::PerRecord`] fsyncs every record — the
+    /// durability oracle — while [`FlushPolicy::GroupCommit`] batches
+    /// concurrent appends into one fsync per window (see
+    /// `pdb-store`'s group-commit flusher).
+    pub flush: FlushPolicy,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +67,7 @@ impl Default for ServerConfig {
             shards: 8,
             store_dir: None,
             compact_every: 1024,
+            flush: FlushPolicy::PerRecord,
         }
     }
 }
@@ -85,9 +93,9 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let manager = match &config.store_dir {
             Some(dir) => {
-                let (store, recovery) = pdb_store::Store::open(
+                let (store, recovery) = pdb_store::Store::open_with_policy(
                     std::path::Path::new(dir),
-                    true,
+                    config.flush,
                     &pdb_gen::spec::build_dataset,
                 )
                 .map_err(|err| {
@@ -339,6 +347,10 @@ fn dispatch(request: Request, ctx: &HandlerContext) -> Response {
             Ok(created) => Response::SessionCreated(created),
             Err(err) => Response::error(err),
         },
+        Request::FetchChunk(req) => match manager.fetch_chunk(&req) {
+            Ok(chunk) => Response::Chunk(chunk),
+            Err(err) => Response::error(err),
+        },
         Request::Stats => Response::Stats(ServerStats {
             sessions_live: manager.sessions_live(),
             sessions_created: manager.sessions_created(),
@@ -347,6 +359,7 @@ fn dispatch(request: Request, ctx: &HandlerContext) -> Response {
             shards: manager.num_shards(),
             threads: ctx.threads,
             durable: manager.store().is_some(),
+            connect_retries: 0,
             sessions: manager.session_stats(),
         }),
         Request::Shutdown => {

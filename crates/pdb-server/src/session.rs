@@ -18,9 +18,10 @@
 //! shard, stay available.
 
 use crate::protocol::{
-    Answers, ApplyMutation, ApplyProbe, CreateSession, EvalMode, Persisted, ProbeAdvice,
-    ProbeApplied, ProbeRecommendation, QualityReport, QueryRegistered, RegisterQuery,
-    RestoreSession, SessionCreated, SessionRef, SessionStat,
+    encode_chunk_data, Answers, ApplyMutation, ApplyProbe, CreateSession, EvalMode, FetchChunk,
+    Persisted, ProbeAdvice, ProbeApplied, ProbeRecommendation, QualityReport, QueryRegistered,
+    RegisterQuery, RestoreSession, SessionCreated, SessionRef, SessionStat, SnapshotChunk,
+    CHUNK_SEED,
 };
 use pdb_clean::{best_single_probe, CleaningContext, CleaningSetup};
 use pdb_core::{DbError, RankedDatabase, Result as DbResult};
@@ -33,6 +34,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
+
+/// Upper bound on one `fetch_chunk` reply's payload, whatever the client
+/// asked for: chunks are hex-encoded into a JSON line, so an unbounded
+/// `max_len` would balloon one reply line past what peers should buffer.
+const MAX_CHUNK_LEN: u64 = 4 << 20;
 
 /// One live session: a database, its cleaning parameters and (once a query
 /// is registered) the shared batch evaluation serving every registered
@@ -474,11 +480,29 @@ impl SessionManager {
     /// could otherwise journal records for this id ahead of its create
     /// record — a log no recovery could replay.  On append failure
     /// nothing was published and the id is simply burned.
+    ///
+    /// A request may pin an explicit session id (`req.session`): a fleet
+    /// router allocates ids fleet-wide so every shard agrees on them, and
+    /// a shard must honor the router's choice.  A pinned id that already
+    /// exists is an error, and the local allocator is bumped past every
+    /// pinned id so locally allocated ids never collide with routed ones.
     pub fn create(&self, req: &CreateSession) -> DbResult<SessionCreated> {
         let db = build_dataset(&req.dataset)?;
         let info = SessionCreated { session: 0, tuples: db.len(), x_tuples: db.num_x_tuples() };
         let session = Session::new(db, req.probe_cost, req.probe_success)?;
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = match req.session {
+            Some(id) => {
+                if id == 0 {
+                    return Err(DbError::invalid_parameter("session id 0 is reserved"));
+                }
+                if self.read_shard(id).contains_key(&id) {
+                    return Err(DbError::invalid_parameter(format!("session {id} already exists")));
+                }
+                self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+                id
+            }
+            None => self.next_id.fetch_add(1, Ordering::Relaxed),
+        };
         if let Some(store) = &self.store {
             match &req.dataset {
                 // A snapshot spec names a file *outside* the store; the
@@ -513,6 +537,49 @@ impl SessionManager {
             dataset: DatasetSpec::Snapshot { path: req.snapshot.clone() },
             probe_cost: req.probe_cost,
             probe_success: req.probe_success,
+            session: req.session,
+        })
+    }
+
+    /// Serve one chunk of a snapshot file from the store directory
+    /// (`fetch_chunk` verb): a fresh replica rehydrates from a live peer
+    /// by downloading the snapshot a `persist` just produced, then
+    /// restoring it locally — no shared disk required.
+    ///
+    /// The snapshot name must be a bare file name produced by `persist`
+    /// (no path separators, `.pdbs` suffix): the verb reads files *only*
+    /// out of the store directory, never an arbitrary path.
+    pub fn fetch_chunk(&self, req: &FetchChunk) -> DbResult<SnapshotChunk> {
+        let store = self.store.as_ref().ok_or_else(|| {
+            DbError::invalid_parameter(
+                "server has no durable store; start it with --store-dir to use fetch_chunk",
+            )
+        })?;
+        let name = &req.snapshot;
+        if name.is_empty()
+            || name.contains(['/', '\\'])
+            || name.contains("..")
+            || !name.ends_with(".pdbs")
+        {
+            return Err(DbError::invalid_parameter(format!(
+                "fetch_chunk snapshot must be a bare .pdbs file name from persist, got {name:?}"
+            )));
+        }
+        let path = store.dir().join(name);
+        let bytes = std::fs::read(&path)
+            .map_err(|err| DbError::invalid_parameter(format!("reading snapshot {name}: {err}")))?;
+        let total = bytes.len() as u64;
+        let offset = req.offset.min(total);
+        let len = req.max_len.min(total - offset).min(MAX_CHUNK_LEN);
+        let chunk = &bytes[offset as usize..(offset + len) as usize];
+        Ok(SnapshotChunk {
+            snapshot: name.clone(),
+            offset,
+            len,
+            total,
+            xxh64: pdb_store::hash::xxh64(chunk, CHUNK_SEED),
+            data: encode_chunk_data(chunk),
+            eof: offset + len >= total,
         })
     }
 
@@ -764,7 +831,7 @@ mod tests {
     use pdb_engine::queries::TopKQuery;
 
     fn create_req(dataset: DatasetSpec) -> CreateSession {
-        CreateSession { dataset, probe_cost: 1, probe_success: 0.8 }
+        CreateSession { dataset, probe_cost: 1, probe_success: 0.8, session: None }
     }
 
     fn register_req(session: u64, k: usize) -> RegisterQuery {
@@ -848,14 +915,16 @@ mod tests {
             .create(&CreateSession {
                 dataset: DatasetSpec::Udb1,
                 probe_cost: 0,
-                probe_success: 0.5
+                probe_success: 0.5,
+                session: None
             })
             .is_err());
         assert!(mgr
             .create(&CreateSession {
                 dataset: DatasetSpec::Udb1,
                 probe_cost: 1,
-                probe_success: 1.5
+                probe_success: 1.5,
+                session: None
             })
             .is_err());
         assert_eq!(mgr.sessions_live(), 0);
@@ -978,6 +1047,7 @@ mod tests {
             snapshot: snapshot.display().to_string(),
             probe_cost: 1,
             probe_success: 0.8,
+            session: None,
         };
         let created = mgr.restore(&req).unwrap();
         assert_eq!((created.tuples, created.x_tuples), (7, 4));
@@ -988,6 +1058,7 @@ mod tests {
             snapshot: dir.join("nope.pdbs").display().to_string(),
             probe_cost: 1,
             probe_success: 0.8,
+            session: None,
         };
         assert!(mgr.restore(&missing).is_err());
         std::fs::remove_dir_all(&dir).ok();

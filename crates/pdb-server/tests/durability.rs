@@ -31,6 +31,7 @@ fn boot(
             shards: 2,
             store_dir: Some(store_dir.display().to_string()),
             compact_every,
+            ..Default::default()
         }) {
             Ok(server) => {
                 let addr = server.local_addr().expect("bound address");

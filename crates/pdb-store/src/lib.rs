@@ -42,6 +42,7 @@ pub use error::{Result, StoreError};
 pub use snapshot::{Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use spec::DatasetSpec;
 pub use store::{
-    CompactionStats, RecoveredSession, RecoveredState, Recovery, SessionCheckpoint, Store, WAL_FILE,
+    CompactionStats, FlushPolicy, RecoveredSession, RecoveredState, Recovery, SessionCheckpoint,
+    Store, WAL_FILE,
 };
 pub use wal::{Wal, WalRecord, WAL_VERSION};

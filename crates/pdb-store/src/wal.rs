@@ -385,6 +385,20 @@ impl Wal {
         Ok(())
     }
 
+    /// A duplicated handle to the log file, so the group-commit flusher
+    /// can fsync *outside* the log lock: `sync_data` on the clone covers
+    /// every frame fully written through the primary handle before the
+    /// clone was taken, and appenders keep writing while the fsync runs
+    /// — that overlap is where the next batch comes from.  (A compaction
+    /// rewrite may swap the file out from under an in-flight clone; the
+    /// rewrite itself made every surviving record durable, so fsyncing
+    /// the replaced inode is harmless.)
+    pub(crate) fn sync_handle(&self) -> Result<fs::File> {
+        self.file
+            .try_clone()
+            .map_err(|e| StoreError::io("cloning the log handle of", &self.path, e))
+    }
+
     /// Records in the log (valid records found at open + appends since).
     pub fn records(&self) -> u64 {
         self.records
