@@ -10,6 +10,7 @@ pub const LINTS: &[&str] = &[
     "float-eq",
     "forbid-unsafe",
     "protocol-drift",
+    "metric-drift",
     "cast-truncation",
     "error-swallow",
     "div-guard",
@@ -25,6 +26,7 @@ pub const LINT_DOCS: &[(&str, &str)] = &[
     ("float-eq", "no ==/!= on probability floats; compare with an epsilon"),
     ("forbid-unsafe", "every crate root must carry #![forbid(unsafe_code)]"),
     ("protocol-drift", "the wire verb set must agree everywhere it is written down"),
+    ("metric-drift", "every registered pdb-obs metric must appear in the README metric table, and vice versa"),
     ("cast-truncation", "narrowing `as` casts on store/server paths need try_from or a ::MAX guard"),
     ("error-swallow", "`let _ =` / `.ok();` must not discard fallible results on store/server paths"),
     ("div-guard", "non-literal divisors in engine kernels need a stability-gate check first"),

@@ -1,0 +1,152 @@
+//! **metric-drift**: the observability metric catalog is defined once
+//! and documented once; this lint keeps the two in sync.
+//!
+//! Source of truth: the string literals in
+//! `crates/pdb-obs/src/names.rs` (every registered series name lives
+//! there as a `pub const`).  Checked against it: the README's metric
+//! reference table (header row starting `| Metric`), in both
+//! directions — an instrumented series an operator cannot look up is
+//! invisible, and a documented series that no longer exists sends
+//! dashboards chasing ghosts.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{SourceFile, TokenKind};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+const NAMES: &str = "crates/pdb-obs/src/names.rs";
+const README: &str = "README.md";
+
+/// Run the cross-file check from the workspace root.
+pub fn check(root: &Path) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // A workspace without the observability crate (e.g. the lint test
+    // fixtures) has no catalog to drift from; the crate-layout checks
+    // own missing-crate reporting, so skip rather than diagnose.
+    let Ok(src) = std::fs::read_to_string(root.join(NAMES)) else { return out };
+    let names = SourceFile::lex(NAMES, src);
+    let readme = match std::fs::read_to_string(root.join(README)) {
+        Ok(text) => text,
+        Err(e) => {
+            out.push(Diagnostic::new("metric-drift", README, 1, format!("unreadable: {e}")));
+            return out;
+        }
+    };
+
+    let declared = name_literals(&names);
+    if declared.is_empty() {
+        out.push(Diagnostic::new(
+            "metric-drift",
+            NAMES,
+            1,
+            "could not find any metric name literals",
+        ));
+        return out;
+    }
+
+    let documented = table_rows(&readme, "| Metric", "|");
+    if documented.is_empty() {
+        out.push(Diagnostic::new(
+            "metric-drift",
+            README,
+            1,
+            "README has no metric table (header row starting `| Metric`)",
+        ));
+        return out;
+    }
+
+    for name in declared.difference(&documented) {
+        out.push(Diagnostic::new(
+            "metric-drift",
+            README,
+            1,
+            format!(
+                "metric `{name}` is registered in pdb-obs but missing from the README metric table"
+            ),
+        ));
+    }
+    for name in documented.difference(&declared) {
+        out.push(Diagnostic::new(
+            "metric-drift",
+            README,
+            1,
+            format!("the README metric table lists `{name}`, which pdb-obs does not register"),
+        ));
+    }
+    out
+}
+
+/// Every string literal in the names module.  The module holds nothing
+/// but `pub const NAME: &str = "..."` declarations (its doc comment
+/// says so and points here), so collecting all literals is exact.
+fn name_literals(file: &SourceFile) -> BTreeSet<String> {
+    file.tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Str)
+        .map(|t| file.text(t).trim_matches('"').to_string())
+        .collect()
+}
+
+/// Rows of a pipe table: from the line starting with `header_prefix`,
+/// collect the first backticked word of every following line that starts
+/// with `row_prefix`, until the table ends.  (Same shape as the
+/// protocol-drift table scanner; kept separate so the two lints stay
+/// independently testable.)
+fn table_rows(text: &str, header_prefix: &str, row_prefix: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut in_table = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if !in_table {
+            if trimmed.starts_with(header_prefix) {
+                in_table = true;
+            }
+            continue;
+        }
+        if !trimmed.starts_with(row_prefix) {
+            break;
+        }
+        if let Some(name) = first_backticked(trimmed) {
+            out.insert(name);
+        }
+    }
+    out
+}
+
+fn first_backticked(line: &str) -> Option<String> {
+    let open = line.find('`')?;
+    let rest = &line[open + 1..];
+    let close = rest.find('`')?;
+    Some(rest[..close].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_literals_are_collected() {
+        let src = "pub const A: &str = \"alpha_total\";\npub const B: &str = \"beta_ns\";\n";
+        let file = SourceFile::lex("names.rs", src);
+        assert_eq!(
+            name_literals(&file),
+            ["alpha_total", "beta_ns"].iter().map(|s| s.to_string()).collect()
+        );
+    }
+
+    #[test]
+    fn metric_table_rows_stop_at_table_end() {
+        let text = "| Metric | Kind |\n|---|---|\n| `a_total` | counter |\n\n| `stray` | x |\n";
+        let rows = table_rows(text, "| Metric", "|");
+        assert_eq!(rows, ["a_total"].iter().map(|s| s.to_string()).collect());
+    }
+
+    #[test]
+    fn live_catalog_matches_the_live_readme() {
+        // The real check, run against this workspace: the repo must not
+        // merge with its own catalog drifted.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let diags = check(&root);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

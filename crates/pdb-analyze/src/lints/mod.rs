@@ -17,6 +17,7 @@ pub mod error_swallow;
 pub mod float_eq;
 pub mod forbid_unsafe;
 pub mod lock_order;
+pub mod metric_drift;
 pub mod panic_path;
 pub mod protocol_drift;
 

@@ -104,6 +104,7 @@ pub fn run(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     }));
     raw.extend(lints::dead_verb::check(&graph, &files));
     raw.extend(lints::protocol_drift::check(root));
+    raw.extend(lints::metric_drift::check(root));
 
     Ok(apply_suppressions(raw, sups))
 }

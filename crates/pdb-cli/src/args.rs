@@ -19,7 +19,8 @@ pub const USAGE: &str = "usage:
   pdb fleet serve [--addr <host:port>] [--shards <n>] [--threads <n per shard>] [--store-dir <dir>]
                   [--compact-every <n>] [--flush per-record|group-commit] [--flush-batch <n>] [--flush-wait-ms <ms>]
   pdb fleet status [--addr <host:port>]
-  pdb call <request-json | -> [--addr <host:port>]   (- streams stdin lines over one connection)
+  pdb metrics [--addr <host:port>] [--text]
+  pdb call <request-json | -> [--addr <host:port>] [--timing]   (- streams stdin lines over one connection)
   pdb mutate <session> insert --key <key> --alts <score:prob,...> [--mode delta|rebuild] [--addr <host:port>]
   pdb mutate <session> remove --x-tuple <l> [--mode delta|rebuild] [--addr <host:port>]
   pdb export [--dataset synthetic|mov|udb1] [--tuples <n>] --out <file.pdbs>
@@ -29,7 +30,7 @@ pub const USAGE: &str = "usage:
 
 call verbs (one JSON object per request, e.g. {\"evaluate\":{\"session\":0}}):
   create_session register_query evaluate quality recommend_probe apply_mutation
-  apply_probe drop_session persist restore fetch_chunk stats shutdown";
+  apply_probe drop_session persist restore fetch_chunk stats metrics shutdown";
 
 /// Which dataset a `quality` / `clean` invocation runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +143,15 @@ pub enum Command {
         /// sessions"), or `-` to stream newline-delimited requests from
         /// stdin over one persistent connection.
         request: String,
+        /// Print per-request client-side latency to stderr.
+        timing: bool,
+    },
+    /// `pdb metrics`
+    Metrics {
+        /// Server (or router) address to connect to.
+        addr: String,
+        /// Render Prometheus-style text exposition instead of JSON.
+        text: bool,
     },
     /// `pdb mutate`
     Mutate {
@@ -451,14 +461,29 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .split_first()
                 .ok_or_else(|| "call requires a JSON request argument".to_string())?;
             let mut addr = "127.0.0.1:7878".to_string();
+            let mut timing = false;
             let mut flags = Flags::new(rest);
             while let Some(flag) = flags.next_flag() {
                 match flag {
                     "--addr" => addr = flags.value_for("--addr")?.to_string(),
+                    "--timing" => timing = true,
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
-            Ok(Command::Call { addr, request: request.clone() })
+            Ok(Command::Call { addr, request: request.clone(), timing })
+        }
+        "metrics" => {
+            let mut addr = "127.0.0.1:7878".to_string();
+            let mut text = false;
+            let mut flags = Flags::new(rest);
+            while let Some(flag) = flags.next_flag() {
+                match flag {
+                    "--addr" => addr = flags.value_for("--addr")?.to_string(),
+                    "--text" => text = true,
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Metrics { addr, text })
         }
         "mutate" => {
             let (session, rest) = rest
@@ -847,12 +872,31 @@ mod tests {
         assert!(parse(&argv(&["serve", "--flush", "group-commit", "--flush-batch", "0"])).is_err());
 
         let c = parse(&argv(&["call", "\"stats\"", "--addr", "127.0.0.1:9"])).unwrap();
-        assert_eq!(c, Command::Call { addr: "127.0.0.1:9".into(), request: "\"stats\"".into() });
+        assert_eq!(
+            c,
+            Command::Call {
+                addr: "127.0.0.1:9".into(),
+                request: "\"stats\"".into(),
+                timing: false,
+            }
+        );
         // `-` selects the stdin line mode.
-        let c = parse(&argv(&["call", "-"])).unwrap();
-        assert_eq!(c, Command::Call { addr: "127.0.0.1:7878".into(), request: "-".into() });
+        let c = parse(&argv(&["call", "-", "--timing"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Call { addr: "127.0.0.1:7878".into(), request: "-".into(), timing: true }
+        );
         assert!(parse(&argv(&["call"])).is_err());
         assert!(parse(&argv(&["call", "\"stats\"", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_metrics() {
+        let c = parse(&argv(&["metrics"])).unwrap();
+        assert_eq!(c, Command::Metrics { addr: "127.0.0.1:7878".into(), text: false });
+        let c = parse(&argv(&["metrics", "--addr", "127.0.0.1:9", "--text"])).unwrap();
+        assert_eq!(c, Command::Metrics { addr: "127.0.0.1:9".into(), text: true });
+        assert!(parse(&argv(&["metrics", "--bogus"])).is_err());
     }
 
     #[test]

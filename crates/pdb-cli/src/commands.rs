@@ -32,7 +32,8 @@ pub fn run(command: Command) -> Result<String> {
             serve(&addr, threads, shards, store_dir, compact_every, flush)
         }
         Command::Fleet { op } => fleet(op),
-        Command::Call { addr, request } => call(&addr, &request),
+        Command::Call { addr, request, timing } => call(&addr, &request, timing),
+        Command::Metrics { addr, text } => metrics(&addr, text),
         Command::Mutate { addr, session, op, mode } => mutate(&addr, session, op, &mode),
         Command::Export { dataset, tuples, out } => export(dataset, tuples, &out),
         Command::Import { file, out } => import(&file, out.as_deref()),
@@ -340,6 +341,9 @@ fn fleet_status(addr: &str) -> Result<String> {
     let _ = writeln!(out, "probes applied    : {}", stats.probes_applied);
     let _ = writeln!(out, "requests served   : {}", stats.requests_served);
     let _ = writeln!(out, "connect retries   : {}", stats.connect_retries);
+    if let Some(err) = &stats.flush_error {
+        let _ = writeln!(out, "flush error       : {err}");
+    }
     for session in &stats.sessions {
         let _ = writeln!(
             out,
@@ -347,7 +351,54 @@ fn fleet_status(addr: &str) -> Result<String> {
             session.session, session.queries, session.probes, session.age_ms
         );
     }
+    // The router's merged `metrics` reply carries every shard's request
+    // histograms (already merged, associatively, shard order immaterial);
+    // surface per-verb latency quantiles for the verbs that ran.
+    let reply =
+        client.metrics().map_err(|e| DbError::invalid_parameter(format!("metrics failed: {e}")))?;
+    let snapshot = reply
+        .to_snapshot()
+        .map_err(|e| DbError::invalid_parameter(format!("metrics reply does not parse: {e}")))?;
+    let mut latency_header = false;
+    for sample in &snapshot.series {
+        if sample.name != pdb_obs::names::SERVER_REQUEST_LATENCY_NS || sample.value == 0 {
+            continue;
+        }
+        if !latency_header {
+            let _ = writeln!(out, "request latency (merged across shards, ns):");
+            latency_header = true;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<16} : count {:>8}  p50 {:>12}  p90 {:>12}  p99 {:>12}",
+            sample.label_value,
+            sample.value,
+            sample.quantile(0.50),
+            sample.quantile(0.90),
+            sample.quantile(0.99),
+        );
+    }
     Ok(out)
+}
+
+/// `pdb metrics`: fetch every registered observability series from a
+/// running server — or a fleet router, whose reply merges every shard's
+/// snapshot — and print it as the raw JSON response line, or (with
+/// `--text`) as Prometheus-style text exposition.
+fn metrics(addr: &str, text: bool) -> Result<String> {
+    let mut client = pdb_server::Client::connect_with(addr, &pdb_server::RetryPolicy::default())
+        .map_err(|e| DbError::invalid_parameter(format!("connecting to {addr} failed: {e}")))?;
+    let reply =
+        client.metrics().map_err(|e| DbError::invalid_parameter(format!("metrics failed: {e}")))?;
+    if text {
+        let snapshot = reply.to_snapshot().map_err(|e| {
+            DbError::invalid_parameter(format!("metrics reply does not parse: {e}"))
+        })?;
+        Ok(pdb_obs::text::render(&snapshot))
+    } else {
+        pdb_server::protocol::encode(&pdb_server::Response::Metrics(reply))
+            .map_err(|e| DbError::invalid_parameter(format!("encoding response failed: {e}")))
+    }
 }
 
 /// `pdb call`: send one JSON request line to a running server and print
@@ -355,23 +406,37 @@ fn fleet_status(addr: &str) -> Result<String> {
 /// requests are streamed from stdin over one persistent connection — one
 /// response line per request line, printed as they arrive — so scripted
 /// clients pay the connect cost once instead of per request.
-fn call(addr: &str, request: &str) -> Result<String> {
+fn call(addr: &str, request: &str, timing: bool) -> Result<String> {
     let mut client = pdb_server::Client::connect(addr)
         .map_err(|e| DbError::invalid_parameter(format!("connecting to {addr} failed: {e}")))?;
     if request == "-" {
-        return call_lines(&mut client, std::io::stdin().lock());
+        return call_lines(&mut client, std::io::stdin().lock(), timing);
     }
     let request = pdb_server::protocol::decode_request(request)
         .map_err(|e| DbError::invalid_parameter(format!("invalid request JSON: {e}")))?;
+    let started = std::time::Instant::now();
     let response = client.call(&request).map_err(|e| DbError::invalid_parameter(e.to_string()))?;
+    if timing {
+        print_timing(request.verb(), started.elapsed());
+    }
     pdb_server::protocol::encode(&response)
         .map_err(|e| DbError::invalid_parameter(format!("encoding response failed: {e}")))
+}
+
+/// `--timing` output: one stderr line per request, so the response JSON
+/// on stdout stays machine-parseable.
+fn print_timing(verb: &str, elapsed: std::time::Duration) {
+    eprintln!("timing: {verb} {:.3} ms", elapsed.as_secs_f64() * 1e3);
 }
 
 /// The `pdb call -` line mode: stream requests from `input` over one
 /// connection.  A malformed line yields a local `{"error": ...}` line
 /// (matching the server's own error shape) and the stream continues.
-fn call_lines(client: &mut pdb_server::Client, input: impl std::io::BufRead) -> Result<String> {
+fn call_lines(
+    client: &mut pdb_server::Client,
+    input: impl std::io::BufRead,
+    timing: bool,
+) -> Result<String> {
     use std::io::Write as _;
     let stdout = std::io::stdout();
     let mut served = 0u64;
@@ -383,7 +448,13 @@ fn call_lines(client: &mut pdb_server::Client, input: impl std::io::BufRead) -> 
         }
         let response = match pdb_server::protocol::decode_request(line.trim()) {
             Ok(request) => {
-                client.call(&request).map_err(|e| DbError::invalid_parameter(e.to_string()))?
+                let started = std::time::Instant::now();
+                let response =
+                    client.call(&request).map_err(|e| DbError::invalid_parameter(e.to_string()))?;
+                if timing {
+                    print_timing(request.verb(), started.elapsed());
+                }
+                response
             }
             Err(err) => pdb_server::Response::error(format!("invalid request JSON: {err}")),
         };
@@ -749,16 +820,17 @@ mod tests {
             &addr,
             "{\"create_session\": {\"dataset\": \"Udb1\", \"probe_cost\": 1, \
              \"probe_success\": 0.8}}",
+            false,
         )
         .unwrap();
         assert!(reply.contains("session_created"), "{reply}");
         assert!(reply.contains("\"tuples\":7"), "{reply}");
 
-        assert!(call(&addr, "not json").is_err());
-        let reply = call(&addr, "{\"evaluate\": {\"session\": 12345}}").unwrap();
+        assert!(call(&addr, "not json", false).is_err());
+        let reply = call(&addr, "{\"evaluate\": {\"session\": 12345}}", false).unwrap();
         assert!(reply.contains("error"), "{reply}");
 
-        let reply = call(&addr, "\"shutdown\"").unwrap();
+        let reply = call(&addr, "\"shutdown\"", false).unwrap();
         assert!(reply.contains("shutting_down"), "{reply}");
         handle.join().unwrap().unwrap();
     }
@@ -779,10 +851,11 @@ mod tests {
             &addr,
             "{\"create_session\": {\"dataset\": \"Udb1\", \"probe_cost\": 1, \
              \"probe_success\": 0.8}}",
+            false,
         )
         .unwrap();
         assert!(reply.contains("session_created"), "{reply}");
-        call(&addr, "{\"register_query\": {\"session\": 1, \"query\": {\"PTk\": {\"k\": 2, \"threshold\": 0.4}}, \"weight\": 1}}")
+        call(&addr, "{\"register_query\": {\"session\": 1, \"query\": {\"PTk\": {\"k\": 2, \"threshold\": 0.4}}, \"weight\": 1}}", false)
             .unwrap();
 
         // A new entity arrives: the response reports the grown database.
@@ -798,7 +871,7 @@ mod tests {
         // Out-of-range removal surfaces as a server error, not a hang.
         assert!(mutate(&addr, 1, MutateOp::Remove { x_tuple: 99 }, "delta").is_err());
 
-        call(&addr, "\"shutdown\"").unwrap();
+        call(&addr, "\"shutdown\"", false).unwrap();
         handle.join().unwrap().unwrap();
     }
 
@@ -821,7 +894,7 @@ mod tests {
 {\"register_query\": {\"session\": 1, \"query\": {\"PTk\": {\"k\": 2, \"threshold\": 0.4}}, \"weight\": 1}}\n\
 not json\n\
 {\"evaluate\": {\"session\": 1}}\n";
-        let summary = call_lines(&mut client, std::io::Cursor::new(script)).unwrap();
+        let summary = call_lines(&mut client, std::io::Cursor::new(script), false).unwrap();
         assert!(summary.contains("4 request(s)"), "{summary}");
 
         // The connection survives the malformed line; the session built

@@ -213,6 +213,7 @@ pub fn apply_mutation_in_place(
     l: usize,
     mutation: &XTupleMutation,
 ) -> Result<DeltaStats> {
+    pdb_obs::metrics::ENGINE_DELTA_PATCHES_TOTAL.inc();
     if rp.num_tuples() != db.len() {
         return Err(DbError::invalid_parameter(format!(
             "rank probabilities cover {} tuples but the database has {}",
@@ -376,6 +377,7 @@ fn rebuild_ill_rows(
     let Some(&last) = ill.last() else { return Ok(()) };
     let k = rp.k();
     stats.rows_rebuilt += ill.len();
+    pdb_obs::metrics::ENGINE_REBUILT_ROWS_TOTAL.add(ill.len() as u64);
     let windowed = ill.len() * db.num_x_tuples() > last + 1;
     let (rho, top_k) = rp.parts_mut();
     if windowed {

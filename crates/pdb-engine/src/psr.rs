@@ -445,6 +445,7 @@ pub(crate) fn compute_row_into(task: RowTask, k: usize, row: &mut [f64]) {
 /// bit-for-bit identical to [`rank_probabilities_sequential`] because each
 /// row is a pure function of its planning-scan snapshot.
 pub fn rank_probabilities(db: &RankedDatabase, k: usize) -> Result<RankProbabilities> {
+    pdb_obs::metrics::ENGINE_PSR_RUNS_TOTAL.inc();
     #[cfg(feature = "parallel")]
     {
         rank_probabilities_parallel(db, k)

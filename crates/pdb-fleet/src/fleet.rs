@@ -178,6 +178,12 @@ impl Fleet {
             // Exited (or unknowable): respawn into the same slot.
             Ok(Some(_)) | Err(_) => {
                 let (child, addr) = spawn_shard(&self.config, shard)?;
+                pdb_obs::metrics::FLEET_RESPAWNS_TOTAL.inc();
+                if addr != handle.addr {
+                    // The slot's address moved: every ring entry for this
+                    // shard now resolves somewhere new.
+                    pdb_obs::metrics::FLEET_RING_REMAPS_TOTAL.inc();
+                }
                 handle.child = child;
                 handle.addr = addr;
                 handle.respawns += 1;

@@ -19,6 +19,7 @@
 //! | `restore` | router assigns a fleet-wide id (like `create_session`) |
 //! | `fetch_chunk` | by the session id embedded in the snapshot name |
 //! | `stats` | broadcast to every shard, replies merged |
+//! | `metrics` | broadcast to every shard, snapshots merged with the router's own |
 //! | `shutdown` | broadcast to every shard, then the router stops |
 //!
 //! The router holds no session state of its own — only the id allocator
@@ -30,7 +31,8 @@
 
 use crate::fleet::Fleet;
 use crate::ring::HashRing;
-use pdb_server::protocol::{self, ServerStats};
+use pdb_obs::snapshot::MetricsSnapshot;
+use pdb_server::protocol::{self, MetricsReply, ServerStats};
 use pdb_server::{Client, ClientError, Request, Response, RetryPolicy};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -176,8 +178,15 @@ impl RouterShared {
         shard: usize,
         request: &Request,
     ) -> Response {
+        // Shards past the fixed label set share the "other" cell; the
+        // last SHARD_LABELS entry *is* "other", so indexing covers both.
+        let label = pdb_obs::metrics::SHARD_LABELS.get(shard).copied().unwrap_or("other");
+        let _span = pdb_obs::metrics::FLEET_FORWARD_LATENCY_NS.with(label).span();
         let mut last_io = None;
-        for _ in 0..FORWARD_ATTEMPTS {
+        for attempt in 0..FORWARD_ATTEMPTS {
+            if attempt > 0 {
+                pdb_obs::metrics::FLEET_RETRIES_TOTAL.inc();
+            }
             let client = match self.client_for(clients, shard) {
                 Ok(client) => client,
                 Err(err) => {
@@ -225,6 +234,7 @@ impl RouterShared {
             threads: 0,
             durable: true,
             connect_retries: self.connect_retries.load(Ordering::Relaxed),
+            flush_error: None,
             sessions: Vec::new(),
         };
         for shard in self.ring.shards() {
@@ -237,6 +247,13 @@ impl RouterShared {
                     merged.threads += stats.threads;
                     merged.durable &= stats.durable;
                     merged.connect_retries += stats.connect_retries;
+                    if merged.flush_error.is_none() {
+                        if let Some(err) = stats.flush_error {
+                            // First degraded shard wins; name it so the
+                            // operator knows where to look.
+                            merged.flush_error = Some(format!("shard {shard}: {err}"));
+                        }
+                    }
                     merged.sessions.extend(stats.sessions);
                 }
                 Response::Error(reply) => {
@@ -255,6 +272,40 @@ impl RouterShared {
         }
         merged.sessions.sort_by_key(|s| s.session);
         Response::Stats(merged)
+    }
+
+    /// Broadcast `metrics` and merge every shard's snapshot with the
+    /// router's own series (forward latency, retries, respawns, ring
+    /// remaps).  The merge is associative and order-canonical, so the
+    /// result is identical no matter which shard replies first.
+    fn merged_metrics(&self, clients: &mut HashMap<usize, Client>) -> Response {
+        let mut merged = MetricsSnapshot::default();
+        for shard in self.ring.shards() {
+            match self.forward(clients, shard, &Request::Metrics) {
+                Response::Metrics(reply) => match reply.to_snapshot() {
+                    Ok(snapshot) => merged.merge(&snapshot),
+                    Err(err) => {
+                        return Response::error(format!(
+                            "metrics from shard {shard} do not merge: {err}"
+                        ))
+                    }
+                },
+                Response::Error(reply) => {
+                    return Response::error(format!(
+                        "metrics from shard {shard} failed: {}",
+                        reply.message
+                    ))
+                }
+                other => {
+                    return Response::error(format!(
+                        "metrics from shard {shard} returned {:?}",
+                        other.kind()
+                    ))
+                }
+            }
+        }
+        merged.merge(&pdb_obs::metrics::snapshot());
+        Response::Metrics(MetricsReply::from(merged))
     }
 
     /// Route one request (see the module-level table).
@@ -290,6 +341,7 @@ impl RouterShared {
                 }
             },
             Request::Stats => return self.merged_stats(clients),
+            Request::Metrics => return self.merged_metrics(clients),
             Request::Shutdown => {
                 self.fleet.shutdown();
                 self.shutdown.store(true, Ordering::SeqCst);

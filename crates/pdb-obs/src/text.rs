@@ -1,0 +1,140 @@
+//! Prometheus-style text exposition of a [`MetricsSnapshot`].
+//!
+//! The format follows the exposition conventions close enough for a
+//! scraper or a human: one `# HELP`/`# TYPE` pair per metric, labeled
+//! samples as `name{key="value"} n`, histograms as cumulative
+//! `_bucket{le="..."}` samples (the `le` bounds are the log2 bucket
+//! upper bounds) plus `_sum` and `_count`.  Bucket runs are trimmed the
+//! same way the snapshot is: emission stops after the last non-zero
+//! bucket, then `+Inf` closes the series.
+
+use crate::bucket_upper_bound;
+use crate::metrics::registry;
+use crate::snapshot::{MetricsSnapshot, SampleKind, SeriesSample};
+use std::fmt::Write as _;
+
+/// Render a snapshot in Prometheus-style text format.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for sample in &snapshot.series {
+        if last_name != Some(sample.name.as_str()) {
+            render_header(&mut out, sample);
+            last_name = Some(sample.name.as_str());
+        }
+        match sample.kind {
+            SampleKind::Counter | SampleKind::Gauge => {
+                let _ = writeln!(out, "{}{} {}", sample.name, label_suffix(sample), sample.value);
+            }
+            SampleKind::Histogram => render_histogram(&mut out, sample),
+        }
+    }
+    out
+}
+
+/// `# HELP` (when the registry knows the name) and `# TYPE` lines.
+fn render_header(out: &mut String, sample: &SeriesSample) {
+    if let Some(def) = registry().iter().find(|d| d.name == sample.name) {
+        let _ = writeln!(out, "# HELP {} {}", sample.name, def.help);
+    }
+    let _ = writeln!(out, "# TYPE {} {}", sample.name, sample.kind.as_str());
+}
+
+/// Cumulative `_bucket` samples, then `_sum` and `_count`.
+fn render_histogram(out: &mut String, sample: &SeriesSample) {
+    let mut cumulative = 0u64;
+    for (index, &bucket) in sample.buckets.iter().enumerate() {
+        cumulative = cumulative.saturating_add(bucket);
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {}",
+            sample.name,
+            bucket_label(sample, &bucket_upper_bound(index).to_string()),
+            cumulative,
+        );
+    }
+    let _ =
+        writeln!(out, "{}_bucket{} {}", sample.name, bucket_label(sample, "+Inf"), sample.value);
+    let _ = writeln!(out, "{}_sum{} {}", sample.name, label_suffix(sample), sample.sum);
+    let _ = writeln!(out, "{}_count{} {}", sample.name, label_suffix(sample), sample.value);
+}
+
+/// `{key="value"}` for labeled samples, empty otherwise.
+fn label_suffix(sample: &SeriesSample) -> String {
+    if sample.label_key.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}=\"{}\"}}", sample.label_key, sample.label_value)
+    }
+}
+
+/// The bucket label set: the family label (if any) plus `le`.
+fn bucket_label(sample: &SeriesSample, le: &str) -> String {
+    if sample.label_key.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        format!("{{{}=\"{}\",le=\"{le}\"}}", sample.label_key, sample.label_value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names;
+
+    #[test]
+    fn scalars_render_one_line_per_sample() {
+        let snap = MetricsSnapshot {
+            series: vec![
+                SeriesSample::scalar(names::ENGINE_PSR_RUNS_TOTAL, SampleKind::Counter, 3),
+                SeriesSample::scalar(names::WAL_DEGRADED, SampleKind::Gauge, 1),
+            ],
+        };
+        let text = render(&snap);
+        assert!(text.contains("# TYPE engine_psr_runs_total counter"), "{text}");
+        assert!(text.contains("# HELP engine_psr_runs_total "), "{text}");
+        assert!(text.contains("\nengine_psr_runs_total 3\n"), "{text}");
+        assert!(text.contains("# TYPE wal_degraded gauge"), "{text}");
+        assert!(text.contains("\nwal_degraded 1\n"), "{text}");
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_sum_and_count() {
+        let snap = MetricsSnapshot {
+            series: vec![SeriesSample::histogram(
+                names::WAL_FSYNC_LATENCY_NS,
+                3,
+                1 + 1 + 1000,
+                &[0, 2, 0, 0, 0, 0, 0, 0, 0, 0, 1],
+            )],
+        };
+        let text = render(&snap);
+        assert!(text.contains("wal_fsync_latency_ns_bucket{le=\"1\"} 2\n"), "{text}");
+        assert!(text.contains("wal_fsync_latency_ns_bucket{le=\"1023\"} 3\n"), "{text}");
+        assert!(text.contains("wal_fsync_latency_ns_bucket{le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("wal_fsync_latency_ns_sum 1002\n"), "{text}");
+        assert!(text.contains("wal_fsync_latency_ns_count 3\n"), "{text}");
+    }
+
+    #[test]
+    fn labeled_histograms_carry_both_labels_on_buckets() {
+        let snap = MetricsSnapshot {
+            series: vec![SeriesSample::histogram(names::SERVER_REQUEST_LATENCY_NS, 1, 1, &[0, 1])
+                .labeled("verb", "evaluate")],
+        };
+        let text = render(&snap);
+        assert!(
+            text.contains("server_request_latency_ns_bucket{verb=\"evaluate\",le=\"1\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("server_request_latency_ns_count{verb=\"evaluate\"} 1\n"), "{text}");
+    }
+
+    #[test]
+    fn type_headers_are_emitted_once_per_name() {
+        let snap = crate::metrics::snapshot();
+        let text = render(&snap);
+        let headers = text.matches("# TYPE server_requests_total ").count();
+        assert_eq!(headers, 1, "one TYPE line for the whole verb family");
+    }
+}

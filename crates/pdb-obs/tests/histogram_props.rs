@@ -1,0 +1,137 @@
+//! Property suite for the histogram layout and the snapshot merge —
+//! the two facts fleet-wide aggregation rests on:
+//!
+//! * bucket assignment is **monotone** (order-preserving in the value)
+//!   and **total-preserving** (every recorded value lands in exactly
+//!   one bucket, so bucket totals always equal the count), and
+//! * snapshot merge is **bit-exactly associative** (and commutative),
+//!   because it is built from wrapping adds and max — so a router can
+//!   fold per-shard snapshots in whatever order shards answer.
+
+use pdb_obs::snapshot::{trim_buckets, MetricsSnapshot, SampleKind, SeriesSample};
+use pdb_obs::{bucket_index, bucket_upper_bound, Histogram, HISTOGRAM_BUCKETS};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Build a histogram sample from raw bucket counts + count/sum scalars
+/// (unnormalized on purpose: merge must be exact on *any* inputs, not
+/// just internally consistent ones).
+fn sample(name: &str, count: u64, sum: u64, buckets: &[u64]) -> SeriesSample {
+    SeriesSample::histogram(name, count, sum, buckets)
+}
+
+/// One pseudo-random snapshot: a histogram family cell, a bare
+/// histogram, a counter, and a gauge — every merge rule in one value.
+fn snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        vec(any::<u64>(), 0..HISTOGRAM_BUCKETS),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(buckets, count, sum, counter, gauge)| MetricsSnapshot {
+            series: vec![
+                sample("h", count, sum, &buckets),
+                sample("hv", count ^ sum, sum.rotate_left(13), &buckets)
+                    .labeled("verb", "evaluate"),
+                SeriesSample::scalar("c", SampleKind::Counter, counter),
+                SeriesSample::scalar("g", SampleKind::Gauge, gauge),
+            ],
+        })
+}
+
+fn merged(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Monotone: a larger value never lands in a smaller bucket, and
+    /// every bucket index stays in range.
+    #[test]
+    fn bucket_assignment_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi),
+            "bucket({lo}) = {} > bucket({hi}) = {}", bucket_index(lo), bucket_index(hi));
+        prop_assert!(bucket_index(hi) < HISTOGRAM_BUCKETS);
+    }
+
+    /// Every value is covered by its bucket's bounds: above the previous
+    /// bucket's upper bound, at or below its own.
+    #[test]
+    fn bucket_bounds_bracket_every_value(v in any::<u64>()) {
+        let index = bucket_index(v);
+        prop_assert!(v <= bucket_upper_bound(index));
+        if index > 0 {
+            prop_assert!(v > bucket_upper_bound(index - 1),
+                "{v} should be above bucket {}'s bound {}", index - 1, bucket_upper_bound(index - 1));
+        }
+    }
+
+    /// Total-preserving: recording N values leaves count == N and the
+    /// bucket totals == N — no value is dropped or double-counted.
+    #[test]
+    fn recording_preserves_totals(values in vec(any::<u64>(), 0..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.buckets().iter().sum::<u64>(), values.len() as u64);
+        let expected_sum = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(h.sum(), expected_sum);
+    }
+
+    /// The fleet invariant, bit-exact: `merge(a, merge(b, c)) ==
+    /// merge(merge(a, b), c)` on full snapshots (histograms, labeled
+    /// families, counters, gauges).
+    #[test]
+    fn merge_is_associative_bit_exactly(
+        a in snapshot_strategy(),
+        b in snapshot_strategy(),
+        c in snapshot_strategy(),
+    ) {
+        let left = merged(&a, &merged(&b, &c));
+        let right = merged(&merged(&a, &b), &c);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merge is also commutative — shard answer order cannot matter.
+    #[test]
+    fn merge_is_commutative_bit_exactly(
+        a in snapshot_strategy(),
+        b in snapshot_strategy(),
+    ) {
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    /// Merging preserves histogram totals: the merged bucket sum equals
+    /// the wrapping sum of the inputs' bucket sums.
+    #[test]
+    fn merge_preserves_bucket_totals(
+        xs in vec(any::<u64>(), 0..HISTOGRAM_BUCKETS),
+        ys in vec(any::<u64>(), 0..HISTOGRAM_BUCKETS),
+    ) {
+        let mut a = MetricsSnapshot { series: vec![sample("h", 0, 0, &xs)] };
+        let b = MetricsSnapshot { series: vec![sample("h", 0, 0, &ys)] };
+        a.merge(&b);
+        let total = |v: &[u64]| v.iter().fold(0u64, |acc, &x| acc.wrapping_add(x));
+        let got = a.find("h").map(|s| total(&s.buckets));
+        prop_assert_eq!(got, Some(total(&xs).wrapping_add(total(&ys))));
+    }
+
+    /// Trimming never changes what a bucket array means: merging a
+    /// trimmed array gives the same result as merging the original.
+    #[test]
+    fn trimming_is_merge_transparent(xs in vec(any::<u64>(), 0..HISTOGRAM_BUCKETS)) {
+        let trimmed = trim_buckets(&xs);
+        let base = MetricsSnapshot { series: vec![sample("h", 1, 1, &[1, 2, 3])] };
+        let via_raw = merged(&base, &MetricsSnapshot { series: vec![sample("h", 0, 0, &xs)] });
+        let via_trim = merged(&base, &MetricsSnapshot { series: vec![sample("h", 0, 0, &trimmed)] });
+        prop_assert_eq!(via_raw, via_trim);
+    }
+}

@@ -1,0 +1,26 @@
+//! The global enable switch, tested in its own binary: flipping the
+//! process-wide flag would race the recording assertions in the unit
+//! suite if it ran in the same process, so this file holds everything
+//! that toggles it.
+
+use pdb_obs::{set_enabled, Counter, Histogram};
+
+#[test]
+fn disabling_stops_recording_without_poisoning_reads() {
+    let c = Counter::new();
+    let h = Histogram::new();
+    set_enabled(false);
+    c.inc();
+    c.add(10);
+    h.record(123);
+    let span = h.span();
+    assert_eq!(span.finish(), 0, "a disabled span measures nothing");
+    set_enabled(true);
+    assert_eq!(c.get(), 0, "disabled increments must not land");
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+    c.inc();
+    h.record(123);
+    assert_eq!(c.get(), 1, "re-enabling restores recording");
+    assert_eq!(h.count(), 1);
+}

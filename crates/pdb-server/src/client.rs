@@ -7,9 +7,9 @@
 
 use crate::protocol::{
     self, decode_chunk_data, Answers, ApplyMutation, ApplyProbe, CreateSession, DatasetSpec,
-    EvalMode, FetchChunk, Persisted, ProbeAdvice, ProbeApplied, QualityReport, QueryRegistered,
-    RegisterQuery, Request, Response, RestoreSession, ServerStats, SessionCreated, SessionRef,
-    SnapshotChunk, CHUNK_SEED,
+    EvalMode, FetchChunk, MetricsReply, Persisted, ProbeAdvice, ProbeApplied, QualityReport,
+    QueryRegistered, RegisterQuery, Request, Response, RestoreSession, ServerStats, SessionCreated,
+    SessionRef, SnapshotChunk, CHUNK_SEED,
 };
 use pdb_engine::delta::XTupleMutation;
 use pdb_engine::queries::TopKQuery;
@@ -392,6 +392,14 @@ impl Client {
         match self.call(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
             other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// `metrics`: every registered observability series.
+    pub fn metrics(&mut self) -> Result<MetricsReply, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(reply) => Ok(reply),
+            other => Err(unexpected("metrics", &other)),
         }
     }
 

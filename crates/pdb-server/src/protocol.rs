@@ -3,8 +3,9 @@
 //! The server speaks **newline-delimited JSON** over TCP: every request is
 //! one JSON value on one line, and every request produces exactly one JSON
 //! response line.  A request is a single-entry object whose key is the verb
-//! (`{"evaluate": {"session": 3}}`); the two verbs that carry no payload
-//! (`stats`, `shutdown`) may also be sent as bare strings (`"stats"`).
+//! (`{"evaluate": {"session": 3}}`); the verbs that carry no payload
+//! (`stats`, `metrics`, `shutdown`) may also be sent as bare strings
+//! (`"stats"`).
 //! Responses follow the same shape with the response kind as the key, and
 //! every error — parse failure, unknown session, engine error — comes back
 //! as `{"error": {"message": "..."}}` instead of closing the connection.
@@ -32,6 +33,7 @@
 //! | `restore` | [`RestoreSession`] | `session_created` ([`SessionCreated`]) |
 //! | `fetch_chunk` | [`FetchChunk`] | `chunk` ([`SnapshotChunk`]) |
 //! | `stats` | — | `stats` ([`ServerStats`]) |
+//! | `metrics` | — | `metrics` ([`MetricsReply`]) |
 //! | `shutdown` | — | `shutting_down` |
 //!
 //! `apply_mutation` is the canonical mutation verb: it accepts every
@@ -349,6 +351,9 @@ pub enum Request {
     FetchChunk(FetchChunk),
     /// `stats`: server-wide counters.
     Stats,
+    /// `metrics`: every registered observability series (counters,
+    /// gauges, latency histograms) as one snapshot.
+    Metrics,
     /// `shutdown`: stop accepting connections and drain in-flight requests.
     Shutdown,
 }
@@ -369,6 +374,7 @@ impl Request {
             Request::Restore(_) => "restore",
             Request::FetchChunk(_) => "fetch_chunk",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
         }
     }
@@ -387,7 +393,7 @@ impl Serialize for Request {
             Request::ApplyMutation(p) | Request::ApplyProbe(p) => p.to_value(),
             Request::Restore(p) => p.to_value(),
             Request::FetchChunk(p) => p.to_value(),
-            Request::Stats | Request::Shutdown => Value::Map(Vec::new()),
+            Request::Stats | Request::Metrics | Request::Shutdown => Value::Map(Vec::new()),
         };
         Value::Map(vec![(self.verb().to_string(), payload)])
     }
@@ -398,6 +404,7 @@ impl Deserialize for Request {
         if let Some(verb) = value.as_str() {
             return match verb {
                 "stats" => Ok(Request::Stats),
+                "metrics" => Ok(Request::Metrics),
                 "shutdown" => Ok(Request::Shutdown),
                 other => Err(SerdeError::custom(format!(
                     "verb {other:?} requires a payload; send {{\"{other}\": {{...}}}}"
@@ -418,6 +425,7 @@ impl Deserialize for Request {
             "restore" => Ok(Request::Restore(Deserialize::from_value(payload)?)),
             "fetch_chunk" => Ok(Request::FetchChunk(Deserialize::from_value(payload)?)),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(SerdeError::custom(format!("unknown request verb {other:?}"))),
         }
@@ -532,7 +540,7 @@ pub struct SessionStat {
 }
 
 /// Response to `stats`: server-wide counters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerStats {
     /// Sessions currently live.
     pub sessions_live: u64,
@@ -554,8 +562,131 @@ pub struct ServerStats {
     /// server; the fleet router reports its shard-connection retries
     /// here, summed into the merged fleet stats).
     pub connect_retries: u64,
+    /// The group-commit flusher's sticky fsync failure, if one has
+    /// happened: once an fsync fails the WAL fail-stops, and every
+    /// in-flight and future append errors.  Surfaced here so operators
+    /// see a degraded store *before* the next write fails, not at it.
+    /// `None` (omitted on the wire) on a healthy or non-durable server;
+    /// a merged fleet reply carries the first degraded shard's message.
+    pub flush_error: Option<String>,
     /// Per-session age / query / probe counters, ascending by id.
     pub sessions: Vec<SessionStat>,
+}
+
+impl Serialize for ServerStats {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("sessions_live".to_string(), self.sessions_live.to_value()),
+            ("sessions_created".to_string(), self.sessions_created.to_value()),
+            ("requests_served".to_string(), self.requests_served.to_value()),
+            ("probes_applied".to_string(), self.probes_applied.to_value()),
+            ("shards".to_string(), self.shards.to_value()),
+            ("threads".to_string(), self.threads.to_value()),
+            ("durable".to_string(), self.durable.to_value()),
+            ("connect_retries".to_string(), self.connect_retries.to_value()),
+        ];
+        if let Some(flush_error) = &self.flush_error {
+            entries.push(("flush_error".to_string(), flush_error.to_value()));
+        }
+        entries.push(("sessions".to_string(), self.sessions.to_value()));
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for ServerStats {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let entries = object_entries(value, "stats")?;
+        Ok(ServerStats {
+            sessions_live: required_field(entries, "sessions_live", "stats")?,
+            sessions_created: required_field(entries, "sessions_created", "stats")?,
+            requests_served: required_field(entries, "requests_served", "stats")?,
+            probes_applied: required_field(entries, "probes_applied", "stats")?,
+            shards: required_field(entries, "shards", "stats")?,
+            threads: required_field(entries, "threads", "stats")?,
+            durable: required_field(entries, "durable", "stats")?,
+            connect_retries: required_field(entries, "connect_retries", "stats")?,
+            // Absent (every pre-observability reply) and null both mean
+            // "no sticky flush failure".
+            flush_error: optional_field(entries, "flush_error")?,
+            sessions: required_field(entries, "sessions", "stats")?,
+        })
+    }
+}
+
+/// One sampled observability series inside a [`MetricsReply`]: the wire
+/// mirror of [`pdb_obs::snapshot::SeriesSample`].  `label_key` /
+/// `label_value` are empty for unlabeled series; `buckets` is the
+/// trimmed log2 bucket array (empty for scalars and never-recorded
+/// histograms).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSeries {
+    /// Canonical metric name (see `pdb_obs::names`).
+    pub name: String,
+    /// `"counter"`, `"gauge"` or `"histogram"`.
+    pub kind: String,
+    /// Label dimension (e.g. `"verb"`), empty when unlabeled.
+    pub label_key: String,
+    /// Label value (e.g. `"evaluate"`), empty when unlabeled.
+    pub label_value: String,
+    /// Counter/gauge value; for histograms, the observation count.
+    pub value: u64,
+    /// Histogram observation sum (0 for scalars).
+    pub sum: u64,
+    /// Trimmed histogram buckets (empty for scalars).
+    pub buckets: Vec<u64>,
+}
+
+/// Response to `metrics`: every registered series of the answering
+/// process — or, from a fleet router, the associative merge of every
+/// shard's snapshot plus the router's own series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReply {
+    /// All sampled series, registry-ordered (canonically sorted after a
+    /// fleet merge).
+    pub series: Vec<MetricSeries>,
+}
+
+impl From<pdb_obs::snapshot::MetricsSnapshot> for MetricsReply {
+    fn from(snapshot: pdb_obs::snapshot::MetricsSnapshot) -> Self {
+        MetricsReply {
+            series: snapshot
+                .series
+                .into_iter()
+                .map(|s| MetricSeries {
+                    name: s.name,
+                    kind: s.kind.as_str().to_string(),
+                    label_key: s.label_key,
+                    label_value: s.label_value,
+                    value: s.value,
+                    sum: s.sum,
+                    buckets: s.buckets,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl MetricsReply {
+    /// Convert back into the mergeable snapshot form.  Fails on a series
+    /// kind this build does not know (a newer peer's reply).
+    pub fn to_snapshot(&self) -> Result<pdb_obs::snapshot::MetricsSnapshot, SerdeError> {
+        let mut series = Vec::with_capacity(self.series.len());
+        for s in &self.series {
+            let kind = pdb_obs::snapshot::SampleKind::parse(&s.kind).ok_or_else(|| {
+                SerdeError::custom(format!("unknown metric kind {:?} in series {}", s.kind, s.name))
+            })?;
+            series.push(pdb_obs::snapshot::SeriesSample {
+                name: s.name.clone(),
+                kind,
+                label_key: s.label_key.clone(),
+                label_value: s.label_value.clone(),
+                value: s.value,
+                sum: s.sum,
+                buckets: s.buckets.clone(),
+            });
+        }
+        Ok(pdb_obs::snapshot::MetricsSnapshot { series })
+    }
 }
 
 /// Error payload.
@@ -589,6 +720,8 @@ pub enum Response {
     Chunk(SnapshotChunk),
     /// `stats`
     Stats(ServerStats),
+    /// `metrics`
+    Metrics(MetricsReply),
     /// `shutting_down`
     ShuttingDown,
     /// `error`
@@ -609,6 +742,7 @@ impl Response {
             Response::Persisted(_) => "persisted",
             Response::Chunk(_) => "chunk",
             Response::Stats(_) => "stats",
+            Response::Metrics(_) => "metrics",
             Response::ShuttingDown => "shutting_down",
             Response::Error(_) => "error",
         }
@@ -633,6 +767,7 @@ impl Serialize for Response {
             Response::Persisted(p) => p.to_value(),
             Response::Chunk(p) => p.to_value(),
             Response::Stats(p) => p.to_value(),
+            Response::Metrics(p) => p.to_value(),
             Response::ShuttingDown => Value::Map(Vec::new()),
             Response::Error(p) => p.to_value(),
         };
@@ -659,6 +794,7 @@ impl Deserialize for Response {
             "persisted" => Ok(Response::Persisted(Deserialize::from_value(payload)?)),
             "chunk" => Ok(Response::Chunk(Deserialize::from_value(payload)?)),
             "stats" => Ok(Response::Stats(Deserialize::from_value(payload)?)),
+            "metrics" => Ok(Response::Metrics(Deserialize::from_value(payload)?)),
             "shutting_down" => Ok(Response::ShuttingDown),
             "error" => Ok(Response::Error(Deserialize::from_value(payload)?)),
             other => Err(SerdeError::custom(format!("unknown response kind {other:?}"))),
@@ -808,6 +944,7 @@ mod tests {
             max_len: 65536,
         }));
         round_trip_request(&Request::Stats);
+        round_trip_request(&Request::Metrics);
         round_trip_request(&Request::Shutdown);
     }
 
@@ -915,7 +1052,42 @@ mod tests {
             threads: 4,
             durable: true,
             connect_retries: 5,
+            flush_error: None,
             sessions: vec![SessionStat { session: 1, age_ms: 1234, queries: 2, probes: 3 }],
+        }));
+        round_trip_response(&Response::Stats(ServerStats {
+            sessions_live: 0,
+            sessions_created: 0,
+            requests_served: 1,
+            probes_applied: 0,
+            shards: 1,
+            threads: 1,
+            durable: true,
+            connect_retries: 0,
+            flush_error: Some("syncing wal.log: disk gone".to_string()),
+            sessions: Vec::new(),
+        }));
+        round_trip_response(&Response::Metrics(MetricsReply {
+            series: vec![
+                MetricSeries {
+                    name: "engine_psr_runs_total".to_string(),
+                    kind: "counter".to_string(),
+                    label_key: String::new(),
+                    label_value: String::new(),
+                    value: 3,
+                    sum: 0,
+                    buckets: Vec::new(),
+                },
+                MetricSeries {
+                    name: "server_request_latency_ns".to_string(),
+                    kind: "histogram".to_string(),
+                    label_key: "verb".to_string(),
+                    label_value: "evaluate".to_string(),
+                    value: 2,
+                    sum: 1025,
+                    buckets: vec![0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1],
+                },
+            ],
         }));
         round_trip_response(&Response::ShuttingDown);
         round_trip_response(&Response::error("boom"));
@@ -924,8 +1096,112 @@ mod tests {
     #[test]
     fn payloadless_verbs_parse_from_bare_strings() {
         assert_eq!(decode_request("\"stats\"").unwrap(), Request::Stats);
+        assert_eq!(decode_request("\"metrics\"").unwrap(), Request::Metrics);
         assert_eq!(decode_request("\"shutdown\"").unwrap(), Request::Shutdown);
         assert_eq!(decode_request("{\"stats\": {}}").unwrap(), Request::Stats);
+        assert_eq!(decode_request("{\"metrics\": {}}").unwrap(), Request::Metrics);
+    }
+
+    #[test]
+    fn stats_without_flush_error_keep_parsing_and_omit_the_key() {
+        // Pre-observability stats JSON (no `flush_error` key) must keep
+        // parsing, and a healthy server's reply must not grow the key.
+        let json = "{\"stats\": {\"sessions_live\": 0, \"sessions_created\": 0, \
+                    \"requests_served\": 1, \"probes_applied\": 0, \"shards\": 1, \
+                    \"threads\": 1, \"durable\": false, \"connect_retries\": 0, \
+                    \"sessions\": []}}";
+        let parsed = decode_response(json).unwrap();
+        match &parsed {
+            Response::Stats(stats) => assert_eq!(stats.flush_error, None),
+            other => panic!("expected stats, got {}", other.kind()),
+        }
+        let encoded = encode(&parsed).unwrap();
+        assert!(!encoded.contains("flush_error"), "{encoded}");
+    }
+
+    #[test]
+    fn metrics_replies_convert_to_mergeable_snapshots() {
+        let reply: MetricsReply = pdb_obs::metrics::snapshot().into();
+        let snapshot = reply.to_snapshot().unwrap();
+        assert_eq!(snapshot.series.len(), reply.series.len());
+        let bad = MetricsReply {
+            series: vec![MetricSeries {
+                name: "x".to_string(),
+                kind: "tachometer".to_string(),
+                label_key: String::new(),
+                label_value: String::new(),
+                value: 0,
+                sum: 0,
+                buckets: Vec::new(),
+            }],
+        };
+        assert!(bad.to_snapshot().is_err(), "unknown kinds must not merge silently");
+    }
+
+    #[test]
+    fn every_wire_verb_has_a_metrics_label() {
+        // The per-verb request counters/histograms in pdb-obs use a fixed
+        // label set; a verb missing from it would silently fold into the
+        // "other" catch-all cell.  Keep the two lists in lockstep.
+        let requests = [
+            Request::CreateSession(CreateSession {
+                dataset: DatasetSpec::Synthetic { tuples: 10 },
+                probe_cost: 1,
+                probe_success: 0.8,
+                session: None,
+            }),
+            Request::RegisterQuery(RegisterQuery {
+                session: 0,
+                query: TopKQuery::PTk { k: 5, threshold: 0.1 },
+                weight: 1.0,
+            }),
+            Request::Evaluate(SessionRef { session: 0 }),
+            Request::Quality(SessionRef { session: 0 }),
+            Request::RecommendProbe(SessionRef { session: 0 }),
+            Request::ApplyMutation(ApplyMutation {
+                session: 0,
+                x_tuple: 0,
+                mutation: XTupleMutation::Remove,
+                mode: EvalMode::Delta,
+            }),
+            Request::ApplyProbe(ApplyProbe {
+                session: 0,
+                x_tuple: 0,
+                mutation: XTupleMutation::CollapseToNull,
+                mode: EvalMode::Delta,
+            }),
+            Request::DropSession(SessionRef { session: 0 }),
+            Request::Persist(SessionRef { session: 0 }),
+            Request::Restore(RestoreSession {
+                snapshot: "s.pdbs".to_string(),
+                probe_cost: 1,
+                probe_success: 0.8,
+                session: None,
+            }),
+            Request::FetchChunk(FetchChunk {
+                snapshot: "s.pdbs".to_string(),
+                offset: 0,
+                max_len: 1,
+            }),
+            Request::Stats,
+            Request::Metrics,
+            Request::Shutdown,
+        ];
+        for req in &requests {
+            assert!(
+                pdb_obs::metrics::VERB_LABELS.contains(&req.verb()),
+                "verb {} is missing from pdb_obs::metrics::VERB_LABELS",
+                req.verb()
+            );
+        }
+        // Every non-catch-all label must correspond to a real verb, too.
+        let verbs: Vec<&str> = requests.iter().map(|r| r.verb()).collect();
+        for label in pdb_obs::metrics::VERB_LABELS {
+            assert!(
+                *label == "other" || verbs.contains(label),
+                "VERB_LABELS entry {label} does not match any wire verb"
+            );
+        }
     }
 
     #[test]

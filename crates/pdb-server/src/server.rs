@@ -22,6 +22,7 @@
 
 use crate::protocol::{self, Request, Response, ServerStats};
 use crate::session::SessionManager;
+use pdb_obs::metrics as obs;
 use pdb_store::FlushPolicy;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -264,14 +265,32 @@ fn handle_connection(stream: TcpStream, ctx: &HandlerContext) {
             continue;
         }
         let response = match protocol::decode_request(line.trim_end()) {
-            Ok(request) => dispatch(request, ctx),
-            Err(err) => Response::error(format!("malformed request: {err}")),
+            Ok(request) => {
+                // Per-verb counters + latency span: the span covers the
+                // handler only (not the socket write), so the histogram
+                // measures the work a verb costs, not the client's
+                // draining speed.
+                let verb = request.verb();
+                obs::SERVER_REQUESTS_TOTAL.with(verb).inc();
+                let span = obs::SERVER_REQUEST_LATENCY_NS.with(verb).span();
+                let response = dispatch(request, ctx);
+                span.finish();
+                if matches!(response, Response::Error(_)) {
+                    obs::SERVER_ERRORS_TOTAL.with("handler").inc();
+                }
+                response
+            }
+            Err(err) => {
+                obs::SERVER_ERRORS_TOTAL.with("decode").inc();
+                Response::error(format!("malformed request: {err}"))
+            }
         };
         ctx.requests.fetch_add(1, Ordering::Relaxed);
         let payload = protocol::encode(&response).unwrap_or_else(|err| {
             format!("{{\"error\":{{\"message\":\"encoding failed: {err}\"}}}}")
         });
         if writeln!(writer, "{payload}").and_then(|()| writer.flush()).is_err() {
+            obs::SERVER_ERRORS_TOTAL.with("io").inc();
             return;
         }
         // Finish the in-flight request, then stop picking up new ones so
@@ -360,8 +379,10 @@ fn dispatch(request: Request, ctx: &HandlerContext) -> Response {
             threads: ctx.threads,
             durable: manager.store().is_some(),
             connect_retries: 0,
+            flush_error: manager.store().and_then(|store| store.flush_error()),
             sessions: manager.session_stats(),
         }),
+        Request::Metrics => Response::Metrics(pdb_obs::metrics::snapshot().into()),
         Request::Shutdown => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             // Wake the accept loop so it observes the flag; the dummy

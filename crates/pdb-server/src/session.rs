@@ -310,6 +310,7 @@ impl Session {
         l: usize,
         mutation: &XTupleMutation,
     ) -> DbResult<BatchCollapseUpdate> {
+        pdb_obs::metrics::ENGINE_FULL_REBUILDS_TOTAL.inc();
         let before = self.live()?.aggregate_quality();
         let mut db = self.database().clone();
         match mutation {

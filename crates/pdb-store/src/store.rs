@@ -364,6 +364,10 @@ impl Store {
     /// call blocks until a batched flush covering the record completed —
     /// either way an acknowledged append is durable.
     pub fn append(&self, record: &WalRecord) -> Result<()> {
+        // The span covers framing *and* the wait for durability, so the
+        // histogram reports what an acknowledged append actually costs
+        // callers (under group commit, mostly the wait).
+        let _span = pdb_obs::metrics::WAL_APPEND_LATENCY_NS.span();
         self.wal()?.append(record)?;
         if let Some(flusher) = &self.flusher {
             flusher.wait_durable(&self.dir)?;
@@ -377,6 +381,15 @@ impl Store {
     /// whole point of the policy.
     pub fn flushes(&self) -> u64 {
         self.flusher.as_ref().map_or(0, |f| f.shared.state().flushes)
+    }
+
+    /// The group-commit flusher's sticky fsync failure, if one has
+    /// happened (`None` under per-record fsync and on a healthy log).
+    /// Once set, the log has fail-stopped: every waiting and future
+    /// append errors.  Surfaced through `stats`/`metrics` so operators
+    /// see the degradation before the next write trips over it.
+    pub fn flush_error(&self) -> Option<String> {
+        self.flusher.as_ref().and_then(|f| f.shared.state().error.clone())
     }
 
     /// Records appended since the last [`truncate_log`](Self::truncate_log)
@@ -576,15 +589,30 @@ fn flusher_loop(
             let guard = wal.lock().unwrap_or_else(PoisonError::into_inner);
             guard.sync_handle()
         };
+        let fsync_span = pdb_obs::metrics::WAL_FSYNC_LATENCY_NS.span();
         let result = handle
             .and_then(|file| file.sync_data().map_err(|e| StoreError::io("syncing", log_path, e)));
+        fsync_span.finish();
         let mut state = shared.state();
         match result {
             Ok(()) => {
+                // How many records this one fsync made durable — the
+                // batch-size distribution is the whole story of group
+                // commit (1 everywhere means the policy amortizes
+                // nothing).  Saturating: a concurrent compaction may have
+                // already marked everything synced, making this window
+                // empty.
+                let batch = target.saturating_sub(state.synced);
+                if batch > 0 {
+                    pdb_obs::metrics::WAL_FSYNC_BATCH_RECORDS.record(batch);
+                }
                 state.synced = state.synced.max(target);
                 state.flushes += 1;
             }
-            Err(err) => state.error = Some(err.to_string()),
+            Err(err) => {
+                pdb_obs::metrics::WAL_DEGRADED.set(1);
+                state.error = Some(err.to_string());
+            }
         }
         shared.done.notify_all();
     }
